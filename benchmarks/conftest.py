@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (so the whole harness stays laptop-runnable) and prints the rows the
+paper reports.  `run_once` wraps ``benchmark.pedantic`` so each experiment
+executes exactly once per benchmark (these are end-to-end experiments, not
+micro-benchmarks).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale configuration shared by all table/figure benchmarks."""
+    return ExperimentConfig(
+        n_po_matchers=30,
+        n_oaei_matchers=12,
+        n_folds=3,
+        n_bootstrap=300,
+        random_state=42,
+        use_neural_features=True,
+        neural_config={
+            "seq": {"hidden_dim": 6, "dense_dim": 8, "max_sequence_length": 24, "epochs": 3},
+            "spa": {"n_filters": 2, "epochs": 1, "pretrain_samples": 16},
+        },
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

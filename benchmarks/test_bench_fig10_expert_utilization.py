@@ -1,0 +1,22 @@
+"""Figure 10: matching quality of the experts identified by MExI vs. the baselines."""
+
+from repro.experiments import run_outcome_experiment
+
+
+def test_bench_fig10_expert_utilization(run_once, bench_config):
+    result = run_once(run_outcome_experiment, bench_config, early=False)
+
+    print("\nFigure 10 -- paper shape: MExI's experts beat no_filter and the "
+          "crowdsourcing baselines on P/R/Res and have lower |Cal|")
+    print(result.format_table())
+
+    mexi = result.filtering_results["MExI"]
+    population = mexi.population_performance
+
+    assert mexi.n_selected >= 1
+    for measure in ("precision", "recall", "resolution", "abs_calibration"):
+        assert 0.0 <= mexi.selected_performance[measure] <= 1.0
+
+    # Shape: filtering with MExI does not hurt precision relative to the full
+    # population (the paper reports a +42% improvement).
+    assert mexi.selected_performance["precision"] >= population["precision"] - 0.1

@@ -1,0 +1,21 @@
+"""Figure 11: early identification -- experts selected from their first half-median decisions."""
+
+from repro.experiments import run_outcome_experiment
+
+
+def test_bench_fig11_early_identification(run_once, bench_config):
+    result = run_once(run_outcome_experiment, bench_config, early=True)
+
+    print("\nFigure 11 -- paper shape: early-identified experts remain better than the "
+          "unfiltered population, slightly below the Figure-10 selection")
+    print(f"(experts identified from their first {result.early_decisions} decisions)")
+    print(result.format_table())
+
+    assert result.early
+    assert result.early_decisions is not None and result.early_decisions >= 1
+
+    mexi = result.filtering_results["MExI"]
+    population = mexi.population_performance
+    assert mexi.n_selected >= 1
+    # Shape: the early selection is still not worse than the unfiltered pool on precision.
+    assert mexi.selected_performance["precision"] >= population["precision"] - 0.15

@@ -1,0 +1,30 @@
+"""Figure 1: accumulated P/R/confidence curves and heat maps of Matchers A and B."""
+
+from repro.experiments import run_archetype_curves
+from repro.simulation.archetypes import Archetype
+
+
+def test_bench_fig1_archetype_curves(run_once, bench_config):
+    result = run_once(
+        run_archetype_curves,
+        bench_config,
+        archetypes=(Archetype.A, Archetype.B),
+        compute_resolution=True,
+    )
+    curve_a = result.archetype("A")
+    curve_b = result.archetype("B")
+
+    print("\nFigure 1 -- archetype summary (paper: A precise & thorough, B imprecise & incomplete)")
+    for name, curve in (("A", curve_a), ("B", curve_b)):
+        print(
+            f"  Matcher {name}: P={curve.final_precision:.2f} R={curve.final_recall:.2f} "
+            f"Res={curve.final_resolution:.2f} Cal={curve.final_calibration:+.2f} "
+            f"({curve.matcher.n_decisions} decisions)"
+        )
+    print(curve_b.heatmap_ascii())
+
+    # Shape check: A dominates B on both quantitative measures.
+    assert curve_a.final_precision > curve_b.final_precision
+    assert curve_a.final_recall > curve_b.final_recall
+    # A's confidence tracks its precision better than B's (B is over-confident).
+    assert abs(curve_a.final_calibration) < abs(curve_b.final_calibration)

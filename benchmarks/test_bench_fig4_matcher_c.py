@@ -1,0 +1,24 @@
+"""Figure 4: Matcher C -- precise but incomplete (not thorough)."""
+
+from repro.experiments import run_archetype_curves
+from repro.simulation.archetypes import Archetype
+
+
+def test_bench_fig4_matcher_c(run_once, bench_config):
+    result = run_once(
+        run_archetype_curves,
+        bench_config,
+        archetypes=(Archetype.C,),
+        compute_resolution=True,
+    )
+    curve = result.archetype("C")
+
+    print("\nFigure 4 -- Matcher C (paper: precise throughout, recall stays below 0.2-0.5)")
+    print(
+        f"  P={curve.final_precision:.2f} R={curve.final_recall:.2f} "
+        f"Cal={curve.final_calibration:+.2f} ({curve.matcher.n_decisions} decisions)"
+    )
+
+    # Shape: precise but not thorough.
+    assert curve.final_precision > 0.5
+    assert curve.final_recall < 0.5

@@ -1,0 +1,32 @@
+"""Figures 5 and 6: Matcher D -- precise and thorough but uncorrelated / uncalibrated."""
+
+import numpy as np
+
+from repro.experiments import run_archetype_curves
+from repro.simulation.archetypes import Archetype
+
+
+def test_bench_fig5_6_matcher_d(run_once, bench_config):
+    result = run_once(
+        run_archetype_curves,
+        bench_config,
+        archetypes=(Archetype.A, Archetype.D),
+        compute_resolution=True,
+    )
+    curve_a = result.archetype("A")
+    curve_d = result.archetype("D")
+
+    print("\nFigure 5/6 -- Matcher D vs Matcher A (paper: D quantitatively strong, cognitively weak)")
+    for name, curve in (("A", curve_a), ("D", curve_d)):
+        print(
+            f"  Matcher {name}: P={curve.final_precision:.2f} R={curve.final_recall:.2f} "
+            f"Res={curve.final_resolution:.2f} Cal={curve.final_calibration:+.2f}"
+        )
+
+    # Shape: both precise, D reasonably thorough, but D's resolution is lower and
+    # its calibration worse (under-confident) than A's.
+    assert curve_d.final_precision > 0.5
+    assert curve_d.final_resolution < curve_a.final_resolution
+    assert abs(curve_d.final_calibration) > abs(curve_a.final_calibration)
+    # Figure 6: D's accumulated calibration stays negative (under-confidence).
+    assert np.mean(curve_d.curves.calibration[-5:]) < 0

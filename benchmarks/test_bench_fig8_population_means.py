@@ -1,0 +1,28 @@
+"""Figure 8: average performance of matchers by measure."""
+
+from repro.experiments import run_population_analysis
+
+
+def test_bench_fig8_population_means(run_once, bench_config):
+    result = run_once(run_population_analysis, bench_config)
+
+    print("\nFigure 8 -- mean measure values (paper: P=.55, R=.33, |Res|~.4, |Cal|=.33)")
+    print(result.format_figure8())
+    print(
+        f"  positively correlated matchers mean Res: {result.positive_resolution_mean:.2f} "
+        "(paper: .61)"
+    )
+    print(
+        f"  under-confident matchers mean |Cal|: {result.under_confident_abs_calibration:.2f} "
+        "(paper: .11)"
+    )
+
+    means = result.mean_measures
+    # Shape checks: precision-geared population, moderate recall.
+    assert means["P"] > means["R"]
+    assert 0.3 <= means["P"] <= 0.8
+    assert 0.1 <= means["R"] <= 0.55
+    # Positively correlated matchers look better than the population average.
+    assert result.positive_resolution_mean >= means["|Res|"] - 0.25
+    # Under-confident matchers are closer to calibrated than the population.
+    assert result.under_confident_abs_calibration <= means["|Cal|"] + 0.05

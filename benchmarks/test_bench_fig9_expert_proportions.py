@@ -1,0 +1,20 @@
+"""Figure 9: proportion of matching experts by type."""
+
+from repro.experiments import run_population_analysis
+
+
+def test_bench_fig9_expert_proportions(run_once, bench_config):
+    result = run_once(run_population_analysis, bench_config)
+
+    print("\nFigure 9 -- proportion of experts by type (paper: P>.5, R~.15, Res .33, Cal .42)")
+    print(result.format_figure9())
+    print(f"  experts in all four types: {result.full_expert_proportion:.2f}")
+
+    proportions = result.expert_proportions
+    # Shape checks: precise experts are common, thorough experts are rare, and
+    # the cognitive thresholds (population percentiles) bound their proportions.
+    assert proportions["precise"] > proportions["thorough"]
+    assert proportions["thorough"] <= 0.45
+    assert proportions["correlated"] <= 0.35
+    assert proportions["calibrated"] <= 0.35
+    assert result.full_expert_proportion <= proportions["thorough"] + 0.05

@@ -1,0 +1,24 @@
+"""Table IIa: expert identification accuracy on the schema-matching (PO) task."""
+
+from repro.experiments import run_identification_experiment
+from repro.experiments.identification import ACCURACY_MEASURES
+
+
+def test_bench_table2a_identification(run_once, bench_config):
+    result = run_once(run_identification_experiment, bench_config)
+
+    print("\nTable IIa -- paper shape: MExI_50 > MExI_70 > MExI_empty > LRSM/BEH > heuristics")
+    print(result.format_table())
+
+    for method in result.methods:
+        for measure in ACCURACY_MEASURES:
+            assert 0.0 <= method.mean_accuracies[measure] <= 1.0
+
+    mexi_50 = result.method("MExI_50").mean_accuracies
+    rand = result.method("Rand").mean_accuracies
+    # Shape: the learned, augmented model is competitive with (or better than)
+    # uninformed guessing on the headline multi-label measure and on precision.
+    assert mexi_50["A_ML"] >= rand["A_ML"] - 0.1
+    assert mexi_50["A_P"] >= 0.4
+    # All three MExI variants are evaluated.
+    assert {m.method for m in result.methods} >= {"MExI_empty", "MExI_50", "MExI_70"}

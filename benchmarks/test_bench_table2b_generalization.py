@@ -1,0 +1,21 @@
+"""Table IIb: generalization -- train on schema matching (PO), test on ontology alignment (OAEI)."""
+
+from repro.experiments import run_generalization_experiment
+from repro.experiments.identification import ACCURACY_MEASURES
+
+
+def test_bench_table2b_generalization(run_once, bench_config):
+    result = run_once(run_generalization_experiment, bench_config)
+
+    print("\nTable IIb -- paper shape: MExI keeps an edge on A_ML when transferring PO -> OAEI")
+    print(result.format_table())
+
+    assert result.n_train == bench_config.n_po_matchers
+    assert result.n_test == bench_config.n_oaei_matchers
+    for method in result.methods:
+        for measure in ACCURACY_MEASURES:
+            assert 0.0 <= method.mean_accuracies[measure] <= 1.0
+
+    mexi_50 = result.method("MExI_50").mean_accuracies
+    rand = result.method("Rand").mean_accuracies
+    assert mexi_50["A_ML"] >= rand["A_ML"] - 0.1

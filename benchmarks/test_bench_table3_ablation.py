@@ -1,0 +1,29 @@
+"""Table III: feature-set ablation (include / exclude, MExI_50 on the PO task)."""
+
+from repro.experiments import run_ablation_study
+
+
+def test_bench_table3_ablation(run_once, bench_config):
+    result = run_once(run_ablation_study, bench_config)
+
+    print("\nTable III -- paper shape: Phi_LRSM drives A_P/A_R; mouse & sequence sets drive A_Res/A_Cal")
+    print(result.format_table())
+
+    include_rows = result.by_mode("include")
+    exclude_rows = result.by_mode("exclude")
+    full_rows = result.by_mode("full")
+
+    assert len(full_rows) == 1
+    assert len(include_rows) == len(bench_config.feature_sets)
+    assert len(exclude_rows) == len(bench_config.feature_sets)
+
+    # Every configuration reports valid accuracies.
+    for row in result.results:
+        for value in row.accuracies.values():
+            assert 0.0 <= value <= 1.0
+
+    # Shape: no single feature set alone beats the full model by a wide margin
+    # on the multi-label measure (the fusion is doing real work).
+    full_ml = full_rows[0].accuracies["A_ML"]
+    best_single_ml = max(row.accuracies["A_ML"] for row in include_rows)
+    assert full_ml >= best_single_ml - 0.25

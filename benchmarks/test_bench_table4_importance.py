@@ -1,0 +1,21 @@
+"""Table IV: top-2 informative features per feature set and expert characteristic."""
+
+from repro.experiments import run_feature_importance
+
+
+def test_bench_table4_importance(run_once, bench_config):
+    result = run_once(run_feature_importance, bench_config, top_k=2)
+
+    print("\nTable IV -- paper highlights: dom/pca for quantitative labels, "
+          "time/confidence aggregates and consensus/scroll signals for cognitive labels")
+    print(result.format_table())
+
+    assert len(result.feature_names) > 20
+    assert result.top_features, "at least one characteristic must be rankable"
+    for characteristic, per_set in result.top_features.items():
+        assert characteristic in ("precise", "thorough", "correlated", "calibrated")
+        for set_name, features in per_set.items():
+            assert set_name in ("lrsm", "beh", "mou", "seq", "spa")
+            assert 1 <= len(features) <= 2
+            for name, _score in features:
+                assert name.startswith(f"{set_name}_")

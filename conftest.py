@@ -1,0 +1,12 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable from a fresh checkout even before
+``pip install -e .`` has run, by putting ``src/`` on ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

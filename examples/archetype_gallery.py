@@ -1,0 +1,52 @@
+"""Archetype gallery: regenerate the motivating figures (1, 4, 5 and 6).
+
+Simulates one matcher per archetype (A: precise & thorough, B: imprecise &
+incomplete, C: precise but incomplete, D: precise & thorough but
+mis-calibrated), prints their accumulated precision / recall / confidence
+curves as text sparklines, and renders their mouse heat maps as ASCII art.
+
+Run with:  python examples/archetype_gallery.py
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, run_archetype_curves
+from repro.experiments.reporting import format_table
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 40) -> str:
+    """Render a curve as a fixed-width text sparkline."""
+    if values.size == 0:
+        return ""
+    indices = np.linspace(0, values.size - 1, min(width, values.size)).astype(int)
+    sampled = values[indices]
+    return "".join(
+        _SPARK_CHARS[int(np.clip(v, 0, 1) * (len(_SPARK_CHARS) - 1))] for v in sampled
+    )
+
+
+def main() -> None:
+    result = run_archetype_curves(ExperimentConfig(random_state=3), compute_resolution=True)
+
+    print(format_table(result.summary_rows(),
+                       columns=("archetype", "decisions", "P", "R", "Res", "Cal"),
+                       title="Final measures per archetype (cf. Figures 1, 4, 5)"))
+
+    descriptions = {
+        "A": "precise and thorough (the expert of Figure 1a)",
+        "B": "imprecise and incomplete (Figure 1b)",
+        "C": "precise but incomplete (Figure 4)",
+        "D": "precise and thorough, but unreliable (Figure 5/6b)",
+    }
+    for name, curve in result.curves.items():
+        print(f"\n--- Matcher {name}: {descriptions[name]} ---")
+        print(f"  P   |{sparkline(curve.curves.precision)}|")
+        print(f"  R   |{sparkline(curve.curves.recall)}|")
+        print(f"  conf|{sparkline(curve.curves.mean_confidence)}|")
+        print(curve.heatmap_ascii())
+
+
+if __name__ == "__main__":
+    main()

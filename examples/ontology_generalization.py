@@ -1,0 +1,36 @@
+"""Cross-task generalization (the Table IIb scenario).
+
+Trains MExI on the schema-matching (Purchase Order) cohort and characterizes
+matchers working on a different task -- OAEI-style ontology alignment --
+without retraining, comparing it against the crowdsourcing baselines.
+
+Run with:  python examples/ontology_generalization.py
+"""
+
+from repro.experiments import ExperimentConfig, run_generalization_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        n_po_matchers=30,
+        n_oaei_matchers=12,
+        use_neural_features=False,  # offline feature sets keep the demo fast
+        random_state=23,
+    )
+    result = run_generalization_experiment(config)
+    print(
+        f"Trained on {result.n_train} schema-matching matchers, "
+        f"evaluated on {result.n_test} ontology-alignment matchers.\n"
+    )
+    print(result.format_table())
+
+    mexi = result.method("MExI_50")
+    lrsm = result.method("LRSM")
+    print(
+        "\nMExI_50 vs. the strongest learned baseline (LRSM) on multi-label accuracy: "
+        f"{mexi.mean_accuracies['A_ML']:.2f} vs {lrsm.mean_accuracies['A_ML']:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package installs in fully offline
+environments (no build isolation, no wheel fetch): ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""MExI: the paper's primary contribution.
+
+* :mod:`repro.core.expert_model` -- the 4-way expertise characterization
+  (Section II-B): thresholds, labels, profiles.
+* :mod:`repro.core.features` -- the five feature sets Phi(D) (Section III-A)
+  and the late-fusion feature pipeline.
+* :mod:`repro.core.submatchers` -- sub-matcher augmentation (Section IV-B1).
+* :mod:`repro.core.characterizer` -- the MExI characterizer (Section III-B).
+* :mod:`repro.core.baselines` -- Rand, Rand_Freq, Conf, Qual. Test,
+  Self-Assess, LRSM and BEH (Section IV-B2).
+* :mod:`repro.core.filtering` -- expert filtering and outcome improvement
+  (Section IV-F).
+* :mod:`repro.core.ablation` -- include/exclude feature-set ablation
+  (Section IV-E, Table III).
+* :mod:`repro.core.importance` -- per-feature attribution (Table IV).
+"""
+
+from repro.core.expert_model import (
+    EXPERT_CHARACTERISTICS,
+    ExpertLabels,
+    ExpertProfile,
+    ExpertThresholds,
+    characterize_matcher,
+)
+from repro.core.features import FeaturePipeline, FeatureSetName
+from repro.core.submatchers import SubMatcherConfig, generate_submatchers
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.baselines import (
+    BaselineCharacterizer,
+    RandomBaseline,
+    FrequencyBaseline,
+    ConfidenceBaseline,
+    QualificationTestBaseline,
+    SelfAssessmentBaseline,
+    LRSMBaseline,
+    BehavioralBaseline,
+    default_baselines,
+)
+from repro.core.filtering import ExpertFilter, FilteringResult
+from repro.core.ablation import AblationResult, run_ablation
+from repro.core.importance import FeatureImportanceResult, permutation_importance
+
+__all__ = [
+    "EXPERT_CHARACTERISTICS",
+    "ExpertLabels",
+    "ExpertProfile",
+    "ExpertThresholds",
+    "characterize_matcher",
+    "FeaturePipeline",
+    "FeatureSetName",
+    "SubMatcherConfig",
+    "generate_submatchers",
+    "MExICharacterizer",
+    "MExIVariant",
+    "BaselineCharacterizer",
+    "RandomBaseline",
+    "FrequencyBaseline",
+    "ConfidenceBaseline",
+    "QualificationTestBaseline",
+    "SelfAssessmentBaseline",
+    "LRSMBaseline",
+    "BehavioralBaseline",
+    "default_baselines",
+    "ExpertFilter",
+    "FilteringResult",
+    "AblationResult",
+    "run_ablation",
+    "FeatureImportanceResult",
+    "permutation_importance",
+]

@@ -1,0 +1,147 @@
+"""Feature-set ablation (Section IV-E, Table III).
+
+Two modes, as in the paper:
+
+* ``include`` -- train MExI with a single feature set,
+* ``exclude`` -- train MExI with all feature sets but one.
+
+Each run reports the five accuracy measures (A_P, A_R, A_Res, A_Cal, A_ML),
+so the table can be printed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.pipeline import FEATURE_SET_NAMES
+from repro.matching.matcher import HumanMatcher
+from repro.ml.metrics import accuracy_score, jaccard_multilabel_score
+
+
+@dataclass
+class AblationResult:
+    """Accuracy measures of one ablation configuration."""
+
+    mode: str          # "full", "include" or "exclude"
+    feature_set: str   # the set included / excluded ("all" for the full model)
+    accuracies: dict[str, float]
+
+    def row(self) -> dict[str, float | str]:
+        """A flat row for table printing."""
+        return {"mode": self.mode, "feature_set": self.feature_set, **self.accuracies}
+
+
+def evaluate_predictions(true_labels: np.ndarray, predicted_labels: np.ndarray) -> dict[str, float]:
+    """The five accuracy measures of eqs. 6-7 on a label matrix pair."""
+    true = np.asarray(true_labels, dtype=int)
+    predicted = np.asarray(predicted_labels, dtype=int)
+    if true.shape != predicted.shape:
+        raise ValueError("label matrices must have the same shape")
+    accuracies = {
+        f"A_{short}": accuracy_score(true[:, index], predicted[:, index])
+        for index, short in enumerate(("P", "R", "Res", "Cal"))
+    }
+    accuracies["A_ML"] = jaccard_multilabel_score(true, predicted)
+    return accuracies
+
+
+def _run_configuration(
+    feature_sets: Sequence[str],
+    train_matchers: Sequence[HumanMatcher],
+    train_labels: np.ndarray,
+    test_matchers: Sequence[HumanMatcher],
+    test_labels: np.ndarray,
+    variant: MExIVariant,
+    neural_config: Optional[dict[str, dict]],
+    random_state: int,
+) -> dict[str, float]:
+    model = MExICharacterizer(
+        variant=variant,
+        feature_sets=feature_sets,
+        neural_config=neural_config,
+        random_state=random_state,
+    )
+    model.fit(train_matchers, train_labels)
+    predictions = model.predict(test_matchers)
+    return evaluate_predictions(test_labels, predictions)
+
+
+def run_ablation(
+    train_matchers: Sequence[HumanMatcher],
+    train_labels: np.ndarray,
+    test_matchers: Sequence[HumanMatcher],
+    test_labels: np.ndarray,
+    variant: MExIVariant = MExIVariant.SUB_50,
+    feature_sets: Sequence[str] = FEATURE_SET_NAMES,
+    neural_config: Optional[dict[str, dict]] = None,
+    random_state: int = 0,
+    include_full: bool = True,
+) -> list[AblationResult]:
+    """Run the full include/exclude ablation and return one result per row."""
+    results: list[AblationResult] = []
+
+    if include_full:
+        accuracies = _run_configuration(
+            feature_sets,
+            train_matchers,
+            train_labels,
+            test_matchers,
+            test_labels,
+            variant,
+            neural_config,
+            random_state,
+        )
+        results.append(AblationResult(mode="full", feature_set="all", accuracies=accuracies))
+
+    for feature_set in feature_sets:
+        accuracies = _run_configuration(
+            (feature_set,),
+            train_matchers,
+            train_labels,
+            test_matchers,
+            test_labels,
+            variant,
+            neural_config,
+            random_state,
+        )
+        results.append(
+            AblationResult(mode="include", feature_set=feature_set, accuracies=accuracies)
+        )
+
+    if len(feature_sets) > 1:
+        for feature_set in feature_sets:
+            remaining = tuple(name for name in feature_sets if name != feature_set)
+            accuracies = _run_configuration(
+                remaining,
+                train_matchers,
+                train_labels,
+                test_matchers,
+                test_labels,
+                variant,
+                neural_config,
+                random_state,
+            )
+            results.append(
+                AblationResult(mode="exclude", feature_set=feature_set, accuracies=accuracies)
+            )
+
+    return results
+
+
+def most_important_set(
+    results: Sequence[AblationResult], measure: str, mode: str = "include"
+) -> str:
+    """The feature set whose inclusion scores highest (or exclusion hurts most)."""
+    candidates = [r for r in results if r.mode == mode]
+    if not candidates:
+        raise ValueError(f"no ablation results with mode {mode!r}")
+    if mode == "include":
+        best = max(candidates, key=lambda r: r.accuracies[measure])
+    else:
+        best = min(candidates, key=lambda r: r.accuracies[measure])
+    return best.feature_set

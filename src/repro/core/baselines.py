@@ -1,0 +1,227 @@
+"""The seven baselines of Section IV-B2.
+
+* ``Rand`` -- random labels.
+* ``Rand_Freq`` -- labels drawn according to their training-set frequency.
+* ``Conf`` -- trusts the reported confidence (Oyama et al.).
+* ``Qual. Test`` -- uses the warm-up / qualification phase accuracy
+  (Zhang et al.).
+* ``Self-Assess`` -- the pre-selection rule of Gadiraju et al.
+  (``|Cal| < 0.2`` and ``P > 0.6`` on the qualification phase).
+* ``LRSM`` -- a learned characterizer over matching-predictor features only.
+* ``BEH`` -- a learned characterizer over behavioural (history + mouse)
+  features only (Goyal et al.).
+
+All baselines share the characterizer interface: ``fit(matchers, labels)``
+then ``predict(matchers) -> (n, 4)`` 0/1 matrix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.matching.matcher import HumanMatcher
+from repro.matching.metrics import calibration, precision
+
+
+class BaselineCharacterizer(ABC):
+    """Common interface of all expert-identification baselines."""
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "BaselineCharacterizer":
+        """Learn whatever the baseline needs from the training population."""
+
+    @abstractmethod
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        """Predicted 0/1 label matrix, one row per matcher."""
+
+    def _empty_prediction(self, n_matchers: int) -> np.ndarray:
+        return np.zeros((n_matchers, len(EXPERT_CHARACTERISTICS)), dtype=int)
+
+
+class RandomBaseline(BaselineCharacterizer):
+    """Uniformly random labels (``Rand``)."""
+
+    name = "Rand"
+
+    def __init__(self, random_state: int = 0) -> None:
+        self.random_state = random_state
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "RandomBaseline":
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        rng = np.random.default_rng(self.random_state)
+        return rng.integers(0, 2, size=(len(matchers), len(EXPERT_CHARACTERISTICS)))
+
+
+class FrequencyBaseline(BaselineCharacterizer):
+    """Labels sampled according to their frequency in the training set (``Rand_Freq``)."""
+
+    name = "Rand_Freq"
+
+    def __init__(self, random_state: int = 0) -> None:
+        self.random_state = random_state
+        self._frequencies: Optional[np.ndarray] = None
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "FrequencyBaseline":
+        label_matrix = np.asarray(labels, dtype=float)
+        if label_matrix.size == 0:
+            raise ValueError("cannot fit the frequency baseline on an empty training set")
+        self._frequencies = label_matrix.mean(axis=0)
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        if self._frequencies is None:
+            raise RuntimeError("FrequencyBaseline must be fitted before predicting")
+        rng = np.random.default_rng(self.random_state)
+        draws = rng.random((len(matchers), len(EXPERT_CHARACTERISTICS)))
+        return (draws < self._frequencies).astype(int)
+
+
+class ConfidenceBaseline(BaselineCharacterizer):
+    """Trusts self-reported confidence (``Conf``): high mean confidence => expert."""
+
+    name = "Conf"
+
+    def __init__(self) -> None:
+        self._threshold: float = 0.5
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "ConfidenceBaseline":
+        confidences = [m.history.mean_confidence() for m in matchers]
+        self._threshold = float(np.median(confidences)) if confidences else 0.5
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        predictions = self._empty_prediction(len(matchers))
+        for row, matcher in enumerate(matchers):
+            is_confident = matcher.history.mean_confidence() > self._threshold
+            predictions[row, :] = int(is_confident)
+        return predictions
+
+
+def _qualification_metrics(
+    matcher: HumanMatcher, n_decisions: int
+) -> tuple[float, float]:
+    """Precision and calibration measured on the first ``n_decisions`` decisions."""
+    if matcher.reference is None:
+        raise ValueError(f"matcher {matcher.matcher_id!r} has no reference match attached")
+    prefix = matcher.history.prefix(n_decisions)
+    if prefix.is_empty:
+        return 0.0, 1.0
+    prefix_precision = precision(prefix.to_matrix(), matcher.reference)
+    prefix_calibration = calibration(prefix, matcher.reference)
+    return prefix_precision, prefix_calibration
+
+
+class QualificationTestBaseline(BaselineCharacterizer):
+    """Qualification-test accuracy (``Qual. Test``): early precision => expert."""
+
+    name = "Qual. Test"
+
+    def __init__(self, n_qualification_decisions: int = 5, threshold: float = 0.5) -> None:
+        self.n_qualification_decisions = n_qualification_decisions
+        self.threshold = threshold
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "QualificationTestBaseline":
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        predictions = self._empty_prediction(len(matchers))
+        for row, matcher in enumerate(matchers):
+            early_precision, _ = _qualification_metrics(matcher, self.n_qualification_decisions)
+            predictions[row, :] = int(early_precision > self.threshold)
+        return predictions
+
+
+class SelfAssessmentBaseline(BaselineCharacterizer):
+    """Self-assessment pre-selection (``Self-Assess``, Gadiraju et al.).
+
+    A matcher is an expert when, on the qualification phase, its absolute
+    calibration is below 0.2 and its precision above 0.6.
+    """
+
+    name = "Self-Assess"
+
+    def __init__(
+        self,
+        n_qualification_decisions: int = 5,
+        calibration_threshold: float = 0.2,
+        precision_threshold: float = 0.6,
+    ) -> None:
+        self.n_qualification_decisions = n_qualification_decisions
+        self.calibration_threshold = calibration_threshold
+        self.precision_threshold = precision_threshold
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "SelfAssessmentBaseline":
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        predictions = self._empty_prediction(len(matchers))
+        for row, matcher in enumerate(matchers):
+            early_precision, early_calibration = _qualification_metrics(
+                matcher, self.n_qualification_decisions
+            )
+            is_expert = (
+                abs(early_calibration) < self.calibration_threshold
+                and early_precision > self.precision_threshold
+            )
+            predictions[row, :] = int(is_expert)
+        return predictions
+
+
+class LRSMBaseline(BaselineCharacterizer):
+    """Learned characterizer over matching-predictor features only (``LRSM``)."""
+
+    name = "LRSM"
+
+    def __init__(self, random_state: int = 0) -> None:
+        self.random_state = random_state
+        self._model = MExICharacterizer(
+            variant=MExIVariant.EMPTY, feature_sets=("lrsm",), random_state=random_state
+        )
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "LRSMBaseline":
+        self._model.fit(matchers, labels)
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        return self._model.predict(matchers)
+
+
+class BehavioralBaseline(BaselineCharacterizer):
+    """Learned characterizer over behavioural features only (``BEH``, Goyal et al.)."""
+
+    name = "BEH"
+
+    def __init__(self, random_state: int = 0) -> None:
+        self.random_state = random_state
+        self._model = MExICharacterizer(
+            variant=MExIVariant.EMPTY, feature_sets=("beh", "mou"), random_state=random_state
+        )
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "BehavioralBaseline":
+        self._model.fit(matchers, labels)
+        return self
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        return self._model.predict(matchers)
+
+
+def default_baselines(random_state: int = 0) -> list[BaselineCharacterizer]:
+    """The seven baselines, in the order of Table II."""
+    return [
+        RandomBaseline(random_state=random_state),
+        FrequencyBaseline(random_state=random_state),
+        ConfidenceBaseline(),
+        QualificationTestBaseline(),
+        SelfAssessmentBaseline(),
+        LRSMBaseline(random_state=random_state),
+        BehavioralBaseline(random_state=random_state),
+    ]

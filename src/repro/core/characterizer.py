@@ -1,0 +1,242 @@
+"""The MExI matching-expert characterizer (Section III-B).
+
+Expert identification is cast as a multi-label classification problem and
+transformed into one binary problem per characteristic (binary relevance,
+following Read et al.).  For each characteristic a bank of classical
+classifiers is cross-validated on the training set and the best one is kept
+-- mirroring the paper's "trained a set of state-of-the-art classifiers and
+selected the top performing classifier".
+
+Training optionally augments the matcher set with sub-matchers
+(``MExI_50`` / ``MExI_70``); the neural feature sets are trained on the
+augmented set as well, which is exactly why the augmentation helps them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.pipeline import FeaturePipeline, FeatureSetName
+from repro.core.submatchers import (
+    MEXI_50,
+    MEXI_70,
+    MEXI_EMPTY,
+    SubMatcherConfig,
+    generate_submatchers,
+)
+from repro.matching.matcher import HumanMatcher
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LinearSVC, LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.model_selection import KFold
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class MExIVariant(enum.Enum):
+    """The three training variants evaluated in Table II."""
+
+    EMPTY = "MExI_empty"
+    SUB_50 = "MExI_50"
+    SUB_70 = "MExI_70"
+
+    @property
+    def submatcher_config(self) -> SubMatcherConfig:
+        if self is MExIVariant.EMPTY:
+            return MEXI_EMPTY
+        if self is MExIVariant.SUB_50:
+            return MEXI_50
+        return MEXI_70
+
+
+def default_classifier_bank(random_state: int = 0) -> list[BaseClassifier]:
+    """The candidate classifiers MExI selects from, per characteristic."""
+    return [
+        RandomForestClassifier(n_estimators=30, max_depth=6, random_state=random_state),
+        LogisticRegression(n_iterations=200),
+        LinearSVC(n_iterations=200),
+        DecisionTreeClassifier(max_depth=5, random_state=random_state),
+        GaussianNB(),
+    ]
+
+
+@dataclass
+class _FittedLabelModel:
+    """The selected classifier (and scaler) for a single characteristic."""
+
+    classifier: BaseClassifier
+    scaler: StandardScaler
+    classifier_name: str
+    cv_score: float
+    constant_label: Optional[int] = None
+
+
+class MExICharacterizer:
+    """The full MExI model: feature pipeline + per-label classifier selection."""
+
+    def __init__(
+        self,
+        variant: MExIVariant = MExIVariant.SUB_50,
+        feature_sets: Optional[Sequence[FeatureSetName]] = None,
+        pipeline: Optional[FeaturePipeline] = None,
+        classifier_bank: Optional[Callable[[], list[BaseClassifier]]] = None,
+        neural_config: Optional[dict[str, dict]] = None,
+        selection_folds: int = 3,
+        random_state: int = 0,
+    ) -> None:
+        self.variant = variant
+        self.random_state = random_state
+        self.selection_folds = selection_folds
+        self.pipeline = pipeline or FeaturePipeline(
+            include=feature_sets, neural_config=neural_config, random_state=random_state
+        )
+        self._classifier_bank = classifier_bank or (
+            lambda: default_classifier_bank(self.random_state)
+        )
+        self._label_models: list[_FittedLabelModel] = []
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._label_models)
+
+    def _select_classifier(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[BaseClassifier, str, float]:
+        """Cross-validate the bank and return the best (refitted) classifier."""
+        best_score = -1.0
+        best_classifier: Optional[BaseClassifier] = None
+        n_samples = X.shape[0]
+        n_folds = min(self.selection_folds, n_samples)
+        for candidate in self._classifier_bank():
+            if n_folds >= 2 and np.unique(y).size > 1:
+                folds = KFold(n_splits=n_folds, shuffle=True, random_state=self.random_state)
+                scores = []
+                for train_index, test_index in folds.split(X):
+                    if np.unique(y[train_index]).size < 2:
+                        scores.append(float(np.mean(y[test_index] == y[train_index][0])))
+                        continue
+                    model = clone(candidate)
+                    model.fit(X[train_index], y[train_index])
+                    scores.append(accuracy_score(y[test_index], model.predict(X[test_index])))
+                score = float(np.mean(scores))
+            else:
+                model = clone(candidate)
+                model.fit(X, y)
+                score = accuracy_score(y, model.predict(X))
+            if score > best_score:
+                best_score = score
+                best_classifier = candidate
+        assert best_classifier is not None
+        final = clone(best_classifier)
+        final.fit(X, y)
+        return final, type(best_classifier).__name__, best_score
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "MExICharacterizer":
+        """Train MExI on a labelled training population.
+
+        ``labels`` is the ``(n_matchers, 4)`` 0/1 matrix of expert labels
+        produced by :class:`repro.core.expert_model.ExpertThresholds`.
+        """
+        label_matrix = np.asarray(labels, dtype=int)
+        if label_matrix.ndim != 2 or label_matrix.shape[1] != len(EXPERT_CHARACTERISTICS):
+            raise ValueError("labels must be an (n_matchers, 4) matrix")
+        if label_matrix.shape[0] != len(matchers):
+            raise ValueError("labels must have one row per matcher")
+        if not matchers:
+            raise ValueError("cannot fit MExI on an empty training set")
+
+        augmented, augmented_labels = generate_submatchers(
+            list(matchers), label_matrix, self.variant.submatcher_config
+        )
+
+        features = self.pipeline.fit_transform(augmented, augmented_labels)
+
+        self._label_models = []
+        for label_index, characteristic in enumerate(EXPERT_CHARACTERISTICS):
+            y = augmented_labels[:, label_index].astype(int)
+            scaler = StandardScaler()
+            X = scaler.fit_transform(features)
+            if np.unique(y).size < 2:
+                # Degenerate training label: remember the constant.
+                self._label_models.append(
+                    _FittedLabelModel(
+                        classifier=GaussianNB(),
+                        scaler=scaler,
+                        classifier_name="constant",
+                        cv_score=1.0,
+                        constant_label=int(y[0]),
+                    )
+                )
+                continue
+            classifier, name, score = self._select_classifier(X, y)
+            self._label_models.append(
+                _FittedLabelModel(
+                    classifier=classifier,
+                    scaler=scaler,
+                    classifier_name=name,
+                    cv_score=score,
+                )
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        """Predicted 0/1 label matrix, one row per matcher."""
+        if not self.is_fitted:
+            raise RuntimeError("MExICharacterizer must be fitted before predicting")
+        features = self.pipeline.transform(matchers)
+        predictions = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)), dtype=int)
+        for label_index, model in enumerate(self._label_models):
+            if model.constant_label is not None:
+                predictions[:, label_index] = model.constant_label
+                continue
+            X = model.scaler.transform(features)
+            predictions[:, label_index] = model.classifier.predict(X).astype(int)
+        return predictions
+
+    def predict_proba(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        """Per-label positive-class probabilities (expertise scores)."""
+        if not self.is_fitted:
+            raise RuntimeError("MExICharacterizer must be fitted before predicting")
+        features = self.pipeline.transform(matchers)
+        probabilities = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)))
+        for label_index, model in enumerate(self._label_models):
+            if model.constant_label is not None:
+                probabilities[:, label_index] = float(model.constant_label)
+                continue
+            X = model.scaler.transform(features)
+            proba = model.classifier.predict_proba(X)
+            assert model.classifier.classes_ is not None
+            positive = np.where(model.classifier.classes_ == 1)[0]
+            if positive.size:
+                probabilities[:, label_index] = proba[:, positive[0]]
+        return probabilities
+
+    def selected_classifiers(self) -> dict[str, str]:
+        """Which classifier won the selection for each characteristic."""
+        if not self.is_fitted:
+            raise RuntimeError("MExICharacterizer must be fitted first")
+        return {
+            characteristic: model.classifier_name
+            for characteristic, model in zip(EXPERT_CHARACTERISTICS, self._label_models)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MExICharacterizer(variant={self.variant.value}, "
+            f"feature_sets={self.pipeline.include}, fitted={self.is_fitted})"
+        )

@@ -1,0 +1,197 @@
+"""The 4-dimensional matching-expert model (Section II-B).
+
+A matcher is characterised along four binary dimensions:
+
+* **precise** -- precision above ``delta_P`` (0.5 in the paper),
+* **thorough** -- recall above ``delta_R`` (0.5),
+* **correlated** -- resolution above ``delta_Res`` (80th percentile of the
+  training population) *and* statistically significant (p < .05),
+* **calibrated** -- absolute calibration below ``delta_Cal`` (20th
+  percentile of the training population's absolute calibrations).
+
+The quantitative thresholds are fixed; the cognitive ones are fitted on the
+training population, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.matching.matcher import HumanMatcher
+from repro.matching.metrics import MatcherPerformance, evaluate_matcher
+from repro.stats.descriptive import percentile_threshold
+
+#: Characteristic names in the canonical label order used everywhere.
+EXPERT_CHARACTERISTICS: tuple[str, str, str, str] = (
+    "precise",
+    "thorough",
+    "correlated",
+    "calibrated",
+)
+
+
+@dataclass(frozen=True)
+class ExpertLabels:
+    """Binary expert labels for one matcher, in canonical order."""
+
+    precise: bool
+    thorough: bool
+    correlated: bool
+    calibrated: bool
+
+    def to_array(self) -> np.ndarray:
+        """Labels as a 0/1 integer vector (precise, thorough, correlated, calibrated)."""
+        return np.array(
+            [int(self.precise), int(self.thorough), int(self.correlated), int(self.calibrated)],
+            dtype=int,
+        )
+
+    def to_signed_array(self) -> np.ndarray:
+        """Labels as the paper's +1/-1 encoding."""
+        return np.where(self.to_array() == 1, 1, -1)
+
+    @classmethod
+    def from_array(cls, values: Sequence[int]) -> "ExpertLabels":
+        array = np.asarray(values)
+        if array.shape != (4,):
+            raise ValueError("expert labels require exactly four values")
+        positive = array > 0
+        return cls(
+            precise=bool(positive[0]),
+            thorough=bool(positive[1]),
+            correlated=bool(positive[2]),
+            calibrated=bool(positive[3]),
+        )
+
+    @property
+    def is_full_expert(self) -> bool:
+        """Expert on all four dimensions (the filter used in Section IV-F)."""
+        return self.precise and self.thorough and self.correlated and self.calibrated
+
+    @property
+    def n_expert_dimensions(self) -> int:
+        return int(self.to_array().sum())
+
+    def __getitem__(self, characteristic: str) -> bool:
+        if characteristic not in EXPERT_CHARACTERISTICS:
+            raise KeyError(f"unknown expert characteristic {characteristic!r}")
+        return bool(getattr(self, characteristic))
+
+
+@dataclass
+class ExpertThresholds:
+    """The thresholds (delta) that turn measures into expert labels.
+
+    ``delta_precision`` and ``delta_recall`` default to the paper's 0.5.
+    ``delta_resolution`` and ``delta_calibration`` must be fitted on a
+    training population (80th / 20th percentiles) unless given explicitly.
+    """
+
+    delta_precision: float = 0.5
+    delta_recall: float = 0.5
+    delta_resolution: Optional[float] = None
+    delta_calibration: Optional[float] = None
+    resolution_percentile: float = 80.0
+    calibration_percentile: float = 20.0
+    significance_level: float = 0.05
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.delta_resolution is not None and self.delta_calibration is not None
+
+    def fit(self, performances: Sequence[MatcherPerformance]) -> "ExpertThresholds":
+        """Fit the cognitive thresholds on the training population."""
+        if not performances:
+            raise ValueError("cannot fit thresholds on an empty population")
+        resolutions = [p.resolution for p in performances]
+        calibrations = [abs(p.calibration) for p in performances]
+        self.delta_resolution = percentile_threshold(resolutions, self.resolution_percentile)
+        self.delta_calibration = percentile_threshold(calibrations, self.calibration_percentile)
+        return self
+
+    def labels_for(self, performance: MatcherPerformance) -> ExpertLabels:
+        """Apply the thresholds to a matcher's measured performance."""
+        if not self.is_fitted:
+            raise RuntimeError(
+                "cognitive thresholds are not fitted; call fit() on the training population"
+            )
+        assert self.delta_resolution is not None and self.delta_calibration is not None
+        return ExpertLabels(
+            precise=performance.precision > self.delta_precision,
+            thorough=performance.recall > self.delta_recall,
+            correlated=(
+                performance.resolution > self.delta_resolution
+                and performance.resolution_p_value < self.significance_level
+            ),
+            calibrated=abs(performance.calibration) < self.delta_calibration,
+        )
+
+
+@dataclass
+class ExpertProfile:
+    """A matcher's measured performance together with its expert labels."""
+
+    matcher_id: str
+    performance: MatcherPerformance
+    labels: ExpertLabels
+    metadata: dict = field(default_factory=dict)
+
+
+def characterize_matcher(
+    matcher: HumanMatcher,
+    thresholds: ExpertThresholds,
+    random_state: Optional[int] = None,
+) -> ExpertProfile:
+    """Measure a matcher against its task's reference match and label it."""
+    if matcher.reference is None:
+        raise ValueError(f"matcher {matcher.matcher_id!r} has no reference match attached")
+    performance = evaluate_matcher(matcher.history, matcher.reference, random_state=random_state)
+    return ExpertProfile(
+        matcher_id=matcher.matcher_id,
+        performance=performance,
+        labels=thresholds.labels_for(performance),
+    )
+
+
+def characterize_population(
+    matchers: Sequence[HumanMatcher],
+    thresholds: Optional[ExpertThresholds] = None,
+    random_state: Optional[int] = None,
+) -> tuple[list[ExpertProfile], ExpertThresholds]:
+    """Measure a population, fitting cognitive thresholds on it if needed.
+
+    Returns the per-matcher profiles and the (possibly freshly fitted)
+    thresholds, so a test population can reuse the training thresholds.
+    """
+    performances = []
+    for matcher in matchers:
+        if matcher.reference is None:
+            raise ValueError(f"matcher {matcher.matcher_id!r} has no reference match attached")
+        performances.append(
+            evaluate_matcher(matcher.history, matcher.reference, random_state=random_state)
+        )
+
+    if thresholds is None:
+        thresholds = ExpertThresholds()
+    if not thresholds.is_fitted:
+        thresholds.fit(performances)
+
+    profiles = [
+        ExpertProfile(
+            matcher_id=matcher.matcher_id,
+            performance=performance,
+            labels=thresholds.labels_for(performance),
+        )
+        for matcher, performance in zip(matchers, performances)
+    ]
+    return profiles, thresholds
+
+
+def labels_matrix(profiles: Sequence[ExpertProfile]) -> np.ndarray:
+    """Stack profile labels into an ``(n_matchers, 4)`` 0/1 matrix."""
+    if not profiles:
+        return np.zeros((0, len(EXPERT_CHARACTERISTICS)), dtype=int)
+    return np.vstack([profile.labels.to_array() for profile in profiles])

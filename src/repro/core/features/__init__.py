@@ -1,0 +1,40 @@
+"""The MExI feature encoding Phi(D) (Section III-A).
+
+Five feature sets are extracted from a human matcher ``D = (H, G)``:
+
+* ``Phi_LRSM(H)`` -- matching predictors over the projected matrix
+  (:mod:`repro.core.features.predictors`),
+* ``Phi_Beh(H)``  -- aggregated decision-history features
+  (:mod:`repro.core.features.behavioral`),
+* ``Phi_Mou(G)``  -- aggregated mouse features
+  (:mod:`repro.core.features.mouse`),
+* ``Phi_Seq(H)``  -- label coefficients of an LSTM over the decision sequence
+  (:mod:`repro.core.features.sequential`),
+* ``Phi_Spa(G)``  -- label coefficients of CNNs over the four heat maps
+  (:mod:`repro.core.features.spatial`).
+
+:class:`repro.core.features.pipeline.FeaturePipeline` assembles them with
+the paper's late-fusion strategy.
+"""
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.consensus import ConsensusModel
+from repro.core.features.predictors import LRSMFeatures
+from repro.core.features.behavioral import BehavioralFeatures
+from repro.core.features.mouse import MouseFeatures
+from repro.core.features.sequential import SequentialFeatures
+from repro.core.features.spatial import SpatialFeatures
+from repro.core.features.pipeline import FeaturePipeline, FeatureSetName
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureVector",
+    "ConsensusModel",
+    "LRSMFeatures",
+    "BehavioralFeatures",
+    "MouseFeatures",
+    "SequentialFeatures",
+    "SpatialFeatures",
+    "FeaturePipeline",
+    "FeatureSetName",
+]

@@ -1,0 +1,86 @@
+"""Feature-extraction protocol shared by the five MExI feature sets."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.matching.matcher import HumanMatcher
+
+
+class FeatureVector:
+    """An ordered mapping of feature name to value.
+
+    Keeping names alongside values lets the ablation (Table III) and
+    importance (Table IV) analyses address features and feature sets by
+    name instead of positional index.
+    """
+
+    def __init__(self, values: Mapping[str, float] | None = None) -> None:
+        self._values: dict[str, float] = {}
+        if values:
+            for name, value in values.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: float) -> None:
+        """Set a feature, replacing NaN / infinite values with 0."""
+        numeric = float(value)
+        if not np.isfinite(numeric):
+            numeric = 0.0
+        self._values[name] = numeric
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def update(self, other: "FeatureVector" | Mapping[str, float]) -> None:
+        items = other.items() if isinstance(other, FeatureVector) else other.items()
+        for name, value in items:
+            self.set(name, value)
+
+    def items(self):
+        return self._values.items()
+
+    def names(self) -> list[str]:
+        return list(self._values)
+
+    def to_array(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Values as a vector, ordered by ``names`` (or insertion order)."""
+        ordered = names if names is not None else self.names()
+        return np.array([self.get(name) for name in ordered], dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __repr__(self) -> str:
+        return f"FeatureVector(n_features={len(self)})"
+
+
+class FeatureExtractor(ABC):
+    """A (possibly trainable) mapping from a human matcher to named features."""
+
+    #: Name of the feature set (e.g. ``"lrsm"``), used as a feature-name prefix.
+    set_name: str = "base"
+    #: Whether :meth:`fit` must be called before :meth:`extract`.
+    requires_fitting: bool = False
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray | None = None) -> "FeatureExtractor":
+        """Learn anything the extractor needs from the training population."""
+        return self
+
+    @abstractmethod
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        """Extract the feature set for one matcher."""
+
+    def extract_many(self, matchers: Sequence[HumanMatcher]) -> list[FeatureVector]:
+        return [self.extract(matcher) for matcher in matchers]
+
+    def _prefixed(self, name: str) -> str:
+        return f"{self.set_name}_{name}"

@@ -1,0 +1,104 @@
+"""Phi_Beh(H): aggregated decision-history features.
+
+Aggregations over confidence, decision times, revisits (mind changes) and
+consensuality, following the crowd-quality-assessment literature the paper
+adapts (Rzeszotarski & Kittur; Goyal et al.).  The consensus aggregates are
+only available once the extractor has been fitted on the training
+population (they are the "consensuality" dimension of the correlation
+features).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.consensus import ConsensusModel
+from repro.matching.matcher import HumanMatcher
+
+
+def _safe_stats(values: np.ndarray) -> dict[str, float]:
+    """Mean / std / min / max of a possibly empty vector."""
+    if values.size == 0:
+        return {"avg": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "avg": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }
+
+
+class BehavioralFeatures(FeatureExtractor):
+    """Aggregated features over the decision history (confidence, pace, revisions)."""
+
+    set_name = "beh"
+    requires_fitting = False
+
+    def __init__(self, consensus: Optional[ConsensusModel] = None) -> None:
+        self.consensus = consensus
+
+    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray | None = None) -> "BehavioralFeatures":
+        """Fit the consensuality model on the training population."""
+        self.consensus = ConsensusModel().fit(matchers)
+        return self
+
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        history = matcher.history
+        features = FeatureVector()
+
+        confidences = history.confidences()
+        for key, value in _safe_stats(confidences).items():
+            features.set(self._prefixed(f"{key}Conf"), value)
+
+        times = history.inter_decision_times()
+        for key, value in _safe_stats(times).items():
+            features.set(self._prefixed(f"{key}Time"), value)
+        features.set(self._prefixed("totalTime"), history.duration())
+
+        n_decisions = len(history)
+        distinct_pairs = history.decided_pairs()
+        features.set(self._prefixed("countDecisions"), n_decisions)
+        features.set(self._prefixed("countDistinctCorr"), len(distinct_pairs))
+        features.set(self._prefixed("countMindChange"), history.n_mind_changes())
+        features.set(
+            self._prefixed("revisitRatio"),
+            history.n_mind_changes() / n_decisions if n_decisions else 0.0,
+        )
+        features.set(
+            self._prefixed("decisionRate"),
+            n_decisions / history.duration() if history.duration() > 0 else 0.0,
+        )
+
+        matrix = matcher.matrix()
+        features.set(self._prefixed("matrixDensity"), matrix.density)
+        features.set(self._prefixed("matrixMeanConf"), matrix.mean_confidence())
+
+        # Temporal consistency: drift of pace and confidence between the first
+        # and the second half of the session (the "temporal" dimension of the
+        # correlation features).
+        if n_decisions >= 4:
+            half = n_decisions // 2
+            first_conf, second_conf = confidences[:half], confidences[half:]
+            first_time, second_time = times[:half], times[half:]
+            features.set(
+                self._prefixed("confDrift"), float(second_conf.mean() - first_conf.mean())
+            )
+            features.set(
+                self._prefixed("paceDrift"), float(second_time.mean() - first_time.mean())
+            )
+        else:
+            features.set(self._prefixed("confDrift"), 0.0)
+            features.set(self._prefixed("paceDrift"), 0.0)
+
+        # Consensuality aggregates (available after fitting on the train set).
+        if self.consensus is not None and self.consensus.is_fitted:
+            agreements = np.array(self.consensus.history_agreement(history))
+        else:
+            agreements = np.zeros(0)
+        for key, value in _safe_stats(agreements).items():
+            features.set(self._prefixed(f"{key}Consensus"), value)
+
+        return features

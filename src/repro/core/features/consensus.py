@@ -1,0 +1,57 @@
+"""Consensuality model: how much the training population agrees on each pair.
+
+The paper's correlation features use two consistency dimensions, temporal
+and consensual; the consensual part, ``pi_i``, counts how many training
+matchers included the decision's element pair in their final matching
+matrix.  The model is fitted on training matchers only (test matchers never
+contribute), exactly as in Section III-B.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.matching.history import DecisionHistory
+from repro.matching.matcher import HumanMatcher
+
+
+class ConsensusModel:
+    """Per-pair selection counts over a training population."""
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[int, int], int] = {}
+        self._n_matchers: int = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_matchers > 0
+
+    @property
+    def n_matchers(self) -> int:
+        return self._n_matchers
+
+    def fit(self, matchers: Sequence[HumanMatcher]) -> "ConsensusModel":
+        """Count, per pair, how many matchers selected it in their final matrix."""
+        self._counts = {}
+        self._n_matchers = len(matchers)
+        for matcher in matchers:
+            for pair in matcher.matrix().nonzero_entries():
+                self._counts[pair] = self._counts.get(pair, 0) + 1
+        return self
+
+    def count(self, pair: tuple[int, int]) -> int:
+        """Raw number of training matchers that selected ``pair``."""
+        return self._counts.get(pair, 0)
+
+    def agreement(self, pair: tuple[int, int]) -> float:
+        """Selection count normalised by the population size (0 when unfitted)."""
+        if self._n_matchers == 0:
+            return 0.0
+        return self._counts.get(pair, 0) / self._n_matchers
+
+    def history_agreement(self, history: DecisionHistory) -> list[float]:
+        """Per-decision agreement values, in sequence order."""
+        return [self.agreement(decision.pair) for decision in history]
+
+    def __repr__(self) -> str:
+        return f"ConsensusModel(n_matchers={self._n_matchers}, pairs={len(self._counts)})"

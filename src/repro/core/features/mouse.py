@@ -1,0 +1,70 @@
+"""Phi_Mou(G): aggregated mouse-movement features.
+
+Follows the behavioural-trace literature the paper cites (Rzeszotarski &
+Kittur's "instrumenting the crowd", Goyal et al., Wu & Bailey): totals and
+averages of movement, per-event-type counts, screen coverage and the mean
+"on focus" position, plus the mass the matcher spends in each UI region of
+the Ontobuilder layout.
+"""
+
+from __future__ import annotations
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.matching.matcher import HumanMatcher
+from repro.matching.mouse import MouseEventType
+
+
+class MouseFeatures(FeatureExtractor):
+    """Aggregated features over the movement map."""
+
+    set_name = "mou"
+    requires_fitting = False
+
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        movement = matcher.movement
+        features = FeatureVector()
+
+        features.set(self._prefixed("totalLength"), movement.path_length())
+        features.set(self._prefixed("totalTime"), movement.duration())
+        features.set(self._prefixed("meanSpeed"), movement.mean_speed())
+        features.set(self._prefixed("countEvents"), len(movement))
+
+        mean_x, mean_y = movement.mean_position()
+        rows, cols = movement.screen
+        features.set(self._prefixed("avgX"), mean_x / cols if cols else 0.0)
+        features.set(self._prefixed("avgY"), mean_y / rows if rows else 0.0)
+
+        counts = movement.count_by_type()
+        total = max(len(movement), 1)
+        features.set(self._prefixed("countMove"), counts[MouseEventType.MOVE])
+        features.set(self._prefixed("countLeftClick"), counts[MouseEventType.LEFT_CLICK])
+        features.set(self._prefixed("countRightClick"), counts[MouseEventType.RIGHT_CLICK])
+        features.set(self._prefixed("countScroll"), counts[MouseEventType.SCROLL])
+        features.set(self._prefixed("scrollRatio"), counts[MouseEventType.SCROLL] / total)
+        features.set(self._prefixed("clickRatio"), counts[MouseEventType.LEFT_CLICK] / total)
+
+        heat_map = movement.heat_map(shape=(24, 32))
+        features.set(self._prefixed("coverage"), heat_map.coverage())
+
+        # Mass per UI region (quadrants of the Ontobuilder layout).
+        half_rows = 12
+        half_cols = 16
+        features.set(
+            self._prefixed("massTopLeft"),
+            heat_map.region_mass(slice(0, half_rows), slice(0, half_cols)),
+        )
+        features.set(
+            self._prefixed("massTopRight"),
+            heat_map.region_mass(slice(0, half_rows), slice(half_cols, 32)),
+        )
+        features.set(
+            self._prefixed("massBottom"),
+            heat_map.region_mass(slice(half_rows, 24), slice(0, 32)),
+        )
+
+        events_per_decision = (
+            len(movement) / len(matcher.history) if len(matcher.history) else 0.0
+        )
+        features.set(self._prefixed("eventsPerDecision"), events_per_decision)
+
+        return features

@@ -1,0 +1,159 @@
+"""The full feature encoding Phi(D) with the paper's late-fusion strategy.
+
+During training the pipeline first fits the offline feature sets (which only
+need the training population for the consensuality model), then trains the
+neural feature sets (Phi_Seq, Phi_Spa) on the training matchers and their
+labels; their predicted label coefficients are appended as features.  During
+testing the trained networks are applied to new matchers and the five sets
+are concatenated into a single feature vector (Section III-B, Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.behavioral import BehavioralFeatures
+from repro.core.features.consensus import ConsensusModel
+from repro.core.features.mouse import MouseFeatures
+from repro.core.features.predictors import LRSMFeatures
+from repro.core.features.sequential import SequentialFeatures
+from repro.core.features.spatial import SpatialFeatures
+from repro.matching.matcher import HumanMatcher
+
+#: The five feature-set names, in the paper's presentation order.
+FEATURE_SET_NAMES: tuple[str, ...] = ("lrsm", "beh", "mou", "seq", "spa")
+
+#: Alias kept for readability of signatures.
+FeatureSetName = str
+
+
+class FeaturePipeline:
+    """Extracts and fuses the five MExI feature sets.
+
+    Parameters
+    ----------
+    include:
+        Feature sets to use (default: all five).  The ablation study of
+        Table III passes singletons (include mode) or four-element subsets
+        (exclude mode).
+    neural_config:
+        Optional keyword arguments for the neural extractors, keyed by set
+        name (``"seq"`` / ``"spa"``).  Benchmarks use this to shrink the
+        networks.
+    random_state:
+        Seed forwarded to the neural extractors.
+    """
+
+    def __init__(
+        self,
+        include: Optional[Sequence[FeatureSetName]] = None,
+        neural_config: Optional[dict[str, dict]] = None,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        selected = tuple(include) if include is not None else FEATURE_SET_NAMES
+        unknown = set(selected) - set(FEATURE_SET_NAMES)
+        if unknown:
+            raise ValueError(f"unknown feature sets: {sorted(unknown)}")
+        if not selected:
+            raise ValueError("at least one feature set must be included")
+        self.include = tuple(name for name in FEATURE_SET_NAMES if name in selected)
+        self.random_state = random_state
+        neural_config = neural_config or {}
+
+        self._extractors: dict[str, FeatureExtractor] = {}
+        if "lrsm" in self.include:
+            self._extractors["lrsm"] = LRSMFeatures()
+        if "beh" in self.include:
+            self._extractors["beh"] = BehavioralFeatures()
+        if "mou" in self.include:
+            self._extractors["mou"] = MouseFeatures()
+        if "seq" in self.include:
+            self._extractors["seq"] = SequentialFeatures(
+                random_state=random_state, **neural_config.get("seq", {})
+            )
+        if "spa" in self.include:
+            self._extractors["spa"] = SpatialFeatures(
+                random_state=random_state, **neural_config.get("spa", {})
+            )
+
+        self.feature_names_: list[str] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(
+        self, matchers: Sequence[HumanMatcher], labels: Optional[np.ndarray] = None
+    ) -> "FeaturePipeline":
+        """Fit the pipeline on the training population (and its labels).
+
+        ``labels`` is required whenever a neural feature set is included,
+        because Phi_Seq / Phi_Spa are supervised feature extractors.
+        """
+        if not matchers:
+            raise ValueError("cannot fit a feature pipeline on an empty population")
+        needs_labels = any(name in self.include for name in ("seq", "spa"))
+        if needs_labels and labels is None:
+            raise ValueError("labels are required to fit the neural feature sets")
+
+        consensus = ConsensusModel().fit(matchers)
+        if "beh" in self._extractors:
+            behavioral = self._extractors["beh"]
+            assert isinstance(behavioral, BehavioralFeatures)
+            behavioral.consensus = consensus
+        if "seq" in self._extractors:
+            sequential = self._extractors["seq"]
+            assert isinstance(sequential, SequentialFeatures)
+            sequential.consensus = consensus
+
+        for name in ("seq", "spa"):
+            if name in self._extractors:
+                self._extractors[name].fit(matchers, labels)
+
+        # Determine the fused feature-name order from the first matcher.
+        sample_vector = self._extract_fused(matchers[0])
+        self.feature_names_ = sample_vector.names()
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+
+    def _extract_fused(self, matcher: HumanMatcher) -> FeatureVector:
+        fused = FeatureVector()
+        for name in self.include:
+            fused.update(self._extractors[name].extract(matcher))
+        return fused
+
+    def transform(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        """Feature matrix for ``matchers``, columns ordered as ``feature_names_``."""
+        if not self._fitted:
+            raise RuntimeError("FeaturePipeline must be fitted before transform")
+        rows = [self._extract_fused(matcher).to_array(self.feature_names_) for matcher in matchers]
+        if not rows:
+            return np.zeros((0, len(self.feature_names_)))
+        return np.vstack(rows)
+
+    def fit_transform(
+        self, matchers: Sequence[HumanMatcher], labels: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return self.fit(matchers, labels).transform(matchers)
+
+    def feature_set_of(self, feature_name: str) -> FeatureSetName:
+        """The feature set a fused feature name belongs to (by prefix)."""
+        for set_name in FEATURE_SET_NAMES:
+            if feature_name.startswith(f"{set_name}_"):
+                return set_name
+        raise ValueError(f"feature {feature_name!r} does not belong to a known feature set")
+
+    def __repr__(self) -> str:
+        return f"FeaturePipeline(include={self.include}, fitted={self._fitted})"

@@ -1,0 +1,35 @@
+"""Phi_LRSM(H): matching-predictor features over the projected matching matrix.
+
+The Precision and Thoroughness feature groups of Section III-A: every
+predictor in :mod:`repro.predictors` is evaluated on the matrix induced by
+the matcher's decision history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.matching.matcher import HumanMatcher
+from repro.predictors import PredictorRegistry, default_registry
+
+
+class LRSMFeatures(FeatureExtractor):
+    """Matching predictors as features (the LRSM feature family)."""
+
+    set_name = "lrsm"
+    requires_fitting = False
+
+    def __init__(self, registry: Optional[PredictorRegistry] = None) -> None:
+        self.registry = registry or default_registry()
+
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        matrix = matcher.matrix()
+        features = FeatureVector()
+        for name, value in self.registry.evaluate(matrix).items():
+            features.set(self._prefixed(name), value)
+        return features
+
+    def feature_names(self) -> list[str]:
+        """The names this extractor produces, in registry order."""
+        return [self._prefixed(name) for name in self.registry.names()]

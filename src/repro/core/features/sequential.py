@@ -1,0 +1,136 @@
+"""Phi_Seq(H): LSTM label coefficients over the sequential decision process.
+
+Per decision, the sequence carries three channels (Section III-B):
+
+* the declared confidence ``h_k.c``,
+* the time spent until reaching the decision ``h_k.t - h_{k-1}.t``,
+* the agreement ``pi_k`` of the training population on the decided pair.
+
+The network follows the paper's architecture (an LSTM hidden layer, dropout,
+a dense ReLU layer) with a 4-unit sigmoid head -- one coefficient per expert
+characteristic.  During training the network is fitted on the training
+matchers (and their sub-matchers); at extraction time its four output
+coefficients become the Phi_Seq features (late fusion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.consensus import ConsensusModel
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.matching.matcher import HumanMatcher
+from repro.nn.layers import Dense, Dropout, ReLU, Sigmoid
+from repro.nn.losses import BinaryCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.recurrent import LSTM, pad_sequences
+
+
+class SequentialFeatures(FeatureExtractor):
+    """LSTM-derived label coefficients over the decision sequence."""
+
+    set_name = "seq"
+    requires_fitting = True
+
+    def __init__(
+        self,
+        hidden_dim: int = 16,
+        dense_dim: int = 24,
+        max_sequence_length: int = 40,
+        epochs: int = 8,
+        learning_rate: float = 0.005,
+        dropout: float = 0.3,
+        random_state: Optional[int] = 0,
+        consensus: Optional[ConsensusModel] = None,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.dense_dim = dense_dim
+        self.max_sequence_length = max_sequence_length
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.dropout = dropout
+        self.random_state = random_state
+        self.consensus = consensus
+        self._network: Optional[Sequential] = None
+
+    # ------------------------------------------------------------------ #
+    # Sequence encoding
+    # ------------------------------------------------------------------ #
+
+    def _sequence_for(self, matcher: HumanMatcher) -> np.ndarray:
+        """The (T, 3) channel matrix for one matcher."""
+        history = matcher.history
+        if history.is_empty:
+            return np.zeros((1, 3))
+        confidences = history.confidences()
+        times = history.inter_decision_times()
+        # Normalise elapsed times to a comparable scale across matchers.
+        time_scale = times.max() if times.size and times.max() > 0 else 1.0
+        normalized_times = times / time_scale
+        if self.consensus is not None and self.consensus.is_fitted:
+            agreements = np.array(self.consensus.history_agreement(history))
+        else:
+            agreements = np.zeros_like(confidences)
+        return np.column_stack([confidences, normalized_times, agreements])
+
+    def _batch(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+        sequences = [self._sequence_for(matcher) for matcher in matchers]
+        return pad_sequences(sequences, max_length=self.max_sequence_length)
+
+    # ------------------------------------------------------------------ #
+    # Training / extraction
+    # ------------------------------------------------------------------ #
+
+    def _build_network(self) -> Sequential:
+        seed = self.random_state
+        network = Sequential(
+            [
+                LSTM(input_dim=3, hidden_dim=self.hidden_dim, seed=seed),
+                Dropout(rate=self.dropout, seed=seed),
+                Dense(self.hidden_dim, self.dense_dim, seed=None if seed is None else seed + 1),
+                ReLU(),
+                Dense(self.dense_dim, len(EXPERT_CHARACTERISTICS), seed=None if seed is None else seed + 2),
+                Sigmoid(),
+            ]
+        )
+        network.compile(loss=BinaryCrossEntropy(), optimizer=Adam(learning_rate=self.learning_rate))
+        return network
+
+    def fit(
+        self, matchers: Sequence[HumanMatcher], labels: np.ndarray | None = None
+    ) -> "SequentialFeatures":
+        """Train the sequence network on the training matchers and their labels."""
+        if labels is None:
+            raise ValueError("SequentialFeatures.fit requires the training label matrix")
+        label_matrix = np.asarray(labels, dtype=float)
+        if label_matrix.ndim != 2 or label_matrix.shape[1] != len(EXPERT_CHARACTERISTICS):
+            raise ValueError("labels must be an (n_matchers, 4) matrix")
+        if label_matrix.shape[0] != len(matchers):
+            raise ValueError("labels must have one row per matcher")
+        if self.consensus is None:
+            self.consensus = ConsensusModel().fit(matchers)
+
+        batch = self._batch(matchers)
+        self._network = self._build_network()
+        self._network.fit(
+            batch,
+            label_matrix,
+            epochs=self.epochs,
+            batch_size=16,
+            random_state=self.random_state,
+        )
+        return self
+
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        if self._network is None:
+            raise RuntimeError("SequentialFeatures must be fitted before extraction")
+        batch = self._batch([matcher])
+        coefficients = self._network.predict(batch)[0]
+        features = FeatureVector()
+        for characteristic, coefficient in zip(EXPERT_CHARACTERISTICS, coefficients):
+            features.set(self._prefixed(f"coef_{characteristic}"), float(coefficient))
+        return features

@@ -1,0 +1,156 @@
+"""Phi_Spa(G): CNN label coefficients over the four mouse heat maps.
+
+The paper trains one convolutional network per heat-map type -- move
+(``G_empty``), left click (``G_l``), right click (``G_r``) and scrolling
+(``G_s``) -- fine-tuning a pre-trained backbone, and fuses the predicted
+label coefficients as features.  Here each network is a small CNN
+pre-trained on a synthetic screen-region task (see
+:mod:`repro.nn.pretrained`) and fine-tuned on the training matchers' heat
+maps; its four sigmoid outputs become the Phi_Spa features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.matching.matcher import HumanMatcher
+from repro.matching.mouse import MouseEventType
+from repro.nn.conv import Conv2D, GlobalAveragePooling2D, MaxPool2D
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import BinaryCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.pretrained import HEATMAP_INPUT_SHAPE, pretrain_on_synthetic_regions
+
+#: Short names for the four heat-map channels, matching the paper's notation.
+HEATMAP_CHANNELS: dict[str, MouseEventType] = {
+    "move": MouseEventType.MOVE,
+    "lclick": MouseEventType.LEFT_CLICK,
+    "rclick": MouseEventType.RIGHT_CLICK,
+    "scroll": MouseEventType.SCROLL,
+}
+
+
+def _multilabel_head(n_filters: int, seed: Optional[int]) -> Sequential:
+    """The CNN architecture used per heat-map channel (4-unit sigmoid head)."""
+    network = Sequential(
+        [
+            Conv2D(1, n_filters, kernel_size=3, seed=seed),
+            ReLU(),
+            MaxPool2D(pool_size=2),
+            Conv2D(n_filters, n_filters * 2, kernel_size=3, seed=None if seed is None else seed + 1),
+            ReLU(),
+            GlobalAveragePooling2D(),
+            Dense(n_filters * 2, 16, seed=None if seed is None else seed + 2),
+            ReLU(),
+            Dense(16, len(EXPERT_CHARACTERISTICS), seed=None if seed is None else seed + 3),
+            Sigmoid(),
+        ]
+    )
+    network.compile(loss=BinaryCrossEntropy(), optimizer=Adam(learning_rate=0.003))
+    return network
+
+
+class SpatialFeatures(FeatureExtractor):
+    """CNN-derived label coefficients, one group per heat-map channel."""
+
+    set_name = "spa"
+    requires_fitting = True
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int] = HEATMAP_INPUT_SHAPE,
+        n_filters: int = 4,
+        epochs: int = 4,
+        pretrain: bool = True,
+        pretrain_samples: int = 48,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        self.input_shape = input_shape
+        self.n_filters = n_filters
+        self.epochs = epochs
+        self.pretrain = pretrain
+        self.pretrain_samples = pretrain_samples
+        self.random_state = random_state
+        self._networks: dict[str, Sequential] = {}
+
+    # ------------------------------------------------------------------ #
+    # Heat-map encoding
+    # ------------------------------------------------------------------ #
+
+    def _heatmap_tensor(self, matcher: HumanMatcher, event_type: MouseEventType) -> np.ndarray:
+        """One matcher's heat map of ``event_type`` as a normalised (H, W, 1) tensor."""
+        heat_map = matcher.movement.heat_map(event_type=event_type, shape=self.input_shape)
+        normalized = heat_map.normalized()
+        return normalized[..., np.newaxis]
+
+    def _batch(self, matchers: Sequence[HumanMatcher], event_type: MouseEventType) -> np.ndarray:
+        return np.stack([self._heatmap_tensor(matcher, event_type) for matcher in matchers])
+
+    # ------------------------------------------------------------------ #
+    # Training / extraction
+    # ------------------------------------------------------------------ #
+
+    def _pretrain_head_on_regions(self, seed: Optional[int]) -> Sequential:
+        """Build a channel network, optionally warm-starting its conv trunk."""
+        network = _multilabel_head(self.n_filters, seed)
+        if not self.pretrain:
+            return network
+        # Pre-train a single-output clone on the synthetic region task and
+        # copy the convolutional trunk's weights (transfer learning).
+        from repro.nn.pretrained import build_heatmap_cnn
+
+        donor = build_heatmap_cnn(self.input_shape, n_filters=self.n_filters, seed=seed)
+        pretrain_on_synthetic_regions(
+            donor,
+            n_samples=self.pretrain_samples,
+            epochs=2,
+            input_shape=self.input_shape,
+            random_state=self.random_state,
+        )
+        # Copy weights of the shared trunk: Conv2D / Conv2D layers (indices 0 and 3).
+        for layer_index in (0, 3):
+            for name, value in donor.layers[layer_index].params.items():
+                network.layers[layer_index].params[name][...] = value
+        return network
+
+    def fit(
+        self, matchers: Sequence[HumanMatcher], labels: np.ndarray | None = None
+    ) -> "SpatialFeatures":
+        """Fine-tune one CNN per heat-map channel on the training matchers."""
+        if labels is None:
+            raise ValueError("SpatialFeatures.fit requires the training label matrix")
+        label_matrix = np.asarray(labels, dtype=float)
+        if label_matrix.shape[0] != len(matchers):
+            raise ValueError("labels must have one row per matcher")
+
+        self._networks = {}
+        for channel_index, (channel, event_type) in enumerate(HEATMAP_CHANNELS.items()):
+            seed = None if self.random_state is None else self.random_state + 10 * channel_index
+            network = self._pretrain_head_on_regions(seed)
+            batch = self._batch(matchers, event_type)
+            network.fit(
+                batch,
+                label_matrix,
+                epochs=self.epochs,
+                batch_size=16,
+                random_state=seed,
+            )
+            self._networks[channel] = network
+        return self
+
+    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+        if not self._networks:
+            raise RuntimeError("SpatialFeatures must be fitted before extraction")
+        features = FeatureVector()
+        for channel, event_type in HEATMAP_CHANNELS.items():
+            network = self._networks[channel]
+            tensor = self._heatmap_tensor(matcher, event_type)[np.newaxis, ...]
+            coefficients = network.predict(tensor)[0]
+            for characteristic, coefficient in zip(EXPERT_CHARACTERISTICS, coefficients):
+                features.set(self._prefixed(f"{channel}_{characteristic}"), float(coefficient))
+        return features

@@ -1,0 +1,142 @@
+"""Utilizing matching experts (Section IV-F): filtering and outcome improvement.
+
+Given a characterizer (MExI or a baseline), :class:`ExpertFilter` selects the
+matchers identified as experts and compares the matching quality of the
+selected sub-population against the full population.  The early-identification
+variant (Figure 11) truncates every matcher to the first half of the cohort's
+median number of decisions before predicting, then evaluates the *full*
+histories of the selected matchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.matching.matcher import HumanMatcher
+from repro.matching.metrics import evaluate_matcher, population_performance
+
+
+@dataclass
+class FilteringResult:
+    """Quality of a selected sub-population vs. the full population."""
+
+    method: str
+    selected_ids: list[str]
+    selected_performance: dict[str, float]
+    population_performance: dict[str, float]
+    n_population: int
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected_ids)
+
+    def improvement(self, measure: str) -> float:
+        """Relative improvement of the selection over the population.
+
+        For calibration the sign is flipped (lower absolute calibration is
+        better), matching the paper's reporting.
+        """
+        baseline = self.population_performance[measure]
+        selected = self.selected_performance[measure]
+        if baseline == 0:
+            return 0.0
+        if measure in ("abs_calibration", "calibration"):
+            return (abs(baseline) - abs(selected)) / abs(baseline)
+        return (selected - baseline) / abs(baseline)
+
+
+def _evaluate_population(matchers: Sequence[HumanMatcher]) -> dict[str, float]:
+    performances = []
+    for matcher in matchers:
+        if matcher.reference is None:
+            raise ValueError(f"matcher {matcher.matcher_id!r} has no reference match attached")
+        performances.append(evaluate_matcher(matcher.history, matcher.reference))
+    return population_performance(performances)
+
+
+class ExpertFilter:
+    """Select experts with a fitted characterizer and measure the quality gain."""
+
+    def __init__(
+        self,
+        characterizer,
+        require_all_characteristics: bool = True,
+        min_positive_characteristics: int = 4,
+    ) -> None:
+        self.characterizer = characterizer
+        self.require_all_characteristics = require_all_characteristics
+        self.min_positive_characteristics = min_positive_characteristics
+
+    def _selection_mask(self, predictions: np.ndarray) -> np.ndarray:
+        if self.require_all_characteristics:
+            return predictions.sum(axis=1) == len(EXPERT_CHARACTERISTICS)
+        return predictions.sum(axis=1) >= self.min_positive_characteristics
+
+    def select(
+        self,
+        matchers: Sequence[HumanMatcher],
+        early_decisions: Optional[int] = None,
+    ) -> list[HumanMatcher]:
+        """The matchers identified as experts.
+
+        When ``early_decisions`` is given, prediction uses only each
+        matcher's first ``early_decisions`` decisions (early identification),
+        but the returned matchers keep their full histories.
+        """
+        if early_decisions is not None:
+            inputs = [m.truncated(early_decisions) for m in matchers]
+        else:
+            inputs = list(matchers)
+        predictions = self.characterizer.predict(inputs)
+        mask = self._selection_mask(np.asarray(predictions))
+        selected = [matcher for matcher, keep in zip(matchers, mask) if keep]
+        if not selected:
+            # Fall back to the most-expert matchers so downstream quality
+            # comparisons always have a non-empty selection to report on.
+            scores = np.asarray(predictions).sum(axis=1)
+            best = int(np.argmax(scores))
+            selected = [matchers[best]]
+        return selected
+
+    def evaluate(
+        self,
+        matchers: Sequence[HumanMatcher],
+        method_name: str = "MExI",
+        early_decisions: Optional[int] = None,
+    ) -> FilteringResult:
+        """Select experts and compare their quality to the full population."""
+        selected = self.select(matchers, early_decisions=early_decisions)
+        return FilteringResult(
+            method=method_name,
+            selected_ids=[m.matcher_id for m in selected],
+            selected_performance=_evaluate_population(selected),
+            population_performance=_evaluate_population(matchers),
+            n_population=len(matchers),
+        )
+
+
+def median_half_decisions(matchers: Sequence[HumanMatcher]) -> int:
+    """Half of the median number of decisions (the paper's early-identification cut)."""
+    if not matchers:
+        return 0
+    median = float(np.median([m.n_decisions for m in matchers]))
+    return max(1, int(median // 2))
+
+
+def adjust_for_bias(
+    matcher: HumanMatcher, calibration_estimate: float
+) -> list[float]:
+    """Bias-corrected confidences (the Ipeirotis-style adjustment of Section II-B).
+
+    A predictably under-confident matcher's confidences can be shifted up by
+    its estimated calibration (and vice versa), re-qualifying borderline
+    correspondences for the final outcome.
+    """
+    return [
+        float(np.clip(decision.confidence - calibration_estimate, 0.0, 1.0))
+        for decision in matcher.history
+    ]

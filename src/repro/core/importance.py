@@ -1,0 +1,130 @@
+"""Feature-importance analysis (Table IV).
+
+The paper uses SHAP to rank features within each feature set.  SHAP is not
+available offline, so two model-agnostic substitutes are provided:
+
+* :func:`permutation_importance` -- accuracy drop when a feature column is
+  shuffled (fast, the default for Table IV), and
+* :func:`shapley_sampling_importance` -- Monte-Carlo Shapley values over
+  feature coalitions (slower, used for cross-checking in tests).
+
+Both operate on a fitted binary classifier and a labelled feature matrix, so
+they can be applied per expert characteristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.ml.metrics import accuracy_score
+
+
+@dataclass
+class FeatureImportanceResult:
+    """Importance scores for a set of features, sorted descending."""
+
+    feature_names: list[str]
+    importances: np.ndarray
+
+    def top(self, k: int = 2) -> list[tuple[str, float]]:
+        """The ``k`` most important (name, score) pairs."""
+        order = np.argsort(self.importances)[::-1]
+        return [(self.feature_names[i], float(self.importances[i])) for i in order[:k]]
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            name: float(score) for name, score in zip(self.feature_names, self.importances)
+        }
+
+
+def permutation_importance(
+    classifier: BaseClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Sequence[str],
+    n_repeats: int = 5,
+    random_state: Optional[int] = 0,
+) -> FeatureImportanceResult:
+    """Mean accuracy drop when each feature is permuted across samples."""
+    features = np.asarray(X, dtype=float)
+    labels = np.asarray(y)
+    if features.shape[1] != len(feature_names):
+        raise ValueError("feature_names must have one entry per column of X")
+    rng = np.random.default_rng(random_state)
+    baseline = accuracy_score(labels, classifier.predict(features))
+
+    importances = np.zeros(features.shape[1])
+    for column in range(features.shape[1]):
+        drops = []
+        for _ in range(n_repeats):
+            permuted = features.copy()
+            permuted[:, column] = rng.permutation(permuted[:, column])
+            score = accuracy_score(labels, classifier.predict(permuted))
+            drops.append(baseline - score)
+        importances[column] = float(np.mean(drops))
+    return FeatureImportanceResult(feature_names=list(feature_names), importances=importances)
+
+
+def shapley_sampling_importance(
+    classifier: BaseClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Sequence[str],
+    n_samples: int = 30,
+    random_state: Optional[int] = 0,
+) -> FeatureImportanceResult:
+    """Monte-Carlo Shapley values of each feature's contribution to accuracy.
+
+    For each sampled permutation of the features, a feature's marginal
+    contribution is the accuracy change when it is "revealed" (restored to
+    its true values) on top of the already revealed prefix; features not yet
+    revealed are replaced by their column means (the usual background value).
+    """
+    features = np.asarray(X, dtype=float)
+    labels = np.asarray(y)
+    n_features = features.shape[1]
+    if n_features != len(feature_names):
+        raise ValueError("feature_names must have one entry per column of X")
+    rng = np.random.default_rng(random_state)
+    background = features.mean(axis=0)
+
+    def masked_accuracy(revealed: np.ndarray) -> float:
+        masked = np.tile(background, (features.shape[0], 1))
+        masked[:, revealed] = features[:, revealed]
+        return accuracy_score(labels, classifier.predict(masked))
+
+    contributions = np.zeros(n_features)
+    for _ in range(n_samples):
+        order = rng.permutation(n_features)
+        revealed: list[int] = []
+        previous_score = masked_accuracy(np.array(revealed, dtype=int))
+        for feature in order:
+            revealed.append(int(feature))
+            score = masked_accuracy(np.array(revealed, dtype=int))
+            contributions[feature] += score - previous_score
+            previous_score = score
+    contributions /= n_samples
+    return FeatureImportanceResult(feature_names=list(feature_names), importances=contributions)
+
+
+def top_features_by_set(
+    importance: FeatureImportanceResult,
+    set_of_feature,
+    k: int = 2,
+) -> dict[str, list[tuple[str, float]]]:
+    """Group an importance result by feature set and keep the top-``k`` of each.
+
+    ``set_of_feature`` maps a feature name to its feature-set name (usually
+    :meth:`repro.core.features.pipeline.FeaturePipeline.feature_set_of`).
+    """
+    grouped: dict[str, list[tuple[str, float]]] = {}
+    for name, score in zip(importance.feature_names, importance.importances):
+        grouped.setdefault(set_of_feature(name), []).append((name, float(score)))
+    return {
+        set_name: sorted(members, key=lambda item: item[1], reverse=True)[:k]
+        for set_name, members in grouped.items()
+    }

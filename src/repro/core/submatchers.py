@@ -1,0 +1,105 @@
+"""Sub-matcher augmentation (Section IV-B1).
+
+To give the sequence networks enough data, the paper augments the training
+set with *sub-matchers*: contiguous windows of a matcher's decision
+sequence, used during training only.  ``MExI_50`` uses windows of 50
+decisions; ``MExI_70`` mixes window sizes 30, 40, ..., 70.  A sub-matcher
+inherits its parent's expert labels (it is another, partial observation of
+the same human).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.matching.matcher import HumanMatcher
+
+
+@dataclass(frozen=True)
+class SubMatcherConfig:
+    """Window sizes and stride for sub-matcher generation.
+
+    ``window_sizes`` follows the paper: ``(50,)`` for MExI_50, ``(30, 40,
+    50, 60, 70)`` for MExI_70 and ``()`` for MExI_empty (no augmentation).
+    ``relative`` rescales the window sizes by ``mean decisions / 55`` so
+    reduced-scale cohorts (tests, benchmarks) keep the same augmentation
+    ratio as the paper's 55-decision average.
+    """
+
+    window_sizes: tuple[int, ...] = (50,)
+    stride_fraction: float = 0.5
+    keep_originals: bool = True
+    relative: bool = True
+    reference_mean_decisions: float = 55.0
+
+    def scaled_sizes(self, mean_decisions: float) -> list[int]:
+        """Window sizes adapted to the cohort's mean history length."""
+        if not self.relative or mean_decisions <= 0:
+            return [size for size in self.window_sizes if size > 0]
+        scale = mean_decisions / self.reference_mean_decisions
+        return [max(4, int(round(size * scale))) for size in self.window_sizes]
+
+
+#: The paper's three training variants.
+MEXI_EMPTY = SubMatcherConfig(window_sizes=())
+MEXI_50 = SubMatcherConfig(window_sizes=(50,))
+MEXI_70 = SubMatcherConfig(window_sizes=(30, 40, 50, 60, 70))
+
+
+def generate_submatchers(
+    matchers: Sequence[HumanMatcher],
+    labels: np.ndarray,
+    config: SubMatcherConfig,
+) -> tuple[list[HumanMatcher], np.ndarray]:
+    """Augment a training set with sub-matchers.
+
+    Parameters
+    ----------
+    matchers:
+        Training matchers.
+    labels:
+        The ``(n_matchers, n_labels)`` label matrix; sub-matchers inherit
+        their parent's row.
+    config:
+        Window sizes / stride.
+
+    Returns
+    -------
+    (augmented_matchers, augmented_labels)
+        The originals (when ``keep_originals``) followed by the generated
+        sub-matchers, with the label matrix expanded to match.
+    """
+    label_matrix = np.asarray(labels)
+    if label_matrix.shape[0] != len(matchers):
+        raise ValueError("labels must have one row per matcher")
+
+    augmented: list[HumanMatcher] = []
+    augmented_labels: list[np.ndarray] = []
+
+    if config.keep_originals:
+        augmented.extend(matchers)
+        augmented_labels.extend(label_matrix)
+
+    if not config.window_sizes:
+        return augmented, np.asarray(augmented_labels)
+
+    mean_decisions = float(np.mean([m.n_decisions for m in matchers])) if matchers else 0.0
+    sizes = config.scaled_sizes(mean_decisions)
+
+    for matcher, label_row in zip(matchers, label_matrix):
+        n_decisions = matcher.n_decisions
+        for size in sizes:
+            if size >= n_decisions or size < 2:
+                continue
+            stride = max(1, int(round(size * config.stride_fraction)))
+            for start in range(0, n_decisions - size + 1, stride):
+                submatcher = matcher.submatcher(start, size, suffix=f"#w{size}s{start}")
+                if submatcher.history.is_empty:
+                    continue
+                augmented.append(submatcher)
+                augmented_labels.append(label_row)
+
+    return augmented, np.asarray(augmented_labels)

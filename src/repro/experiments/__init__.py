@@ -1,0 +1,38 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Every experiment accepts an :class:`ExperimentConfig` so tests and
+benchmarks can run reduced-scale versions (fewer matchers, smaller
+networks, fewer folds), and returns a structured result object with a
+``format_table()`` / ``format_report()`` method that prints the same rows
+the paper reports.
+
+| Module                                | Paper artifact       |
+|---------------------------------------|----------------------|
+| :mod:`repro.experiments.archetype_curves`    | Figures 1, 4, 5, 6 |
+| :mod:`repro.experiments.population_analysis` | Figures 8, 9       |
+| :mod:`repro.experiments.identification`      | Table IIa          |
+| :mod:`repro.experiments.generalization`      | Table IIb          |
+| :mod:`repro.experiments.ablation_study`      | Table III          |
+| :mod:`repro.experiments.feature_importance`  | Table IV           |
+| :mod:`repro.experiments.outcome`             | Figures 10, 11     |
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.population_analysis import run_population_analysis
+from repro.experiments.identification import run_identification_experiment
+from repro.experiments.generalization import run_generalization_experiment
+from repro.experiments.ablation_study import run_ablation_study
+from repro.experiments.feature_importance import run_feature_importance
+from repro.experiments.outcome import run_outcome_experiment
+from repro.experiments.archetype_curves import run_archetype_curves
+
+__all__ = [
+    "ExperimentConfig",
+    "run_population_analysis",
+    "run_identification_experiment",
+    "run_generalization_experiment",
+    "run_ablation_study",
+    "run_feature_importance",
+    "run_outcome_experiment",
+    "run_archetype_curves",
+]

@@ -1,0 +1,75 @@
+"""Feature-set ablation study (Table III) over a PO train/test split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.ablation import AblationResult, run_ablation
+from repro.core.characterizer import MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.identification import ACCURACY_MEASURES
+from repro.experiments.reporting import format_table
+from repro.matching.matcher import HumanMatcher
+from repro.ml.model_selection import train_test_split
+from repro.simulation.dataset import build_dataset
+
+
+@dataclass
+class AblationStudyResult:
+    """Table III: the full model plus every include/exclude configuration."""
+
+    results: list[AblationResult]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [result.row() for result in self.results]
+
+    def by_mode(self, mode: str) -> list[AblationResult]:
+        return [result for result in self.results if result.mode == mode]
+
+    def format_table(self, title: str = "Table III: feature-set ablation (MExI_50, PO)") -> str:
+        return format_table(
+            self.rows(), columns=("mode", "feature_set", *ACCURACY_MEASURES), title=title
+        )
+
+
+def run_ablation_study(
+    config: Optional[ExperimentConfig] = None,
+    matchers: Optional[Sequence[HumanMatcher]] = None,
+    test_size: float = 0.3,
+) -> AblationStudyResult:
+    """Split the PO cohort, then run the include/exclude ablation on the split."""
+    config = config or ExperimentConfig.reduced()
+    if matchers is None:
+        dataset = build_dataset(
+            n_po_matchers=config.n_po_matchers,
+            n_oaei_matchers=2,
+            random_state=config.random_state,
+        )
+        matchers = dataset.po_matchers
+    matchers = list(matchers)
+
+    indices = list(range(len(matchers)))
+    train_idx, test_idx, _, _ = train_test_split(
+        indices, indices, test_size=test_size, random_state=config.random_state
+    )
+    train = [matchers[i] for i in train_idx]
+    test = [matchers[i] for i in test_idx]
+
+    train_profiles, thresholds = characterize_population(train)
+    train_labels = labels_matrix(train_profiles)
+    test_profiles, _ = characterize_population(test, thresholds)
+    test_labels = labels_matrix(test_profiles)
+
+    results = run_ablation(
+        train,
+        train_labels,
+        test,
+        test_labels,
+        variant=MExIVariant.SUB_50,
+        feature_sets=config.feature_sets,
+        neural_config=config.neural_config,
+        random_state=config.random_state,
+    )
+    return AblationStudyResult(results=results)

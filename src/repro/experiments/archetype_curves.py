@@ -1,0 +1,98 @@
+"""Archetype curves and heat maps (Figures 1, 4, 5 and 6).
+
+For each archetype (A-D) a matcher is simulated on the PO task and its
+accumulated precision / recall / confidence / resolution / calibration
+curves are computed, together with an ASCII rendering of its movement heat
+map -- the reproduction of the motivating figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.expert_model import ExpertThresholds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_ascii_heatmap
+from repro.matching.matcher import HumanMatcher
+from repro.matching.metrics import AccumulatedCurves, accumulated_curves, evaluate_matcher
+from repro.simulation.archetypes import Archetype
+from repro.simulation.population import simulate_matcher
+from repro.simulation.schemas import build_po_task
+
+
+@dataclass
+class ArchetypeCurve:
+    """One archetype's simulated matcher, its curves and summary measures."""
+
+    archetype: Archetype
+    matcher: HumanMatcher
+    curves: AccumulatedCurves
+    final_precision: float
+    final_recall: float
+    final_resolution: float
+    final_calibration: float
+
+    def heatmap_ascii(self, shape: tuple[int, int] = (12, 32)) -> str:
+        heat_map = self.matcher.movement.heat_map(shape=shape)
+        return format_ascii_heatmap(
+            heat_map.normalized(), title=f"Matcher {self.archetype.value} heat map"
+        )
+
+    def summary_row(self) -> dict[str, object]:
+        return {
+            "archetype": self.archetype.value,
+            "decisions": self.matcher.n_decisions,
+            "P": self.final_precision,
+            "R": self.final_recall,
+            "Res": self.final_resolution,
+            "Cal": self.final_calibration,
+        }
+
+
+@dataclass
+class ArchetypeCurvesResult:
+    """Figures 1/4/5/6: the four archetype matchers side by side."""
+
+    curves: dict[str, ArchetypeCurve]
+    thresholds: ExpertThresholds
+
+    def archetype(self, name: str) -> ArchetypeCurve:
+        return self.curves[name]
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        return [curve.summary_row() for curve in self.curves.values()]
+
+
+def run_archetype_curves(
+    config: Optional[ExperimentConfig] = None,
+    archetypes: Sequence[Archetype] = (Archetype.A, Archetype.B, Archetype.C, Archetype.D),
+    compute_resolution: bool = True,
+) -> ArchetypeCurvesResult:
+    """Simulate one matcher per archetype and compute its elapsed-measure curves."""
+    config = config or ExperimentConfig.reduced()
+    pair, reference = build_po_task(random_state=config.random_state)
+
+    curves: dict[str, ArchetypeCurve] = {}
+    for index, archetype in enumerate(archetypes):
+        matcher = simulate_matcher(
+            matcher_id=f"archetype-{archetype.value}",
+            pair=pair,
+            reference=reference,
+            archetype=archetype,
+            random_state=config.random_state + index,
+        )
+        performance = evaluate_matcher(matcher.history, reference)
+        curve = accumulated_curves(matcher.history, reference, compute_resolution=compute_resolution)
+        curves[archetype.value] = ArchetypeCurve(
+            archetype=archetype,
+            matcher=matcher,
+            curves=curve,
+            final_precision=performance.precision,
+            final_recall=performance.recall,
+            final_resolution=performance.resolution,
+            final_calibration=performance.calibration,
+        )
+
+    thresholds = ExpertThresholds(delta_resolution=0.5, delta_calibration=0.2)
+    return ArchetypeCurvesResult(curves=curves, thresholds=thresholds)

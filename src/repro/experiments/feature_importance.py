@@ -1,0 +1,97 @@
+"""Per-feature importance (Table IV): top-2 informative features per feature set.
+
+The paper applies SHAP to the trained MExI_50 model; here the offline
+feature sets (Phi_LRSM, Phi_Beh, Phi_Mou) are ranked with permutation
+importance of a classifier trained per expert characteristic, and the
+neural sets (Phi_Seq, Phi_Spa) contribute their label-coefficient features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import (
+    EXPERT_CHARACTERISTICS,
+    characterize_population,
+    labels_matrix,
+)
+from repro.core.features.pipeline import FeaturePipeline
+from repro.core.importance import permutation_importance, top_features_by_set
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.matching.matcher import HumanMatcher
+from repro.ml.forest import RandomForestClassifier
+from repro.simulation.dataset import build_dataset
+
+
+@dataclass
+class FeatureImportanceStudyResult:
+    """Table IV: per characteristic, the top-k features of each feature set."""
+
+    top_features: dict[str, dict[str, list[tuple[str, float]]]]
+    feature_names: list[str]
+
+    def format_table(self, title: str = "Table IV: top informative features") -> str:
+        rows = []
+        for characteristic, per_set in self.top_features.items():
+            for set_name, features in per_set.items():
+                names = ", ".join(name for name, _ in features)
+                rows.append(
+                    {"characteristic": characteristic, "feature_set": set_name, "top": names}
+                )
+        return format_table(rows, columns=("characteristic", "feature_set", "top"), title=title)
+
+
+def run_feature_importance(
+    config: Optional[ExperimentConfig] = None,
+    matchers: Optional[Sequence[HumanMatcher]] = None,
+    top_k: int = 2,
+) -> FeatureImportanceStudyResult:
+    """Rank features per expert characteristic and keep the top-k per feature set."""
+    config = config or ExperimentConfig.reduced()
+    if matchers is None:
+        dataset = build_dataset(
+            n_po_matchers=config.n_po_matchers,
+            n_oaei_matchers=2,
+            random_state=config.random_state,
+        )
+        matchers = dataset.po_matchers
+    matchers = list(matchers)
+
+    profiles, _ = characterize_population(matchers)
+    labels = labels_matrix(profiles)
+
+    pipeline = FeaturePipeline(
+        include=config.feature_sets,
+        neural_config=config.neural_config,
+        random_state=config.random_state,
+    )
+    features = pipeline.fit_transform(matchers, labels)
+    feature_names = pipeline.feature_names_
+
+    top_features: dict[str, dict[str, list[tuple[str, float]]]] = {}
+    for label_index, characteristic in enumerate(EXPERT_CHARACTERISTICS):
+        y = labels[:, label_index]
+        if np.unique(y).size < 2:
+            top_features[characteristic] = {}
+            continue
+        classifier = RandomForestClassifier(
+            n_estimators=20, max_depth=5, random_state=config.random_state
+        )
+        classifier.fit(features, y)
+        importance = permutation_importance(
+            classifier,
+            features,
+            y,
+            feature_names,
+            n_repeats=3,
+            random_state=config.random_state,
+        )
+        top_features[characteristic] = top_features_by_set(
+            importance, pipeline.feature_set_of, k=top_k
+        )
+
+    return FeatureImportanceStudyResult(top_features=top_features, feature_names=feature_names)

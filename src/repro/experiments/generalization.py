@@ -1,0 +1,103 @@
+"""Generalizability (Table IIb): train on the PO cohort, test on the OAEI cohort.
+
+The characterizer never sees ontology-alignment matchers during training;
+cognitive thresholds are the PO training thresholds, applied unchanged to
+the OAEI population, exactly as in the paper's proof-of-concept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.ablation import evaluate_predictions
+from repro.core.baselines import default_baselines
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.identification import ACCURACY_MEASURES, MethodResult
+from repro.experiments.reporting import format_table
+from repro.matching.matcher import HumanMatcher
+from repro.simulation.dataset import build_dataset
+
+
+@dataclass
+class GeneralizationResult:
+    """Table IIb: accuracy of every method when transferring PO -> OAEI."""
+
+    methods: list[MethodResult]
+    n_train: int
+    n_test: int
+
+    def method(self, name: str) -> MethodResult:
+        for result in self.methods:
+            if result.method == name:
+                return result
+        raise KeyError(f"no results for method {name!r}")
+
+    def format_table(self, title: str = "Table IIb: generalization (OAEI)") -> str:
+        rows = [result.row() for result in self.methods]
+        return format_table(rows, columns=("method", *ACCURACY_MEASURES), title=title)
+
+
+def run_generalization_experiment(
+    config: Optional[ExperimentConfig] = None,
+    train_matchers: Optional[Sequence[HumanMatcher]] = None,
+    test_matchers: Optional[Sequence[HumanMatcher]] = None,
+) -> GeneralizationResult:
+    """Train every method on the PO cohort and evaluate on the OAEI cohort."""
+    config = config or ExperimentConfig.reduced()
+    if train_matchers is None or test_matchers is None:
+        dataset = build_dataset(
+            n_po_matchers=config.n_po_matchers,
+            n_oaei_matchers=config.n_oaei_matchers,
+            random_state=config.random_state,
+        )
+        train_matchers = dataset.po_matchers
+        test_matchers = dataset.oaei_matchers
+    train_matchers = list(train_matchers)
+    test_matchers = list(test_matchers)
+
+    train_profiles, thresholds = characterize_population(train_matchers)
+    train_labels = labels_matrix(train_profiles)
+    test_profiles, _ = characterize_population(test_matchers, thresholds)
+    test_labels = labels_matrix(test_profiles)
+
+    methods: list[MethodResult] = []
+
+    for baseline in default_baselines(config.random_state):
+        baseline.fit(train_matchers, train_labels)
+        accuracies = evaluate_predictions(test_labels, baseline.predict(test_matchers))
+        methods.append(
+            MethodResult(
+                method=baseline.name,
+                mean_accuracies=accuracies,
+                per_fold_accuracies={m: [accuracies[m]] for m in ACCURACY_MEASURES},
+            )
+        )
+
+    variants = {
+        "MExI_empty": MExIVariant.EMPTY,
+        "MExI_50": MExIVariant.SUB_50,
+        "MExI_70": MExIVariant.SUB_70,
+    }
+    for name, variant in variants.items():
+        model = MExICharacterizer(
+            variant=variant,
+            feature_sets=config.feature_sets,
+            neural_config=config.neural_config,
+            random_state=config.random_state,
+        )
+        model.fit(train_matchers, train_labels)
+        accuracies = evaluate_predictions(test_labels, model.predict(test_matchers))
+        methods.append(
+            MethodResult(
+                method=name,
+                mean_accuracies=accuracies,
+                per_fold_accuracies={m: [accuracies[m]] for m in ACCURACY_MEASURES},
+            )
+        )
+
+    return GeneralizationResult(
+        methods=methods, n_train=len(train_matchers), n_test=len(test_matchers)
+    )

@@ -1,0 +1,123 @@
+"""Utilizing matching experts (Figures 10 and 11).
+
+A train/test split of the PO cohort: MExI and the crowdsourcing quality
+baselines (Conf, Qual. Test, Self-Assess) are trained on the training half
+and used to select experts from the held-out half; the selected experts'
+average P / R / Res / |Cal| are compared against the full held-out
+population (``no_filter``).  The early-identification variant (Figure 11)
+predicts from each matcher's first half-median decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.baselines import (
+    ConfidenceBaseline,
+    QualificationTestBaseline,
+    SelfAssessmentBaseline,
+)
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.filtering import ExpertFilter, FilteringResult, median_half_decisions
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.matching.matcher import HumanMatcher
+from repro.ml.model_selection import train_test_split
+from repro.simulation.dataset import build_dataset
+
+#: The measures plotted in Figures 10/11, in display order.
+OUTCOME_MEASURES: tuple[str, ...] = ("precision", "recall", "resolution", "abs_calibration")
+
+
+@dataclass
+class OutcomeResult:
+    """Figures 10/11: per selection method, the quality of the selected experts."""
+
+    filtering_results: dict[str, FilteringResult]
+    early: bool
+    early_decisions: Optional[int]
+
+    def rows(self) -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        no_filter = next(iter(self.filtering_results.values()))
+        rows.append(
+            {
+                "method": "no_filter",
+                "n_selected": no_filter.n_population,
+                **{m: no_filter.population_performance[m] for m in OUTCOME_MEASURES},
+            }
+        )
+        for name, result in self.filtering_results.items():
+            rows.append(
+                {
+                    "method": name,
+                    "n_selected": result.n_selected,
+                    **{m: result.selected_performance[m] for m in OUTCOME_MEASURES},
+                }
+            )
+        return rows
+
+    def format_table(self, title: Optional[str] = None) -> str:
+        if title is None:
+            figure = "Figure 11 (early identification)" if self.early else "Figure 10"
+            title = f"{figure}: quality of identified experts"
+        return format_table(self.rows(), columns=("method", "n_selected", *OUTCOME_MEASURES), title=title)
+
+    def improvement(self, method: str, measure: str) -> float:
+        return self.filtering_results[method].improvement(measure)
+
+
+def run_outcome_experiment(
+    config: Optional[ExperimentConfig] = None,
+    matchers: Optional[Sequence[HumanMatcher]] = None,
+    early: bool = False,
+    test_size: float = 0.4,
+) -> OutcomeResult:
+    """Run the Figure 10 (or Figure 11 when ``early``) expert-utilization experiment."""
+    config = config or ExperimentConfig.reduced()
+    if matchers is None:
+        dataset = build_dataset(
+            n_po_matchers=config.n_po_matchers,
+            n_oaei_matchers=2,
+            random_state=config.random_state,
+        )
+        matchers = dataset.po_matchers
+    matchers = list(matchers)
+
+    indices = list(range(len(matchers)))
+    train_idx, test_idx, _, _ = train_test_split(
+        indices, indices, test_size=test_size, random_state=config.random_state
+    )
+    train = [matchers[i] for i in train_idx]
+    test = [matchers[i] for i in test_idx]
+
+    train_profiles, _ = characterize_population(train)
+    train_labels = labels_matrix(train_profiles)
+
+    early_decisions = median_half_decisions(test) if early else None
+
+    selectors = {
+        "Conf": ConfidenceBaseline(),
+        "Qual. Test": QualificationTestBaseline(),
+        "Self-Assess": SelfAssessmentBaseline(),
+        "MExI": MExICharacterizer(
+            variant=MExIVariant.SUB_50,
+            feature_sets=config.feature_sets,
+            neural_config=config.neural_config,
+            random_state=config.random_state,
+        ),
+    }
+
+    filtering_results: dict[str, FilteringResult] = {}
+    for name, selector in selectors.items():
+        selector.fit(train, train_labels)
+        expert_filter = ExpertFilter(selector, require_all_characteristics=True)
+        filtering_results[name] = expert_filter.evaluate(
+            test, method_name=name, early_decisions=early_decisions
+        )
+
+    return OutcomeResult(
+        filtering_results=filtering_results, early=early, early_decisions=early_decisions
+    )

@@ -1,0 +1,117 @@
+"""Population analysis: Figures 8 and 9 plus the Section IV-C correlations.
+
+Figure 8 reports the mean of each expertise measure over the cohort (with
+the positive-resolution and under-confident sub-populations called out in
+the text); Figure 9 reports the proportion of experts per characteristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import (
+    EXPERT_CHARACTERISTICS,
+    ExpertProfile,
+    ExpertThresholds,
+    characterize_population,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_bar_chart
+from repro.matching.matcher import HumanMatcher
+from repro.simulation.dataset import build_dataset
+
+
+@dataclass
+class PopulationAnalysisResult:
+    """Everything Figures 8/9 and the Section IV-C commentary report."""
+
+    mean_measures: dict[str, float]                  # Figure 8 bars
+    positive_resolution_mean: float                  # commentary: positively correlated matchers
+    under_confident_abs_calibration: float           # commentary: under-confident matchers
+    expert_proportions: dict[str, float]             # Figure 9 bars
+    full_expert_proportion: float                    # darkest shade of Figure 9
+    personal_correlations: dict[str, float]          # Section IV-C
+    profiles: list[ExpertProfile]
+    thresholds: ExpertThresholds
+
+    def format_figure8(self) -> str:
+        return format_bar_chart(self.mean_measures, title="Figure 8: mean measure values")
+
+    def format_figure9(self) -> str:
+        return format_bar_chart(
+            self.expert_proportions, title="Figure 9: proportion of experts by type"
+        )
+
+
+def _pearson(x: np.ndarray, y: np.ndarray) -> float:
+    if x.size < 2 or x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def analyze_population(
+    matchers: Sequence[HumanMatcher],
+    thresholds: Optional[ExpertThresholds] = None,
+) -> PopulationAnalysisResult:
+    """Compute the Figure 8/9 statistics for an existing cohort."""
+    profiles, fitted_thresholds = characterize_population(list(matchers), thresholds)
+
+    precisions = np.array([p.performance.precision for p in profiles])
+    recalls = np.array([p.performance.recall for p in profiles])
+    resolutions = np.array([p.performance.resolution for p in profiles])
+    calibrations = np.array([p.performance.calibration for p in profiles])
+
+    mean_measures = {
+        "P": float(precisions.mean()),
+        "R": float(recalls.mean()),
+        "|Res|": float(np.abs(resolutions).mean()),
+        "|Cal|": float(np.abs(calibrations).mean()),
+    }
+
+    positive_res = resolutions[resolutions > 0]
+    positive_resolution_mean = float(positive_res.mean()) if positive_res.size else 0.0
+    under_confident = calibrations[calibrations < 0]
+    under_confident_abs = float(np.abs(under_confident).mean()) if under_confident.size else 0.0
+
+    label_matrix = np.vstack([p.labels.to_array() for p in profiles])
+    expert_proportions = {
+        characteristic: float(label_matrix[:, index].mean())
+        for index, characteristic in enumerate(EXPERT_CHARACTERISTICS)
+    }
+    full_expert_proportion = float((label_matrix.sum(axis=1) == 4).mean())
+
+    english = np.array([m.metadata.english_level for m in matchers], dtype=float)
+    psychometric = np.array([m.metadata.psychometric_score for m in matchers], dtype=float)
+    personal_correlations = {
+        "english_vs_recall": _pearson(english, recalls),
+        "psychometric_vs_precision": _pearson(psychometric, precisions),
+        "english_vs_resolution": _pearson(english, resolutions),
+        "psychometric_vs_calibration": _pearson(psychometric, np.abs(calibrations)),
+    }
+
+    return PopulationAnalysisResult(
+        mean_measures=mean_measures,
+        positive_resolution_mean=positive_resolution_mean,
+        under_confident_abs_calibration=under_confident_abs,
+        expert_proportions=expert_proportions,
+        full_expert_proportion=full_expert_proportion,
+        personal_correlations=personal_correlations,
+        profiles=profiles,
+        thresholds=fitted_thresholds,
+    )
+
+
+def run_population_analysis(
+    config: Optional[ExperimentConfig] = None,
+) -> PopulationAnalysisResult:
+    """Simulate the PO cohort and compute the Figure 8/9 statistics."""
+    config = config or ExperimentConfig.reduced()
+    dataset = build_dataset(
+        n_po_matchers=config.n_po_matchers,
+        n_oaei_matchers=2,
+        random_state=config.random_state,
+    )
+    return analyze_population(dataset.po_matchers)

@@ -1,0 +1,69 @@
+"""Plain-text table and bar-chart rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = [str(column) for column in columns]
+    body = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a mapping of label -> value as a horizontal ASCII bar chart."""
+    if not values:
+        return title
+    maximum = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar_length = int(round(abs(value) / maximum * width))
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)} | {bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def format_ascii_heatmap(grid, width: int = 32, title: str = "") -> str:
+    """Render a 2-D intensity grid as ASCII art (darker character = more visits)."""
+    import numpy as np
+
+    array = np.asarray(grid, dtype=float)
+    if array.size == 0:
+        return title
+    maximum = array.max() or 1.0
+    shades = " .:-=+*#%@"
+    lines = [title] if title else []
+    for row in array:
+        line = "".join(shades[min(int(value / maximum * (len(shades) - 1)), len(shades) - 1)] for value in row)
+        lines.append(line)
+    return "\n".join(lines)

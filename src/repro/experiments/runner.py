@@ -1,0 +1,111 @@
+"""Command-line experiment runner.
+
+Regenerates any of the paper's tables and figures from the command line:
+
+    python -m repro.experiments fig8 table2a --scale reduced
+    python -m repro.experiments all --scale tiny
+    python -m repro.experiments table2a --scale paper     # full cohort sizes (slow)
+
+Each experiment prints the same rows the paper reports (see EXPERIMENTS.md
+for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.experiments.ablation_study import run_ablation_study
+from repro.experiments.archetype_curves import run_archetype_curves
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.feature_importance import run_feature_importance
+from repro.experiments.generalization import run_generalization_experiment
+from repro.experiments.identification import run_identification_experiment
+from repro.experiments.outcome import run_outcome_experiment
+from repro.experiments.population_analysis import run_population_analysis
+from repro.experiments.reporting import format_table
+
+
+def _run_archetypes(config: ExperimentConfig) -> str:
+    result = run_archetype_curves(config)
+    table = format_table(
+        result.summary_rows(),
+        columns=("archetype", "decisions", "P", "R", "Res", "Cal"),
+        title="Figures 1/4/5/6: matcher archetypes",
+    )
+    heatmaps = "\n\n".join(curve.heatmap_ascii() for curve in result.curves.values())
+    return f"{table}\n\n{heatmaps}"
+
+
+def _run_population(config: ExperimentConfig) -> str:
+    result = run_population_analysis(config)
+    return "\n\n".join([result.format_figure8(), result.format_figure9()])
+
+
+def _run_outcome(config: ExperimentConfig, early: bool) -> str:
+    return run_outcome_experiment(config, early=early).format_table()
+
+
+#: Experiment id -> callable producing the printable report.
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig], str]] = {
+    "fig1": _run_archetypes,
+    "fig8": _run_population,
+    "fig9": _run_population,
+    "table2a": lambda config: run_identification_experiment(config).format_table(),
+    "table2b": lambda config: run_generalization_experiment(config).format_table(),
+    "table3": lambda config: run_ablation_study(config).format_table(),
+    "table4": lambda config: run_feature_importance(config).format_table(),
+    "fig10": lambda config: _run_outcome(config, early=False),
+    "fig11": lambda config: _run_outcome(config, early=True),
+}
+
+_SCALES: dict[str, Callable[[], ExperimentConfig]] = {
+    "tiny": ExperimentConfig.tiny,
+    "reduced": ExperimentConfig.reduced,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables and figures of 'Learning to Characterize Matching Experts'.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifacts to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="reduced",
+        help="cohort / model scale (default: reduced; 'paper' uses 106+34 matchers)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    return parser
+
+
+def run(experiment_ids: Sequence[str], scale: str = "reduced", seed: int = 42) -> dict[str, str]:
+    """Run the requested experiments and return their printable reports."""
+    config = _SCALES[scale]()
+    config.random_state = seed
+    selected = sorted(EXPERIMENTS) if "all" in experiment_ids else list(dict.fromkeys(experiment_ids))
+    reports: dict[str, str] = {}
+    for experiment_id in selected:
+        reports[experiment_id] = EXPERIMENTS[experiment_id](config)
+    return reports
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    reports = run(args.experiments, scale=args.scale, seed=args.seed)
+    for experiment_id, report in reports.items():
+        print(f"\n===== {experiment_id} =====")
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,182 @@
+"""Simple algorithmic (first-line) matchers.
+
+The paper's pipeline is human-in-the-loop: algorithmic matchers propose
+correspondences, humans validate them.  These lightweight string-similarity
+matchers supply that algorithmic layer for the simulator and the examples:
+they compute a full similarity matrix over a schema pair, from which a
+reference-like candidate set or difficulty scores can be derived.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.matching.matrix import MatchingMatrix
+from repro.matching.schema import Attribute, SchemaPair
+
+
+def _normalize_name(name: str) -> str:
+    """Lower-case a name and strip separators so tokens compare cleanly."""
+    cleaned = []
+    for char in name:
+        if char.isalnum():
+            cleaned.append(char.lower())
+        else:
+            cleaned.append(" ")
+    return " ".join("".join(cleaned).split())
+
+
+def _tokenize(name: str) -> set[str]:
+    """Split a camelCase / snake_case identifier into lower-case tokens."""
+    tokens: list[str] = []
+    current = ""
+    for char in name:
+        if char.isupper() and current:
+            tokens.append(current)
+            current = char.lower()
+        elif char.isalnum():
+            current += char.lower()
+        else:
+            if current:
+                tokens.append(current)
+            current = ""
+    if current:
+        tokens.append(current)
+    return set(tokens)
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance between two strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (char_a != char_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Normalised edit similarity in [0, 1]."""
+    a_norm = _normalize_name(a)
+    b_norm = _normalize_name(b)
+    if not a_norm and not b_norm:
+        return 1.0
+    longest = max(len(a_norm), len(b_norm))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a_norm, b_norm) / longest
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity between identifier token sets."""
+    tokens_a = _tokenize(a)
+    tokens_b = _tokenize(b)
+    if not tokens_a and not tokens_b:
+        return 1.0
+    union = tokens_a | tokens_b
+    if not union:
+        return 1.0
+    return len(tokens_a & tokens_b) / len(union)
+
+
+class AlgorithmicMatcher(ABC):
+    """An automatic matcher producing a similarity matrix for a schema pair."""
+
+    name: str = "algorithmic"
+
+    @abstractmethod
+    def element_similarity(self, source: Attribute, target: Attribute) -> float:
+        """Similarity in [0, 1] between two elements."""
+
+    def match(self, pair: SchemaPair) -> MatchingMatrix:
+        """Compute the full similarity matrix for ``pair``."""
+        rows, cols = pair.shape
+        matrix = np.zeros((rows, cols), dtype=float)
+        for i, source_attribute in enumerate(pair.source.attributes):
+            for j, target_attribute in enumerate(pair.target.attributes):
+                matrix[i, j] = self.element_similarity(source_attribute, target_attribute)
+        return MatchingMatrix(np.clip(matrix, 0.0, 1.0), pair=pair)
+
+
+class NameSimilarityMatcher(AlgorithmicMatcher):
+    """Edit-distance-based name similarity (a COMA-style string matcher)."""
+
+    name = "name-similarity"
+
+    def element_similarity(self, source: Attribute, target: Attribute) -> float:
+        return name_similarity(source.name, target.name)
+
+
+class TokenJaccardMatcher(AlgorithmicMatcher):
+    """Token-overlap similarity, robust to word reordering in names."""
+
+    name = "token-jaccard"
+
+    def element_similarity(self, source: Attribute, target: Attribute) -> float:
+        return token_jaccard(source.name, target.name)
+
+
+class DataTypeMatcher(AlgorithmicMatcher):
+    """Coarse similarity from declared data types (1.0 equal, 0.5 compatible)."""
+
+    name = "data-type"
+
+    _COMPATIBLE: frozenset[frozenset[str]] = frozenset(
+        {
+            frozenset({"date", "datetime"}),
+            frozenset({"time", "datetime"}),
+            frozenset({"int", "float"}),
+            frozenset({"int", "string"}),
+        }
+    )
+
+    def element_similarity(self, source: Attribute, target: Attribute) -> float:
+        if source.data_type == target.data_type:
+            return 1.0
+        if frozenset({source.data_type, target.data_type}) in self._COMPATIBLE:
+            return 0.5
+        return 0.0
+
+
+class CompositeMatcher(AlgorithmicMatcher):
+    """Weighted combination of several matchers (the usual ensemble set-up)."""
+
+    name = "composite"
+
+    def __init__(
+        self,
+        matchers: Sequence[AlgorithmicMatcher] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        self.matchers = list(matchers) if matchers is not None else [
+            NameSimilarityMatcher(),
+            TokenJaccardMatcher(),
+            DataTypeMatcher(),
+        ]
+        if weights is None:
+            weights = [1.0] * len(self.matchers)
+        if len(weights) != len(self.matchers):
+            raise ValueError("weights must have one entry per matcher")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = [w / total for w in weights]
+
+    def element_similarity(self, source: Attribute, target: Attribute) -> float:
+        return sum(
+            weight * matcher.element_similarity(source, target)
+            for matcher, weight in zip(self.matchers, self.weights)
+        )

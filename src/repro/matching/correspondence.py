@@ -1,0 +1,149 @@
+"""Correspondences, matches (``sigma``) and reference matches (``Me``).
+
+A *correspondence* is a single aligned element pair; a *match* is a set of
+correspondences (the non-zero entries of a matching matrix); the *reference
+match* is the ground truth ``Me`` compiled by domain experts, against which
+matcher performance is measured (Section II-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.matching.matrix import MatchingMatrix
+from repro.matching.schema import SchemaPair
+
+
+@dataclass(frozen=True, order=True)
+class Correspondence:
+    """An aligned element pair ``(i, j)`` with an optional confidence."""
+
+    row: int
+    col: int
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise ValueError("correspondence indices must be non-negative")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence {self.confidence} outside [0, 1]")
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.row, self.col)
+
+
+class Match:
+    """A match ``sigma``: a set of correspondences over a schema pair."""
+
+    def __init__(self, correspondences: Iterable[Correspondence] = ()) -> None:
+        self._by_pair: dict[tuple[int, int], Correspondence] = {}
+        for correspondence in correspondences:
+            self.add(correspondence)
+
+    @classmethod
+    def from_matrix(cls, matrix: MatchingMatrix) -> "Match":
+        """The match induced by the non-zero entries of ``matrix``."""
+        return cls(
+            Correspondence(i, j, confidence)
+            for i, j, confidence in matrix.iter_nonzero()
+        )
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], confidence: float = 1.0) -> "Match":
+        """A match consisting of the given index pairs at a fixed confidence."""
+        return cls(Correspondence(i, j, confidence) for i, j in pairs)
+
+    def add(self, correspondence: Correspondence) -> None:
+        """Add (or overwrite) a correspondence."""
+        self._by_pair[correspondence.pair] = correspondence
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """The index pairs in the match."""
+        return set(self._by_pair)
+
+    def confidence_of(self, i: int, j: int) -> float:
+        """Confidence of pair ``(i, j)``, or 0.0 if absent."""
+        correspondence = self._by_pair.get((i, j))
+        return correspondence.confidence if correspondence else 0.0
+
+    def to_matrix(self, shape: tuple[int, int], pair: Optional[SchemaPair] = None) -> MatchingMatrix:
+        """Materialise the match as a matching matrix of the given shape."""
+        return MatchingMatrix.from_entries(
+            shape,
+            ((c.row, c.col, c.confidence) for c in self),
+            pair=pair,
+        )
+
+    def intersection(self, other: "Match") -> set[tuple[int, int]]:
+        """Index pairs shared with ``other``."""
+        return self.pairs() & other.pairs()
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._by_pair
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self._by_pair.values())
+
+    def __repr__(self) -> str:
+        return f"Match(size={len(self)})"
+
+
+class ReferenceMatch:
+    """The ground-truth reference match ``Me`` for a schema pair.
+
+    ``Me`` is conceptually a 0/1 matrix; here it is stored as the set of its
+    positive entries ``Me+`` together with the matrix shape.
+    """
+
+    def __init__(self, shape: tuple[int, int], positives: Iterable[tuple[int, int]]) -> None:
+        rows, cols = shape
+        self.shape = shape
+        self._positives: set[tuple[int, int]] = set()
+        for i, j in positives:
+            if not (0 <= i < rows and 0 <= j < cols):
+                raise ValueError(f"reference pair {(i, j)} outside matrix of shape {shape}")
+            self._positives.add((i, j))
+
+    @classmethod
+    def from_matrix(cls, matrix: MatchingMatrix) -> "ReferenceMatch":
+        """Interpret the non-zero entries of ``matrix`` as ``Me+``."""
+        return cls(matrix.shape, matrix.nonzero_entries())
+
+    @property
+    def positives(self) -> set[tuple[int, int]]:
+        """``Me+``: the set of correct correspondences."""
+        return set(self._positives)
+
+    @property
+    def n_positives(self) -> int:
+        return len(self._positives)
+
+    def is_correct(self, i: int, j: int) -> bool:
+        """Whether the pair ``(i, j)`` belongs to the reference match."""
+        return (i, j) in self._positives
+
+    def to_matrix(self, pair: Optional[SchemaPair] = None) -> MatchingMatrix:
+        """``Me`` as a 0/1 matching matrix."""
+        return MatchingMatrix.from_entries(
+            self.shape, ((i, j, 1.0) for i, j in self._positives), pair=pair
+        )
+
+    def correctness_vector(self, pairs: Iterable[tuple[int, int]]) -> np.ndarray:
+        """A 0/1 vector marking which of ``pairs`` are correct."""
+        return np.array([1.0 if p in self._positives else 0.0 for p in pairs])
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._positives
+
+    def __len__(self) -> int:
+        return len(self._positives)
+
+    def __repr__(self) -> str:
+        return f"ReferenceMatch(shape={self.shape}, positives={len(self)})"

@@ -1,0 +1,101 @@
+"""A human matcher ``D = (H, G)`` plus self-reported metadata (Section IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.history import DecisionHistory
+from repro.matching.matrix import MatchingMatrix
+from repro.matching.mouse import MovementMap
+from repro.matching.schema import SchemaPair
+
+
+@dataclass
+class MatcherMetadata:
+    """Self-reported personal information gathered before the experiment.
+
+    The paper records gender, age, psychometric exam score, English level
+    (1-5), domain knowledge (1-5), and whether the participant has basic
+    database-management education.  These fields are *not* used by MExI's
+    feature encoding; they exist to reproduce the Section IV-C analysis of
+    correlations between personal information and performance.
+    """
+
+    gender: str = "unspecified"
+    age: int = 0
+    psychometric_score: int = 0
+    english_level: int = 0
+    domain_knowledge: int = 0
+    db_education: bool = False
+
+
+@dataclass
+class HumanMatcher:
+    """A human matcher: identity, behaviour ``(H, G)`` and task context."""
+
+    matcher_id: str
+    history: DecisionHistory
+    movement: MovementMap
+    task: Optional[SchemaPair] = None
+    reference: Optional[ReferenceMatch] = None
+    metadata: MatcherMetadata = field(default_factory=MatcherMetadata)
+
+    def matrix(self) -> MatchingMatrix:
+        """The matching matrix induced by the decision history (Eq. 1)."""
+        return self.history.to_matrix()
+
+    @property
+    def n_decisions(self) -> int:
+        return len(self.history)
+
+    def truncated(self, n_decisions: int) -> "HumanMatcher":
+        """The matcher restricted to its first ``n_decisions`` decisions.
+
+        The movement map is truncated to the same time window, matching the
+        paper's early-identification experiment (Figure 11).
+        """
+        history = self.history.prefix(n_decisions)
+        if history.is_empty:
+            movement = MovementMap(screen=self.movement.screen)
+        else:
+            cutoff = history.decisions[-1].timestamp
+            movement = self.movement.until(cutoff)
+        return HumanMatcher(
+            matcher_id=self.matcher_id,
+            history=history,
+            movement=movement,
+            task=self.task,
+            reference=self.reference,
+            metadata=self.metadata,
+        )
+
+    def submatcher(self, start: int, length: int, suffix: str = "") -> "HumanMatcher":
+        """A sub-matcher built from a contiguous decision window.
+
+        Sub-matchers are used only during training (Section IV-B1) to give
+        the sequence models enough data.
+        """
+        history = self.history.window(start, length)
+        if history.is_empty:
+            movement = MovementMap(screen=self.movement.screen)
+        else:
+            start_time = history.decisions[0].timestamp
+            end_time = history.decisions[-1].timestamp
+            movement = self.movement.between(start_time, end_time)
+        identifier = f"{self.matcher_id}{suffix or f'#sub{start}+{length}'}"
+        return HumanMatcher(
+            matcher_id=identifier,
+            history=history,
+            movement=movement,
+            task=self.task,
+            reference=self.reference,
+            metadata=self.metadata,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HumanMatcher(id={self.matcher_id!r}, decisions={self.n_decisions}, "
+            f"mouse_events={len(self.movement)})"
+        )

@@ -1,0 +1,204 @@
+"""The four expertise measures of Section II-B and accumulated curves.
+
+* Precision (Eq. 2): correct decisions out of made decisions.
+* Recall / thoroughness (Eq. 3): correct decisions out of all correct
+  correspondences.
+* Resolution (Eq. 4): Goodman-Kruskal gamma between confidence and
+  correctness ("more confident when correct").
+* Calibration (Eq. 5): mean confidence minus precision (lower is better;
+  positive means over-confidence, negative under-confidence).
+
+``accumulated_curves`` reproduces the elapsed-measure curves of Figures 1,
+4, 5 and 6: the four measures recomputed after every sequential decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.history import DecisionHistory
+from repro.matching.matrix import MatchingMatrix
+from repro.stats.gamma import GammaResult, goodman_kruskal_gamma
+
+
+def precision(matrix: MatchingMatrix, reference: ReferenceMatch) -> float:
+    """Precision ``P(H) = |sigma ∩ Me+| / |sigma|`` (Eq. 2, left).
+
+    An empty match has precision 0 by convention.
+    """
+    sigma = matrix.nonzero_entries()
+    if not sigma:
+        return 0.0
+    correct = len(sigma & reference.positives)
+    return correct / len(sigma)
+
+
+def recall(matrix: MatchingMatrix, reference: ReferenceMatch) -> float:
+    """Recall ``R(H) = |sigma ∩ Me+| / |Me+|`` (Eq. 3, left).
+
+    An empty reference match yields recall 0 by convention.
+    """
+    if reference.n_positives == 0:
+        return 0.0
+    sigma = matrix.nonzero_entries()
+    correct = len(sigma & reference.positives)
+    return correct / reference.n_positives
+
+
+def f_measure(matrix: MatchingMatrix, reference: ReferenceMatch) -> float:
+    """Harmonic mean of precision and recall (not used for labels; reporting only)."""
+    p = precision(matrix, reference)
+    r = recall(matrix, reference)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def resolution(
+    history: DecisionHistory,
+    reference: ReferenceMatch,
+    random_state: Optional[int] = None,
+) -> GammaResult:
+    """Resolution ``Res(H)``: gamma(confidence, correctness) over final decisions.
+
+    Following Eq. 4, the correlation is computed between the confidence of
+    the matcher's (latest) decisions and whether the decided pair belongs to
+    the reference match.
+    """
+    latest = history.latest_decisions()
+    if not latest:
+        return GammaResult(gamma=0.0, p_value=1.0, concordant=0, discordant=0)
+    pairs = list(latest)
+    confidences = [latest[pair].confidence for pair in pairs]
+    correctness = [1.0 if reference.is_correct(*pair) else 0.0 for pair in pairs]
+    return goodman_kruskal_gamma(confidences, correctness, random_state=random_state)
+
+
+def calibration(history: DecisionHistory, reference: ReferenceMatch) -> float:
+    """Calibration ``Cal(H) = mean confidence - P(H)`` (Eq. 5).
+
+    Positive values indicate over-confidence, negative values
+    under-confidence; values near zero indicate a calibrated matcher.
+    """
+    matrix = history.to_matrix()
+    return history.mean_confidence() - precision(matrix, reference)
+
+
+@dataclass(frozen=True)
+class MatcherPerformance:
+    """The four measures of a matcher, bundled for reporting."""
+
+    precision: float
+    recall: float
+    resolution: float
+    resolution_p_value: float
+    calibration: float
+
+    @property
+    def f_measure(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def absolute_calibration(self) -> float:
+        return abs(self.calibration)
+
+
+def evaluate_matcher(
+    history: DecisionHistory,
+    reference: ReferenceMatch,
+    random_state: Optional[int] = None,
+) -> MatcherPerformance:
+    """Compute all four measures for a decision history."""
+    matrix = history.to_matrix()
+    gamma_result = resolution(history, reference, random_state=random_state)
+    return MatcherPerformance(
+        precision=precision(matrix, reference),
+        recall=recall(matrix, reference),
+        resolution=gamma_result.gamma,
+        resolution_p_value=gamma_result.p_value,
+        calibration=calibration(history, reference),
+    )
+
+
+@dataclass(frozen=True)
+class AccumulatedCurves:
+    """Per-decision elapsed measures (Figures 1, 4, 5, 6)."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    mean_confidence: np.ndarray
+    resolution: np.ndarray
+    calibration: np.ndarray
+
+    @property
+    def n_decisions(self) -> int:
+        return int(self.precision.size)
+
+
+def accumulated_curves(
+    history: DecisionHistory,
+    reference: ReferenceMatch,
+    compute_resolution: bool = True,
+) -> AccumulatedCurves:
+    """Measures recomputed after each sequential decision.
+
+    Resolution after every prefix requires O(T^2) gamma computations; pass
+    ``compute_resolution=False`` to skip it for long histories.
+    """
+    n = len(history)
+    precisions = np.zeros(n)
+    recalls = np.zeros(n)
+    confidences = np.zeros(n)
+    resolutions = np.zeros(n)
+    calibrations = np.zeros(n)
+
+    for k in range(1, n + 1):
+        prefix = history.prefix(k)
+        matrix = prefix.to_matrix()
+        precisions[k - 1] = precision(matrix, reference)
+        recalls[k - 1] = recall(matrix, reference)
+        confidences[k - 1] = prefix.mean_confidence()
+        calibrations[k - 1] = confidences[k - 1] - precisions[k - 1]
+        if compute_resolution:
+            resolutions[k - 1] = resolution(prefix, reference).gamma
+
+    return AccumulatedCurves(
+        precision=precisions,
+        recall=recalls,
+        mean_confidence=confidences,
+        resolution=resolutions,
+        calibration=calibrations,
+    )
+
+
+def population_performance(
+    performances: Sequence[MatcherPerformance],
+) -> dict[str, float]:
+    """Average the four measures over a matcher population (Figures 8, 10, 11).
+
+    Resolution and calibration are averaged both signed and in absolute
+    value, matching the paper's reporting conventions.
+    """
+    if not performances:
+        return {
+            "precision": 0.0,
+            "recall": 0.0,
+            "resolution": 0.0,
+            "abs_resolution": 0.0,
+            "calibration": 0.0,
+            "abs_calibration": 0.0,
+        }
+    return {
+        "precision": float(np.mean([p.precision for p in performances])),
+        "recall": float(np.mean([p.recall for p in performances])),
+        "resolution": float(np.mean([p.resolution for p in performances])),
+        "abs_resolution": float(np.mean([abs(p.resolution) for p in performances])),
+        "calibration": float(np.mean([p.calibration for p in performances])),
+        "abs_calibration": float(np.mean([abs(p.calibration) for p in performances])),
+    }

@@ -1,0 +1,262 @@
+"""Mouse movement maps ``G`` and heat maps (Section II-A2).
+
+Every mouse movement is a triplet ``<(x, y), type, time>`` where the type is
+one of move, left click, right click, or scroll.  Aggregating positions per
+type yields screen-sized heat maps in which frequently visited pixels carry
+higher values; the paper down-streams those heat maps into a CNN.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+
+class MouseEventType(enum.Enum):
+    """The four event types tracked by the paper's instrumentation."""
+
+    MOVE = "move"
+    LEFT_CLICK = "left"
+    RIGHT_CLICK = "right"
+    SCROLL = "scroll"
+
+
+@dataclass(frozen=True)
+class MouseEvent:
+    """A single mouse event at screen position ``(x, y)`` and time ``t``."""
+
+    x: float
+    y: float
+    event_type: MouseEventType
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+class HeatMap:
+    """A screen-sized intensity matrix aggregating visit frequency."""
+
+    def __init__(self, counts: np.ndarray) -> None:
+        array = np.asarray(counts, dtype=float)
+        if array.ndim != 2:
+            raise ValueError("heat map must be 2-D")
+        if array.size and array.min() < 0:
+            raise ValueError("heat map counts must be non-negative")
+        self._counts = array
+
+    @property
+    def counts(self) -> np.ndarray:
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._counts.shape  # type: ignore[return-value]
+
+    @property
+    def total(self) -> float:
+        return float(self._counts.sum())
+
+    def normalized(self) -> np.ndarray:
+        """Counts rescaled to [0, 1] (all-zeros stays all-zeros)."""
+        maximum = self._counts.max() if self._counts.size else 0.0
+        if maximum == 0:
+            return self._counts.copy()
+        return self._counts / maximum
+
+    def downscale(self, shape: tuple[int, int]) -> "HeatMap":
+        """Sum-pool the heat map down to ``shape`` (for CNN input)."""
+        target_rows, target_cols = shape
+        rows, cols = self.shape
+        if target_rows <= 0 or target_cols <= 0:
+            raise ValueError("target shape must be positive")
+        row_edges = np.linspace(0, rows, target_rows + 1).astype(int)
+        col_edges = np.linspace(0, cols, target_cols + 1).astype(int)
+        pooled = np.zeros(shape, dtype=float)
+        for i in range(target_rows):
+            for j in range(target_cols):
+                block = self._counts[
+                    row_edges[i] : row_edges[i + 1], col_edges[j] : col_edges[j + 1]
+                ]
+                pooled[i, j] = block.sum()
+        return HeatMap(pooled)
+
+    def region_mass(self, row_slice: slice, col_slice: slice) -> float:
+        """Fraction of the total mass falling in a screen region."""
+        if self.total == 0:
+            return 0.0
+        return float(self._counts[row_slice, col_slice].sum() / self.total)
+
+    def center_of_mass(self) -> tuple[float, float]:
+        """The intensity-weighted mean position ``(row, col)``."""
+        if self.total == 0:
+            rows, cols = self.shape
+            return (rows / 2.0, cols / 2.0)
+        row_idx, col_idx = np.indices(self.shape)
+        return (
+            float((row_idx * self._counts).sum() / self.total),
+            float((col_idx * self._counts).sum() / self.total),
+        )
+
+    def coverage(self) -> float:
+        """Fraction of pixels visited at least once."""
+        if self._counts.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self._counts) / self._counts.size)
+
+    def __repr__(self) -> str:
+        return f"HeatMap(shape={self.shape}, total={self.total:.0f})"
+
+
+class MovementMap:
+    """The full movement map ``G``: an ordered sequence of mouse events."""
+
+    #: Default (rows, cols) screen resolution, i.e. (height, width) in pixels.
+    DEFAULT_SCREEN: tuple[int, int] = (768, 1024)
+
+    def __init__(
+        self,
+        events: Iterable[MouseEvent] = (),
+        screen: tuple[int, int] = DEFAULT_SCREEN,
+    ) -> None:
+        self._events: list[MouseEvent] = sorted(events, key=lambda e: e.timestamp)
+        rows, cols = screen
+        if rows <= 0 or cols <= 0:
+            raise ValueError("screen dimensions must be positive")
+        self.screen = (int(rows), int(cols))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> tuple[MouseEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[MouseEvent]:
+        return iter(self._events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def events_of_type(self, event_type: MouseEventType) -> list[MouseEvent]:
+        return [e for e in self._events if e.event_type == event_type]
+
+    def count_by_type(self) -> dict[MouseEventType, int]:
+        counts = {event_type: 0 for event_type in MouseEventType}
+        for event in self._events:
+            counts[event.event_type] += 1
+        return counts
+
+    def duration(self) -> float:
+        """Elapsed time between the first and last event."""
+        if len(self._events) < 2:
+            return 0.0
+        return self._events[-1].timestamp - self._events[0].timestamp
+
+    def positions(self) -> np.ndarray:
+        """An ``(n, 2)`` array of ``(x, y)`` positions in event order."""
+        if not self._events:
+            return np.zeros((0, 2), dtype=float)
+        return np.array([(e.x, e.y) for e in self._events], dtype=float)
+
+    def path_length(self) -> float:
+        """Total Euclidean distance travelled by the cursor."""
+        positions = self.positions()
+        if positions.shape[0] < 2:
+            return 0.0
+        deltas = np.diff(positions, axis=0)
+        return float(np.sqrt((deltas**2).sum(axis=1)).sum())
+
+    def mean_position(self) -> tuple[float, float]:
+        """Average ``(x, y)`` position over all events."""
+        positions = self.positions()
+        if positions.shape[0] == 0:
+            rows, cols = self.screen
+            return (cols / 2.0, rows / 2.0)
+        return (float(positions[:, 0].mean()), float(positions[:, 1].mean()))
+
+    def mean_speed(self) -> float:
+        """Average cursor speed in pixels per second."""
+        duration = self.duration()
+        if duration <= 0:
+            return 0.0
+        return self.path_length() / duration
+
+    # ------------------------------------------------------------------ #
+    # Heat maps
+    # ------------------------------------------------------------------ #
+
+    def heat_map(
+        self,
+        event_type: Optional[MouseEventType] = None,
+        shape: Optional[tuple[int, int]] = None,
+    ) -> HeatMap:
+        """Aggregate events of ``event_type`` (or all) into a heat map.
+
+        Positions are clipped to the screen, then binned onto a grid of
+        ``shape`` (defaults to the full screen resolution).
+        """
+        rows, cols = shape if shape is not None else self.screen
+        counts = np.zeros((rows, cols), dtype=float)
+        screen_rows, screen_cols = self.screen
+        for event in self._events:
+            if event_type is not None and event.event_type != event_type:
+                continue
+            x = min(max(event.x, 0.0), screen_cols - 1)
+            y = min(max(event.y, 0.0), screen_rows - 1)
+            row = int(y / screen_rows * rows)
+            col = int(x / screen_cols * cols)
+            row = min(row, rows - 1)
+            col = min(col, cols - 1)
+            counts[row, col] += 1.0
+        return HeatMap(counts)
+
+    def heat_maps_by_type(self, shape: Optional[tuple[int, int]] = None) -> dict[MouseEventType, HeatMap]:
+        """The four heat maps the paper's CNN consumes: move/left/right/scroll."""
+        return {
+            event_type: self.heat_map(event_type=event_type, shape=shape)
+            for event_type in MouseEventType
+        }
+
+    # ------------------------------------------------------------------ #
+    # Slicing
+    # ------------------------------------------------------------------ #
+
+    def until(self, timestamp: float) -> "MovementMap":
+        """Events up to (and including) ``timestamp``."""
+        return MovementMap(
+            (e for e in self._events if e.timestamp <= timestamp), screen=self.screen
+        )
+
+    def between(self, start: float, end: float) -> "MovementMap":
+        """Events in the closed time interval ``[start, end]``."""
+        return MovementMap(
+            (e for e in self._events if start <= e.timestamp <= end), screen=self.screen
+        )
+
+    def __repr__(self) -> str:
+        return f"MovementMap(events={len(self)}, screen={self.screen})"
+
+
+def merge_movement_maps(maps: Sequence[MovementMap]) -> MovementMap:
+    """Concatenate several movement maps (events re-sorted by timestamp)."""
+    if not maps:
+        return MovementMap()
+    screen = maps[0].screen
+    events: list[MouseEvent] = []
+    for movement_map in maps:
+        if movement_map.screen != screen:
+            raise ValueError("cannot merge movement maps with different screen sizes")
+        events.extend(movement_map.events)
+    return MovementMap(events, screen=screen)

@@ -1,0 +1,79 @@
+"""History preprocessing reproducing Section IV-A.
+
+The paper removes the first three correspondences per participant (warm-up)
+and drops elapsed-time outliers more than two standard deviations from the
+participant's mean, because methodical pauses are unrelated to the target
+term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.history import DecisionHistory
+from repro.matching.matcher import HumanMatcher
+
+
+@dataclass(frozen=True)
+class PreprocessingConfig:
+    """Knobs of the Section IV-A preprocessing pipeline."""
+
+    warmup_decisions: int = 3
+    outlier_std_threshold: float = 2.0
+    remove_outliers: bool = True
+
+
+def remove_warmup(history: DecisionHistory, warmup_decisions: int = 3) -> DecisionHistory:
+    """Drop the first ``warmup_decisions`` decisions of a history."""
+    return history.drop_first(warmup_decisions)
+
+
+def remove_time_outliers(
+    history: DecisionHistory, std_threshold: float = 2.0
+) -> DecisionHistory:
+    """Drop decisions whose elapsed time is an outlier for this matcher.
+
+    A decision is an outlier when its inter-decision time deviates from the
+    matcher's mean by more than ``std_threshold`` standard deviations.
+    Histories with fewer than three decisions are returned unchanged.
+    """
+    if len(history) < 3:
+        return history
+    elapsed = history.inter_decision_times()
+    mean = elapsed.mean()
+    std = elapsed.std()
+    if std == 0:
+        return history
+    keep = np.abs(elapsed - mean) <= std_threshold * std
+    return history.filter(keep.tolist())
+
+
+def preprocess_history(
+    history: DecisionHistory, config: PreprocessingConfig | None = None
+) -> DecisionHistory:
+    """Apply warm-up removal followed by outlier removal."""
+    config = config or PreprocessingConfig()
+    processed = remove_warmup(history, config.warmup_decisions)
+    if config.remove_outliers:
+        processed = remove_time_outliers(processed, config.outlier_std_threshold)
+    return processed
+
+
+def preprocess_matcher(
+    matcher: HumanMatcher, config: PreprocessingConfig | None = None
+) -> HumanMatcher:
+    """Apply the preprocessing pipeline to a matcher's history.
+
+    The movement map is kept intact: mouse behaviour during warm-up still
+    carries spatial information and the paper only filters decisions.
+    """
+    return HumanMatcher(
+        matcher_id=matcher.matcher_id,
+        history=preprocess_history(matcher.history, config),
+        movement=matcher.movement,
+        task=matcher.task,
+        reference=matcher.reference,
+        metadata=matcher.metadata,
+    )

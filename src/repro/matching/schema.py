@@ -1,0 +1,197 @@
+"""Schemata and ontologies as trees of named elements.
+
+The paper's matching tasks present two data sources ``S`` and ``S'`` whose
+elements (schema attributes or ontology concepts) must be aligned.  Both
+schemata and ontologies are represented here with the same structure: a
+:class:`Schema` owning a forest of :class:`Attribute` nodes.  Attributes
+carry metadata (data type, description, instance examples) mirroring the
+"high information content" of the Purchase Order and OAEI tasks used in the
+paper's evaluation (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+@dataclass
+class Attribute:
+    """A single schema attribute / ontology element.
+
+    Parameters
+    ----------
+    name:
+        Element name, e.g. ``"poCode"``.
+    data_type:
+        Declared data type, e.g. ``"string"`` or ``"date"``.
+    description:
+        Free-text documentation shown to the human matcher in the
+        properties box of the matching interface.
+    examples:
+        Instance examples (sample values).
+    parent:
+        Name of the parent element for nested schemata, or ``None`` for a
+        root element.
+    """
+
+    name: str
+    data_type: str = "string"
+    description: str = ""
+    examples: tuple[str, ...] = ()
+    parent: Optional[str] = None
+
+    @property
+    def is_root(self) -> bool:
+        """Whether the attribute sits at the top level of the schema tree."""
+        return self.parent is None
+
+    def full_path(self, schema: "Schema") -> str:
+        """Dot-separated path from the root to this attribute."""
+        parts = [self.name]
+        current = self
+        while current.parent is not None:
+            current = schema.attribute(current.parent)
+            parts.append(current.name)
+        return ".".join(reversed(parts))
+
+
+class Schema:
+    """A named collection of attributes organised as a forest.
+
+    The order of attributes is significant: it is the order in which the
+    matching interface lists them, and the simulator uses it to model the
+    top-to-bottom exploration of human matchers.
+    """
+
+    def __init__(self, name: str, attributes: Sequence[Attribute] = ()) -> None:
+        self.name = name
+        self._attributes: list[Attribute] = []
+        self._by_name: dict[str, Attribute] = {}
+        for attribute in attributes:
+            self.add(attribute)
+
+    def add(self, attribute: Attribute) -> None:
+        """Add an attribute, enforcing unique names and known parents."""
+        if attribute.name in self._by_name:
+            raise ValueError(
+                f"duplicate attribute {attribute.name!r} in schema {self.name!r}"
+            )
+        if attribute.parent is not None and attribute.parent not in self._by_name:
+            raise ValueError(
+                f"attribute {attribute.name!r} references unknown parent "
+                f"{attribute.parent!r}"
+            )
+        self._attributes.append(attribute)
+        self._by_name[attribute.name] = attribute
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"schema {self.name!r} has no attribute {name!r}") from None
+
+    def index_of(self, name: str) -> int:
+        """Positional index of the attribute called ``name``."""
+        for index, attribute in enumerate(self._attributes):
+            if attribute.name == name:
+                return index
+        raise KeyError(f"schema {self.name!r} has no attribute {name!r}")
+
+    def children(self, name: str) -> list[Attribute]:
+        """Direct children of the attribute called ``name``."""
+        return [a for a in self._attributes if a.parent == name]
+
+    def roots(self) -> list[Attribute]:
+        """Top-level attributes."""
+        return [a for a in self._attributes if a.is_root]
+
+    def depth(self, name: str) -> int:
+        """Nesting depth of an attribute (roots have depth 0)."""
+        depth = 0
+        current = self.attribute(name)
+        while current.parent is not None:
+            current = self.attribute(current.parent)
+            depth += 1
+        return depth
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"Schema(name={self.name!r}, attributes={len(self)})"
+
+
+@dataclass
+class SchemaPair:
+    """A matching task: align ``source`` (S) with ``target`` (S')."""
+
+    source: Schema
+    target: Schema
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.source.name}-vs-{self.target.name}"
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, m)``: number of source and target elements."""
+        return (len(self.source), len(self.target))
+
+    @property
+    def n_pairs(self) -> int:
+        """Total number of candidate element pairs."""
+        rows, cols = self.shape
+        return rows * cols
+
+    def pair_names(self, i: int, j: int) -> tuple[str, str]:
+        """Names of the ``i``-th source and ``j``-th target attributes."""
+        return (self.source.attributes[i].name, self.target.attributes[j].name)
+
+    def iter_pairs(self) -> Iterable[tuple[int, int]]:
+        """Iterate over all ``(i, j)`` index pairs."""
+        rows, cols = self.shape
+        for i in range(rows):
+            for j in range(cols):
+                yield (i, j)
+
+    def __repr__(self) -> str:
+        return f"SchemaPair(name={self.name!r}, shape={self.shape})"
+
+
+def purchase_order_example() -> SchemaPair:
+    """The running example of the paper (Figure 2): PO1 vs PO2."""
+    po1 = Schema(
+        "PO1",
+        [
+            Attribute("poDay", data_type="date", description="purchase order day"),
+            Attribute("poTime", data_type="time", description="purchase order time"),
+            Attribute("poCode", data_type="string", description="purchase order number"),
+            Attribute("city", data_type="string", description="shipment city"),
+        ],
+    )
+    po2 = Schema(
+        "PO2",
+        [
+            Attribute("orderDate", data_type="datetime", description="order issuing date"),
+            Attribute("orderNumber", data_type="string", description="order number"),
+            Attribute("city", data_type="string", description="shipment city"),
+        ],
+    )
+    return SchemaPair(source=po2, target=po1, name="purchase-order-example")

@@ -1,0 +1,71 @@
+"""Classical machine-learning substrate (a small scikit-learn replacement).
+
+The paper trains "a set of state-of-the-art classifiers (e.g., SVM and
+Random Forest)" with scikit-learn and picks the best one per label.  That
+library is not available in this environment, so this package provides
+NumPy implementations with a compatible ``fit`` / ``predict`` /
+``predict_proba`` surface:
+
+* linear models: :class:`LogisticRegression`, :class:`LinearSVC`
+* trees and ensembles: :class:`DecisionTreeClassifier`,
+  :class:`RandomForestClassifier`, :class:`GradientBoostingClassifier`
+* instance- and probability-based: :class:`KNeighborsClassifier`,
+  :class:`GaussianNB`
+* preprocessing: :class:`StandardScaler`, :class:`MinMaxScaler`,
+  :class:`SimpleImputer`
+* model selection: :func:`train_test_split`, :class:`KFold`,
+  :func:`cross_val_score`, :class:`GridSearchCV`
+* multi-label: :class:`BinaryRelevance`, :class:`ClassifierChain`
+"""
+
+from repro.ml.base import BaseClassifier, BaseTransformer, clone
+from repro.ml.preprocessing import MinMaxScaler, SimpleImputer, StandardScaler
+from repro.ml.linear import LinearSVC, LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    jaccard_multilabel_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.multilabel import BinaryRelevance, ClassifierChain
+
+__all__ = [
+    "BaseClassifier",
+    "BaseTransformer",
+    "clone",
+    "StandardScaler",
+    "MinMaxScaler",
+    "SimpleImputer",
+    "LogisticRegression",
+    "LinearSVC",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "KNeighborsClassifier",
+    "GaussianNB",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "jaccard_multilabel_score",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "GridSearchCV",
+    "BinaryRelevance",
+    "ClassifierChain",
+]

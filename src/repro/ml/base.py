@@ -1,0 +1,154 @@
+"""Estimator base classes and cloning (mirrors scikit-learn's conventions)."""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+
+def _as_2d_float(X: Any) -> np.ndarray:
+    """Validate a feature matrix: 2-D, finite, float."""
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("feature matrix contains NaN or infinite values")
+    return array
+
+
+def _as_1d(y: Any) -> np.ndarray:
+    """Validate a label vector: 1-D."""
+    array = np.asarray(y)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D label vector, got shape {array.shape}")
+    return array
+
+
+class BaseEstimator:
+    """Base estimator with parameter introspection (``get_params`` / ``set_params``)."""
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters of the estimator, by introspection."""
+        signature = inspect.signature(type(self).__init__)
+        params = {}
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            params[name] = getattr(self, name, parameter.default)
+        return params
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set constructor parameters in place and return self."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(f"{type(self).__name__} has no parameter {name!r}")
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A fresh, unfitted copy of the estimator with identical parameters."""
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+class BaseClassifier(BaseEstimator, ABC):
+    """A binary / multi-class classifier.
+
+    Sub-classes implement ``_fit`` and ``_predict_proba``; the base handles
+    input validation, class bookkeeping, and the prediction argmax.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.classes_ is not None
+
+    def fit(self, X: Any, y: Any) -> "BaseClassifier":
+        """Fit the classifier on features ``X`` and labels ``y``."""
+        features = _as_2d_float(X)
+        labels = _as_1d(y)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"X has {features.shape[0]} rows but y has {labels.shape[0]} entries"
+            )
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_ = np.unique(labels)
+        self.n_features_in_ = features.shape[1]
+        self._fit(features, labels)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Class-membership probabilities, one row per sample."""
+        self._check_fitted()
+        features = _as_2d_float(X)
+        if features.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {features.shape[1]} features; classifier was fitted with "
+                f"{self.n_features_in_}"
+            )
+        probabilities = self._predict_proba(features)
+        return np.clip(probabilities, 0.0, 1.0)
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predicted class labels."""
+        probabilities = self.predict_proba(X)
+        assert self.classes_ is not None
+        indices = np.argmax(probabilities, axis=1)
+        return self.classes_[indices]
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy on the given data."""
+        labels = _as_1d(y)
+        predictions = self.predict(X)
+        if labels.size == 0:
+            return 0.0
+        return float(np.mean(predictions == labels))
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted yet")
+
+    def _single_class_proba(self, n_samples: int) -> np.ndarray:
+        """Probabilities when the training data contained a single class."""
+        return np.ones((n_samples, 1))
+
+    @abstractmethod
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Fit implementation on validated arrays."""
+
+    @abstractmethod
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability implementation on validated arrays."""
+
+
+class BaseTransformer(BaseEstimator, ABC):
+    """A feature transformer with ``fit`` / ``transform`` / ``fit_transform``."""
+
+    @abstractmethod
+    def fit(self, X: Any, y: Any = None) -> "BaseTransformer":
+        """Learn transformation statistics."""
+
+    @abstractmethod
+    def transform(self, X: Any) -> np.ndarray:
+        """Apply the learned transformation."""
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

@@ -1,0 +1,171 @@
+"""Gradient boosting classifier (binary log-loss, regression-tree base learners)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+@dataclass
+class _RegressionNode:
+    """A node of a small regression tree fitted to residuals."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_RegressionNode"] = None
+    right: Optional["_RegressionNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class _RegressionTree:
+    """A depth-limited regression tree minimising squared error (for boosting)."""
+
+    def __init__(self, max_depth: int, min_samples_leaf: int, rng: np.random.Generator) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.rng = rng
+        self.root: Optional[_RegressionNode] = None
+
+    def fit(self, X: np.ndarray, residuals: np.ndarray) -> "_RegressionTree":
+        self.root = self._build(X, residuals, depth=0)
+        return self
+
+    def _best_split(
+        self, X: np.ndarray, residuals: np.ndarray
+    ) -> Optional[tuple[int, float]]:
+        n_samples, n_features = X.shape
+        parent_error = residuals.var() * n_samples
+        best: Optional[tuple[int, float]] = None
+        best_error = parent_error - 1e-12
+        for feature in range(n_features):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            targets = residuals[order]
+            cumulative = np.cumsum(targets)
+            cumulative_sq = np.cumsum(targets**2)
+            total = cumulative[-1]
+            total_sq = cumulative_sq[-1]
+            for split_index in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if split_index >= n_samples or values[split_index] == values[split_index - 1]:
+                    continue
+                left_sum = cumulative[split_index - 1]
+                left_sq = cumulative_sq[split_index - 1]
+                n_left = split_index
+                n_right = n_samples - split_index
+                right_sum = total - left_sum
+                right_sq = total_sq - left_sq
+                left_error = left_sq - left_sum**2 / n_left
+                right_error = right_sq - right_sum**2 / n_right
+                error = left_error + right_error
+                if error < best_error:
+                    best_error = error
+                    threshold = (values[split_index] + values[split_index - 1]) / 2.0
+                    best = (feature, float(threshold))
+        return best
+
+    def _build(self, X: np.ndarray, residuals: np.ndarray, depth: int) -> _RegressionNode:
+        node = _RegressionNode(value=float(residuals.mean()) if residuals.size else 0.0)
+        if depth >= self.max_depth or residuals.size < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(X, residuals)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], residuals[mask], depth + 1)
+        node.right = self._build(X[~mask], residuals[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        assert self.root is not None
+        predictions = np.zeros(X.shape[0])
+        for index, sample in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if sample[node.feature] <= node.threshold else node.right
+            predictions[index] = node.value
+        return predictions
+
+
+class GradientBoostingClassifier(BaseClassifier):
+    """Binary gradient boosting with log-loss; multi-class handled one-vs-rest."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        random_state: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+        self._ensembles: list[tuple[float, list[_RegressionTree]]] = []
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+    def _fit_binary(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[float, list[_RegressionTree]]:
+        positive_rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        initial = float(np.log(positive_rate / (1 - positive_rate)))
+        scores = np.full(X.shape[0], initial)
+        trees: list[_RegressionTree] = []
+        for _ in range(self.n_estimators):
+            probabilities = self._sigmoid(scores)
+            residuals = y - probabilities
+            tree = _RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf, rng=rng
+            ).fit(X, residuals)
+            scores = scores + self.learning_rate * tree.predict(X)
+            trees.append(tree)
+        return initial, trees
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        assert self.classes_ is not None
+        rng = np.random.default_rng(self.random_state)
+        self._ensembles = []
+        if self.classes_.size == 1:
+            return
+        for cls in self.classes_:
+            binary = (y == cls).astype(float)
+            self._ensembles.append(self._fit_binary(X, binary, rng))
+
+    def _class_scores(self, X: np.ndarray) -> np.ndarray:
+        scores = np.zeros((X.shape[0], len(self._ensembles)))
+        for index, (initial, trees) in enumerate(self._ensembles):
+            class_score = np.full(X.shape[0], initial)
+            for tree in trees:
+                class_score += self.learning_rate * tree.predict(X)
+            scores[:, index] = class_score
+        return scores
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return self._single_class_proba(X.shape[0])
+        probabilities = self._sigmoid(self._class_scores(X))
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return probabilities / totals

@@ -1,0 +1,93 @@
+"""Random forest classifier: bagged decision trees with feature sub-sampling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """An ensemble of :class:`DecisionTreeClassifier` trained on bootstrap samples.
+
+    Probabilities are the average of the per-tree leaf distributions, the
+    usual soft-voting scheme.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int | str] = "sqrt",
+        bootstrap: bool = True,
+        random_state: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n_samples = X.shape[0]
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+
+        for index in range(self.n_estimators):
+            if self.bootstrap:
+                sample_indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample_indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample_indices], y[sample_indices])
+            self.estimators_.append(tree)
+            if tree.feature_importances_ is not None:
+                importances += tree.feature_importances_
+
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+
+    def _align_probabilities(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
+        """Map a tree's class probabilities onto the forest's class order.
+
+        A bootstrap sample may miss a class entirely, so each tree can have
+        a subset of the forest's classes.
+        """
+        assert self.classes_ is not None and tree.classes_ is not None
+        probabilities = tree.predict_proba(X)
+        aligned = np.zeros((X.shape[0], self.classes_.size))
+        for tree_index, cls in enumerate(tree.classes_):
+            forest_index = int(np.where(self.classes_ == cls)[0][0])
+            aligned[:, forest_index] = probabilities[:, tree_index]
+        return aligned
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return self._single_class_proba(X.shape[0])
+        stacked = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.estimators_:
+            stacked += self._align_probabilities(tree, X)
+        stacked /= len(self.estimators_)
+        totals = stacked.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return stacked / totals

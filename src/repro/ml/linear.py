@@ -1,0 +1,189 @@
+"""Linear classifiers: logistic regression and a linear SVM.
+
+Both are trained with full-batch gradient descent on the regularised loss
+(log-loss and hinge loss, respectively).  Multi-class problems are handled
+one-vs-rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class _BinaryLinearModel:
+    """Weights and bias for a single one-vs-rest binary problem."""
+
+    def __init__(self, weights: np.ndarray, bias: float) -> None:
+        self.weights = weights
+        self.bias = bias
+
+    def decision(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.weights + self.bias
+
+
+class LogisticRegression(BaseClassifier):
+    """L2-regularised logistic regression trained by gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 300,
+        regularization: float = 1e-3,
+        fit_intercept: bool = True,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.regularization = regularization
+        self.fit_intercept = fit_intercept
+        self._models: list[_BinaryLinearModel] = []
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._feature_mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._feature_scale = scale
+        assert self._feature_mean is not None and self._feature_scale is not None
+        return (X - self._feature_mean) / self._feature_scale
+
+    def _fit_binary(self, X: np.ndarray, y: np.ndarray) -> _BinaryLinearModel:
+        n_samples, n_features = X.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        for _ in range(self.n_iterations):
+            logits = X @ weights + bias
+            probabilities = _sigmoid(logits)
+            error = probabilities - y
+            gradient_w = X.T @ error / n_samples + self.regularization * weights
+            gradient_b = error.mean() if self.fit_intercept else 0.0
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        return _BinaryLinearModel(weights, bias)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X_std = self._standardize(X, fit=True)
+        assert self.classes_ is not None
+        self._models = []
+        if self.classes_.size == 1:
+            return
+        for cls in self.classes_:
+            binary_target = (y == cls).astype(float)
+            self._models.append(self._fit_binary(X_std, binary_target))
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw per-class scores (logits)."""
+        self._check_fitted()
+        X_std = self._standardize(np.asarray(X, dtype=float), fit=False)
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return np.zeros((X_std.shape[0], 1))
+        return np.column_stack([model.decision(X_std) for model in self._models])
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return self._single_class_proba(X.shape[0])
+        scores = _sigmoid(self.decision_function(X))
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return scores / totals
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Per-class weight vectors in standardised feature space."""
+        self._check_fitted()
+        return np.array([model.weights for model in self._models])
+
+
+class LinearSVC(BaseClassifier):
+    """Linear support-vector classifier trained on the hinge loss via SGD.
+
+    Probabilities are obtained from the decision values with a logistic
+    squashing (a cheap stand-in for Platt scaling).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        n_iterations: int = 300,
+        regularization: float = 1e-2,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.regularization = regularization
+        self._models: list[_BinaryLinearModel] = []
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._feature_mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._feature_scale = scale
+        assert self._feature_mean is not None and self._feature_scale is not None
+        return (X - self._feature_mean) / self._feature_scale
+
+    def _fit_binary(self, X: np.ndarray, y_signed: np.ndarray) -> _BinaryLinearModel:
+        n_samples, n_features = X.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        for _ in range(self.n_iterations):
+            margins = y_signed * (X @ weights + bias)
+            violating = margins < 1.0
+            if np.any(violating):
+                gradient_w = (
+                    -(y_signed[violating, None] * X[violating]).mean(axis=0)
+                    + self.regularization * weights
+                )
+                gradient_b = -y_signed[violating].mean()
+            else:
+                gradient_w = self.regularization * weights
+                gradient_b = 0.0
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        return _BinaryLinearModel(weights, bias)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X_std = self._standardize(X, fit=True)
+        assert self.classes_ is not None
+        self._models = []
+        if self.classes_.size == 1:
+            return
+        for cls in self.classes_:
+            signed = np.where(y == cls, 1.0, -1.0)
+            self._models.append(self._fit_binary(X_std, signed))
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distances to each one-vs-rest hyperplane."""
+        self._check_fitted()
+        X_std = self._standardize(np.asarray(X, dtype=float), fit=False)
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return np.zeros((X_std.shape[0], 1))
+        return np.column_stack([model.decision(X_std) for model in self._models])
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        if self.classes_.size == 1:
+            return self._single_class_proba(X.shape[0])
+        scores = _sigmoid(self.decision_function(X))
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return scores / totals

@@ -1,0 +1,155 @@
+"""Dataset splitting, k-fold cross-validation and grid search."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.metrics import accuracy_score
+
+
+def train_test_split(
+    X: Sequence,
+    y: Sequence,
+    test_size: float = 0.25,
+    random_state: Optional[int] = None,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features and labels into train and test partitions."""
+    features = np.asarray(X)
+    labels = np.asarray(y)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("X and y must have the same number of samples")
+    n_samples = features.shape[0]
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must lie strictly between 0 and 1")
+    n_test = max(1, int(round(n_samples * test_size)))
+    if n_test >= n_samples:
+        raise ValueError("test_size leaves no training samples")
+
+    indices = np.arange(n_samples)
+    if shuffle:
+        rng = np.random.default_rng(random_state)
+        rng.shuffle(indices)
+    test_indices = indices[:n_test]
+    train_indices = indices[n_test:]
+    return (
+        features[train_indices],
+        features[test_indices],
+        labels[train_indices],
+        labels[test_indices],
+    )
+
+
+class KFold:
+    """K-fold cross-validation iterator over sample indices."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: Sequence) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_samples = len(X)
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for fold_size in fold_sizes:
+            test_indices = indices[start : start + fold_size]
+            train_indices = np.concatenate([indices[:start], indices[start + fold_size :]])
+            yield train_indices, test_indices
+            start += fold_size
+
+
+def cross_val_score(
+    estimator: BaseClassifier,
+    X: Sequence,
+    y: Sequence,
+    cv: int | KFold = 5,
+    scoring=None,
+) -> np.ndarray:
+    """Per-fold scores of a classifier (accuracy by default)."""
+    features = np.asarray(X)
+    labels = np.asarray(y)
+    folds = cv if isinstance(cv, KFold) else KFold(n_splits=cv, shuffle=True, random_state=0)
+    score_fn = scoring or (lambda yt, yp: accuracy_score(yt, yp))
+    scores = []
+    for train_indices, test_indices in folds.split(features):
+        model = clone(estimator)
+        model.fit(features[train_indices], labels[train_indices])
+        predictions = model.predict(features[test_indices])
+        scores.append(score_fn(labels[test_indices], predictions))
+    return np.asarray(scores, dtype=float)
+
+
+class GridSearchCV:
+    """Exhaustive hyper-parameter search with cross-validated accuracy.
+
+    After :meth:`fit`, the best estimator (refitted on all data) is available
+    as ``best_estimator_`` together with ``best_params_`` and ``best_score_``.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseClassifier,
+        param_grid: dict[str, Iterable[Any]],
+        cv: int = 3,
+        scoring=None,
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = {key: list(values) for key, values in param_grid.items()}
+        self.cv = cv
+        self.scoring = scoring
+        self.best_estimator_: Optional[BaseClassifier] = None
+        self.best_params_: Optional[dict[str, Any]] = None
+        self.best_score_: float = -np.inf
+        self.results_: list[dict[str, Any]] = []
+
+    def _candidates(self) -> Iterator[dict[str, Any]]:
+        if not self.param_grid:
+            yield {}
+            return
+        keys = list(self.param_grid)
+        for combination in itertools.product(*(self.param_grid[key] for key in keys)):
+            yield dict(zip(keys, combination))
+
+    def fit(self, X: Sequence, y: Sequence) -> "GridSearchCV":
+        features = np.asarray(X)
+        labels = np.asarray(y)
+        self.results_ = []
+        for params in self._candidates():
+            candidate = clone(self.estimator).set_params(**params)
+            try:
+                scores = cross_val_score(candidate, features, labels, cv=self.cv, scoring=self.scoring)
+                mean_score = float(scores.mean())
+            except ValueError:
+                # Too few samples for this fold configuration; score on training data.
+                candidate.fit(features, labels)
+                mean_score = candidate.score(features, labels)
+            self.results_.append({"params": params, "score": mean_score})
+            if mean_score > self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        assert self.best_params_ is not None
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(features, labels)
+        return self
+
+    def predict(self, X: Sequence) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV has not been fitted yet")
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,59 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+class GaussianNB(BaseClassifier):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    A small variance floor keeps constant features from producing degenerate
+    likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self._theta: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self._priors: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        assert self.classes_ is not None
+        n_classes = self.classes_.size
+        n_features = X.shape[1]
+        self._theta = np.zeros((n_classes, n_features))
+        self._sigma = np.zeros((n_classes, n_features))
+        self._priors = np.zeros(n_classes)
+        global_var = X.var(axis=0).max() if X.size else 1.0
+        epsilon = self.var_smoothing * max(global_var, 1e-12)
+        for index, cls in enumerate(self.classes_):
+            members = X[y == cls]
+            self._priors[index] = members.shape[0] / X.shape[0]
+            self._theta[index] = members.mean(axis=0)
+            self._sigma[index] = members.var(axis=0) + epsilon
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert (
+            self._theta is not None
+            and self._sigma is not None
+            and self._priors is not None
+            and self.classes_ is not None
+        )
+        if self.classes_.size == 1:
+            return self._single_class_proba(X.shape[0])
+        log_likelihood = np.zeros((X.shape[0], self.classes_.size))
+        for index in range(self.classes_.size):
+            log_prior = np.log(self._priors[index] + 1e-12)
+            diff = X - self._theta[index]
+            log_prob = -0.5 * (
+                np.log(2.0 * np.pi * self._sigma[index]) + diff**2 / self._sigma[index]
+            ).sum(axis=1)
+            log_likelihood[:, index] = log_prior + log_prob
+        # Normalise in log space for numerical stability.
+        log_likelihood -= log_likelihood.max(axis=1, keepdims=True)
+        likelihood = np.exp(log_likelihood)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)

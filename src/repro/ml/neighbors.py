@@ -1,0 +1,52 @@
+"""k-nearest-neighbour classifier (brute-force Euclidean distances)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Majority vote (or distance-weighted vote) over the k nearest neighbours."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        if weights not in {"uniform", "distance"}:
+            raise ValueError(f"unknown weighting scheme {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: Optional[np.ndarray] = None
+        self._y_encoded: Optional[np.ndarray] = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        assert self.classes_ is not None
+        class_to_index = {cls: index for index, cls in enumerate(self.classes_)}
+        self._X = X.copy()
+        self._y_encoded = np.array([class_to_index[label] for label in y], dtype=int)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self._X is not None and self._y_encoded is not None and self.classes_ is not None
+        n_classes = self.classes_.size
+        if n_classes == 1:
+            return self._single_class_proba(X.shape[0])
+
+        k = min(self.n_neighbors, self._X.shape[0])
+        probabilities = np.zeros((X.shape[0], n_classes))
+        # Pairwise squared distances without materialising huge intermediates per row.
+        for row, sample in enumerate(X):
+            distances = np.sqrt(((self._X - sample) ** 2).sum(axis=1))
+            neighbor_indices = np.argsort(distances, kind="stable")[:k]
+            if self.weights == "distance":
+                weights = 1.0 / (distances[neighbor_indices] + 1e-9)
+            else:
+                weights = np.ones(k)
+            for weight, neighbor in zip(weights, neighbor_indices):
+                probabilities[row, self._y_encoded[neighbor]] += weight
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return probabilities / totals

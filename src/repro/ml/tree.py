@@ -1,0 +1,218 @@
+"""CART-style decision tree classifier (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+
+@dataclass
+class _TreeNode:
+    """A node of the fitted tree: either a split or a leaf distribution."""
+
+    class_counts: np.ndarray
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def probabilities(self) -> np.ndarray:
+        total = self.class_counts.sum()
+        if total == 0:
+            return np.full_like(self.class_counts, 1.0 / self.class_counts.size, dtype=float)
+        return self.class_counts / total
+
+
+def _gini(class_counts: np.ndarray) -> float:
+    total = class_counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = class_counts / total
+    return float(1.0 - (probabilities**2).sum())
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Binary-split decision tree minimising Gini impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` for unbounded).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples allowed in a leaf.
+    max_features:
+        Number of features to consider per split: ``None`` (all),
+        ``"sqrt"``, or an integer.  Random forests use ``"sqrt"``.
+    random_state:
+        Seed for the per-split feature sub-sampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int | str] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_TreeNode] = None
+        self._rng = np.random.default_rng(random_state)
+        self.feature_importances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def _n_split_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features value {self.max_features!r}")
+
+    def _class_counts(self, y_encoded: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return np.bincount(y_encoded, minlength=self.classes_.size).astype(float)
+
+    def _best_split(
+        self, X: np.ndarray, y_encoded: np.ndarray
+    ) -> Optional[tuple[int, float, np.ndarray]]:
+        """Find the impurity-minimising (feature, threshold) split, if any."""
+        n_samples, n_features = X.shape
+        parent_counts = self._class_counts(y_encoded)
+        parent_impurity = _gini(parent_counts)
+        if parent_impurity == 0.0:
+            return None
+
+        candidate_features = self._rng.choice(
+            n_features, size=self._n_split_features(n_features), replace=False
+        )
+        best: Optional[tuple[int, float, np.ndarray]] = None
+        best_score = parent_impurity - 1e-12
+
+        for feature in candidate_features:
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = y_encoded[order]
+            left_counts = np.zeros_like(parent_counts)
+            right_counts = parent_counts.copy()
+            for split_index in range(1, n_samples):
+                label = labels[split_index - 1]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if values[split_index] == values[split_index - 1]:
+                    continue
+                n_left = split_index
+                n_right = n_samples - split_index
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                weighted = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n_samples
+                if weighted < best_score:
+                    best_score = weighted
+                    threshold = (values[split_index] + values[split_index - 1]) / 2.0
+                    best = (int(feature), float(threshold), left_counts.copy())
+        return best
+
+    def _build(self, X: np.ndarray, y_encoded: np.ndarray, depth: int) -> _TreeNode:
+        counts = self._class_counts(y_encoded)
+        node = _TreeNode(class_counts=counts)
+        if (
+            X.shape[0] < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.unique(y_encoded).size == 1
+        ):
+            return node
+
+        split = self._best_split(X, y_encoded)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+
+        parent_impurity = _gini(counts)
+        left_labels = y_encoded[mask]
+        right_labels = y_encoded[~mask]
+        weighted_child = (
+            left_labels.size * _gini(self._class_counts(left_labels))
+            + right_labels.size * _gini(self._class_counts(right_labels))
+        ) / y_encoded.size
+        assert self._importances is not None
+        self._importances[feature] += y_encoded.size * (parent_impurity - weighted_child)
+
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], left_labels, depth + 1)
+        node.right = self._build(X[~mask], right_labels, depth + 1)
+        return node
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        assert self.classes_ is not None
+        self._rng = np.random.default_rng(self.random_state)
+        class_to_index = {cls: index for index, cls in enumerate(self.classes_)}
+        y_encoded = np.array([class_to_index[label] for label in y], dtype=int)
+        self._importances = np.zeros(X.shape[1])
+        self._root = self._build(X, y_encoded, depth=0)
+        total = self._importances.sum()
+        self.feature_importances_ = (
+            self._importances / total if total > 0 else self._importances.copy()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def _traverse(self, node: _TreeNode, sample: np.ndarray) -> np.ndarray:
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None and node.feature is not None
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+        return node.probabilities()
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        assert self._root is not None
+        return np.vstack([self._traverse(self._root, sample) for sample in X])
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (a single leaf has depth 0)."""
+        self._check_fitted()
+
+        def _depth(node: Optional[_TreeNode]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        self._check_fitted()
+
+        def _count(node: Optional[_TreeNode]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return _count(node.left) + _count(node.right)
+
+        return _count(self._root)

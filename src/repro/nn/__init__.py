@@ -1,0 +1,44 @@
+"""Neural-network substrate in pure NumPy (replaces the paper's Keras/TensorFlow).
+
+The paper uses an LSTM over the decision sequence (Phi_Seq) and a fine-tuned
+CNN over mouse heat maps (Phi_Spa), both trained with Adam and cross-entropy
+and fused late as additional features.  This package provides just enough of
+a deep-learning stack to run that pipeline on a CPU:
+
+* :mod:`repro.nn.layers` -- Dense, activations, Dropout, Flatten
+* :mod:`repro.nn.recurrent` -- an LSTM layer returning its last hidden state
+* :mod:`repro.nn.conv` -- Conv2D, MaxPool2D, GlobalAveragePooling2D
+* :mod:`repro.nn.losses` -- binary cross-entropy (and MSE)
+* :mod:`repro.nn.optimizers` -- Adam and SGD
+* :mod:`repro.nn.network` -- a Keras-like ``Sequential`` with ``fit``/``predict``
+* :mod:`repro.nn.pretrained` -- a small CNN pre-trained on a synthetic
+  screen-region task, standing in for the paper's fine-tuned ResNet
+"""
+
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.recurrent import LSTM
+from repro.nn.conv import Conv2D, GlobalAveragePooling2D, MaxPool2D
+from repro.nn.losses import BinaryCrossEntropy, MeanSquaredError
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.network import Sequential
+from repro.nn.pretrained import build_heatmap_cnn, pretrain_on_synthetic_regions
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "LSTM",
+    "Conv2D",
+    "MaxPool2D",
+    "GlobalAveragePooling2D",
+    "BinaryCrossEntropy",
+    "MeanSquaredError",
+    "Adam",
+    "SGD",
+    "Sequential",
+    "build_heatmap_cnn",
+    "pretrain_on_synthetic_regions",
+]

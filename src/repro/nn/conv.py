@@ -1,0 +1,180 @@
+"""Convolutional layers for the heat-map CNN (Phi_Spa).
+
+Inputs are shaped ``(batch, height, width, channels)``.  The implementation
+favours clarity over speed: heat maps are down-scaled to small grids (e.g.
+24x32) before reaching the CNN, so explicit loops over kernel positions stay
+affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Conv2D(Layer):
+    """Valid-padding 2-D convolution with stride 1."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        rng = np.random.default_rng(seed)
+        fan_in = kernel_size * kernel_size * in_channels
+        fan_out = kernel_size * kernel_size * out_channels
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        self.params = {
+            "W": rng.uniform(
+                -limit, limit, size=(kernel_size, kernel_size, in_channels, out_channels)
+            ),
+            "b": np.zeros(out_channels),
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._input: Optional[np.ndarray] = None
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        """Extract sliding patches shaped (batch, out_h, out_w, k*k*in_channels)."""
+        batch, height, width, channels = x.shape
+        k = self.kernel_size
+        out_h = height - k + 1
+        out_w = width - k + 1
+        patches = np.zeros((batch, out_h, out_w, k * k * channels))
+        for i in range(out_h):
+            for j in range(out_w):
+                patches[:, i, j, :] = x[:, i : i + k, j : j + k, :].reshape(batch, -1)
+        return patches
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2D expects (batch, H, W, C), got shape {x.shape}")
+        if x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected {self.in_channels} channels, got {x.shape[3]}"
+            )
+        if x.shape[1] < self.kernel_size or x.shape[2] < self.kernel_size:
+            raise ValueError("input smaller than the convolution kernel")
+        self._input = x
+        patches = self._patches(x)
+        kernel = self.params["W"].reshape(-1, self.out_channels)
+        output = patches @ kernel + self.params["b"]
+        return output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input is not None
+        x = self._input
+        batch, height, width, channels = x.shape
+        k = self.kernel_size
+        out_h = height - k + 1
+        out_w = width - k + 1
+
+        patches = self._patches(x).reshape(-1, k * k * channels)
+        grad_flat = grad.reshape(-1, self.out_channels)
+
+        self.grads["W"] = (patches.T @ grad_flat).reshape(self.params["W"].shape)
+        self.grads["b"] = grad_flat.sum(axis=0)
+
+        kernel = self.params["W"].reshape(-1, self.out_channels)
+        d_patches = (grad_flat @ kernel.T).reshape(batch, out_h, out_w, k * k * channels)
+
+        grad_input = np.zeros_like(x)
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_input[:, i : i + k, j : j + k, :] += d_patches[:, i, j, :].reshape(
+                    batch, k, k, channels
+                )
+        return grad_input
+
+    def output_dim(self, input_dim):
+        if isinstance(input_dim, tuple) and len(input_dim) == 3:
+            height, width, _ = input_dim
+            k = self.kernel_size
+            return (height - k + 1, width - k + 1, self.out_channels)
+        return input_dim
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D(in={self.in_channels}, out={self.out_channels}, "
+            f"kernel={self.kernel_size})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._input: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2D expects (batch, H, W, C), got shape {x.shape}")
+        p = self.pool_size
+        batch, height, width, channels = x.shape
+        out_h = height // p
+        out_w = width // p
+        trimmed = x[:, : out_h * p, : out_w * p, :]
+        self._input = trimmed
+        reshaped = trimmed.reshape(batch, out_h, p, out_w, p, channels)
+        output = reshaped.max(axis=(2, 4))
+        # Mask of max positions for the backward pass.
+        expanded = np.repeat(np.repeat(output, p, axis=1), p, axis=2)
+        self._mask = trimmed == expanded
+        return output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input is not None and self._mask is not None
+        p = self.pool_size
+        expanded = np.repeat(np.repeat(grad, p, axis=1), p, axis=2)
+        return expanded * self._mask
+
+    def output_dim(self, input_dim):
+        if isinstance(input_dim, tuple) and len(input_dim) == 3:
+            height, width, channels = input_dim
+            return (height // self.pool_size, width // self.pool_size, channels)
+        return input_dim
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D(pool_size={self.pool_size})"
+
+
+class GlobalAveragePooling2D(Layer):
+    """Average each channel over the spatial dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(
+                f"GlobalAveragePooling2D expects (batch, H, W, C), got shape {x.shape}"
+            )
+        self._input_shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input_shape is not None
+        batch, height, width, channels = self._input_shape
+        spread = grad[:, None, None, :] / (height * width)
+        return np.broadcast_to(spread, self._input_shape).copy()
+
+    def output_dim(self, input_dim):
+        if isinstance(input_dim, tuple) and len(input_dim) == 3:
+            return input_dim[2]
+        return input_dim

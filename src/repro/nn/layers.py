@@ -1,0 +1,176 @@
+"""Core layers: Dense, activations, Dropout, Flatten.
+
+All layers share a tiny protocol: ``forward(x, training)`` returns the layer
+output; ``backward(grad)`` consumes the gradient of the loss with respect to
+the output and returns the gradient with respect to the input, accumulating
+parameter gradients in ``grads`` keyed like ``params``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: parameter-free by default."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_dim(self, input_dim):
+        """Best-effort output shape given an input shape (used for stacking)."""
+        return input_dim
+
+    def __repr__(self) -> str:
+        return type(self).__name__ + "()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = np.random.default_rng(seed)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": rng.uniform(-limit, limit, size=(in_features, out_features)),
+            "b": np.zeros(out_features),
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected {self.in_features} input features, got {x.shape[1]}"
+            )
+        self._input = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input is not None
+        self.grads["W"] = self._input.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+    def output_dim(self, input_dim):
+        return self.out_features
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        clipped = np.clip(x, -30, 30)
+        self._output = 1.0 / (1.0 + np.exp(-clipped))
+        return self._output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._output is not None
+        return grad * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._output is not None
+        return grad * (1.0 - self._output**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training."""
+
+    def __init__(self, rate: float = 0.5, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must lie in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep_probability = 1.0 - self.rate
+        self._mask = self._rng.random(x.shape) < keep_probability
+        return x * self._mask / keep_probability
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask / (1.0 - self.rate)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class Flatten(Layer):
+    """Flatten all dimensions except the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._input_shape is not None
+        return grad.reshape(self._input_shape)
+
+    def output_dim(self, input_dim):
+        if isinstance(input_dim, tuple):
+            size = 1
+            for dim in input_dim:
+                size *= dim
+            return size
+        return input_dim

@@ -1,0 +1,48 @@
+"""Loss functions: binary cross-entropy (the paper's loss) and MSE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """A differentiable loss: ``value`` and ``gradient`` with respect to predictions."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BinaryCrossEntropy(Loss):
+    """Mean binary cross-entropy over all outputs (expects probabilities)."""
+
+    def __init__(self, epsilon: float = 1e-7) -> None:
+        self.epsilon = epsilon
+
+    def _clip(self, predictions: np.ndarray) -> np.ndarray:
+        return np.clip(predictions, self.epsilon, 1.0 - self.epsilon)
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p = self._clip(predictions)
+        t = np.asarray(targets, dtype=float).reshape(p.shape)
+        losses = -(t * np.log(p) + (1.0 - t) * np.log(1.0 - p))
+        return float(losses.mean())
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        p = self._clip(predictions)
+        t = np.asarray(targets, dtype=float).reshape(p.shape)
+        return (p - t) / (p * (1.0 - p)) / p.size
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        t = np.asarray(targets, dtype=float).reshape(predictions.shape)
+        return float(((predictions - t) ** 2).mean())
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        t = np.asarray(targets, dtype=float).reshape(predictions.shape)
+        return 2.0 * (predictions - t) / predictions.size

@@ -1,0 +1,129 @@
+"""A Keras-like ``Sequential`` model with mini-batch training."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import BinaryCrossEntropy, Loss
+from repro.nn.optimizers import Adam, Optimizer
+
+
+class Sequential:
+    """A stack of layers trained end-to-end with a loss and an optimizer."""
+
+    def __init__(self, layers: Sequence[Layer] = ()) -> None:
+        self.layers: list[Layer] = list(layers)
+        self.loss: Loss = BinaryCrossEntropy()
+        self.optimizer: Optimizer = Adam()
+        self.history_: list[float] = []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer and return self (allows chaining)."""
+        self.layers.append(layer)
+        return self
+
+    def compile(self, loss: Optional[Loss] = None, optimizer: Optional[Optimizer] = None) -> "Sequential":
+        """Set the loss and optimizer (defaults: binary cross-entropy + Adam)."""
+        if loss is not None:
+            self.loss = loss
+        if optimizer is not None:
+            self.optimizer = optimizer
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        output = x
+        for layer in self.layers:
+            output = layer.forward(output, training=training)
+        return output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 16,
+        shuffle: bool = True,
+        random_state: Optional[int] = None,
+        verbose: bool = False,
+    ) -> "Sequential":
+        """Train the network with mini-batch gradient descent."""
+        features = np.asarray(X, dtype=float)
+        targets = np.asarray(y, dtype=float)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("X and y must have the same number of samples")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        rng = np.random.default_rng(random_state)
+        n_samples = features.shape[0]
+        batch_size = max(1, min(batch_size, n_samples))
+        self.history_ = []
+
+        for epoch in range(epochs):
+            order = np.arange(n_samples)
+            if shuffle:
+                rng.shuffle(order)
+            epoch_losses = []
+            for start in range(0, n_samples, batch_size):
+                batch_indices = order[start : start + batch_size]
+                batch_X = features[batch_indices]
+                batch_y = targets[batch_indices]
+                predictions = self.forward(batch_X, training=True)
+                epoch_losses.append(self.loss.value(predictions, batch_y))
+                grad = self.loss.gradient(predictions, batch_y)
+                self.backward(grad)
+                self.optimizer.step(self.layers)
+            mean_loss = float(np.mean(epoch_losses))
+            self.history_.append(mean_loss)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs} loss={mean_loss:.4f}")
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Network outputs in inference mode (dropout disabled)."""
+        return self.forward(np.asarray(X, dtype=float), training=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def n_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(parameter.size for layer in self.layers for parameter in layer.params.values())
+
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copies of every layer's parameters (for checkpointing in tests)."""
+        return [
+            {name: parameter.copy() for name, parameter in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Restore parameters captured with :meth:`get_weights`."""
+        if len(weights) != len(self.layers):
+            raise ValueError("weights list does not match the number of layers")
+        for layer, layer_weights in zip(self.layers, weights):
+            for name, value in layer_weights.items():
+                layer.params[name][...] = value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,79 @@
+"""Optimizers: Adam (the paper's choice, eta=0.001, beta1=0.9, beta2=0.999) and SGD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Updates layer parameters in place from accumulated gradients."""
+
+    def step(self, layers) -> None:
+        """Apply one update to every parameterised layer."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers) -> None:
+        for layer_index, layer in enumerate(layers):
+            for name, parameter in layer.params.items():
+                gradient = layer.grads.get(name)
+                if gradient is None:
+                    continue
+                key = (layer_index, name)
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter)
+                velocity = self.momentum * velocity - self.learning_rate * gradient
+                self._velocity[key] = velocity
+                parameter += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser with the paper's default hyper-parameters."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: dict[tuple[int, str], np.ndarray] = {}
+        self._second_moment: dict[tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, layers) -> None:
+        self._t += 1
+        for layer_index, layer in enumerate(layers):
+            for name, parameter in layer.params.items():
+                gradient = layer.grads.get(name)
+                if gradient is None:
+                    continue
+                key = (layer_index, name)
+                m = self._first_moment.get(key, np.zeros_like(parameter))
+                v = self._second_moment.get(key, np.zeros_like(parameter))
+                m = self.beta1 * m + (1.0 - self.beta1) * gradient
+                v = self.beta2 * v + (1.0 - self.beta2) * gradient**2
+                self._first_moment[key] = m
+                self._second_moment[key] = v
+                m_hat = m / (1.0 - self.beta1**self._t)
+                v_hat = v / (1.0 - self.beta2**self._t)
+                parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

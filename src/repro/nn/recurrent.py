@@ -1,0 +1,157 @@
+"""An LSTM layer (last-hidden-state output) with backpropagation through time.
+
+Phi_Seq processes, per matcher, the sequence of (confidence, elapsed time,
+consensus) triplets.  The layer consumes a batch of sequences shaped
+``(batch, time, features)`` and emits the final hidden state shaped
+``(batch, hidden)``, matching the paper's "LSTM hidden layer of 64 nodes
+followed by dropout and a dense layer".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class LSTM(Layer):
+    """A single LSTM layer returning its last hidden state."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("LSTM dimensions must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        rng = np.random.default_rng(seed)
+        concat_dim = input_dim + hidden_dim
+        limit = np.sqrt(6.0 / (concat_dim + hidden_dim))
+
+        def init(shape: tuple[int, ...]) -> np.ndarray:
+            return rng.uniform(-limit, limit, size=shape)
+
+        # Gate weights act on the concatenation [x_t, h_{t-1}].
+        self.params = {
+            "W_f": init((concat_dim, hidden_dim)),
+            "W_i": init((concat_dim, hidden_dim)),
+            "W_c": init((concat_dim, hidden_dim)),
+            "W_o": init((concat_dim, hidden_dim)),
+            "b_f": np.ones(hidden_dim),  # forget bias of 1 (standard trick)
+            "b_i": np.zeros(hidden_dim),
+            "b_c": np.zeros(hidden_dim),
+            "b_o": np.zeros(hidden_dim),
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._cache: Optional[dict] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"LSTM expects (batch, time, features), got shape {x.shape}")
+        if x.shape[2] != self.input_dim:
+            raise ValueError(
+                f"LSTM expected {self.input_dim} input features, got {x.shape[2]}"
+            )
+        batch, time_steps, _ = x.shape
+        h = np.zeros((batch, self.hidden_dim))
+        c = np.zeros((batch, self.hidden_dim))
+        steps = []
+        for t in range(time_steps):
+            concat = np.concatenate([x[:, t, :], h], axis=1)
+            f = _sigmoid(concat @ self.params["W_f"] + self.params["b_f"])
+            i = _sigmoid(concat @ self.params["W_i"] + self.params["b_i"])
+            c_hat = np.tanh(concat @ self.params["W_c"] + self.params["b_c"])
+            o = _sigmoid(concat @ self.params["W_o"] + self.params["b_o"])
+            c_prev = c
+            c = f * c_prev + i * c_hat
+            h = o * np.tanh(c)
+            steps.append(
+                {"concat": concat, "f": f, "i": i, "c_hat": c_hat, "o": o, "c": c, "c_prev": c_prev}
+            )
+        self._cache = {"x": x, "steps": steps}
+        return h
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x = self._cache["x"]
+        steps = self._cache["steps"]
+        batch, time_steps, _ = x.shape
+
+        for key in self.grads:
+            self.grads[key] = np.zeros_like(self.params[key])
+
+        grad_input = np.zeros_like(x)
+        dh_next = grad
+        dc_next = np.zeros((batch, self.hidden_dim))
+
+        for t in reversed(range(time_steps)):
+            step = steps[t]
+            tanh_c = np.tanh(step["c"])
+            do = dh_next * tanh_c
+            dc = dh_next * step["o"] * (1.0 - tanh_c**2) + dc_next
+            df = dc * step["c_prev"]
+            di = dc * step["c_hat"]
+            dc_hat = dc * step["i"]
+            dc_prev = dc * step["f"]
+
+            # Pre-activation gradients.
+            do_pre = do * step["o"] * (1.0 - step["o"])
+            df_pre = df * step["f"] * (1.0 - step["f"])
+            di_pre = di * step["i"] * (1.0 - step["i"])
+            dc_hat_pre = dc_hat * (1.0 - step["c_hat"] ** 2)
+
+            concat = step["concat"]
+            self.grads["W_f"] += concat.T @ df_pre
+            self.grads["W_i"] += concat.T @ di_pre
+            self.grads["W_c"] += concat.T @ dc_hat_pre
+            self.grads["W_o"] += concat.T @ do_pre
+            self.grads["b_f"] += df_pre.sum(axis=0)
+            self.grads["b_i"] += di_pre.sum(axis=0)
+            self.grads["b_c"] += dc_hat_pre.sum(axis=0)
+            self.grads["b_o"] += do_pre.sum(axis=0)
+
+            d_concat = (
+                df_pre @ self.params["W_f"].T
+                + di_pre @ self.params["W_i"].T
+                + dc_hat_pre @ self.params["W_c"].T
+                + do_pre @ self.params["W_o"].T
+            )
+            grad_input[:, t, :] = d_concat[:, : self.input_dim]
+            dh_next = d_concat[:, self.input_dim :]
+            dc_next = dc_prev
+
+        return grad_input
+
+    def output_dim(self, input_dim):
+        return self.hidden_dim
+
+    def __repr__(self) -> str:
+        return f"LSTM(input_dim={self.input_dim}, hidden_dim={self.hidden_dim})"
+
+
+def pad_sequences(sequences: list[np.ndarray], max_length: Optional[int] = None) -> np.ndarray:
+    """Pad / truncate variable-length sequences into a dense (batch, time, feat) array.
+
+    Sequences shorter than ``max_length`` are front-padded with zeros so the
+    informative suffix sits next to the LSTM's final hidden state; longer
+    sequences keep their most recent ``max_length`` steps.
+    """
+    if not sequences:
+        return np.zeros((0, 0, 0))
+    feature_dim = sequences[0].shape[1] if sequences[0].ndim == 2 else 1
+    lengths = [s.shape[0] for s in sequences]
+    target = max_length or max(lengths)
+    batch = np.zeros((len(sequences), target, feature_dim))
+    for index, sequence in enumerate(sequences):
+        array = np.asarray(sequence, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        if array.shape[0] > target:
+            array = array[-target:]
+        batch[index, target - array.shape[0] :, :] = array
+    return batch

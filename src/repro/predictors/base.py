@@ -1,0 +1,127 @@
+"""Matching-predictor protocol and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Mapping
+
+from repro.matching.matrix import MatchingMatrix
+
+
+class MatchingPredictor(ABC):
+    """A function that scores a matching matrix without a reference match.
+
+    Predictors are small, stateless objects; each exposes a ``name`` used as
+    the feature name in the MExI feature vector and an ``orientation``
+    declaring whether high values were empirically associated with
+    precision or recall in the predictor literature.
+    """
+
+    #: Feature name (unique within a registry).
+    name: str = "predictor"
+    #: "precision", "recall" or "neutral" -- the quality facet the predictor leans towards.
+    orientation: str = "neutral"
+
+    @abstractmethod
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        """Score the matrix.  Implementations must return a finite float."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, orientation={self.orientation!r})"
+
+
+class PredictorRegistry:
+    """An ordered collection of named predictors."""
+
+    def __init__(self, predictors: Iterable[MatchingPredictor] = ()) -> None:
+        self._predictors: dict[str, MatchingPredictor] = {}
+        for predictor in predictors:
+            self.register(predictor)
+
+    def register(self, predictor: MatchingPredictor) -> None:
+        """Add a predictor, enforcing unique names."""
+        if predictor.name in self._predictors:
+            raise ValueError(f"duplicate predictor name {predictor.name!r}")
+        self._predictors[predictor.name] = predictor
+
+    def names(self) -> list[str]:
+        return list(self._predictors)
+
+    def by_orientation(self, orientation: str) -> "PredictorRegistry":
+        """A sub-registry containing only predictors of the given orientation."""
+        return PredictorRegistry(
+            p for p in self._predictors.values() if p.orientation == orientation
+        )
+
+    def evaluate(self, matrix: MatchingMatrix) -> dict[str, float]:
+        """Apply every predictor to ``matrix`` and collect named scores."""
+        return {name: float(predictor(matrix)) for name, predictor in self._predictors.items()}
+
+    def __len__(self) -> int:
+        return len(self._predictors)
+
+    def __iter__(self) -> Iterator[MatchingPredictor]:
+        return iter(self._predictors.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._predictors
+
+    def __getitem__(self, name: str) -> MatchingPredictor:
+        return self._predictors[name]
+
+
+def default_registry() -> PredictorRegistry:
+    """The predictor set used for the LRSM features (Phi_LRSM)."""
+    # Imported here to avoid import cycles between base and the concrete modules.
+    from repro.predictors.structural import (
+        DominantsPredictor,
+        BinaryMaxPredictor,
+        BinaryPrecisionMaxPredictor,
+        MaxConfidencePredictor,
+        AverageConfidencePredictor,
+        CoveragePredictor,
+        MutualDominancePredictor,
+    )
+    from repro.predictors.norms import (
+        FrobeniusNormPredictor,
+        LInfinityNormPredictor,
+        L1NormPredictor,
+        SpectralNormPredictor,
+    )
+    from repro.predictors.entropy import (
+        MatrixEntropyPredictor,
+        RowEntropyPredictor,
+        ConfidenceVariancePredictor,
+        DiversityPredictor,
+    )
+    from repro.predictors.pca_predictors import PCAPredictor
+
+    return PredictorRegistry(
+        [
+            DominantsPredictor(),
+            MutualDominancePredictor(),
+            BinaryMaxPredictor(),
+            BinaryPrecisionMaxPredictor(),
+            MaxConfidencePredictor(),
+            AverageConfidencePredictor(),
+            CoveragePredictor(),
+            FrobeniusNormPredictor(),
+            LInfinityNormPredictor(),
+            L1NormPredictor(),
+            SpectralNormPredictor(),
+            MatrixEntropyPredictor(),
+            RowEntropyPredictor(),
+            ConfidenceVariancePredictor(),
+            DiversityPredictor(),
+            PCAPredictor(component=1),
+            PCAPredictor(component=2),
+        ]
+    )
+
+
+def evaluate_predictors(
+    matrix: MatchingMatrix, registry: PredictorRegistry | None = None
+) -> Mapping[str, float]:
+    """Evaluate the default (or a custom) predictor registry on a matrix."""
+    registry = registry or default_registry()
+    return registry.evaluate(matrix)

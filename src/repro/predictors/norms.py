@@ -1,0 +1,71 @@
+"""Matrix-norm predictors: uncertainty / error-mass quantification.
+
+Matrix norms quantify the amount of mass (and thus potential error) in a
+matching matrix; the LRSM work uses them as recall-oriented features since
+uncertainty and variability were shown to correlate with recall and
+negatively correlate with precision (Section III-A, Thoroughness features).
+All norms are normalised by the matrix size so schemata of different sizes
+remain comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.matrix import MatchingMatrix
+from repro.predictors.base import MatchingPredictor
+
+
+class FrobeniusNormPredictor(MatchingPredictor):
+    """Frobenius norm of the confidence matrix, normalised by sqrt(size)."""
+
+    name = "norm_fro"
+    orientation = "recall"
+
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        values = matrix.values
+        if values.size == 0:
+            return 0.0
+        return float(np.linalg.norm(values, ord="fro") / np.sqrt(values.size))
+
+
+class LInfinityNormPredictor(MatchingPredictor):
+    """Maximum absolute row sum, normalised by the number of columns (``normsinf``)."""
+
+    name = "normsinf"
+    orientation = "recall"
+
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        values = matrix.values
+        if values.size == 0:
+            return 0.0
+        return float(np.abs(values).sum(axis=1).max() / values.shape[1])
+
+
+class L1NormPredictor(MatchingPredictor):
+    """Maximum absolute column sum, normalised by the number of rows."""
+
+    name = "norms1"
+    orientation = "recall"
+
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        values = matrix.values
+        if values.size == 0:
+            return 0.0
+        return float(np.abs(values).sum(axis=0).max() / values.shape[0])
+
+
+class SpectralNormPredictor(MatchingPredictor):
+    """Largest singular value, normalised by sqrt(min dimension)."""
+
+    name = "norms2"
+    orientation = "recall"
+
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        values = matrix.values
+        if values.size == 0 or min(values.shape) == 0:
+            return 0.0
+        singular_values = np.linalg.svd(values, compute_uv=False)
+        if singular_values.size == 0:
+            return 0.0
+        return float(singular_values[0] / np.sqrt(min(values.shape)))

@@ -1,0 +1,38 @@
+"""Spectral (PCA-based) predictors: pca1 and pca2 of Table IV.
+
+The fraction of variance captured by the leading principal components of
+the confidence matrix summarises how low-rank (structured) the matcher's
+output is.  A nearly rank-one matrix signals a consistent matching pattern;
+spread-out spectra signal diversity and uncertainty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.matrix import MatchingMatrix
+from repro.predictors.base import MatchingPredictor
+
+
+class PCAPredictor(MatchingPredictor):
+    """Fraction of spectral energy captured by the ``component``-th singular value."""
+
+    orientation = "precision"
+
+    def __init__(self, component: int = 1) -> None:
+        if component < 1:
+            raise ValueError("component index must be >= 1")
+        self.component = component
+        self.name = f"pca{component}"
+
+    def __call__(self, matrix: MatchingMatrix) -> float:
+        values = matrix.values
+        if values.size == 0 or min(values.shape) == 0:
+            return 0.0
+        singular_values = np.linalg.svd(values, compute_uv=False)
+        energy = (singular_values**2).sum()
+        if energy <= 0:
+            return 0.0
+        if self.component > singular_values.size:
+            return 0.0
+        return float(singular_values[self.component - 1] ** 2 / energy)

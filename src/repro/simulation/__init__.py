@@ -1,0 +1,49 @@
+"""Behavioral-data simulator: the stand-in for the paper's human study.
+
+The paper's dataset (140 students, 7716 decisions, Ghost-Mouse traces on the
+Ontobuilder interface) is not publicly available, so this package generates
+a synthetic population of human matchers whose behaviour is governed by
+latent traits -- skill, coverage drive, confidence bias, metacognitive
+sensitivity, pace, and screen-exploration style.  Those traits drive both
+the labels (precision / thoroughness / correlation / calibration measured on
+the produced decision histories) and the observable behaviour (decision
+sequences and mouse traces), so the learning problem has the same structure
+as the paper's.
+
+Public surface:
+
+* :mod:`repro.simulation.schemas` -- synthetic PO and OAEI matching tasks.
+* :mod:`repro.simulation.archetypes` -- matcher archetypes A-D and trait sampling.
+* :mod:`repro.simulation.decisions` -- decision-history generation.
+* :mod:`repro.simulation.mouse_sim` -- mouse-trace generation.
+* :mod:`repro.simulation.population` -- cohorts of matchers.
+* :mod:`repro.simulation.dataset` -- the full experimental dataset (PO + OAEI cohorts).
+"""
+
+from repro.simulation.schemas import build_po_task, build_oaei_task, build_small_task
+from repro.simulation.archetypes import (
+    Archetype,
+    BehavioralTraits,
+    ARCHETYPE_LIBRARY,
+    sample_traits,
+)
+from repro.simulation.decisions import simulate_history
+from repro.simulation.mouse_sim import simulate_movement
+from repro.simulation.population import simulate_matcher, simulate_population
+from repro.simulation.dataset import HumanMatchingDataset, build_dataset
+
+__all__ = [
+    "build_po_task",
+    "build_oaei_task",
+    "build_small_task",
+    "Archetype",
+    "BehavioralTraits",
+    "ARCHETYPE_LIBRARY",
+    "sample_traits",
+    "simulate_history",
+    "simulate_movement",
+    "simulate_matcher",
+    "simulate_population",
+    "HumanMatchingDataset",
+    "build_dataset",
+]

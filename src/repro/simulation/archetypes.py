@@ -1,0 +1,217 @@
+"""Matcher archetypes and the latent behavioral traits that drive the simulator.
+
+The paper motivates its framework with four archetypes (Figures 1, 4, 5):
+
+* **Matcher A** -- precise and thorough, cognitively aware (high resolution,
+  near-zero calibration).
+* **Matcher B** -- imprecise and incomplete, over-confident, skips parts of
+  the screen.
+* **Matcher C** -- precise but incomplete: covers only a fraction of the
+  correct match in the available time.
+* **Matcher D** -- precise and thorough but unreliable: resolution is low
+  and confidence poorly tracks precision.
+
+A :class:`BehavioralTraits` bundle holds the latent parameters; the decision
+and mouse simulators read these traits, and the four measures computed on
+the resulting histories recover the intended expertise profile.  Population
+sampling mixes archetypes (plus trait noise) so cohort marginals land near
+the paper's Figure 8/9 statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+
+class Archetype(enum.Enum):
+    """The archetype labels used throughout the examples and figures."""
+
+    A = "A"  # precise and thorough
+    B = "B"  # imprecise and incomplete
+    C = "C"  # precise but incomplete
+    D = "D"  # precise and thorough but uncalibrated / uncorrelated
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class BehavioralTraits:
+    """Latent traits of a simulated human matcher.
+
+    Attributes
+    ----------
+    skill:
+        Probability that a decision the matcher commits to is correct.
+    coverage_drive:
+        Fraction of the reference correspondences the matcher will attempt
+        within the session (thoroughness driver).
+    distraction:
+        Rate of spurious (incorrect-pair) decisions per correct attempt.
+    confidence_bias:
+        Added to the confidence of every decision: positive = over-confident,
+        negative = under-confident (calibration driver).
+    metacognition:
+        How strongly confidence separates correct from incorrect decisions
+        (resolution driver); 0 means confidence is uninformative.
+    confidence_noise:
+        Standard deviation of the confidence report noise.
+    pace:
+        Mean inter-decision time in seconds.
+    pace_variability:
+        Coefficient of variation of inter-decision times.
+    revision_rate:
+        Probability of revisiting an earlier decision after each new decision.
+    exploration:
+        How much of the screen the matcher explores (0 = tunnel vision on one
+        region, 1 = visits every region including metadata panels).
+    scroll_tendency:
+        Relative frequency of scroll events (uncertainty proxy).
+    stamina:
+        Multiplier on the number of decisions the matcher makes before stopping.
+    """
+
+    skill: float = 0.6
+    coverage_drive: float = 0.4
+    distraction: float = 0.5
+    confidence_bias: float = 0.1
+    metacognition: float = 0.5
+    confidence_noise: float = 0.1
+    pace: float = 12.0
+    pace_variability: float = 0.4
+    revision_rate: float = 0.08
+    exploration: float = 0.6
+    scroll_tendency: float = 0.3
+    stamina: float = 1.0
+
+    def clipped(self) -> "BehavioralTraits":
+        """A copy with every trait clipped to its legal range."""
+        return BehavioralTraits(
+            skill=float(np.clip(self.skill, 0.01, 0.99)),
+            coverage_drive=float(np.clip(self.coverage_drive, 0.02, 1.0)),
+            distraction=float(np.clip(self.distraction, 0.0, 3.0)),
+            confidence_bias=float(np.clip(self.confidence_bias, -0.6, 0.6)),
+            metacognition=float(np.clip(self.metacognition, 0.0, 1.0)),
+            confidence_noise=float(np.clip(self.confidence_noise, 0.01, 0.5)),
+            pace=float(np.clip(self.pace, 2.0, 60.0)),
+            pace_variability=float(np.clip(self.pace_variability, 0.05, 1.5)),
+            revision_rate=float(np.clip(self.revision_rate, 0.0, 0.5)),
+            exploration=float(np.clip(self.exploration, 0.05, 1.0)),
+            scroll_tendency=float(np.clip(self.scroll_tendency, 0.0, 1.0)),
+            stamina=float(np.clip(self.stamina, 0.2, 2.5)),
+        )
+
+
+#: Trait presets for the four archetypes of Figures 1, 4 and 5.
+ARCHETYPE_LIBRARY: dict[Archetype, BehavioralTraits] = {
+    Archetype.A: BehavioralTraits(
+        skill=0.88,
+        coverage_drive=0.85,
+        distraction=0.15,
+        confidence_bias=0.0,
+        metacognition=0.9,
+        confidence_noise=0.05,
+        pace=9.0,
+        revision_rate=0.05,
+        exploration=0.95,
+        scroll_tendency=0.25,
+        stamina=1.4,
+    ),
+    Archetype.B: BehavioralTraits(
+        skill=0.3,
+        coverage_drive=0.3,
+        distraction=1.6,
+        confidence_bias=0.35,
+        metacognition=0.15,
+        confidence_noise=0.15,
+        pace=10.0,
+        revision_rate=0.05,
+        exploration=0.35,
+        scroll_tendency=0.55,
+        stamina=0.8,
+    ),
+    Archetype.C: BehavioralTraits(
+        skill=0.88,
+        coverage_drive=0.2,
+        distraction=0.2,
+        confidence_bias=0.02,
+        metacognition=0.75,
+        confidence_noise=0.06,
+        pace=16.0,
+        revision_rate=0.1,
+        exploration=0.4,
+        scroll_tendency=0.3,
+        stamina=0.8,
+    ),
+    Archetype.D: BehavioralTraits(
+        skill=0.8,
+        coverage_drive=0.8,
+        distraction=0.25,
+        confidence_bias=-0.3,
+        metacognition=0.05,
+        confidence_noise=0.25,
+        pace=8.0,
+        revision_rate=0.15,
+        exploration=0.8,
+        scroll_tendency=0.4,
+        stamina=1.3,
+    ),
+}
+
+
+def sample_traits(
+    rng: np.random.Generator,
+    archetype: Optional[Archetype] = None,
+    noise_scale: float = 1.0,
+) -> BehavioralTraits:
+    """Sample traits for one matcher.
+
+    When ``archetype`` is ``None`` (the default population mode), traits are
+    drawn from distributions calibrated so that the resulting cohort lands
+    near the paper's Figure 8/9 marginals: slightly more than half of the
+    matchers come out precise, roughly 15% thorough, a third correlated, and
+    40% calibrated, with a general tendency towards over-confidence.
+    When an archetype is given, its preset is perturbed with small noise.
+    """
+    if archetype is not None and archetype != Archetype.MIXED:
+        base = ARCHETYPE_LIBRARY[archetype]
+        jitter = 0.05 * noise_scale
+        return replace(
+            base,
+            skill=base.skill + rng.normal(0, jitter),
+            coverage_drive=base.coverage_drive + rng.normal(0, jitter),
+            confidence_bias=base.confidence_bias + rng.normal(0, jitter),
+            metacognition=base.metacognition + rng.normal(0, jitter),
+            pace=base.pace * float(np.exp(rng.normal(0, 0.1 * noise_scale))),
+            exploration=base.exploration + rng.normal(0, jitter),
+        ).clipped()
+
+    # Mixed population: wide, skewed trait distributions.
+    skill = rng.beta(4.4, 2.4)                    # mean ~0.65, most mass 0.45-0.85
+    coverage_drive = rng.beta(2.1, 3.0)           # mean ~0.41, long right tail
+    distraction = rng.gamma(2.0, 0.35)            # mean ~0.7 spurious decisions per attempt
+    confidence_bias = rng.normal(0.18, 0.22)      # population leans over-confident
+    metacognition = rng.beta(1.6, 2.3)            # mean ~0.41
+    confidence_noise = rng.uniform(0.08, 0.25)
+    pace = rng.uniform(6.0, 25.0)
+    pace_variability = rng.uniform(0.2, 0.8)
+    revision_rate = rng.uniform(0.05, 0.3)
+    exploration = rng.beta(2.5, 1.8)              # most matchers explore a fair amount
+    scroll_tendency = rng.uniform(0.1, 0.7)
+    stamina = rng.uniform(0.7, 2.0)
+    return BehavioralTraits(
+        skill=skill,
+        coverage_drive=coverage_drive,
+        distraction=distraction,
+        confidence_bias=confidence_bias,
+        metacognition=metacognition,
+        confidence_noise=confidence_noise,
+        pace=pace,
+        pace_variability=pace_variability,
+        revision_rate=revision_rate,
+        exploration=exploration,
+        scroll_tendency=scroll_tendency,
+        stamina=stamina,
+    ).clipped()

@@ -1,0 +1,111 @@
+"""The full experimental dataset: a PO cohort and an OAEI cohort.
+
+The paper's evaluation uses 106 human matchers on the Purchase Order task
+(5-fold cross-validation) and 34 human matchers on the OAEI ontology
+alignment task (generalization test).  ``build_dataset`` regenerates that
+setting synthetically, with the Section IV-A preprocessing already applied.
+Cohort sizes are parameters so tests and benchmarks can run reduced-scale
+versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.matcher import HumanMatcher
+from repro.matching.preprocessing import PreprocessingConfig, preprocess_matcher
+from repro.matching.schema import SchemaPair
+from repro.simulation.population import simulate_population
+from repro.simulation.schemas import build_oaei_task, build_po_task
+
+
+@dataclass
+class HumanMatchingDataset:
+    """The simulated counterpart of the paper's behavioural dataset."""
+
+    po_pair: SchemaPair
+    po_reference: ReferenceMatch
+    po_matchers: list[HumanMatcher]
+    oaei_pair: SchemaPair
+    oaei_reference: ReferenceMatch
+    oaei_matchers: list[HumanMatcher]
+
+    @property
+    def n_po_matchers(self) -> int:
+        return len(self.po_matchers)
+
+    @property
+    def n_oaei_matchers(self) -> int:
+        return len(self.oaei_matchers)
+
+    @property
+    def n_decisions(self) -> int:
+        """Total decisions across both cohorts (the paper reports 7716)."""
+        return sum(m.n_decisions for m in self.po_matchers) + sum(
+            m.n_decisions for m in self.oaei_matchers
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Headline dataset statistics for logging and EXPERIMENTS.md."""
+        return {
+            "po_matchers": float(self.n_po_matchers),
+            "oaei_matchers": float(self.n_oaei_matchers),
+            "total_decisions": float(self.n_decisions),
+            "po_task_shape_rows": float(self.po_pair.shape[0]),
+            "po_task_shape_cols": float(self.po_pair.shape[1]),
+            "oaei_task_shape_rows": float(self.oaei_pair.shape[0]),
+            "oaei_task_shape_cols": float(self.oaei_pair.shape[1]),
+        }
+
+
+def build_dataset(
+    n_po_matchers: int = 106,
+    n_oaei_matchers: int = 34,
+    random_state: int = 42,
+    preprocess: bool = True,
+    preprocessing_config: PreprocessingConfig | None = None,
+) -> HumanMatchingDataset:
+    """Simulate the full dataset (PO cohort + OAEI cohort).
+
+    Parameters
+    ----------
+    n_po_matchers, n_oaei_matchers:
+        Cohort sizes; the paper's are 106 and 34.
+    random_state:
+        Master seed; cohorts receive derived seeds so they are independent.
+    preprocess:
+        Whether to apply the Section IV-A preprocessing (warm-up removal and
+        elapsed-time outlier filtering) to every matcher.
+    """
+    po_pair, po_reference = build_po_task(random_state=random_state)
+    oaei_pair, oaei_reference = build_oaei_task(random_state=random_state + 1)
+
+    po_matchers = simulate_population(
+        po_pair,
+        po_reference,
+        n_matchers=n_po_matchers,
+        random_state=random_state + 100,
+        id_prefix="po",
+    )
+    oaei_matchers = simulate_population(
+        oaei_pair,
+        oaei_reference,
+        n_matchers=n_oaei_matchers,
+        random_state=random_state + 200,
+        id_prefix="oaei",
+    )
+
+    if preprocess:
+        config = preprocessing_config or PreprocessingConfig()
+        po_matchers = [preprocess_matcher(m, config) for m in po_matchers]
+        oaei_matchers = [preprocess_matcher(m, config) for m in oaei_matchers]
+
+    return HumanMatchingDataset(
+        po_pair=po_pair,
+        po_reference=po_reference,
+        po_matchers=po_matchers,
+        oaei_pair=oaei_pair,
+        oaei_reference=oaei_reference,
+        oaei_matchers=oaei_matchers,
+    )

@@ -1,0 +1,166 @@
+"""Decision-history simulation.
+
+Given a matching task (schema pair + reference match) and a matcher's latent
+traits, produce a sequential decision history whose measured expertise
+profile reflects the traits:
+
+* ``skill`` and ``distraction`` drive precision,
+* ``coverage_drive`` (and ``skill``) drive recall,
+* ``metacognition`` drives resolution (confidence separates correct from
+  incorrect decisions),
+* ``confidence_bias`` drives calibration (over/under-confidence),
+* ``pace`` / ``pace_variability`` drive the timing profile, including the
+  occasional long pause that the preprocessing step filters out,
+* ``revision_rate`` produces mind changes (revisited pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.schema import SchemaPair
+from repro.simulation.archetypes import BehavioralTraits
+
+
+def _confidence(
+    correct: bool, traits: BehavioralTraits, rng: np.random.Generator
+) -> float:
+    """Reported confidence for a decision, shaped by metacognition and bias.
+
+    Metacognition controls how reliably confidence tracks correctness: a
+    perfectly metacognitive matcher separates correct from incorrect
+    decisions, a poorly metacognitive one frequently "lapses" and reports a
+    confidence unrelated to the decision's actual correctness.  This keeps
+    the population's resolution (gamma) spread over the whole range instead
+    of piling up at 1.0.
+    """
+    direction = 1.0 if correct else -1.0
+    lapse_probability = (1.0 - traits.metacognition) * 0.45
+    if rng.random() < lapse_probability:
+        direction = 1.0 if rng.random() < 0.5 else -1.0
+    center = 0.55 + traits.confidence_bias + 0.33 * traits.metacognition * direction
+    value = center + rng.normal(0.0, max(traits.confidence_noise, 0.08))
+    return float(np.clip(value, 0.05, 1.0))
+
+
+def _next_timestamp(
+    current: float, traits: BehavioralTraits, rng: np.random.Generator
+) -> float:
+    """Advance the clock by one inter-decision interval (log-normal, rare pauses)."""
+    sigma = traits.pace_variability
+    interval = traits.pace * float(np.exp(rng.normal(-0.5 * sigma**2, sigma)))
+    if rng.random() < 0.03:
+        # Methodical pause unrelated to the target term (filtered by preprocessing).
+        interval += traits.pace * rng.uniform(5.0, 12.0)
+    return current + max(interval, 0.5)
+
+
+def _wrong_pair_near(
+    true_pair: tuple[int, int],
+    shape: tuple[int, int],
+    reference: ReferenceMatch,
+    rng: np.random.Generator,
+) -> tuple[int, int]:
+    """An incorrect pair confusable with ``true_pair`` (same row, nearby column)."""
+    rows, cols = shape
+    row, col = true_pair
+    for _ in range(10):
+        candidate_col = int(np.clip(col + rng.integers(-3, 4), 0, cols - 1))
+        candidate_row = row if rng.random() < 0.7 else int(rng.integers(0, rows))
+        candidate = (candidate_row, candidate_col)
+        if candidate != true_pair and not reference.is_correct(*candidate):
+            return candidate
+    # Fallback: any non-reference pair.
+    while True:
+        candidate = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+        if not reference.is_correct(*candidate):
+            return candidate
+
+
+def _random_wrong_pair(
+    shape: tuple[int, int], reference: ReferenceMatch, rng: np.random.Generator
+) -> tuple[int, int]:
+    """A uniformly random incorrect pair (a spurious, distracted decision)."""
+    rows, cols = shape
+    while True:
+        candidate = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+        if not reference.is_correct(*candidate):
+            return candidate
+
+
+def simulate_history(
+    pair: SchemaPair,
+    reference: ReferenceMatch,
+    traits: BehavioralTraits,
+    rng: Optional[np.random.Generator] = None,
+    include_warmup: bool = True,
+) -> DecisionHistory:
+    """Simulate a full decision history for one matcher on one task."""
+    rng = rng or np.random.default_rng()
+    traits = traits.clipped()
+    shape = pair.shape
+    positives = sorted(reference.positives)
+    if not positives:
+        raise ValueError("the reference match must contain at least one correspondence")
+
+    decisions: list[Decision] = []
+    clock = 0.0
+
+    def record(pair_indices: tuple[int, int], correct: bool) -> None:
+        nonlocal clock
+        clock = _next_timestamp(clock, traits, rng)
+        decisions.append(
+            Decision(
+                row=pair_indices[0],
+                col=pair_indices[1],
+                confidence=_confidence(correct, traits, rng),
+                timestamp=clock,
+            )
+        )
+
+    # Warm-up: the first three decisions are exploratory and later removed.
+    # They still reflect the matcher's underlying skill (an able matcher does
+    # not suddenly guess at random during warm-up).
+    if include_warmup:
+        for _ in range(3):
+            if rng.random() < traits.skill:
+                warmup_pair = positives[int(rng.integers(0, len(positives)))]
+                record(warmup_pair, True)
+            else:
+                record(_random_wrong_pair(shape, reference, rng), False)
+
+    # Main phase: walk through the reference concepts the matcher will attempt.
+    n_attempts = int(round(traits.coverage_drive * traits.stamina * len(positives)))
+    n_attempts = int(np.clip(n_attempts, 2, len(positives)))
+    attempt_order = rng.permutation(len(positives))[:n_attempts]
+
+    decided_correct: list[tuple[int, int]] = []
+    for concept_index in attempt_order:
+        true_pair = positives[int(concept_index)]
+        if rng.random() < traits.skill:
+            record(true_pair, True)
+            decided_correct.append(true_pair)
+        else:
+            record(_wrong_pair_near(true_pair, shape, reference, rng), False)
+
+        # Spurious decisions interleaved with the real attempts.
+        n_spurious = rng.poisson(0.25 * traits.distraction)
+        for _ in range(int(n_spurious)):
+            record(_random_wrong_pair(shape, reference, rng), False)
+
+        # Occasional revision of an earlier decision (a mind change).
+        if decisions and rng.random() < traits.revision_rate:
+            earlier = decisions[int(rng.integers(0, len(decisions)))]
+            was_correct = reference.is_correct(earlier.row, earlier.col)
+            record((earlier.row, earlier.col), was_correct)
+
+    # A final sweep of low-value decisions for restless matchers.
+    n_extra = rng.poisson(1.0 * traits.distraction * traits.stamina)
+    for _ in range(int(n_extra)):
+        record(_random_wrong_pair(shape, reference, rng), False)
+
+    return DecisionHistory(decisions, shape=shape, pair=pair)

@@ -1,0 +1,107 @@
+"""Mouse-trace simulation tied to the decision history and the matching UI layout.
+
+The Ontobuilder-style interface (Section IV-A) has four main regions:
+
+* the candidate schema tree (top left),
+* the target schema tree (top right),
+* a properties box with element metadata (middle),
+* the match table / matching matrix (bottom).
+
+A matcher's ``exploration`` trait controls how much of the screen is visited
+(Matcher B famously skips the top-left metadata region); ``scroll_tendency``
+controls the fraction of scroll events (the paper's ablation singles out
+scrolling as an uncertainty signal).  Events are generated around each
+decision's timestamp so that decision pacing and mouse pacing agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.matching.history import DecisionHistory
+from repro.matching.mouse import MouseEvent, MouseEventType, MovementMap
+from repro.simulation.archetypes import BehavioralTraits
+
+#: Screen regions as (x_center, y_center) fractions of (width, height).
+SCREEN_REGIONS: dict[str, tuple[float, float]] = {
+    "source_tree": (0.2, 0.22),
+    "target_tree": (0.78, 0.22),
+    "properties_box": (0.5, 0.52),
+    "match_table": (0.5, 0.82),
+}
+
+
+def _region_centers(screen: tuple[int, int]) -> dict[str, tuple[float, float]]:
+    rows, cols = screen
+    return {
+        name: (fraction_x * cols, fraction_y * rows)
+        for name, (fraction_x, fraction_y) in SCREEN_REGIONS.items()
+    }
+
+
+def _visited_regions(traits: BehavioralTraits, rng: np.random.Generator) -> list[str]:
+    """Which regions the matcher habitually visits, by exploration level."""
+    ordered = ["match_table", "target_tree", "source_tree", "properties_box"]
+    n_regions = 1 + int(round(traits.exploration * (len(ordered) - 1)))
+    n_regions = int(np.clip(n_regions, 1, len(ordered)))
+    regions = ordered[:n_regions]
+    rng.shuffle(regions)
+    return regions
+
+
+def simulate_movement(
+    history: DecisionHistory,
+    traits: BehavioralTraits,
+    screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+    events_per_decision: int = 9,
+    rng: Optional[np.random.Generator] = None,
+) -> MovementMap:
+    """Simulate the mouse trace accompanying a decision history."""
+    rng = rng or np.random.default_rng()
+    traits = traits.clipped()
+    rows, cols = screen
+    centers = _region_centers(screen)
+    regions = _visited_regions(traits, rng)
+
+    events: list[MouseEvent] = []
+    if history.is_empty:
+        return MovementMap(events, screen=screen)
+
+    spread_x = cols * 0.08
+    spread_y = rows * 0.07
+    previous_time = 0.0
+
+    for decision in history:
+        # Between the previous decision and this one the matcher wanders
+        # between its habitual regions and ends at the match table to commit.
+        start = previous_time
+        end = decision.timestamp
+        duration = max(end - start, 0.5)
+        n_events = max(3, int(rng.poisson(events_per_decision)))
+        times = np.sort(rng.uniform(start, end, size=n_events))
+
+        for index, timestamp in enumerate(times):
+            if index == n_events - 1:
+                region = "match_table"
+            else:
+                region = regions[int(rng.integers(0, len(regions)))]
+            center_x, center_y = centers[region]
+            x = float(np.clip(center_x + rng.normal(0, spread_x), 0, cols - 1))
+            y = float(np.clip(center_y + rng.normal(0, spread_y), 0, rows - 1))
+
+            roll = rng.random()
+            if index == n_events - 1:
+                event_type = MouseEventType.LEFT_CLICK
+            elif roll < traits.scroll_tendency * 0.3:
+                event_type = MouseEventType.SCROLL
+            elif roll < traits.scroll_tendency * 0.3 + 0.03:
+                event_type = MouseEventType.RIGHT_CLICK
+            else:
+                event_type = MouseEventType.MOVE
+            events.append(MouseEvent(x=x, y=y, event_type=event_type, timestamp=float(timestamp)))
+
+        previous_time = end + 0.01 * duration
+
+    return MovementMap(events, screen=screen)

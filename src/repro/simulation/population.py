@@ -1,0 +1,97 @@
+"""Cohorts of simulated human matchers."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.matcher import HumanMatcher, MatcherMetadata
+from repro.matching.schema import SchemaPair
+from repro.simulation.archetypes import Archetype, BehavioralTraits, sample_traits
+from repro.simulation.decisions import simulate_history
+from repro.simulation.mouse_sim import simulate_movement
+
+
+def _metadata_for(traits: BehavioralTraits, rng: np.random.Generator) -> MatcherMetadata:
+    """Self-reported metadata loosely correlated with the latent traits.
+
+    Section IV-C reports a correlation between English level and recall and
+    between psychometric score and precision; the simulator injects those
+    (weak) relations and keeps resolution/calibration independent of the
+    personal information, mirroring the paper's finding.
+    """
+    psychometric = int(np.clip(rng.normal(600 + 150 * traits.skill, 40), 400, 800))
+    english = int(np.clip(round(2.5 + 2.5 * traits.coverage_drive + rng.normal(0, 0.6)), 1, 5))
+    domain = int(np.clip(round(1 + rng.exponential(0.5)), 1, 5))
+    return MatcherMetadata(
+        gender=str(rng.choice(["female", "male", "unspecified"])),
+        age=int(rng.integers(20, 30)),
+        psychometric_score=psychometric,
+        english_level=english,
+        domain_knowledge=domain,
+        db_education=bool(rng.random() < 0.9),
+    )
+
+
+def simulate_matcher(
+    matcher_id: str,
+    pair: SchemaPair,
+    reference: ReferenceMatch,
+    traits: Optional[BehavioralTraits] = None,
+    archetype: Optional[Archetype] = None,
+    random_state: Optional[int] = None,
+    screen: tuple[int, int] = (768, 1024),
+) -> HumanMatcher:
+    """Simulate one matcher: traits -> decision history -> mouse trace."""
+    rng = np.random.default_rng(random_state)
+    if traits is None:
+        traits = sample_traits(rng, archetype=archetype)
+    history = simulate_history(pair, reference, traits, rng=rng)
+    movement = simulate_movement(history, traits, screen=screen, rng=rng)
+    return HumanMatcher(
+        matcher_id=matcher_id,
+        history=history,
+        movement=movement,
+        task=pair,
+        reference=reference,
+        metadata=_metadata_for(traits, rng),
+    )
+
+
+def simulate_population(
+    pair: SchemaPair,
+    reference: ReferenceMatch,
+    n_matchers: int,
+    archetypes: Optional[Sequence[Archetype]] = None,
+    random_state: int = 0,
+    id_prefix: str = "matcher",
+    screen: tuple[int, int] = (768, 1024),
+) -> list[HumanMatcher]:
+    """Simulate a cohort of matchers on the same task.
+
+    When ``archetypes`` is None, traits are sampled from the mixed population
+    distribution; otherwise matchers cycle through the given archetypes.
+    """
+    if n_matchers < 1:
+        raise ValueError("n_matchers must be at least 1")
+    rng = np.random.default_rng(random_state)
+    matchers = []
+    for index in range(n_matchers):
+        archetype = None
+        if archetypes:
+            archetype = archetypes[index % len(archetypes)]
+        traits = sample_traits(rng, archetype=archetype)
+        seed = int(rng.integers(0, 2**31 - 1))
+        matchers.append(
+            simulate_matcher(
+                matcher_id=f"{id_prefix}-{index:03d}",
+                pair=pair,
+                reference=reference,
+                traits=traits,
+                random_state=seed,
+                screen=screen,
+            )
+        )
+    return matchers

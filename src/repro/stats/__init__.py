@@ -1,0 +1,15 @@
+"""Statistics substrate: association measures, bootstrap tests, descriptive helpers."""
+
+from repro.stats.gamma import GammaResult, goodman_kruskal_gamma
+from repro.stats.bootstrap import BootstrapTestResult, two_sample_bootstrap_test
+from repro.stats.descriptive import percentile_threshold, summarize, Summary
+
+__all__ = [
+    "GammaResult",
+    "goodman_kruskal_gamma",
+    "BootstrapTestResult",
+    "two_sample_bootstrap_test",
+    "percentile_threshold",
+    "summarize",
+    "Summary",
+]

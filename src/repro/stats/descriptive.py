@@ -1,0 +1,54 @@
+"""Descriptive statistics helpers: percentile thresholds and summaries.
+
+The paper's cognitive thresholds are defined relative to the training
+population: ``delta_Res`` is the 80th percentile of train resolutions and
+``delta_Cal`` the 20th percentile of absolute train calibrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile_threshold(values: Sequence[float], percentile: float) -> float:
+    """The ``percentile``-th percentile of ``values`` (linear interpolation).
+
+    Raises ``ValueError`` on an empty sequence so callers never silently use
+    a threshold computed from no data.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must lie in [0, 100]")
+    return float(np.percentile(array, percentile))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a sample (an empty sample yields an all-zero summary)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return Summary(mean=0.0, std=0.0, minimum=0.0, median=0.0, maximum=0.0, count=0)
+    return Summary(
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+        count=int(array.size),
+    )

@@ -1,0 +1,113 @@
+"""Shared fixtures: small tasks, simulated matchers and label matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.mouse import MouseEvent, MouseEventType, MovementMap
+from repro.simulation.archetypes import Archetype
+from repro.simulation.population import simulate_matcher, simulate_population
+from repro.simulation.schemas import build_small_task
+
+
+@pytest.fixture(scope="session")
+def small_task():
+    """A small (12 x 9) schema pair with its reference match."""
+    return build_small_task(random_state=3)
+
+
+@pytest.fixture(scope="session")
+def small_pair(small_task):
+    return small_task[0]
+
+
+@pytest.fixture(scope="session")
+def small_reference(small_task):
+    return small_task[1]
+
+
+@pytest.fixture
+def example_reference() -> ReferenceMatch:
+    """The running example's reference match (Example 1 of the paper)."""
+    return ReferenceMatch((3, 4), [(0, 0), (0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def example_history() -> DecisionHistory:
+    """The decision history of Table I in the paper (shape 3 x 4).
+
+    Entries follow the paper's running example: M34 at time 3 with
+    confidence 1.0, M11 at 8 (0.9) later lowered at 16 (0.5), M12 at 15
+    (0.5) and M21 at 34 (0.45).  Matrix indices are zero-based here.
+    """
+    return DecisionHistory(
+        [
+            Decision(row=2, col=3, confidence=1.0, timestamp=3.0),
+            Decision(row=0, col=0, confidence=0.9, timestamp=8.0),
+            Decision(row=0, col=1, confidence=0.5, timestamp=15.0),
+            Decision(row=0, col=0, confidence=0.5, timestamp=16.0),
+            Decision(row=1, col=0, confidence=0.45, timestamp=34.0),
+        ],
+        shape=(3, 4),
+    )
+
+
+@pytest.fixture
+def simple_movement() -> MovementMap:
+    """A small deterministic movement map covering all event types."""
+    events = [
+        MouseEvent(x=100, y=100, event_type=MouseEventType.MOVE, timestamp=1.0),
+        MouseEvent(x=200, y=150, event_type=MouseEventType.MOVE, timestamp=2.0),
+        MouseEvent(x=300, y=600, event_type=MouseEventType.LEFT_CLICK, timestamp=3.0),
+        MouseEvent(x=400, y=650, event_type=MouseEventType.SCROLL, timestamp=4.0),
+        MouseEvent(x=500, y=700, event_type=MouseEventType.RIGHT_CLICK, timestamp=5.0),
+        MouseEvent(x=600, y=700, event_type=MouseEventType.LEFT_CLICK, timestamp=6.0),
+    ]
+    return MovementMap(events, screen=(768, 1024))
+
+
+@pytest.fixture(scope="session")
+def small_cohort(small_task):
+    """A cohort of 16 simulated matchers on the small task (session-scoped for speed)."""
+    pair, reference = small_task
+    return simulate_population(pair, reference, n_matchers=16, random_state=11)
+
+
+@pytest.fixture(scope="session")
+def cohort_labels(small_cohort):
+    """Expert labels and thresholds for the small cohort."""
+    profiles, thresholds = characterize_population(small_cohort)
+    return labels_matrix(profiles), thresholds
+
+
+@pytest.fixture(scope="session")
+def archetype_matchers(small_task):
+    """One matcher per archetype on the small task."""
+    pair, reference = small_task
+    return {
+        archetype: simulate_matcher(
+            matcher_id=f"arch-{archetype.value}",
+            pair=pair,
+            reference=reference,
+            archetype=archetype,
+            random_state=5,
+        )
+        for archetype in (Archetype.A, Archetype.B, Archetype.C, Archetype.D)
+    }
+
+
+@pytest.fixture(scope="session")
+def classification_data():
+    """A small separable binary-classification dataset for the ML substrate tests."""
+    rng = np.random.default_rng(0)
+    n = 80
+    X_pos = rng.normal(loc=1.2, scale=0.8, size=(n // 2, 3))
+    X_neg = rng.normal(loc=-1.2, scale=0.8, size=(n // 2, 3))
+    X = np.vstack([X_pos, X_neg])
+    y = np.array([1] * (n // 2) + [0] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]

@@ -1,0 +1,147 @@
+"""Tests for the 4-way expert model (labels, thresholds, profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expert_model import (
+    EXPERT_CHARACTERISTICS,
+    ExpertLabels,
+    ExpertThresholds,
+    characterize_matcher,
+    characterize_population,
+    labels_matrix,
+)
+from repro.matching.matcher import HumanMatcher
+from repro.matching.metrics import MatcherPerformance
+from repro.matching.mouse import MovementMap
+
+
+def _performance(precision=0.8, recall=0.6, resolution=0.9, p_value=0.01, calibration=0.05):
+    return MatcherPerformance(
+        precision=precision,
+        recall=recall,
+        resolution=resolution,
+        resolution_p_value=p_value,
+        calibration=calibration,
+    )
+
+
+class TestExpertLabels:
+    def test_roundtrip(self):
+        labels = ExpertLabels(precise=True, thorough=False, correlated=True, calibrated=False)
+        np.testing.assert_array_equal(labels.to_array(), [1, 0, 1, 0])
+        np.testing.assert_array_equal(labels.to_signed_array(), [1, -1, 1, -1])
+        assert ExpertLabels.from_array([1, 0, 1, 0]) == labels
+
+    def test_from_signed_array(self):
+        labels = ExpertLabels.from_array([1, -1, -1, 1])
+        assert labels.precise and labels.calibrated
+        assert not labels.thorough
+
+    def test_full_expert(self):
+        assert ExpertLabels(True, True, True, True).is_full_expert
+        assert not ExpertLabels(True, True, True, False).is_full_expert
+
+    def test_getitem(self):
+        labels = ExpertLabels(True, False, False, True)
+        assert labels["precise"] is True
+        assert labels["thorough"] is False
+        with pytest.raises(KeyError):
+            labels["brilliant"]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertLabels.from_array([1, 0])
+
+    def test_characteristic_order(self):
+        assert EXPERT_CHARACTERISTICS == ("precise", "thorough", "correlated", "calibrated")
+
+
+class TestExpertThresholds:
+    def test_defaults_follow_paper(self):
+        thresholds = ExpertThresholds()
+        assert thresholds.delta_precision == 0.5
+        assert thresholds.delta_recall == 0.5
+        assert not thresholds.is_fitted
+
+    def test_unfitted_labels_raise(self):
+        with pytest.raises(RuntimeError):
+            ExpertThresholds().labels_for(_performance())
+
+    def test_fit_uses_percentiles(self):
+        performances = [
+            _performance(resolution=r, calibration=c)
+            for r, c in zip(np.linspace(0, 1, 11), np.linspace(0, 0.5, 11))
+        ]
+        thresholds = ExpertThresholds().fit(performances)
+        assert thresholds.delta_resolution == pytest.approx(0.8)
+        assert thresholds.delta_calibration == pytest.approx(0.1)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertThresholds().fit([])
+
+    def test_labels_for(self):
+        thresholds = ExpertThresholds(delta_resolution=0.5, delta_calibration=0.2)
+        labels = thresholds.labels_for(_performance())
+        assert labels.precise and labels.thorough and labels.correlated and labels.calibrated
+
+    def test_correlated_requires_significance(self):
+        thresholds = ExpertThresholds(delta_resolution=0.5, delta_calibration=0.2)
+        labels = thresholds.labels_for(_performance(p_value=0.2))
+        assert not labels.correlated
+
+    def test_calibrated_uses_absolute_value(self):
+        thresholds = ExpertThresholds(delta_resolution=0.5, delta_calibration=0.2)
+        under_confident = thresholds.labels_for(_performance(calibration=-0.1))
+        over_confident = thresholds.labels_for(_performance(calibration=0.3))
+        assert under_confident.calibrated
+        assert not over_confident.calibrated
+
+    def test_paper_example_boundaries(self):
+        """The paper's matcher: P = R = 0.75, resolution 1.0 but p > .05, Cal = -0.12."""
+        thresholds = ExpertThresholds(delta_resolution=0.8, delta_calibration=0.205)
+        performance = MatcherPerformance(
+            precision=0.75,
+            recall=0.75,
+            resolution=1.0,
+            resolution_p_value=0.5,
+            calibration=-0.12,
+        )
+        labels = thresholds.labels_for(performance)
+        assert labels.precise
+        assert labels.thorough
+        assert not labels.correlated  # not significant
+        assert labels.calibrated
+
+
+class TestCharacterizePopulation:
+    def test_profiles_and_threshold_reuse(self, small_cohort):
+        profiles, thresholds = characterize_population(small_cohort)
+        assert len(profiles) == len(small_cohort)
+        assert thresholds.is_fitted
+        # Reusing fitted thresholds must not refit them.
+        resolution_before = thresholds.delta_resolution
+        characterize_population(small_cohort[:4], thresholds)
+        assert thresholds.delta_resolution == resolution_before
+
+    def test_labels_matrix_shape(self, small_cohort):
+        profiles, _ = characterize_population(small_cohort)
+        labels = labels_matrix(profiles)
+        assert labels.shape == (len(small_cohort), 4)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_labels_matrix_empty(self):
+        assert labels_matrix([]).shape == (0, 4)
+
+    def test_characterize_matcher_requires_reference(self, example_history):
+        matcher = HumanMatcher("m", example_history, MovementMap())
+        thresholds = ExpertThresholds(delta_resolution=0.5, delta_calibration=0.2)
+        with pytest.raises(ValueError):
+            characterize_matcher(matcher, thresholds)
+
+    def test_characterize_matcher(self, small_cohort):
+        _, thresholds = characterize_population(small_cohort)
+        profile = characterize_matcher(small_cohort[0], thresholds)
+        assert profile.matcher_id == small_cohort[0].matcher_id
+        assert 0.0 <= profile.performance.precision <= 1.0

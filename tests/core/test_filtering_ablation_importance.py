@@ -1,0 +1,190 @@
+"""Tests for expert filtering, the ablation helper and feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import evaluate_predictions, most_important_set, run_ablation
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.filtering import ExpertFilter, median_half_decisions, adjust_for_bias
+from repro.core.importance import (
+    permutation_importance,
+    shapley_sampling_importance,
+    top_features_by_set,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+
+
+class _OracleCharacterizer:
+    """A stand-in characterizer that returns the true labels (for filter tests)."""
+
+    def __init__(self, matchers, labels):
+        self._by_id = {m.matcher_id: row for m, row in zip(matchers, labels)}
+
+    def predict(self, matchers):
+        return np.vstack([self._by_id[m.matcher_id.split("#")[0]] for m in matchers])
+
+
+class TestEvaluatePredictions:
+    def test_perfect(self):
+        labels = np.array([[1, 0, 1, 0], [0, 1, 0, 1]])
+        accuracies = evaluate_predictions(labels, labels)
+        assert all(value == 1.0 for value in accuracies.values())
+
+    def test_keys(self):
+        labels = np.zeros((3, 4), dtype=int)
+        accuracies = evaluate_predictions(labels, labels)
+        assert set(accuracies) == {"A_P", "A_R", "A_Res", "A_Cal", "A_ML"}
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions(np.zeros((2, 4)), np.zeros((3, 4)))
+
+
+class TestExpertFilter:
+    def test_oracle_filter_improves_quality(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        oracle = _OracleCharacterizer(small_cohort, labels)
+        expert_filter = ExpertFilter(oracle, require_all_characteristics=False,
+                                     min_positive_characteristics=2)
+        result = expert_filter.evaluate(small_cohort, method_name="oracle")
+        assert result.n_selected >= 1
+        assert result.n_population == len(small_cohort)
+        # Selecting matchers with at least two expert dimensions should not
+        # hurt precision relative to the full population.
+        assert result.selected_performance["precision"] >= result.population_performance["precision"] - 0.05
+
+    def test_fallback_when_nobody_qualifies(self, small_cohort):
+        class NoExpert:
+            def predict(self, matchers):
+                return np.zeros((len(matchers), 4), dtype=int)
+
+        expert_filter = ExpertFilter(NoExpert())
+        selected = expert_filter.select(small_cohort)
+        assert len(selected) == 1
+
+    def test_early_identification_uses_truncated_input(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+
+        seen_decisions = []
+
+        class Spy:
+            def predict(self, matchers):
+                seen_decisions.extend(m.n_decisions for m in matchers)
+                return np.ones((len(matchers), 4), dtype=int)
+
+        expert_filter = ExpertFilter(Spy())
+        expert_filter.evaluate(small_cohort, early_decisions=3)
+        assert max(seen_decisions) <= 3
+
+    def test_median_half_decisions(self, small_cohort):
+        half = median_half_decisions(small_cohort)
+        median = np.median([m.n_decisions for m in small_cohort])
+        assert half == max(1, int(median // 2))
+        assert median_half_decisions([]) == 0
+
+    def test_improvement_sign_for_calibration(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        oracle = _OracleCharacterizer(small_cohort, labels)
+        expert_filter = ExpertFilter(oracle, require_all_characteristics=False,
+                                     min_positive_characteristics=1)
+        result = expert_filter.evaluate(small_cohort)
+        # improvement() must not blow up and must be finite for every measure.
+        for measure in ("precision", "recall", "resolution", "abs_calibration"):
+            assert np.isfinite(result.improvement(measure))
+
+    def test_adjust_for_bias(self, small_cohort):
+        matcher = small_cohort[0]
+        adjusted = adjust_for_bias(matcher, calibration_estimate=-0.2)
+        assert len(adjusted) == matcher.n_decisions
+        assert all(0.0 <= c <= 1.0 for c in adjusted)
+        # Under-confidence estimate shifts confidences upwards.
+        original = matcher.history.confidences()
+        assert np.mean(adjusted) >= original.mean()
+
+
+class TestAblation:
+    def test_run_ablation_structure(self, small_cohort, cohort_labels):
+        labels, thresholds = cohort_labels
+        train, test = small_cohort[:11], small_cohort[11:]
+        train_labels = labels[:11]
+        test_profiles, _ = characterize_population(test, thresholds)
+        test_labels = labels_matrix(test_profiles)
+
+        results = run_ablation(
+            train,
+            train_labels,
+            test,
+            test_labels,
+            variant=MExIVariant.EMPTY,
+            feature_sets=("lrsm", "beh"),
+            random_state=0,
+        )
+        modes = [r.mode for r in results]
+        assert modes.count("full") == 1
+        assert modes.count("include") == 2
+        assert modes.count("exclude") == 2
+        for result in results:
+            assert set(result.accuracies) == {"A_P", "A_R", "A_Res", "A_Cal", "A_ML"}
+            row = result.row()
+            assert "feature_set" in row
+
+    def test_most_important_set(self):
+        from repro.core.ablation import AblationResult
+
+        results = [
+            AblationResult("include", "lrsm", {"A_P": 0.9}),
+            AblationResult("include", "beh", {"A_P": 0.6}),
+            AblationResult("exclude", "lrsm", {"A_P": 0.5}),
+            AblationResult("exclude", "beh", {"A_P": 0.8}),
+        ]
+        assert most_important_set(results, "A_P", mode="include") == "lrsm"
+        assert most_important_set(results, "A_P", mode="exclude") == "lrsm"
+        with pytest.raises(ValueError):
+            most_important_set(results, "A_P", mode="unknown")
+
+
+class TestImportance:
+    @pytest.fixture(scope="class")
+    def fitted_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 4))
+        # Only the first feature matters.
+        y = (X[:, 0] > 0).astype(int)
+        model = RandomForestClassifier(n_estimators=20, max_depth=4, random_state=0)
+        model.fit(X, y)
+        return model, X, y
+
+    def test_permutation_importance_identifies_relevant_feature(self, fitted_model):
+        model, X, y = fitted_model
+        names = ["relevant", "noise1", "noise2", "noise3"]
+        result = permutation_importance(model, X, y, names, n_repeats=3, random_state=0)
+        assert result.top(1)[0][0] == "relevant"
+        assert result.importances[0] > max(result.importances[1:])
+
+    def test_shapley_sampling_agrees_on_top_feature(self, fitted_model):
+        model, X, y = fitted_model
+        names = ["relevant", "noise1", "noise2", "noise3"]
+        result = shapley_sampling_importance(model, X, y, names, n_samples=10, random_state=0)
+        assert result.top(1)[0][0] == "relevant"
+
+    def test_feature_name_count_checked(self, fitted_model):
+        model, X, y = fitted_model
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, ["a", "b"])
+
+    def test_top_features_by_set(self, fitted_model):
+        model, X, y = fitted_model
+        names = ["lrsm_a", "lrsm_b", "beh_c", "beh_d"]
+        importance = permutation_importance(model, X, y, names, n_repeats=2, random_state=0)
+        grouped = top_features_by_set(importance, lambda n: n.split("_")[0], k=1)
+        assert set(grouped) == {"lrsm", "beh"}
+        assert len(grouped["lrsm"]) == 1
+
+    def test_logistic_model_also_supported(self, fitted_model):
+        _, X, y = fitted_model
+        model = LogisticRegression(n_iterations=100)
+        model.fit(X, y)
+        result = permutation_importance(model, X, y, ["f0", "f1", "f2", "f3"], n_repeats=2)
+        assert len(result.as_dict()) == 4

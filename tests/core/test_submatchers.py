@@ -1,0 +1,79 @@
+"""Tests for sub-matcher augmentation (MExI_50 / MExI_70)."""
+
+import numpy as np
+import pytest
+
+from repro.core.submatchers import (
+    MEXI_50,
+    MEXI_70,
+    MEXI_EMPTY,
+    SubMatcherConfig,
+    generate_submatchers,
+)
+
+
+class TestConfig:
+    def test_paper_variants(self):
+        assert MEXI_EMPTY.window_sizes == ()
+        assert MEXI_50.window_sizes == (50,)
+        assert MEXI_70.window_sizes == (30, 40, 50, 60, 70)
+
+    def test_scaled_sizes(self):
+        config = SubMatcherConfig(window_sizes=(50,), relative=True)
+        # A cohort averaging 27.5 decisions halves the paper's 50-decision window.
+        assert config.scaled_sizes(27.5) == [25]
+
+    def test_scaled_sizes_absolute(self):
+        config = SubMatcherConfig(window_sizes=(50,), relative=False)
+        assert config.scaled_sizes(10.0) == [50]
+
+    def test_scaled_sizes_floor(self):
+        config = SubMatcherConfig(window_sizes=(30,), relative=True)
+        assert config.scaled_sizes(2.0) == [4]
+
+
+class TestGeneration:
+    def test_empty_config_keeps_originals_only(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        augmented, augmented_labels = generate_submatchers(small_cohort, labels, MEXI_EMPTY)
+        assert len(augmented) == len(small_cohort)
+        np.testing.assert_array_equal(augmented_labels, labels)
+
+    def test_augmentation_adds_submatchers(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        augmented, augmented_labels = generate_submatchers(small_cohort, labels, MEXI_50)
+        assert len(augmented) > len(small_cohort)
+        assert len(augmented) == augmented_labels.shape[0]
+
+    def test_submatchers_inherit_parent_labels(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        augmented, augmented_labels = generate_submatchers(small_cohort, labels, MEXI_50)
+        by_id = {m.matcher_id: row for m, row in zip(small_cohort, labels)}
+        for matcher, label_row in zip(augmented, augmented_labels):
+            parent_id = matcher.matcher_id.split("#")[0]
+            np.testing.assert_array_equal(label_row, by_id[parent_id])
+
+    def test_mexi70_generates_more_than_mexi50(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        augmented_50, _ = generate_submatchers(small_cohort, labels, MEXI_50)
+        augmented_70, _ = generate_submatchers(small_cohort, labels, MEXI_70)
+        assert len(augmented_70) >= len(augmented_50)
+
+    def test_drop_originals(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        config = SubMatcherConfig(window_sizes=(50,), keep_originals=False)
+        augmented, _ = generate_submatchers(small_cohort, labels, config)
+        assert all("#" in m.matcher_id for m in augmented)
+
+    def test_label_shape_mismatch_rejected(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        with pytest.raises(ValueError):
+            generate_submatchers(small_cohort, labels[:-1], MEXI_50)
+
+    def test_submatcher_histories_are_windows(self, small_cohort, cohort_labels):
+        labels, _ = cohort_labels
+        augmented, _ = generate_submatchers(small_cohort, labels, MEXI_50)
+        generated = [m for m in augmented if "#" in m.matcher_id]
+        assert generated, "expected at least one sub-matcher"
+        for submatcher in generated:
+            assert 0 < submatcher.n_decisions < max(m.n_decisions for m in small_cohort) + 1

@@ -1,0 +1,46 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, run
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.experiments == ["fig8"]
+        assert args.scale == "reduced"
+        assert args.seed == 42
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig8",
+            "fig9",
+            "table2a",
+            "table2b",
+            "table3",
+            "table4",
+            "fig10",
+            "fig11",
+        }
+
+
+class TestRun:
+    def test_single_experiment_tiny_scale(self):
+        reports = run(["fig8"], scale="tiny", seed=5)
+        assert set(reports) == {"fig8"}
+        assert "Figure 8" in reports["fig8"]
+
+    def test_duplicate_ids_deduplicated(self):
+        reports = run(["fig9", "fig9"], scale="tiny", seed=5)
+        assert list(reports) == ["fig9"]
+
+    def test_archetype_report_includes_heatmaps(self):
+        reports = run(["fig1"], scale="tiny", seed=5)
+        assert "heat map" in reports["fig1"]
+        assert "archetype" in reports["fig1"]

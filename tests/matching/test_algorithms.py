@@ -1,0 +1,74 @@
+"""Tests for the first-line algorithmic matchers."""
+
+import pytest
+
+from repro.matching.algorithms import (
+    CompositeMatcher,
+    DataTypeMatcher,
+    NameSimilarityMatcher,
+    TokenJaccardMatcher,
+    levenshtein_distance,
+    name_similarity,
+    token_jaccard,
+)
+from repro.matching.schema import Attribute, purchase_order_example
+
+
+class TestStringSimilarity:
+    def test_levenshtein_identical(self):
+        assert levenshtein_distance("order", "order") == 0
+
+    def test_levenshtein_known_value(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_levenshtein_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    def test_name_similarity_bounds(self):
+        assert 0.0 <= name_similarity("poCode", "orderNumber") <= 1.0
+        assert name_similarity("city", "city") == 1.0
+        assert name_similarity("", "") == 1.0
+
+    def test_token_jaccard_camel_case(self):
+        assert token_jaccard("orderDate", "orderNumber") == pytest.approx(1 / 3)
+        assert token_jaccard("shipCity", "cityShip") == 1.0
+
+
+class TestMatchers:
+    def test_name_matcher_prefers_identical_names(self):
+        pair = purchase_order_example()
+        matrix = NameSimilarityMatcher().match(pair)
+        city_source = pair.source.index_of("city")
+        city_target = pair.target.index_of("city")
+        row = matrix.values[city_source]
+        assert row[city_target] == row.max()
+
+    def test_matrix_shape_and_range(self):
+        pair = purchase_order_example()
+        for matcher in (NameSimilarityMatcher(), TokenJaccardMatcher(), DataTypeMatcher()):
+            matrix = matcher.match(pair)
+            assert matrix.shape == pair.shape
+            assert matrix.values.min() >= 0.0
+            assert matrix.values.max() <= 1.0
+
+    def test_data_type_matcher(self):
+        matcher = DataTypeMatcher()
+        assert matcher.element_similarity(
+            Attribute("a", data_type="date"), Attribute("b", data_type="datetime")
+        ) == pytest.approx(0.5)
+        assert matcher.element_similarity(
+            Attribute("a", data_type="bool"), Attribute("b", data_type="date")
+        ) == 0.0
+
+    def test_composite_weights_validation(self):
+        with pytest.raises(ValueError):
+            CompositeMatcher(matchers=[NameSimilarityMatcher()], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            CompositeMatcher(matchers=[NameSimilarityMatcher()], weights=[0.0])
+
+    def test_composite_is_convex_combination(self):
+        pair = purchase_order_example()
+        composite = CompositeMatcher()
+        matrix = composite.match(pair)
+        assert matrix.values.max() <= 1.0
+        assert matrix.values.min() >= 0.0

@@ -1,0 +1,84 @@
+"""Tests for correspondences, matches and reference matches."""
+
+import numpy as np
+import pytest
+
+from repro.matching.correspondence import Correspondence, Match, ReferenceMatch
+from repro.matching.matrix import MatchingMatrix
+
+
+class TestCorrespondence:
+    def test_valid(self):
+        correspondence = Correspondence(1, 2, 0.8)
+        assert correspondence.pair == (1, 2)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            Correspondence(-1, 0)
+
+    def test_rejects_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            Correspondence(0, 0, 1.5)
+
+    def test_ordering(self):
+        assert Correspondence(0, 1) < Correspondence(1, 0)
+
+
+class TestMatch:
+    def test_from_matrix_roundtrip(self):
+        matrix = MatchingMatrix.from_entries((3, 3), [(0, 1, 0.9), (2, 2, 0.4)])
+        match = Match.from_matrix(matrix)
+        assert match.pairs() == {(0, 1), (2, 2)}
+        rebuilt = match.to_matrix((3, 3))
+        assert rebuilt == matrix
+
+    def test_add_overwrites(self):
+        match = Match([Correspondence(0, 0, 0.5)])
+        match.add(Correspondence(0, 0, 0.9))
+        assert len(match) == 1
+        assert match.confidence_of(0, 0) == pytest.approx(0.9)
+
+    def test_confidence_of_absent_pair(self):
+        assert Match().confidence_of(1, 1) == 0.0
+
+    def test_intersection(self):
+        a = Match.from_pairs([(0, 0), (1, 1)])
+        b = Match.from_pairs([(1, 1), (2, 2)])
+        assert a.intersection(b) == {(1, 1)}
+
+    def test_contains(self):
+        match = Match.from_pairs([(0, 1)])
+        assert (0, 1) in match
+        assert (1, 0) not in match
+
+
+class TestReferenceMatch:
+    def test_positives(self):
+        reference = ReferenceMatch((3, 3), [(0, 0), (1, 2)])
+        assert reference.n_positives == 2
+        assert reference.is_correct(0, 0)
+        assert not reference.is_correct(2, 2)
+
+    def test_rejects_out_of_bounds_pairs(self):
+        with pytest.raises(ValueError, match="outside"):
+            ReferenceMatch((2, 2), [(2, 0)])
+
+    def test_from_matrix(self):
+        matrix = MatchingMatrix.from_entries((2, 2), [(1, 1, 1.0)])
+        reference = ReferenceMatch.from_matrix(matrix)
+        assert reference.positives == {(1, 1)}
+
+    def test_to_matrix_is_binary(self):
+        reference = ReferenceMatch((2, 2), [(0, 1)])
+        matrix = reference.to_matrix()
+        assert matrix[0, 1] == 1.0
+        assert matrix.n_nonzero == 1
+
+    def test_correctness_vector(self):
+        reference = ReferenceMatch((2, 2), [(0, 0)])
+        vector = reference.correctness_vector([(0, 0), (1, 1)])
+        np.testing.assert_array_equal(vector, [1.0, 0.0])
+
+    def test_duplicates_collapse(self):
+        reference = ReferenceMatch((2, 2), [(0, 0), (0, 0)])
+        assert reference.n_positives == 1

@@ -1,0 +1,54 @@
+"""Tests for the HumanMatcher container (truncation, sub-matchers)."""
+
+import pytest
+
+from repro.matching.matcher import HumanMatcher, MatcherMetadata
+from repro.matching.mouse import MovementMap
+
+
+class TestHumanMatcher:
+    def test_matrix_projection(self, example_history, simple_movement):
+        matcher = HumanMatcher("m1", example_history, simple_movement)
+        assert matcher.matrix().n_nonzero == 4
+        assert matcher.n_decisions == 5
+
+    def test_truncated_limits_decisions_and_mouse(self, example_history, simple_movement):
+        matcher = HumanMatcher("m1", example_history, simple_movement)
+        truncated = matcher.truncated(2)
+        assert truncated.n_decisions == 2
+        cutoff = truncated.history.decisions[-1].timestamp
+        assert all(event.timestamp <= cutoff for event in truncated.movement)
+        # The original matcher is untouched.
+        assert matcher.n_decisions == 5
+
+    def test_truncated_to_zero(self, example_history, simple_movement):
+        matcher = HumanMatcher("m1", example_history, simple_movement)
+        truncated = matcher.truncated(0)
+        assert truncated.n_decisions == 0
+        assert truncated.movement.is_empty
+
+    def test_submatcher_window(self, example_history, simple_movement):
+        matcher = HumanMatcher("m1", example_history, simple_movement)
+        submatcher = matcher.submatcher(1, 3)
+        assert submatcher.n_decisions == 3
+        assert submatcher.matcher_id.startswith("m1#sub")
+        assert submatcher.task is matcher.task
+        assert submatcher.reference is matcher.reference
+
+    def test_submatcher_custom_suffix(self, example_history):
+        matcher = HumanMatcher("m1", example_history, MovementMap())
+        submatcher = matcher.submatcher(0, 2, suffix="@train")
+        assert submatcher.matcher_id == "m1@train"
+
+    def test_metadata_defaults(self):
+        metadata = MatcherMetadata()
+        assert metadata.psychometric_score == 0
+        assert not metadata.db_education
+
+    def test_simulated_matcher_has_consistent_parts(self, small_cohort):
+        matcher = small_cohort[0]
+        assert matcher.reference is not None
+        assert matcher.task is not None
+        assert matcher.n_decisions > 0
+        assert len(matcher.movement) > 0
+        assert matcher.matrix().shape == matcher.task.shape

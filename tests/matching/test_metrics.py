@@ -1,0 +1,161 @@
+"""Tests for the four expertise measures (Eqs. 2-5) and accumulated curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.matrix import MatchingMatrix
+from repro.matching.metrics import (
+    accumulated_curves,
+    calibration,
+    evaluate_matcher,
+    f_measure,
+    population_performance,
+    precision,
+    recall,
+    resolution,
+)
+
+
+class TestPaperExample:
+    """The running example of Section II-B (Table I)."""
+
+    def test_precision_and_recall(self, example_history, example_reference):
+        matrix = example_history.to_matrix()
+        assert precision(matrix, example_reference) == pytest.approx(3 / 4)
+        assert recall(matrix, example_reference) == pytest.approx(3 / 4)
+
+    def test_calibration_is_under_confident(self, example_history, example_reference):
+        # Mean confidence 0.67 minus precision 0.75 = -0.08 (under-confidence).
+        value = calibration(example_history, example_reference)
+        assert value == pytest.approx(np.mean([1.0, 0.9, 0.5, 0.5, 0.45]) - 0.75)
+        assert value < 0
+
+    def test_resolution_value(self, example_history, example_reference):
+        result = resolution(example_history, example_reference, random_state=0)
+        # The matcher is more confident on correct pairs -> positive gamma.
+        assert result.gamma > 0
+
+    def test_evaluate_matcher_bundles_measures(self, example_history, example_reference):
+        performance = evaluate_matcher(example_history, example_reference, random_state=0)
+        assert performance.precision == pytest.approx(0.75)
+        assert performance.recall == pytest.approx(0.75)
+        assert performance.f_measure == pytest.approx(0.75)
+        assert performance.absolute_calibration == pytest.approx(
+            abs(performance.calibration)
+        )
+
+
+class TestEdgeCases:
+    def test_empty_match_precision_zero(self, example_reference):
+        assert precision(MatchingMatrix.zeros((3, 4)), example_reference) == 0.0
+
+    def test_empty_reference_recall_zero(self):
+        empty_reference = ReferenceMatch((2, 2), [])
+        matrix = MatchingMatrix.from_entries((2, 2), [(0, 0, 1.0)])
+        assert recall(matrix, empty_reference) == 0.0
+
+    def test_f_measure_zero_when_both_zero(self, example_reference):
+        assert f_measure(MatchingMatrix.zeros((3, 4)), example_reference) == 0.0
+
+    def test_resolution_of_empty_history(self, example_reference):
+        history = DecisionHistory(shape=(3, 4))
+        result = resolution(history, example_reference)
+        assert result.gamma == 0.0
+        assert result.p_value == 1.0
+
+    def test_perfect_matcher(self, example_reference):
+        decisions = [
+            Decision(row=i, col=j, confidence=1.0, timestamp=float(k + 1))
+            for k, (i, j) in enumerate(sorted(example_reference.positives))
+        ]
+        history = DecisionHistory(decisions, shape=(3, 4))
+        performance = evaluate_matcher(history, example_reference)
+        assert performance.precision == 1.0
+        assert performance.recall == 1.0
+        assert performance.calibration == pytest.approx(0.0)
+
+
+class TestAccumulatedCurves:
+    def test_lengths_match_history(self, example_history, example_reference):
+        curves = accumulated_curves(example_history, example_reference)
+        assert curves.n_decisions == len(example_history)
+        assert curves.precision.shape == curves.recall.shape
+
+    def test_recall_is_monotone_for_growing_prefixes(self, example_history, example_reference):
+        curves = accumulated_curves(example_history, example_reference)
+        assert (np.diff(curves.recall) >= -1e-12).all()
+
+    def test_skipping_resolution(self, example_history, example_reference):
+        curves = accumulated_curves(
+            example_history, example_reference, compute_resolution=False
+        )
+        assert (curves.resolution == 0).all()
+
+    def test_calibration_equals_confidence_minus_precision(
+        self, example_history, example_reference
+    ):
+        curves = accumulated_curves(example_history, example_reference)
+        np.testing.assert_allclose(
+            curves.calibration, curves.mean_confidence - curves.precision, atol=1e-12
+        )
+
+
+class TestPopulationPerformance:
+    def test_empty_population(self):
+        summary = population_performance([])
+        assert summary["precision"] == 0.0
+
+    def test_averages(self, example_history, example_reference):
+        performance = evaluate_matcher(example_history, example_reference)
+        summary = population_performance([performance, performance])
+        assert summary["precision"] == pytest.approx(performance.precision)
+        assert summary["abs_calibration"] == pytest.approx(abs(performance.calibration))
+
+
+@st.composite
+def history_and_reference(draw):
+    shape = (4, 4)
+    n_positives = draw(st.integers(1, 6))
+    all_pairs = [(i, j) for i in range(4) for j in range(4)]
+    positives = draw(
+        st.lists(st.sampled_from(all_pairs), min_size=n_positives, max_size=n_positives, unique=True)
+    )
+    reference = ReferenceMatch(shape, positives)
+    n_decisions = draw(st.integers(1, 20))
+    decisions = []
+    time = 0.0
+    for _ in range(n_decisions):
+        time += draw(st.floats(0.5, 5.0))
+        pair = draw(st.sampled_from(all_pairs))
+        decisions.append(
+            Decision(pair[0], pair[1], draw(st.floats(0.01, 1.0)), timestamp=time)
+        )
+    return DecisionHistory(decisions, shape=shape), reference
+
+
+class TestMetricProperties:
+    @given(history_and_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_precision_recall_in_unit_interval(self, data):
+        history, reference = data
+        matrix = history.to_matrix()
+        assert 0.0 <= precision(matrix, reference) <= 1.0
+        assert 0.0 <= recall(matrix, reference) <= 1.0
+
+    @given(history_and_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_calibration_bounded(self, data):
+        history, reference = data
+        assert -1.0 <= calibration(history, reference) <= 1.0
+
+    @given(history_and_reference())
+    @settings(max_examples=20, deadline=None)
+    def test_resolution_bounded(self, data):
+        history, reference = data
+        result = resolution(history, reference, random_state=0)
+        assert -1.0 <= result.gamma <= 1.0
+        assert 0.0 <= result.p_value <= 1.0

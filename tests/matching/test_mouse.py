@@ -1,0 +1,121 @@
+"""Tests for mouse events, movement maps and heat maps."""
+
+import numpy as np
+import pytest
+
+from repro.matching.mouse import (
+    HeatMap,
+    MouseEvent,
+    MouseEventType,
+    MovementMap,
+    merge_movement_maps,
+)
+
+
+class TestMouseEvent:
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            MouseEvent(x=0, y=0, event_type=MouseEventType.MOVE, timestamp=-1.0)
+
+
+class TestMovementMap:
+    def test_counts_by_type(self, simple_movement):
+        counts = simple_movement.count_by_type()
+        assert counts[MouseEventType.MOVE] == 2
+        assert counts[MouseEventType.LEFT_CLICK] == 2
+        assert counts[MouseEventType.SCROLL] == 1
+        assert counts[MouseEventType.RIGHT_CLICK] == 1
+
+    def test_duration_and_path_length(self, simple_movement):
+        assert simple_movement.duration() == pytest.approx(5.0)
+        assert simple_movement.path_length() > 0.0
+        assert simple_movement.mean_speed() == pytest.approx(
+            simple_movement.path_length() / 5.0
+        )
+
+    def test_empty_map(self):
+        empty = MovementMap()
+        assert empty.is_empty
+        assert empty.path_length() == 0.0
+        assert empty.mean_speed() == 0.0
+        x, y = empty.mean_position()
+        assert x > 0 and y > 0  # screen centre
+
+    def test_events_sorted_by_timestamp(self):
+        events = [
+            MouseEvent(0, 0, MouseEventType.MOVE, timestamp=5.0),
+            MouseEvent(1, 1, MouseEventType.MOVE, timestamp=1.0),
+        ]
+        movement = MovementMap(events)
+        assert movement.events[0].timestamp == 1.0
+
+    def test_until_and_between(self, simple_movement):
+        assert len(simple_movement.until(3.0)) == 3
+        assert len(simple_movement.between(2.0, 4.0)) == 3
+
+    def test_invalid_screen(self):
+        with pytest.raises(ValueError):
+            MovementMap(screen=(0, 100))
+
+    def test_merge(self, simple_movement):
+        merged = merge_movement_maps([simple_movement, simple_movement])
+        assert len(merged) == 2 * len(simple_movement)
+
+    def test_merge_rejects_mismatched_screens(self, simple_movement):
+        other = MovementMap(screen=(100, 100))
+        with pytest.raises(ValueError):
+            merge_movement_maps([simple_movement, other])
+
+
+class TestHeatMap:
+    def test_heat_map_total_matches_event_count(self, simple_movement):
+        heat_map = simple_movement.heat_map(shape=(24, 32))
+        assert heat_map.total == len(simple_movement)
+
+    def test_per_type_heat_maps(self, simple_movement):
+        maps = simple_movement.heat_maps_by_type(shape=(16, 16))
+        assert set(maps) == set(MouseEventType)
+        assert maps[MouseEventType.SCROLL].total == 1
+
+    def test_normalized_range(self, simple_movement):
+        heat_map = simple_movement.heat_map(shape=(8, 8))
+        normalized = heat_map.normalized()
+        assert normalized.max() == pytest.approx(1.0)
+        assert normalized.min() >= 0.0
+
+    def test_normalized_all_zero(self):
+        heat_map = HeatMap(np.zeros((4, 4)))
+        assert heat_map.normalized().max() == 0.0
+
+    def test_downscale_preserves_mass(self, simple_movement):
+        heat_map = simple_movement.heat_map()
+        small = heat_map.downscale((8, 8))
+        assert small.total == pytest.approx(heat_map.total)
+        assert small.shape == (8, 8)
+
+    def test_region_mass_sums_to_one(self, simple_movement):
+        heat_map = simple_movement.heat_map(shape=(16, 16))
+        top = heat_map.region_mass(slice(0, 8), slice(0, 16))
+        bottom = heat_map.region_mass(slice(8, 16), slice(0, 16))
+        assert top + bottom == pytest.approx(1.0)
+
+    def test_center_of_mass_within_bounds(self, simple_movement):
+        heat_map = simple_movement.heat_map(shape=(16, 16))
+        row, col = heat_map.center_of_mass()
+        assert 0 <= row < 16
+        assert 0 <= col < 16
+
+    def test_coverage(self):
+        counts = np.zeros((4, 4))
+        counts[0, 0] = 3
+        assert HeatMap(counts).coverage() == pytest.approx(1 / 16)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            HeatMap(np.array([[-1.0]]))
+
+    def test_clipping_of_off_screen_events(self):
+        events = [MouseEvent(x=5000, y=5000, event_type=MouseEventType.MOVE, timestamp=1.0)]
+        movement = MovementMap(events, screen=(768, 1024))
+        heat_map = movement.heat_map(shape=(8, 8))
+        assert heat_map.total == 1.0

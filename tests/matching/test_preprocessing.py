@@ -1,0 +1,86 @@
+"""Tests for the Section IV-A preprocessing pipeline."""
+
+import pytest
+
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.matcher import HumanMatcher
+from repro.matching.mouse import MovementMap
+from repro.matching.preprocessing import (
+    PreprocessingConfig,
+    preprocess_history,
+    preprocess_matcher,
+    remove_time_outliers,
+    remove_warmup,
+)
+
+
+def _history_with_times(times, shape=(5, 5)):
+    decisions = [
+        Decision(row=i % 5, col=(i * 2) % 5, confidence=0.5, timestamp=t)
+        for i, t in enumerate(times)
+    ]
+    return DecisionHistory(decisions, shape=shape)
+
+
+class TestWarmup:
+    def test_removes_first_three_by_default(self):
+        history = _history_with_times([1, 2, 3, 4, 5, 6])
+        assert len(remove_warmup(history)) == 3
+
+    def test_short_history_becomes_empty(self):
+        history = _history_with_times([1, 2])
+        assert remove_warmup(history).is_empty
+
+
+class TestOutliers:
+    def test_removes_long_pause(self):
+        # One decision arrives after a pause far beyond two standard deviations.
+        times = [1, 2, 3, 4, 5, 6, 7, 8, 9, 200]
+        history = _history_with_times(times)
+        cleaned = remove_time_outliers(history)
+        assert len(cleaned) == len(history) - 1
+
+    def test_uniform_times_untouched(self):
+        history = _history_with_times([1, 2, 3, 4, 5])
+        assert len(remove_time_outliers(history)) == 5
+
+    def test_short_history_untouched(self):
+        history = _history_with_times([1, 100])
+        assert len(remove_time_outliers(history)) == 2
+
+
+class TestPipeline:
+    def test_preprocess_history_combines_steps(self):
+        times = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 300]
+        history = _history_with_times(times)
+        processed = preprocess_history(history)
+        assert len(processed) < len(history) - 2
+
+    def test_disable_outlier_removal(self):
+        times = [1, 2, 3, 4, 5, 6, 300]
+        history = _history_with_times(times)
+        config = PreprocessingConfig(remove_outliers=False)
+        assert len(preprocess_history(history, config)) == len(history) - 3
+
+    def test_preprocess_matcher_keeps_mouse_and_metadata(self, small_cohort):
+        matcher = small_cohort[0]
+        processed = preprocess_matcher(
+            HumanMatcher(
+                matcher_id=matcher.matcher_id,
+                history=matcher.history,
+                movement=matcher.movement,
+                task=matcher.task,
+                reference=matcher.reference,
+                metadata=matcher.metadata,
+            ),
+            PreprocessingConfig(warmup_decisions=1),
+        )
+        assert processed.movement is matcher.movement
+        assert processed.metadata is matcher.metadata
+        assert processed.n_decisions <= matcher.n_decisions
+
+    def test_empty_movement_matcher(self):
+        history = _history_with_times([1, 2, 3, 4, 5])
+        matcher = HumanMatcher("m", history, MovementMap())
+        processed = preprocess_matcher(matcher)
+        assert processed.n_decisions <= 2

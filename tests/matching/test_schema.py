@@ -1,0 +1,101 @@
+"""Tests for the schema / attribute data model."""
+
+import pytest
+
+from repro.matching.schema import Attribute, Schema, SchemaPair, purchase_order_example
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attribute = Attribute("poCode")
+        assert attribute.data_type == "string"
+        assert attribute.is_root
+
+    def test_nested_attribute_is_not_root(self):
+        attribute = Attribute("city", parent="address")
+        assert not attribute.is_root
+
+    def test_full_path(self):
+        schema = Schema(
+            "S",
+            [Attribute("address"), Attribute("city", parent="address")],
+        )
+        assert schema.attribute("city").full_path(schema) == "address.city"
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema("S", [Attribute("a"), Attribute("b")])
+        assert len(schema) == 2
+        assert schema.attribute("a").name == "a"
+        assert "a" in schema
+        assert "missing" not in schema
+
+    def test_duplicate_name_rejected(self):
+        schema = Schema("S", [Attribute("a")])
+        with pytest.raises(ValueError, match="duplicate"):
+            schema.add(Attribute("a"))
+
+    def test_unknown_parent_rejected(self):
+        schema = Schema("S")
+        with pytest.raises(ValueError, match="unknown parent"):
+            schema.add(Attribute("child", parent="ghost"))
+
+    def test_unknown_attribute_raises_key_error(self):
+        schema = Schema("S", [Attribute("a")])
+        with pytest.raises(KeyError):
+            schema.attribute("missing")
+        with pytest.raises(KeyError):
+            schema.index_of("missing")
+
+    def test_index_of_follows_insertion_order(self):
+        schema = Schema("S", [Attribute("a"), Attribute("b"), Attribute("c")])
+        assert schema.index_of("b") == 1
+        assert schema.names == ("a", "b", "c")
+
+    def test_children_and_roots(self):
+        schema = Schema(
+            "S",
+            [Attribute("order"), Attribute("date", parent="order"), Attribute("city")],
+        )
+        assert [a.name for a in schema.roots()] == ["order", "city"]
+        assert [a.name for a in schema.children("order")] == ["date"]
+
+    def test_depth(self):
+        schema = Schema(
+            "S",
+            [
+                Attribute("a"),
+                Attribute("b", parent="a"),
+                Attribute("c", parent="b"),
+            ],
+        )
+        assert schema.depth("a") == 0
+        assert schema.depth("c") == 2
+
+    def test_iteration_yields_attributes(self):
+        schema = Schema("S", [Attribute("a"), Attribute("b")])
+        assert [a.name for a in schema] == ["a", "b"]
+
+
+class TestSchemaPair:
+    def test_shape_and_pairs(self):
+        pair = SchemaPair(
+            source=Schema("A", [Attribute("x"), Attribute("y")]),
+            target=Schema("B", [Attribute("u"), Attribute("v"), Attribute("w")]),
+        )
+        assert pair.shape == (2, 3)
+        assert pair.n_pairs == 6
+        assert len(list(pair.iter_pairs())) == 6
+        assert pair.pair_names(0, 2) == ("x", "w")
+
+    def test_default_name(self):
+        pair = SchemaPair(source=Schema("A"), target=Schema("B"))
+        assert pair.name == "A-vs-B"
+
+    def test_purchase_order_example_matches_paper(self):
+        pair = purchase_order_example()
+        # Figure 3: three source elements (PO2) and four target elements (PO1).
+        assert pair.shape == (3, 4)
+        assert "orderNumber" in pair.source.names
+        assert "poCode" in pair.target.names

@@ -1,0 +1,105 @@
+"""Tests for train/test splitting, k-fold CV, cross_val_score and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GridSearchCV, KFold, LogisticRegression, cross_val_score, train_test_split
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, classification_data):
+        X, y = classification_data
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(X_test) == 20
+        assert len(X_train) == 60
+        assert len(y_train) == 60
+
+    def test_no_overlap_and_full_coverage(self, classification_data):
+        X, y = classification_data
+        indices = np.arange(len(y))
+        train_idx, test_idx, _, _ = train_test_split(indices, indices, test_size=0.3, random_state=1)
+        assert set(train_idx) & set(test_idx) == set()
+        assert set(train_idx) | set(test_idx) == set(indices)
+
+    def test_invalid_test_size(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+    def test_deterministic_with_seed(self, classification_data):
+        X, y = classification_data
+        a = train_test_split(X, y, random_state=5)[1]
+        b = train_test_split(X, y, random_state=5)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKFold:
+    def test_fold_partition(self):
+        folds = KFold(n_splits=4, shuffle=False)
+        X = list(range(10))
+        test_indices = []
+        for train_idx, test_idx in folds.split(X):
+            assert set(train_idx) & set(test_idx) == set()
+            test_indices.extend(test_idx.tolist())
+        assert sorted(test_indices) == list(range(10))
+
+    def test_number_of_folds(self):
+        folds = list(KFold(n_splits=5).split(range(23)))
+        assert len(folds) == 5
+        sizes = [len(test) for _, test in folds]
+        assert sum(sizes) == 23
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(range(3)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(LogisticRegression(n_iterations=100), X, y, cv=4)
+        assert scores.shape == (4,)
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+
+    def test_good_model_scores_high(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(LogisticRegression(n_iterations=150), X, y, cv=4)
+        assert scores.mean() > 0.8
+
+
+class TestGridSearch:
+    def test_finds_best_depth(self, classification_data):
+        X, y = classification_data
+        search = GridSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            param_grid={"max_depth": [1, 3, 5]},
+            cv=3,
+        )
+        search.fit(X, y)
+        assert search.best_params_ is not None
+        assert search.best_params_["max_depth"] in (1, 3, 5)
+        assert search.best_estimator_ is not None
+        assert len(search.results_) == 3
+        assert search.predict(X).shape == (len(y),)
+
+    def test_empty_grid_uses_defaults(self, classification_data):
+        X, y = classification_data
+        search = GridSearchCV(LogisticRegression(n_iterations=50), param_grid={}, cv=3)
+        search.fit(X, y)
+        assert search.best_params_ == {}
+
+    def test_unfitted_predict_raises(self, classification_data):
+        X, _ = classification_data
+        search = GridSearchCV(LogisticRegression(), param_grid={})
+        with pytest.raises(RuntimeError):
+            search.predict(X)

@@ -1,0 +1,96 @@
+"""Tests for the multi-label wrappers (binary relevance, classifier chains)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import BinaryRelevance, ClassifierChain, LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def multilabel_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    Y = np.column_stack(
+        [
+            (X[:, 0] > 0).astype(int),
+            (X[:, 1] + X[:, 2] > 0).astype(int),
+            (X[:, 3] > 0.5).astype(int),
+        ]
+    )
+    return X, Y
+
+
+class TestBinaryRelevance:
+    def test_fit_predict_shapes(self, multilabel_data):
+        X, Y = multilabel_data
+        model = BinaryRelevance(LogisticRegression(n_iterations=150))
+        model.fit(X, Y)
+        predictions = model.predict(X)
+        assert predictions.shape == Y.shape
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_learns_each_label(self, multilabel_data):
+        X, Y = multilabel_data
+        model = BinaryRelevance(LogisticRegression(n_iterations=200))
+        model.fit(X, Y)
+        predictions = model.predict(X)
+        per_label_accuracy = (predictions == Y).mean(axis=0)
+        assert (per_label_accuracy > 0.75).all()
+
+    def test_predict_proba_range(self, multilabel_data):
+        X, Y = multilabel_data
+        model = BinaryRelevance(DecisionTreeClassifier(max_depth=4, random_state=0))
+        model.fit(X, Y)
+        probabilities = model.predict_proba(X)
+        assert probabilities.shape == Y.shape
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_constant_label_handled(self):
+        X = np.random.default_rng(0).random((20, 3))
+        Y = np.column_stack([np.ones(20, dtype=int), np.zeros(20, dtype=int)])
+        model = BinaryRelevance(LogisticRegression(n_iterations=50))
+        model.fit(X, Y)
+        predictions = model.predict(X)
+        assert (predictions[:, 0] == 1).all()
+        assert (predictions[:, 1] == 0).all()
+
+    def test_unfitted_raises(self, multilabel_data):
+        X, _ = multilabel_data
+        with pytest.raises(RuntimeError):
+            BinaryRelevance(LogisticRegression()).predict(X)
+
+    def test_validation(self, multilabel_data):
+        X, Y = multilabel_data
+        with pytest.raises(ValueError):
+            BinaryRelevance(LogisticRegression()).fit(X, Y[:, 0])
+        with pytest.raises(ValueError):
+            BinaryRelevance(LogisticRegression()).fit(X[:10], Y)
+
+
+class TestClassifierChain:
+    def test_fit_predict_shapes(self, multilabel_data):
+        X, Y = multilabel_data
+        model = ClassifierChain(LogisticRegression(n_iterations=150))
+        model.fit(X, Y)
+        assert model.predict(X).shape == Y.shape
+
+    def test_custom_order(self, multilabel_data):
+        X, Y = multilabel_data
+        model = ClassifierChain(LogisticRegression(n_iterations=100), order=[2, 0, 1])
+        model.fit(X, Y)
+        predictions = model.predict(X)
+        assert predictions.shape == Y.shape
+
+    def test_invalid_order_rejected(self, multilabel_data):
+        X, Y = multilabel_data
+        with pytest.raises(ValueError):
+            ClassifierChain(LogisticRegression(), order=[0, 0, 1]).fit(X, Y)
+
+    def test_learns_labels(self, multilabel_data):
+        X, Y = multilabel_data
+        model = ClassifierChain(LogisticRegression(n_iterations=200))
+        model.fit(X, Y)
+        per_label_accuracy = (model.predict(X) == Y).mean(axis=0)
+        assert (per_label_accuracy > 0.7).all()

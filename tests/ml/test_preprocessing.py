@@ -1,0 +1,108 @@
+"""Tests for scalers and the imputer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import MinMaxScaler, SimpleImputer, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((20, 3)) * 7
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 20), st.integers(1, 5)),
+            elements=st.floats(-1e3, 1e3),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6
+        )
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self):
+        X = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0)
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [1.0]])
+        scaled = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        np.testing.assert_allclose(scaled.ravel(), [-1.0, 1.0])
+
+    def test_constant_feature(self):
+        X = np.full((5, 1), 3.0)
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 0))
+
+    def test_inverse_roundtrip(self):
+        X = np.array([[1.0, 2.0], [4.0, 8.0], [7.0, 5.0]])
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10)
+
+
+class TestSimpleImputer:
+    def test_mean_imputation(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        imputed = SimpleImputer(strategy="mean").fit_transform(X)
+        assert imputed[0, 1] == pytest.approx(4.0)
+
+    def test_median_imputation(self):
+        X = np.array([[1.0], [np.nan], [5.0], [100.0]])
+        imputed = SimpleImputer(strategy="median").fit_transform(X)
+        assert imputed[1, 0] == pytest.approx(5.0)
+
+    def test_constant_imputation(self):
+        X = np.array([[np.nan, np.nan]])
+        imputed = SimpleImputer(strategy="constant", fill_value=-1.0).fit_transform(X)
+        np.testing.assert_allclose(imputed, -1.0)
+
+    def test_all_nan_column_uses_fill_value(self):
+        X = np.array([[np.nan], [np.nan]])
+        imputed = SimpleImputer(strategy="mean", fill_value=0.5).fit_transform(X)
+        np.testing.assert_allclose(imputed, 0.5)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="mode")
+
+    def test_no_nan_left(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((10, 4))
+        X[X < 0.3] = np.nan
+        imputed = SimpleImputer().fit_transform(X)
+        assert np.all(np.isfinite(imputed))

@@ -1,0 +1,106 @@
+"""Tests for the convolutional layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv2D, GlobalAveragePooling2D, MaxPool2D
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D(1, 4, kernel_size=3, seed=0)
+        x = np.random.default_rng(0).random((2, 10, 12, 1))
+        output = conv.forward(x)
+        assert output.shape == (2, 8, 10, 4)
+
+    def test_rejects_wrong_channels(self):
+        conv = Conv2D(2, 4, kernel_size=3, seed=0)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 8, 8, 1)))
+
+    def test_rejects_small_input(self):
+        conv = Conv2D(1, 2, kernel_size=5, seed=0)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 3, 3, 1)))
+
+    def test_identity_kernel(self):
+        conv = Conv2D(1, 1, kernel_size=1, seed=0)
+        conv.params["W"][...] = 1.0
+        conv.params["b"][...] = 0.0
+        x = np.random.default_rng(1).random((1, 5, 5, 1))
+        output = conv.forward(x)
+        np.testing.assert_allclose(output, x)
+
+    def test_input_gradient_matches_numerical(self):
+        conv = Conv2D(1, 2, kernel_size=2, seed=2)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 4, 4, 1))
+        conv_output = conv.forward(x)
+        upstream = rng.normal(size=conv_output.shape)
+        analytic = conv.backward(upstream)
+
+        epsilon = 1e-5
+        numerical = np.zeros_like(x)
+        for i in range(4):
+            for j in range(4):
+                perturbed = x.copy()
+                perturbed[0, i, j, 0] += epsilon
+                plus = float((conv.forward(perturbed) * upstream).sum())
+                perturbed[0, i, j, 0] -= 2 * epsilon
+                minus = float((conv.forward(perturbed) * upstream).sum())
+                numerical[0, i, j, 0] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+    def test_weight_gradient_shapes(self):
+        conv = Conv2D(2, 3, kernel_size=3, seed=0)
+        x = np.random.default_rng(0).random((2, 6, 6, 2))
+        output = conv.forward(x)
+        conv.backward(np.ones_like(output))
+        assert conv.grads["W"].shape == conv.params["W"].shape
+        assert conv.grads["b"].shape == (3,)
+
+
+class TestMaxPool2D:
+    def test_forward(self):
+        pool = MaxPool2D(pool_size=2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        output = pool.forward(x)
+        np.testing.assert_allclose(output[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_max_positions(self):
+        pool = MaxPool2D(pool_size=2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        output = pool.forward(x)
+        gradient = pool.backward(np.ones_like(output))
+        assert gradient.sum() == pytest.approx(4.0)
+        assert gradient[0, 1, 1, 0] == 1.0  # position of value 5
+        assert gradient[0, 0, 0, 0] == 0.0
+
+    def test_odd_dimensions_trimmed(self):
+        pool = MaxPool2D(pool_size=2)
+        x = np.random.default_rng(0).random((1, 5, 5, 2))
+        assert pool.forward(x).shape == (1, 2, 2, 2)
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(pool_size=0)
+
+
+class TestGlobalAveragePooling:
+    def test_forward(self):
+        gap = GlobalAveragePooling2D()
+        x = np.ones((2, 3, 4, 5))
+        output = gap.forward(x)
+        assert output.shape == (2, 5)
+        np.testing.assert_allclose(output, 1.0)
+
+    def test_backward_spreads_gradient(self):
+        gap = GlobalAveragePooling2D()
+        x = np.ones((1, 2, 2, 3))
+        gap.forward(x)
+        gradient = gap.backward(np.ones((1, 3)))
+        np.testing.assert_allclose(gradient, 0.25)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            GlobalAveragePooling2D().forward(np.zeros((2, 3)))

@@ -1,0 +1,134 @@
+"""Tests for dense layers, activations, dropout and flatten (with gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+
+
+def numerical_gradient(layer, x, upstream, parameter_name=None, epsilon=1e-5):
+    """Central-difference gradient of sum(upstream * layer(x)) wrt x or a parameter."""
+    def objective():
+        return float((layer.forward(x, training=False) * upstream).sum())
+
+    if parameter_name is None:
+        target = x
+    else:
+        target = layer.params[parameter_name]
+    gradient = np.zeros_like(target)
+    flat = target.ravel()
+    gradient_flat = gradient.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = objective()
+        flat[index] = original - epsilon
+        minus = objective()
+        flat[index] = original
+        gradient_flat[index] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, seed=0)
+        output = layer.forward(np.ones((5, 4)))
+        assert output.shape == (5, 3)
+
+    def test_dimension_validation(self):
+        layer = Dense(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, seed=1)
+        x = rng.normal(size=(2, 4))
+        upstream = rng.normal(size=(2, 3))
+        layer.forward(x)
+        analytic = layer.backward(upstream)
+        numerical = numerical_gradient(layer, x, upstream)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+    def test_backward_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        upstream = rng.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(upstream)
+        numerical = numerical_gradient(layer, x, upstream, parameter_name="W")
+        np.testing.assert_allclose(layer.grads["W"], numerical, atol=1e-5)
+
+    def test_bias_gradient(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        upstream = rng.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(upstream)
+        np.testing.assert_allclose(layer.grads["b"], upstream.sum(axis=0), atol=1e-10)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("activation", [ReLU(), Sigmoid(), Tanh()])
+    def test_gradient_matches_numerical(self, activation):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 5))
+        upstream = rng.normal(size=(3, 5))
+        activation.forward(x)
+        analytic = activation.backward(upstream)
+        numerical = numerical_gradient(activation, x, upstream)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+    def test_relu_zeroes_negatives(self):
+        output = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(output, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        output = Sigmoid().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert output.min() >= 0.0
+        assert output.max() <= 1.0
+        assert output[0, 1] == pytest.approx(0.5)
+
+    def test_tanh_range(self):
+        output = Tanh().forward(np.array([[-10.0, 0.0, 10.0]]))
+        assert abs(output).max() <= 1.0
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        layer = Dropout(rate=0.5, seed=0)
+        x = np.ones((4, 6))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some_units(self):
+        layer = Dropout(rate=0.5, seed=0)
+        x = np.ones((20, 20))
+        output = layer.forward(x, training=True)
+        assert (output == 0).any()
+        # Inverted dropout keeps the expectation roughly constant.
+        assert output.mean() == pytest.approx(1.0, abs=0.2)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(rate=0.5, seed=0)
+        x = np.ones((10, 10))
+        output = layer.forward(x, training=True)
+        gradient = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(gradient == 0, output == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        flat = layer.forward(x)
+        assert flat.shape == (2, 12)
+        restored = layer.backward(flat)
+        assert restored.shape == x.shape

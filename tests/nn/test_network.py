@@ -1,0 +1,165 @@
+"""Tests for losses, optimizers, the Sequential model and the pretrained CNN."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BinaryCrossEntropy,
+    Dense,
+    MeanSquaredError,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    build_heatmap_cnn,
+    pretrain_on_synthetic_regions,
+)
+from repro.nn.layers import Dropout
+from repro.nn.recurrent import LSTM
+
+
+class TestLosses:
+    def test_bce_perfect_prediction_is_small(self):
+        loss = BinaryCrossEntropy()
+        predictions = np.array([[0.999], [0.001]])
+        targets = np.array([[1.0], [0.0]])
+        assert loss.value(predictions, targets) < 0.01
+
+    def test_bce_wrong_prediction_is_large(self):
+        loss = BinaryCrossEntropy()
+        assert loss.value(np.array([[0.01]]), np.array([[1.0]])) > 1.0
+
+    def test_bce_gradient_sign(self):
+        loss = BinaryCrossEntropy()
+        gradient = loss.gradient(np.array([[0.8]]), np.array([[1.0]]))
+        assert gradient[0, 0] < 0  # increasing the prediction lowers the loss
+
+    def test_bce_gradient_matches_numerical(self):
+        loss = BinaryCrossEntropy()
+        rng = np.random.default_rng(0)
+        predictions = rng.uniform(0.1, 0.9, size=(3, 2))
+        targets = rng.integers(0, 2, size=(3, 2)).astype(float)
+        analytic = loss.gradient(predictions, targets)
+        epsilon = 1e-6
+        numerical = np.zeros_like(predictions)
+        for i in range(predictions.shape[0]):
+            for j in range(predictions.shape[1]):
+                plus = predictions.copy()
+                plus[i, j] += epsilon
+                minus = predictions.copy()
+                minus[i, j] -= epsilon
+                numerical[i, j] = (loss.value(plus, targets) - loss.value(minus, targets)) / (
+                    2 * epsilon
+                )
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+    def test_mse(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([[1.0]]), np.array([[0.0]])) == pytest.approx(1.0)
+
+
+class TestOptimizers:
+    def _loss_after_steps(self, optimizer, steps=60):
+        layer = Dense(2, 1, seed=0)
+        target_weights = np.array([[1.5], [-2.0]])
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, 2))
+        y = X @ target_weights
+        loss = MeanSquaredError()
+        network = Sequential([layer]).compile(loss=loss, optimizer=optimizer)
+        network.fit(X, y, epochs=steps, batch_size=16, random_state=0)
+        return network.history_[-1]
+
+    def test_adam_reduces_loss(self):
+        assert self._loss_after_steps(Adam(learning_rate=0.05)) < 0.05
+
+    def test_sgd_reduces_loss(self):
+        assert self._loss_after_steps(SGD(learning_rate=0.05, momentum=0.9)) < 0.1
+
+    def test_invalid_learning_rates(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+
+
+class TestSequential:
+    def test_learns_xor_like_separation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+        network = Sequential(
+            [Dense(2, 16, seed=0), ReLU(), Dense(16, 1, seed=1), Sigmoid()]
+        ).compile(optimizer=Adam(learning_rate=0.02))
+        network.fit(X, y, epochs=60, batch_size=32, random_state=0)
+        predictions = (network.predict(X)[:, 0] > 0.5).astype(float)
+        assert (predictions == y).mean() > 0.85
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(float)
+        network = Sequential([Dense(3, 8, seed=0), ReLU(), Dense(8, 1, seed=1), Sigmoid()])
+        network.compile(optimizer=Adam(learning_rate=0.01))
+        network.fit(X, y, epochs=20, batch_size=16, random_state=0)
+        assert network.history_[-1] < network.history_[0]
+
+    def test_multi_output_targets(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 4))
+        Y = np.column_stack([(X[:, 0] > 0), (X[:, 1] > 0)]).astype(float)
+        network = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1), Sigmoid()])
+        network.compile(optimizer=Adam(learning_rate=0.02))
+        network.fit(X, Y, epochs=30, batch_size=16, random_state=0)
+        assert network.predict(X).shape == (50, 2)
+
+    def test_lstm_network_trains(self):
+        rng = np.random.default_rng(3)
+        # Label = whether the mean of the sequence's first channel is positive.
+        X = rng.normal(size=(40, 8, 2))
+        y = (X[:, :, 0].mean(axis=1) > 0).astype(float)
+        network = Sequential(
+            [LSTM(2, 8, seed=0), Dropout(0.2, seed=0), Dense(8, 1, seed=1), Sigmoid()]
+        ).compile(optimizer=Adam(learning_rate=0.02))
+        network.fit(X, y, epochs=25, batch_size=8, random_state=0)
+        predictions = (network.predict(X)[:, 0] > 0.5).astype(float)
+        assert (predictions == y).mean() > 0.7
+
+    def test_validation_errors(self):
+        network = Sequential([Dense(2, 1, seed=0)])
+        with pytest.raises(ValueError):
+            network.fit(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            network.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_weights_roundtrip(self):
+        network = Sequential([Dense(2, 2, seed=0), Sigmoid()])
+        weights = network.get_weights()
+        network.layers[0].params["W"][...] = 0.0
+        network.set_weights(weights)
+        assert network.layers[0].params["W"].any()
+
+    def test_n_parameters(self):
+        network = Sequential([Dense(3, 4, seed=0), Dense(4, 2, seed=0)])
+        assert network.n_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+
+class TestPretrainedCNN:
+    def test_build_and_pretrain(self):
+        network = build_heatmap_cnn(n_filters=2, seed=0)
+        output = network.predict(np.random.default_rng(0).random((2, 16, 20, 1)))
+        assert output.shape == (2, 1)
+        pretrain_on_synthetic_regions(network, n_samples=16, epochs=1, random_state=0)
+        assert len(network.history_) == 1
+
+    def test_pretraining_learns_region_task(self):
+        network = build_heatmap_cnn(n_filters=4, seed=0)
+        pretrain_on_synthetic_regions(network, n_samples=64, epochs=6, random_state=0)
+        assert network.history_[-1] < network.history_[0]
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            build_heatmap_cnn(input_shape=(4, 4))

@@ -1,0 +1,117 @@
+"""Tests for the LSTM layer and sequence padding."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, pad_sequences
+
+
+class TestLSTMForward:
+    def test_output_shape(self):
+        lstm = LSTM(input_dim=3, hidden_dim=8, seed=0)
+        x = np.random.default_rng(0).normal(size=(4, 10, 3))
+        output = lstm.forward(x)
+        assert output.shape == (4, 8)
+
+    def test_rejects_wrong_rank(self):
+        lstm = LSTM(input_dim=3, hidden_dim=4, seed=0)
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((4, 3)))
+
+    def test_rejects_wrong_feature_dim(self):
+        lstm = LSTM(input_dim=3, hidden_dim=4, seed=0)
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((2, 5, 2)))
+
+    def test_hidden_state_bounded(self):
+        lstm = LSTM(input_dim=2, hidden_dim=6, seed=1)
+        x = np.random.default_rng(1).normal(scale=5.0, size=(3, 20, 2))
+        output = lstm.forward(x)
+        assert np.abs(output).max() <= 1.0  # tanh(c) * sigmoid(o) is bounded by 1
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(2).normal(size=(2, 5, 3))
+        a = LSTM(3, 4, seed=7).forward(x)
+        b = LSTM(3, 4, seed=7).forward(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            LSTM(0, 4)
+
+
+class TestLSTMBackward:
+    def test_gradient_shapes(self):
+        lstm = LSTM(input_dim=3, hidden_dim=5, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 6, 3))
+        output = lstm.forward(x)
+        grad_input = lstm.backward(np.ones_like(output))
+        assert grad_input.shape == x.shape
+        for name, gradient in lstm.grads.items():
+            assert gradient.shape == lstm.params[name].shape
+
+    def test_input_gradient_matches_numerical(self):
+        lstm = LSTM(input_dim=2, hidden_dim=3, seed=3)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 4, 2))
+        upstream = rng.normal(size=(1, 3))
+
+        lstm.forward(x)
+        analytic = lstm.backward(upstream)
+
+        epsilon = 1e-5
+        numerical = np.zeros_like(x)
+        for t in range(x.shape[1]):
+            for f in range(x.shape[2]):
+                perturbed = x.copy()
+                perturbed[0, t, f] += epsilon
+                plus = float((lstm.forward(perturbed) * upstream).sum())
+                perturbed[0, t, f] -= 2 * epsilon
+                minus = float((lstm.forward(perturbed) * upstream).sum())
+                numerical[0, t, f] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+    def test_weight_gradient_matches_numerical(self):
+        lstm = LSTM(input_dim=2, hidden_dim=2, seed=4)
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 2))
+        upstream = rng.normal(size=(2, 2))
+        lstm.forward(x)
+        lstm.backward(upstream)
+        analytic = lstm.grads["W_o"].copy()
+
+        epsilon = 1e-5
+        numerical = np.zeros_like(lstm.params["W_o"])
+        flat = lstm.params["W_o"].ravel()
+        numerical_flat = numerical.ravel()
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            plus = float((lstm.forward(x) * upstream).sum())
+            flat[index] = original - epsilon
+            minus = float((lstm.forward(x) * upstream).sum())
+            flat[index] = original
+            numerical_flat[index] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+
+class TestPadSequences:
+    def test_padding_to_longest(self):
+        sequences = [np.ones((3, 2)), np.ones((5, 2))]
+        batch = pad_sequences(sequences)
+        assert batch.shape == (2, 5, 2)
+        # Shorter sequences are front-padded: the last steps carry the data.
+        assert batch[0, :2].sum() == 0.0
+        assert batch[0, 2:].sum() == 6.0
+
+    def test_truncation_keeps_most_recent(self):
+        sequence = np.arange(10, dtype=float).reshape(-1, 1)
+        batch = pad_sequences([sequence], max_length=4)
+        np.testing.assert_allclose(batch[0, :, 0], [6, 7, 8, 9])
+
+    def test_1d_sequences_get_feature_dim(self):
+        batch = pad_sequences([np.array([[1.0], [2.0]])], max_length=3)
+        assert batch.shape == (1, 3, 1)
+
+    def test_empty_input(self):
+        assert pad_sequences([]).shape == (0, 0, 0)

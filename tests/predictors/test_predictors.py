@@ -1,0 +1,181 @@
+"""Tests for the matching-predictor substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.matching.matrix import MatchingMatrix
+from repro.predictors import (
+    AverageConfidencePredictor,
+    BinaryMaxPredictor,
+    BinaryPrecisionMaxPredictor,
+    ConfidenceVariancePredictor,
+    CoveragePredictor,
+    DiversityPredictor,
+    DominantsPredictor,
+    FrobeniusNormPredictor,
+    L1NormPredictor,
+    LInfinityNormPredictor,
+    MatrixEntropyPredictor,
+    MaxConfidencePredictor,
+    MutualDominancePredictor,
+    PCAPredictor,
+    PredictorRegistry,
+    RowEntropyPredictor,
+    SpectralNormPredictor,
+    default_registry,
+    evaluate_predictors,
+)
+
+
+def _matrix(values):
+    return MatchingMatrix(np.asarray(values, dtype=float))
+
+
+class TestRegistry:
+    def test_default_registry_has_table4_features(self):
+        registry = default_registry()
+        for name in ("dom", "pca1", "pca2", "normsinf", "bpm", "bmm", "mcd"):
+            assert name in registry
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PredictorRegistry([DominantsPredictor(), DominantsPredictor()])
+
+    def test_evaluate_returns_all_names(self):
+        matrix = _matrix([[0.5, 0.0], [0.0, 0.9]])
+        scores = evaluate_predictors(matrix)
+        assert set(scores) == set(default_registry().names())
+        assert all(np.isfinite(v) for v in scores.values())
+
+    def test_by_orientation(self):
+        registry = default_registry()
+        precision_predictors = registry.by_orientation("precision")
+        recall_predictors = registry.by_orientation("recall")
+        assert len(precision_predictors) > 0
+        assert len(recall_predictors) > 0
+        assert len(precision_predictors) + len(recall_predictors) == len(registry)
+
+
+class TestStructuralPredictors:
+    def test_dominants_identity_matrix(self):
+        matrix = _matrix(np.eye(3))
+        assert DominantsPredictor()(matrix) == pytest.approx(1.0)
+
+    def test_dominants_empty(self):
+        assert DominantsPredictor()(_matrix(np.zeros((3, 3)))) == 0.0
+
+    def test_dominants_partial(self):
+        matrix = _matrix([[0.9, 0.8], [0.0, 0.0]])
+        # (0,0) dominates its row and column; (0,1) dominates its column only... both share row max.
+        value = DominantsPredictor()(matrix)
+        assert 0.0 < value <= 1.0
+
+    def test_mutual_dominance(self):
+        matrix = _matrix([[0.9, 0.1], [0.1, 0.7]])
+        assert MutualDominancePredictor()(matrix) == pytest.approx(0.8)
+
+    def test_bmm_counts_addressed_rows(self):
+        matrix = _matrix([[0.5, 0.0], [0.0, 0.0], [0.0, 0.3]])
+        assert BinaryMaxPredictor()(matrix) == pytest.approx(2 / 3)
+
+    def test_bpm_average_of_row_maxima(self):
+        matrix = _matrix([[0.5, 0.2], [0.0, 0.0], [0.0, 0.9]])
+        assert BinaryPrecisionMaxPredictor()(matrix) == pytest.approx(0.7)
+
+    def test_max_and_avg_confidence(self):
+        matrix = _matrix([[0.5, 0.0], [0.0, 0.9]])
+        assert MaxConfidencePredictor()(matrix) == pytest.approx(0.9)
+        assert AverageConfidencePredictor()(matrix) == pytest.approx(0.7)
+
+    def test_coverage_is_density(self):
+        matrix = _matrix([[0.5, 0.0], [0.0, 0.9]])
+        assert CoveragePredictor()(matrix) == pytest.approx(0.5)
+
+
+class TestNormPredictors:
+    def test_norms_zero_matrix(self):
+        zero = _matrix(np.zeros((3, 3)))
+        for predictor in (
+            FrobeniusNormPredictor(),
+            LInfinityNormPredictor(),
+            L1NormPredictor(),
+            SpectralNormPredictor(),
+        ):
+            assert predictor(zero) == 0.0
+
+    def test_norms_all_ones(self):
+        ones = _matrix(np.ones((3, 3)))
+        assert FrobeniusNormPredictor()(ones) == pytest.approx(1.0)
+        assert LInfinityNormPredictor()(ones) == pytest.approx(1.0)
+        assert L1NormPredictor()(ones) == pytest.approx(1.0)
+
+    def test_norms_monotone_in_mass(self):
+        sparse = _matrix([[0.2, 0.0], [0.0, 0.0]])
+        dense = _matrix([[0.9, 0.9], [0.9, 0.9]])
+        assert FrobeniusNormPredictor()(dense) > FrobeniusNormPredictor()(sparse)
+
+
+class TestEntropyPredictors:
+    def test_entropy_uniform_is_maximal(self):
+        uniform = _matrix(np.full((3, 3), 0.5))
+        concentrated = _matrix(np.diag([0.9, 0.0, 0.0]).clip(0, 1))
+        assert MatrixEntropyPredictor()(uniform) > MatrixEntropyPredictor()(concentrated)
+        assert MatrixEntropyPredictor()(uniform) == pytest.approx(1.0)
+
+    def test_row_entropy_range(self):
+        matrix = _matrix([[0.5, 0.5], [0.9, 0.0]])
+        assert 0.0 <= RowEntropyPredictor()(matrix) <= 1.0
+
+    def test_variance_zero_for_constant_confidences(self):
+        matrix = _matrix([[0.5, 0.5], [0.5, 0.0]])
+        assert ConfidenceVariancePredictor()(matrix) == pytest.approx(0.0)
+
+    def test_diversity(self):
+        uniform = _matrix([[0.5, 0.5], [0.5, 0.5]])
+        varied = _matrix([[0.1, 0.4], [0.7, 0.9]])
+        assert DiversityPredictor()(varied) > DiversityPredictor()(uniform)
+
+
+class TestPCAPredictors:
+    def test_rank_one_matrix_concentrates_energy(self):
+        rank_one = _matrix(np.outer([0.5, 0.5, 0.5], [1.0, 0.8, 0.6]).clip(0, 1))
+        assert PCAPredictor(component=1)(rank_one) == pytest.approx(1.0)
+        assert PCAPredictor(component=2)(rank_one) == pytest.approx(0.0, abs=1e-10)
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            PCAPredictor(component=0)
+
+    def test_out_of_range_component(self):
+        matrix = _matrix([[0.5]])
+        assert PCAPredictor(component=3)(matrix) == 0.0
+
+
+@st.composite
+def unit_matrices(draw):
+    shape = draw(st.tuples(st.integers(1, 5), st.integers(1, 5)))
+    return MatchingMatrix(
+        draw(
+            hnp.arrays(
+                dtype=float, shape=shape, elements=st.floats(0.0, 1.0, allow_nan=False)
+            )
+        )
+    )
+
+
+class TestPredictorProperties:
+    @given(unit_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_all_predictors_finite(self, matrix):
+        for name, value in evaluate_predictors(matrix).items():
+            assert np.isfinite(value), name
+
+    @given(unit_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_predictors(self, matrix):
+        scores = evaluate_predictors(matrix)
+        for name in ("dom", "bmm", "bpm", "coverage", "entropy", "pca1", "pca2", "avg_conf"):
+            assert 0.0 <= scores[name] <= 1.0 + 1e-9, name

@@ -1,0 +1,186 @@
+"""Tests for archetypes, decision simulation and mouse simulation."""
+
+import numpy as np
+import pytest
+
+from repro.matching.metrics import evaluate_matcher
+from repro.matching.mouse import MouseEventType
+from repro.simulation.archetypes import (
+    ARCHETYPE_LIBRARY,
+    Archetype,
+    BehavioralTraits,
+    sample_traits,
+)
+from repro.simulation.decisions import simulate_history
+from repro.simulation.mouse_sim import simulate_movement
+from repro.simulation.schemas import build_small_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return build_small_task(random_state=9)
+
+
+class TestTraits:
+    def test_clipping(self):
+        traits = BehavioralTraits(skill=2.0, confidence_bias=-3.0, pace=1000.0).clipped()
+        assert traits.skill <= 0.99
+        assert traits.confidence_bias >= -0.6
+        assert traits.pace <= 60.0
+
+    def test_library_covers_four_archetypes(self):
+        assert set(ARCHETYPE_LIBRARY) == {Archetype.A, Archetype.B, Archetype.C, Archetype.D}
+
+    def test_archetype_sampling_close_to_preset(self):
+        rng = np.random.default_rng(0)
+        traits = sample_traits(rng, archetype=Archetype.A)
+        preset = ARCHETYPE_LIBRARY[Archetype.A]
+        assert abs(traits.skill - preset.skill) < 0.25
+        assert traits.coverage_drive > 0.5
+
+    def test_mixed_sampling_is_varied(self):
+        rng = np.random.default_rng(1)
+        samples = [sample_traits(rng) for _ in range(50)]
+        skills = np.array([t.skill for t in samples])
+        assert skills.std() > 0.05
+        assert 0.3 < skills.mean() < 0.9
+
+
+class TestDecisionSimulation:
+    def test_history_shape_and_bounds(self, task):
+        pair, reference = task
+        rng = np.random.default_rng(0)
+        history = simulate_history(pair, reference, ARCHETYPE_LIBRARY[Archetype.A], rng=rng)
+        assert history.shape == pair.shape
+        assert len(history) > 3
+        assert (history.confidences() >= 0.0).all()
+        assert (history.confidences() <= 1.0).all()
+        times = history.timestamps()
+        assert (np.diff(times) >= 0).all()
+
+    def test_archetype_a_beats_archetype_b(self, task):
+        pair, reference = task
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        history_a = simulate_history(pair, reference, ARCHETYPE_LIBRARY[Archetype.A], rng=rng_a)
+        history_b = simulate_history(pair, reference, ARCHETYPE_LIBRARY[Archetype.B], rng=rng_b)
+        performance_a = evaluate_matcher(history_a, reference)
+        performance_b = evaluate_matcher(history_b, reference)
+        assert performance_a.precision > performance_b.precision
+        assert performance_a.recall > performance_b.recall
+
+    def test_archetype_c_is_precise_but_incomplete(self, task):
+        pair, reference = task
+        precisions, recalls = [], []
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            history = simulate_history(pair, reference, ARCHETYPE_LIBRARY[Archetype.C], rng=rng)
+            performance = evaluate_matcher(history, reference)
+            precisions.append(performance.precision)
+            recalls.append(performance.recall)
+        assert np.mean(precisions) > 0.55
+        assert np.mean(recalls) < 0.5
+        assert np.mean(precisions) > np.mean(recalls)
+
+    def test_archetype_d_is_underconfident(self, task):
+        pair, reference = task
+        calibrations = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            history = simulate_history(pair, reference, ARCHETYPE_LIBRARY[Archetype.D], rng=rng)
+            calibrations.append(evaluate_matcher(history, reference).calibration)
+        assert np.mean(calibrations) < -0.1
+
+    def test_skill_monotonicity(self, task):
+        """Higher skill should, on average, produce higher precision."""
+        pair, reference = task
+        low = BehavioralTraits(skill=0.2, coverage_drive=0.5, distraction=0.3)
+        high = BehavioralTraits(skill=0.95, coverage_drive=0.5, distraction=0.3)
+        low_p, high_p = [], []
+        for seed in range(8):
+            low_p.append(
+                evaluate_matcher(
+                    simulate_history(pair, reference, low, rng=np.random.default_rng(seed)),
+                    reference,
+                ).precision
+            )
+            high_p.append(
+                evaluate_matcher(
+                    simulate_history(pair, reference, high, rng=np.random.default_rng(seed)),
+                    reference,
+                ).precision
+            )
+        assert np.mean(high_p) > np.mean(low_p) + 0.2
+
+    def test_empty_reference_rejected(self, task):
+        pair, _ = task
+        from repro.matching.correspondence import ReferenceMatch
+
+        with pytest.raises(ValueError):
+            simulate_history(pair, ReferenceMatch(pair.shape, []), BehavioralTraits())
+
+    def test_warmup_toggle(self, task):
+        pair, reference = task
+        traits = ARCHETYPE_LIBRARY[Archetype.A]
+        with_warmup = simulate_history(
+            pair, reference, traits, rng=np.random.default_rng(3), include_warmup=True
+        )
+        without_warmup = simulate_history(
+            pair, reference, traits, rng=np.random.default_rng(3), include_warmup=False
+        )
+        # The warm-up phase adds (at least) three extra exploratory decisions.
+        assert len(with_warmup) >= 3
+        assert len(without_warmup) >= 2
+        assert len(with_warmup) > len(without_warmup) - 3
+
+
+class TestMouseSimulation:
+    def test_events_track_history_duration(self, task):
+        pair, reference = task
+        rng = np.random.default_rng(0)
+        traits = ARCHETYPE_LIBRARY[Archetype.A]
+        history = simulate_history(pair, reference, traits, rng=rng)
+        movement = simulate_movement(history, traits, rng=rng)
+        assert len(movement) >= 3 * len(history)
+        assert movement.events[-1].timestamp <= history.timestamps()[-1] + 1e-6
+
+    def test_empty_history_gives_empty_movement(self):
+        from repro.matching.history import DecisionHistory
+
+        movement = simulate_movement(DecisionHistory(shape=(2, 2)), BehavioralTraits())
+        assert movement.is_empty
+
+    def test_low_exploration_concentrates_on_match_table(self, task):
+        pair, reference = task
+        tunnel = BehavioralTraits(exploration=0.05, scroll_tendency=0.2)
+        explorer = BehavioralTraits(exploration=1.0, scroll_tendency=0.2)
+        rng = np.random.default_rng(2)
+        history = simulate_history(pair, reference, explorer, rng=rng)
+
+        movement_tunnel = simulate_movement(history, tunnel, rng=np.random.default_rng(3))
+        movement_explorer = simulate_movement(history, explorer, rng=np.random.default_rng(3))
+
+        def top_mass(movement):
+            heat = movement.heat_map(shape=(16, 16))
+            return heat.region_mass(slice(0, 8), slice(0, 16))
+
+        assert top_mass(movement_explorer) > top_mass(movement_tunnel)
+
+    def test_scroll_tendency_increases_scrolls(self, task):
+        pair, reference = task
+        calm = BehavioralTraits(scroll_tendency=0.0)
+        scroller = BehavioralTraits(scroll_tendency=1.0)
+        history = simulate_history(pair, reference, calm, rng=np.random.default_rng(4))
+        movement_calm = simulate_movement(history, calm, rng=np.random.default_rng(5))
+        movement_scroller = simulate_movement(history, scroller, rng=np.random.default_rng(5))
+        assert (
+            movement_scroller.count_by_type()[MouseEventType.SCROLL]
+            > movement_calm.count_by_type()[MouseEventType.SCROLL]
+        )
+
+    def test_every_decision_gets_a_click(self, task):
+        pair, reference = task
+        traits = ARCHETYPE_LIBRARY[Archetype.A]
+        history = simulate_history(pair, reference, traits, rng=np.random.default_rng(6))
+        movement = simulate_movement(history, traits, rng=np.random.default_rng(6))
+        assert movement.count_by_type()[MouseEventType.LEFT_CLICK] >= len(history)

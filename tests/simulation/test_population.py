@@ -1,0 +1,96 @@
+"""Tests for population simulation and the full dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.simulation.archetypes import Archetype
+from repro.simulation.dataset import build_dataset
+from repro.simulation.population import simulate_matcher, simulate_population
+from repro.simulation.schemas import build_small_task
+
+
+class TestSimulateMatcher:
+    def test_parts_are_consistent(self):
+        pair, reference = build_small_task(random_state=1)
+        matcher = simulate_matcher("m0", pair, reference, random_state=0)
+        assert matcher.task is pair
+        assert matcher.reference is reference
+        assert matcher.n_decisions > 0
+        assert len(matcher.movement) > 0
+
+    def test_deterministic_given_seed(self):
+        pair, reference = build_small_task(random_state=1)
+        a = simulate_matcher("m", pair, reference, random_state=3)
+        b = simulate_matcher("m", pair, reference, random_state=3)
+        assert a.n_decisions == b.n_decisions
+        assert a.history.confidences().tolist() == b.history.confidences().tolist()
+
+    def test_archetype_matcher(self):
+        pair, reference = build_small_task(random_state=1)
+        matcher = simulate_matcher("a", pair, reference, archetype=Archetype.A, random_state=0)
+        assert matcher.n_decisions > 5
+
+
+class TestSimulatePopulation:
+    def test_size_and_unique_ids(self, small_cohort):
+        assert len(small_cohort) == 16
+        assert len({m.matcher_id for m in small_cohort}) == 16
+
+    def test_invalid_size(self):
+        pair, reference = build_small_task()
+        with pytest.raises(ValueError):
+            simulate_population(pair, reference, n_matchers=0)
+
+    def test_archetype_cycling(self):
+        pair, reference = build_small_task(random_state=1)
+        cohort = simulate_population(
+            pair,
+            reference,
+            n_matchers=4,
+            archetypes=[Archetype.A, Archetype.B],
+            random_state=0,
+        )
+        assert len(cohort) == 4
+
+    def test_population_heterogeneity(self, small_cohort):
+        """Different matchers should have meaningfully different performance."""
+        profiles, _ = characterize_population(small_cohort)
+        precisions = [p.performance.precision for p in profiles]
+        assert np.std(precisions) > 0.05
+
+    def test_metadata_ranges(self, small_cohort):
+        for matcher in small_cohort:
+            assert 400 <= matcher.metadata.psychometric_score <= 800
+            assert 1 <= matcher.metadata.english_level <= 5
+
+
+class TestDataset:
+    def test_reduced_dataset(self):
+        dataset = build_dataset(n_po_matchers=8, n_oaei_matchers=4, random_state=0)
+        assert dataset.n_po_matchers == 8
+        assert dataset.n_oaei_matchers == 4
+        assert dataset.po_pair.shape == (142, 46)
+        assert dataset.oaei_pair.shape == (121, 109)
+        assert dataset.n_decisions > 0
+        summary = dataset.summary()
+        assert summary["po_matchers"] == 8.0
+
+    def test_preprocessing_reduces_decisions(self):
+        raw = build_dataset(n_po_matchers=5, n_oaei_matchers=2, random_state=1, preprocess=False)
+        processed = build_dataset(n_po_matchers=5, n_oaei_matchers=2, random_state=1, preprocess=True)
+        assert processed.n_decisions < raw.n_decisions
+
+    def test_population_marginals_are_plausible(self):
+        """Cohort marginals should land in the neighbourhood of Figures 8/9."""
+        dataset = build_dataset(n_po_matchers=50, n_oaei_matchers=2, random_state=7)
+        profiles, _ = characterize_population(dataset.po_matchers)
+        labels = labels_matrix(profiles)
+        precisions = [p.performance.precision for p in profiles]
+        recalls = [p.performance.recall for p in profiles]
+
+        assert 0.35 <= np.mean(precisions) <= 0.75       # paper: 0.55
+        assert 0.15 <= np.mean(recalls) <= 0.50          # paper: 0.33
+        assert np.mean(precisions) > np.mean(recalls)    # precision-geared population
+        assert 0.30 <= labels[:, 0].mean() <= 0.80       # proportion precise (paper ~0.53)
+        assert labels[:, 1].mean() <= 0.40               # thorough experts are rare (paper ~0.15)

@@ -1,0 +1,59 @@
+"""Tests for the two-sample bootstrap hypothesis test."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import two_sample_bootstrap_test
+
+
+class TestBootstrap:
+    def test_clear_difference_is_significant(self):
+        a = [0.9, 0.92, 0.88, 0.95, 0.91]
+        b = [0.5, 0.52, 0.48, 0.55, 0.51]
+        result = two_sample_bootstrap_test(a, b, n_bootstrap=500, random_state=0)
+        assert result.observed_difference > 0.3
+        assert result.is_significant
+
+    def test_identical_samples_not_significant(self):
+        a = [0.5, 0.6, 0.55, 0.58, 0.52]
+        result = two_sample_bootstrap_test(a, a, n_bootstrap=500, random_state=0)
+        assert result.observed_difference == pytest.approx(0.0)
+        assert not result.is_significant
+
+    def test_wrong_direction_not_significant(self):
+        a = [0.4, 0.42, 0.38]
+        b = [0.8, 0.82, 0.78]
+        result = two_sample_bootstrap_test(
+            a, b, n_bootstrap=300, alternative="greater", random_state=0
+        )
+        assert not result.is_significant
+
+    def test_two_sided(self):
+        a = [0.2, 0.22, 0.18, 0.21, 0.19]
+        b = [0.8, 0.82, 0.78, 0.81, 0.79]
+        result = two_sample_bootstrap_test(
+            a, b, n_bootstrap=500, alternative="two-sided", random_state=0
+        )
+        assert result.is_significant
+
+    def test_p_value_range(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(10)
+        b = rng.random(10)
+        result = two_sample_bootstrap_test(a, b, n_bootstrap=200, random_state=0)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_bootstrap_test([], [1.0])
+
+    def test_unknown_alternative_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_bootstrap_test([1.0], [1.0], alternative="sideways")
+
+    def test_deterministic_with_seed(self):
+        a = [0.7, 0.75, 0.72]
+        b = [0.6, 0.62, 0.61]
+        first = two_sample_bootstrap_test(a, b, n_bootstrap=200, random_state=3)
+        second = two_sample_bootstrap_test(a, b, n_bootstrap=200, random_state=3)
+        assert first.p_value == second.p_value

@@ -1,0 +1,51 @@
+"""Tests for descriptive statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import percentile_threshold, summarize
+
+
+class TestPercentileThreshold:
+    def test_median(self):
+        assert percentile_threshold([1, 2, 3, 4, 5], 50) == pytest.approx(3.0)
+
+    def test_paper_thresholds(self):
+        values = list(range(1, 101))
+        assert percentile_threshold(values, 80) == pytest.approx(80.2)
+        assert percentile_threshold(values, 20) == pytest.approx(20.8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([], 50)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([1.0], 120)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50), st.floats(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_within_range(self, values, percentile):
+        threshold = percentile_threshold(values, percentile)
+        assert min(values) <= threshold <= max(values)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.median == pytest.approx(2.0)
+        assert summary.count == 3
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_invariants(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.mean <= summary.maximum

@@ -1,0 +1,87 @@
+"""Tests for Goodman-Kruskal gamma (resolution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.gamma import goodman_kruskal_gamma
+
+
+class TestGamma:
+    def test_perfect_positive_association(self):
+        x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        y = [0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+        result = goodman_kruskal_gamma(x, y)
+        assert result.gamma == pytest.approx(1.0)
+        assert result.discordant == 0
+
+    def test_perfect_negative_association(self):
+        x = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
+        y = [0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+        result = goodman_kruskal_gamma(x, y)
+        assert result.gamma == pytest.approx(-1.0)
+
+    def test_all_ties_returns_zero(self):
+        result = goodman_kruskal_gamma([0.5, 0.5, 0.5], [1, 1, 1])
+        assert result.gamma == 0.0
+        assert result.p_value == 1.0
+
+    def test_independent_data_not_significant(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(40)
+        y = rng.integers(0, 2, size=40)
+        result = goodman_kruskal_gamma(x, y)
+        assert abs(result.gamma) < 0.5
+
+    def test_large_sample_significance(self):
+        x = list(np.linspace(0, 1, 60))
+        y = [0] * 30 + [1] * 30
+        result = goodman_kruskal_gamma(x, y)
+        assert result.is_significant
+
+    def test_small_sample_uses_permutation(self):
+        result = goodman_kruskal_gamma([0.1, 0.9], [0, 1], random_state=0)
+        assert -1.0 <= result.gamma <= 1.0
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_paper_example_not_significant(self, example_history, example_reference):
+        """Section II-B: resolution 1.0 but p-value above 0.05 for 4 pairs."""
+        latest = example_history.latest_decisions()
+        pairs = list(latest)
+        confidences = [latest[p].confidence for p in pairs]
+        correctness = [1.0 if example_reference.is_correct(*p) else 0.0 for p in pairs]
+        result = goodman_kruskal_gamma(confidences, correctness, random_state=0)
+        assert result.gamma == pytest.approx(1.0)
+        assert not result.is_significant
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            goodman_kruskal_gamma([1, 2], [1])
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            goodman_kruskal_gamma(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestGammaProperties:
+    @given(
+        st.lists(st.floats(0, 1), min_size=2, max_size=30),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, x, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=len(x))
+        result = goodman_kruskal_gamma(x, y, random_state=0)
+        assert -1.0 <= result.gamma <= 1.0
+        assert 0.0 <= result.p_value <= 1.0
+
+    @given(st.lists(st.floats(0, 1), min_size=4, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_antisymmetry_under_label_flip(self, x):
+        y = [i % 2 for i in range(len(x))]
+        flipped = [1 - v for v in y]
+        forward = goodman_kruskal_gamma(x, y, random_state=0).gamma
+        backward = goodman_kruskal_gamma(x, flipped, random_state=0).gamma
+        assert forward == pytest.approx(-backward)
