@@ -5,11 +5,25 @@ scale (so the whole harness stays laptop-runnable) and prints the rows the
 paper reports.  `run_once` wraps ``benchmark.pedantic`` so each experiment
 executes exactly once per benchmark (these are end-to-end experiments, not
 micro-benchmarks).
+
+The feature-engine benchmark records per-stage wall-clock timings
+(extraction, fit, ablation) via the ``stage_timings`` fixture; at the end of
+the session they are written to ``benchmarks/BENCH_features.json`` so future
+PRs have a performance trajectory to compare against.
 """
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentConfig
+
+#: Stage name -> seconds, populated by benchmarks through `stage_timings`.
+_STAGE_TIMINGS: dict[str, float] = {}
+
+BENCH_FEATURES_PATH = Path(__file__).resolve().parent / "BENCH_features.json"
 
 
 @pytest.fixture(scope="session")
@@ -37,3 +51,22 @@ def run_once(benchmark):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture(scope="session")
+def stage_timings() -> dict[str, float]:
+    """Mutable registry of per-stage timings, flushed at session end."""
+    return _STAGE_TIMINGS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the per-stage feature-engine timings for future perf trajectories."""
+    if not _STAGE_TIMINGS or exitstatus != 0:
+        return
+    payload = {
+        "scale": "reduced",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "stages_seconds": {name: round(value, 4) for name, value in sorted(_STAGE_TIMINGS.items())},
+    }
+    BENCH_FEATURES_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -7,17 +7,23 @@ Two modes, as in the paper:
 
 Each run reports the five accuracy measures (A_P, A_R, A_Res, A_Cal, A_ML),
 so the table can be printed directly.
+
+All eleven configurations share one :class:`FeatureBlockCache`: the offline
+feature blocks (and the deterministic neural fits) are computed by the first
+configuration that needs them and reused by the rest, so the study no longer
+re-extracts the same population eleven times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.cache import FeatureBlockCache
 from repro.core.features.pipeline import FEATURE_SET_NAMES
 from repro.matching.matcher import HumanMatcher
 from repro.ml.metrics import accuracy_score, jaccard_multilabel_score
@@ -59,12 +65,16 @@ def _run_configuration(
     variant: MExIVariant,
     neural_config: Optional[dict[str, dict]],
     random_state: int,
+    cache: Optional[FeatureBlockCache] = None,
+    classifier_bank: Optional[Callable[[], list]] = None,
 ) -> dict[str, float]:
     model = MExICharacterizer(
         variant=variant,
         feature_sets=feature_sets,
         neural_config=neural_config,
         random_state=random_state,
+        cache=cache,
+        classifier_bank=classifier_bank,
     )
     model.fit(train_matchers, train_labels)
     predictions = model.predict(test_matchers)
@@ -81,8 +91,24 @@ def run_ablation(
     neural_config: Optional[dict[str, dict]] = None,
     random_state: int = 0,
     include_full: bool = True,
+    cache: Optional[FeatureBlockCache] = None,
+    use_cache: bool = True,
+    classifier_bank: Optional[Callable[[], list]] = None,
 ) -> list[AblationResult]:
-    """Run the full include/exclude ablation and return one result per row."""
+    """Run the full include/exclude ablation and return one result per row.
+
+    One :class:`FeatureBlockCache` is shared across every configuration
+    (pass ``cache`` to share it with a larger study, or ``use_cache=False``
+    to force the uncached re-extract-everything behaviour for comparison;
+    combining the two is contradictory and rejected).  ``classifier_bank``
+    overrides the candidate classifiers of every configuration (the
+    feature-engine benchmark passes a scalar-split bank to reproduce the
+    seed implementation's cost profile).
+    """
+    if not use_cache and cache is not None:
+        raise ValueError("use_cache=False contradicts an explicitly supplied cache")
+    if cache is None and use_cache:
+        cache = FeatureBlockCache()
     results: list[AblationResult] = []
 
     if include_full:
@@ -95,6 +121,8 @@ def run_ablation(
             variant,
             neural_config,
             random_state,
+            cache,
+            classifier_bank,
         )
         results.append(AblationResult(mode="full", feature_set="all", accuracies=accuracies))
 
@@ -108,6 +136,8 @@ def run_ablation(
             variant,
             neural_config,
             random_state,
+            cache,
+            classifier_bank,
         )
         results.append(
             AblationResult(mode="include", feature_set=feature_set, accuracies=accuracies)
@@ -125,6 +155,8 @@ def run_ablation(
                 variant,
                 neural_config,
                 random_state,
+                cache,
+                classifier_bank,
             )
             results.append(
                 AblationResult(mode="exclude", feature_set=feature_set, accuracies=accuracies)

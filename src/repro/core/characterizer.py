@@ -21,6 +21,8 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.base import FeatureBlock
+from repro.core.features.cache import FeatureBlockCache
 from repro.core.features.pipeline import FeaturePipeline, FeatureSetName
 from repro.core.submatchers import (
     MEXI_50,
@@ -56,15 +58,42 @@ class MExIVariant(enum.Enum):
         return MEXI_70
 
 
-def default_classifier_bank(random_state: int = 0) -> list[BaseClassifier]:
-    """The candidate classifiers MExI selects from, per characteristic."""
+def default_classifier_bank(
+    random_state: int = 0, split_search: str = "vectorized"
+) -> list[BaseClassifier]:
+    """The candidate classifiers MExI selects from, per characteristic.
+
+    ``split_search`` is forwarded to the tree-based candidates; passing
+    ``"scalar"`` reproduces the seed implementation's selection cost exactly
+    (benchmark baseline) while selecting bitwise-identical classifiers.
+    """
     return [
-        RandomForestClassifier(n_estimators=30, max_depth=6, random_state=random_state),
+        RandomForestClassifier(
+            n_estimators=30, max_depth=6, random_state=random_state, split_search=split_search
+        ),
         LogisticRegression(n_iterations=200),
         LinearSVC(n_iterations=200),
-        DecisionTreeClassifier(max_depth=5, random_state=random_state),
+        DecisionTreeClassifier(max_depth=5, random_state=random_state, split_search=split_search),
         GaussianNB(),
     ]
+
+
+class _ScaledFeatures:
+    """Standardises a feature matrix once per distinct scaler object.
+
+    The per-label models share one scaler, so prediction scales the matrix
+    once instead of once per characteristic.
+    """
+
+    def __init__(self, features: np.ndarray) -> None:
+        self._features = features
+        self._by_scaler: dict[int, np.ndarray] = {}
+
+    def get(self, scaler: StandardScaler) -> np.ndarray:
+        key = id(scaler)
+        if key not in self._by_scaler:
+            self._by_scaler[key] = scaler.transform(self._features)
+        return self._by_scaler[key]
 
 
 @dataclass
@@ -90,13 +119,26 @@ class MExICharacterizer:
         neural_config: Optional[dict[str, dict]] = None,
         selection_folds: int = 3,
         random_state: int = 0,
+        cache: Optional[FeatureBlockCache] = None,
     ) -> None:
         self.variant = variant
         self.random_state = random_state
         self.selection_folds = selection_folds
-        self.pipeline = pipeline or FeaturePipeline(
-            include=feature_sets, neural_config=neural_config, random_state=random_state
-        )
+        if pipeline is not None:
+            # A supplied pipeline is caller-owned: never mutate its cache.
+            if cache is not None and pipeline.cache is not cache:
+                raise ValueError(
+                    "pass the cache to the pipeline itself; supplying both a "
+                    "pipeline and a different cache is ambiguous"
+                )
+            self.pipeline = pipeline
+        else:
+            self.pipeline = FeaturePipeline(
+                include=feature_sets,
+                neural_config=neural_config,
+                random_state=random_state,
+                cache=cache,
+            )
         self._classifier_bank = classifier_bank or (
             lambda: default_classifier_bank(self.random_state)
         )
@@ -142,11 +184,19 @@ class MExICharacterizer:
         final.fit(X, y)
         return final, type(best_classifier).__name__, best_score
 
-    def fit(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> "MExICharacterizer":
+    def fit(
+        self,
+        matchers: Sequence[HumanMatcher],
+        labels: np.ndarray,
+        precomputed: Optional[dict[str, FeatureBlock]] = None,
+    ) -> "MExICharacterizer":
         """Train MExI on a labelled training population.
 
         ``labels`` is the ``(n_matchers, 4)`` 0/1 matrix of expert labels
         produced by :class:`repro.core.expert_model.ExpertThresholds`.
+        ``precomputed`` optionally supplies ready-made feature blocks for
+        the *augmented* training population (keyed by set name), bypassing
+        extraction for those sets.
         """
         label_matrix = np.asarray(labels, dtype=int)
         if label_matrix.ndim != 2 or label_matrix.shape[1] != len(EXPERT_CHARACTERISTICS):
@@ -160,13 +210,17 @@ class MExICharacterizer:
             list(matchers), label_matrix, self.variant.submatcher_config
         )
 
-        features = self.pipeline.fit_transform(augmented, augmented_labels)
+        self.pipeline.fit(augmented, augmented_labels)
+        features = self.pipeline.transform(augmented, precomputed=precomputed)
+
+        # One scaler serves every characteristic: the features are identical
+        # across labels, so fitting it once is exactly equivalent.
+        scaler = StandardScaler()
+        X = scaler.fit_transform(features)
 
         self._label_models = []
         for label_index, characteristic in enumerate(EXPERT_CHARACTERISTICS):
             y = augmented_labels[:, label_index].astype(int)
-            scaler = StandardScaler()
-            X = scaler.fit_transform(features)
             if np.unique(y).size < 2:
                 # Degenerate training label: remember the constant.
                 self._label_models.append(
@@ -194,31 +248,41 @@ class MExICharacterizer:
     # Prediction
     # ------------------------------------------------------------------ #
 
-    def predict(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+    def predict(
+        self,
+        matchers: Sequence[HumanMatcher],
+        precomputed: Optional[dict[str, FeatureBlock]] = None,
+    ) -> np.ndarray:
         """Predicted 0/1 label matrix, one row per matcher."""
         if not self.is_fitted:
             raise RuntimeError("MExICharacterizer must be fitted before predicting")
-        features = self.pipeline.transform(matchers)
+        features = self.pipeline.transform(matchers, precomputed=precomputed)
+        scaled = _ScaledFeatures(features)
         predictions = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)), dtype=int)
         for label_index, model in enumerate(self._label_models):
             if model.constant_label is not None:
                 predictions[:, label_index] = model.constant_label
                 continue
-            X = model.scaler.transform(features)
+            X = scaled.get(model.scaler)
             predictions[:, label_index] = model.classifier.predict(X).astype(int)
         return predictions
 
-    def predict_proba(self, matchers: Sequence[HumanMatcher]) -> np.ndarray:
+    def predict_proba(
+        self,
+        matchers: Sequence[HumanMatcher],
+        precomputed: Optional[dict[str, FeatureBlock]] = None,
+    ) -> np.ndarray:
         """Per-label positive-class probabilities (expertise scores)."""
         if not self.is_fitted:
             raise RuntimeError("MExICharacterizer must be fitted before predicting")
-        features = self.pipeline.transform(matchers)
+        features = self.pipeline.transform(matchers, precomputed=precomputed)
+        scaled = _ScaledFeatures(features)
         probabilities = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)))
         for label_index, model in enumerate(self._label_models):
             if model.constant_label is not None:
                 probabilities[:, label_index] = float(model.constant_label)
                 continue
-            X = model.scaler.transform(features)
+            X = scaled.get(model.scaler)
             proba = model.classifier.predict_proba(X)
             assert model.classifier.classes_ is not None
             positive = np.where(model.classifier.classes_ == 1)[0]

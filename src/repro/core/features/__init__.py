@@ -17,16 +17,29 @@ Five feature sets are extracted from a human matcher ``D = (H, G)``:
 the paper's late-fusion strategy.
 """
 
-from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.base import FeatureBlock, FeatureExtractor, FeatureVector
+from repro.core.features.cache import (
+    FeatureBlockCache,
+    matcher_fingerprint,
+    population_fingerprint,
+)
 from repro.core.features.consensus import ConsensusModel
 from repro.core.features.predictors import LRSMFeatures
 from repro.core.features.behavioral import BehavioralFeatures
 from repro.core.features.mouse import MouseFeatures
 from repro.core.features.sequential import SequentialFeatures
 from repro.core.features.spatial import SpatialFeatures
-from repro.core.features.pipeline import FeaturePipeline, FeatureSetName
+from repro.core.features.pipeline import (
+    FEATURE_SET_NAMES,
+    NEURAL_SET_NAMES,
+    OFFLINE_SET_NAMES,
+    FeaturePipeline,
+    FeatureSetName,
+)
 
 __all__ = [
+    "FeatureBlock",
+    "FeatureBlockCache",
     "FeatureExtractor",
     "FeatureVector",
     "ConsensusModel",
@@ -37,4 +50,9 @@ __all__ = [
     "SpatialFeatures",
     "FeaturePipeline",
     "FeatureSetName",
+    "FEATURE_SET_NAMES",
+    "OFFLINE_SET_NAMES",
+    "NEURAL_SET_NAMES",
+    "matcher_fingerprint",
+    "population_fingerprint",
 ]

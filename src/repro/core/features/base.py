@@ -1,4 +1,12 @@
-"""Feature-extraction protocol shared by the five MExI feature sets."""
+"""Feature-extraction protocol shared by the five MExI feature sets.
+
+The extraction stack is *batch-first*: every extractor implements
+:meth:`FeatureExtractor.extract_batch`, which maps a whole population of
+matchers to a :class:`FeatureBlock` (named columns over an
+``(n_matchers, n_features)`` matrix).  The scalar :meth:`FeatureExtractor.extract`
+is a thin compatibility shim over the batch path, so there is a single
+extraction code path for tests, experiments and production serving alike.
+"""
 
 from __future__ import annotations
 
@@ -63,8 +71,81 @@ class FeatureVector:
         return f"FeatureVector(n_features={len(self)})"
 
 
+class FeatureBlock:
+    """Named feature columns over a population: ``(n_matchers, n_features)``.
+
+    The block is the unit of the batch-first engine: extractors produce one
+    block per feature set, the pipeline ``hstack``s blocks into the fused
+    encoding, and :class:`repro.core.features.cache.FeatureBlockCache` stores
+    blocks keyed by (set name, population fingerprint, extractor config).
+
+    Non-finite entries are replaced with 0 on construction (mirroring
+    :meth:`FeatureVector.set`) and the matrix is frozen so cached blocks can
+    be shared safely across configurations.
+    """
+
+    def __init__(self, names: Sequence[str], matrix: np.ndarray) -> None:
+        array = np.asarray(matrix, dtype=float)
+        if array.ndim != 2:
+            raise ValueError(f"feature block matrix must be 2-D, got shape {array.shape}")
+        if array.shape[1] != len(names):
+            raise ValueError(
+                f"feature block has {array.shape[1]} columns but {len(names)} names"
+            )
+        if len(set(names)) != len(names):
+            raise ValueError("feature block names must be unique")
+        array = np.where(np.isfinite(array), array, 0.0)
+        array.flags.writeable = False
+        self.names: tuple[str, ...] = tuple(names)
+        self.matrix: np.ndarray = array
+
+    @property
+    def n_matchers(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.matrix.shape[1]
+
+    def row(self, index: int) -> np.ndarray:
+        """The feature vector of one matcher, as an array."""
+        return self.matrix[index]
+
+    def row_vector(self, index: int) -> FeatureVector:
+        """The feature vector of one matcher, as a named :class:`FeatureVector`."""
+        return FeatureVector(dict(zip(self.names, self.matrix[index])))
+
+    def column(self, name: str) -> np.ndarray:
+        """The population values of one named feature."""
+        return self.matrix[:, self.names.index(name)]
+
+    def select_rows(self, indices: Sequence[int]) -> "FeatureBlock":
+        """A block restricted to a subset of matchers."""
+        return FeatureBlock(self.names, self.matrix[list(indices)])
+
+    @staticmethod
+    def hstack(blocks: Sequence["FeatureBlock"]) -> "FeatureBlock":
+        """Fuse blocks column-wise (the paper's late-fusion concatenation)."""
+        if not blocks:
+            raise ValueError("cannot hstack an empty sequence of feature blocks")
+        n_rows = {block.n_matchers for block in blocks}
+        if len(n_rows) != 1:
+            raise ValueError(f"blocks disagree on population size: {sorted(n_rows)}")
+        names: list[str] = []
+        for block in blocks:
+            names.extend(block.names)
+        return FeatureBlock(names, np.hstack([block.matrix for block in blocks]))
+
+    def __repr__(self) -> str:
+        return f"FeatureBlock(n_matchers={self.n_matchers}, n_features={self.n_features})"
+
+
 class FeatureExtractor(ABC):
-    """A (possibly trainable) mapping from a human matcher to named features."""
+    """A (possibly trainable) mapping from human matchers to named features.
+
+    Sub-classes implement the batch path (:meth:`extract_batch`); the scalar
+    :meth:`extract` delegates to it with a single-element population.
+    """
 
     #: Name of the feature set (e.g. ``"lrsm"``), used as a feature-name prefix.
     set_name: str = "base"
@@ -76,11 +157,27 @@ class FeatureExtractor(ABC):
         return self
 
     @abstractmethod
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
+        """Extract the feature set for a whole population at once."""
+
     def extract(self, matcher: HumanMatcher) -> FeatureVector:
-        """Extract the feature set for one matcher."""
+        """Extract the feature set for one matcher (shim over the batch path)."""
+        return self.extract_batch([matcher]).row_vector(0)
 
     def extract_many(self, matchers: Sequence[HumanMatcher]) -> list[FeatureVector]:
-        return [self.extract(matcher) for matcher in matchers]
+        block = self.extract_batch(matchers)
+        return [block.row_vector(index) for index in range(block.n_matchers)]
+
+    def config_fingerprint(self) -> str:
+        """A stable digest of everything the extracted values depend on.
+
+        Used by :class:`repro.core.features.cache.FeatureBlockCache` to key
+        blocks: two extractors with equal fingerprints must produce identical
+        blocks for the same population.  The base implementation keys on the
+        class and set name only; extractors with configuration or fitted
+        state must extend it.
+        """
+        return f"{type(self).__name__}:{self.set_name}"
 
     def _prefixed(self, name: str) -> str:
         return f"{self.set_name}_{name}"

@@ -14,21 +14,25 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.base import FeatureBlock, FeatureExtractor
 from repro.core.features.consensus import ConsensusModel
 from repro.matching.matcher import HumanMatcher
 
 
-def _safe_stats(values: np.ndarray) -> dict[str, float]:
-    """Mean / std / min / max of a possibly empty vector."""
+def _safe_stats(values: np.ndarray) -> tuple[float, float, float, float]:
+    """(mean, std, min, max) of a possibly empty vector."""
     if values.size == 0:
-        return {"avg": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
-    return {
-        "avg": float(values.mean()),
-        "std": float(values.std()),
-        "min": float(values.min()),
-        "max": float(values.max()),
-    }
+        return (0.0, 0.0, 0.0, 0.0)
+    return (
+        float(values.mean()),
+        float(values.std()),
+        float(values.min()),
+        float(values.max()),
+    )
+
+
+#: Aggregate suffixes, in the order `_safe_stats` returns them.
+_STAT_KEYS = ("avg", "std", "min", "max")
 
 
 class BehavioralFeatures(FeatureExtractor):
@@ -45,60 +49,72 @@ class BehavioralFeatures(FeatureExtractor):
         self.consensus = ConsensusModel().fit(matchers)
         return self
 
-    def extract(self, matcher: HumanMatcher) -> FeatureVector:
-        history = matcher.history
-        features = FeatureVector()
-
-        confidences = history.confidences()
-        for key, value in _safe_stats(confidences).items():
-            features.set(self._prefixed(f"{key}Conf"), value)
-
-        times = history.inter_decision_times()
-        for key, value in _safe_stats(times).items():
-            features.set(self._prefixed(f"{key}Time"), value)
-        features.set(self._prefixed("totalTime"), history.duration())
-
-        n_decisions = len(history)
-        distinct_pairs = history.decided_pairs()
-        features.set(self._prefixed("countDecisions"), n_decisions)
-        features.set(self._prefixed("countDistinctCorr"), len(distinct_pairs))
-        features.set(self._prefixed("countMindChange"), history.n_mind_changes())
-        features.set(
-            self._prefixed("revisitRatio"),
-            history.n_mind_changes() / n_decisions if n_decisions else 0.0,
-        )
-        features.set(
-            self._prefixed("decisionRate"),
-            n_decisions / history.duration() if history.duration() > 0 else 0.0,
-        )
-
-        matrix = matcher.matrix()
-        features.set(self._prefixed("matrixDensity"), matrix.density)
-        features.set(self._prefixed("matrixMeanConf"), matrix.mean_confidence())
-
-        # Temporal consistency: drift of pace and confidence between the first
-        # and the second half of the session (the "temporal" dimension of the
-        # correlation features).
-        if n_decisions >= 4:
-            half = n_decisions // 2
-            first_conf, second_conf = confidences[:half], confidences[half:]
-            first_time, second_time = times[:half], times[half:]
-            features.set(
-                self._prefixed("confDrift"), float(second_conf.mean() - first_conf.mean())
+    def feature_names(self) -> list[str]:
+        names = [self._prefixed(f"{key}Conf") for key in _STAT_KEYS]
+        names += [self._prefixed(f"{key}Time") for key in _STAT_KEYS]
+        names += [
+            self._prefixed(name)
+            for name in (
+                "totalTime",
+                "countDecisions",
+                "countDistinctCorr",
+                "countMindChange",
+                "revisitRatio",
+                "decisionRate",
+                "matrixDensity",
+                "matrixMeanConf",
+                "confDrift",
+                "paceDrift",
             )
-            features.set(
-                self._prefixed("paceDrift"), float(second_time.mean() - first_time.mean())
-            )
-        else:
-            features.set(self._prefixed("confDrift"), 0.0)
-            features.set(self._prefixed("paceDrift"), 0.0)
+        ]
+        names += [self._prefixed(f"{key}Consensus") for key in _STAT_KEYS]
+        return names
 
-        # Consensuality aggregates (available after fitting on the train set).
-        if self.consensus is not None and self.consensus.is_fitted:
-            agreements = np.array(self.consensus.history_agreement(history))
-        else:
-            agreements = np.zeros(0)
-        for key, value in _safe_stats(agreements).items():
-            features.set(self._prefixed(f"{key}Consensus"), value)
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
+        names = self.feature_names()
+        matrix = np.zeros((len(matchers), len(names)))
+        consensus_fitted = self.consensus is not None and self.consensus.is_fitted
+        for row, matcher in enumerate(matchers):
+            history = matcher.history
+            confidences = history.confidences()
+            times = history.inter_decision_times()
+            n_decisions = len(history)
+            duration = history.duration()
 
-        return features
+            matrix[row, 0:4] = _safe_stats(confidences)
+            matrix[row, 4:8] = _safe_stats(times)
+            matrix[row, 8] = duration
+            matrix[row, 9] = n_decisions
+            matrix[row, 10] = len(history.decided_pairs())
+            mind_changes = history.n_mind_changes()
+            matrix[row, 11] = mind_changes
+            matrix[row, 12] = mind_changes / n_decisions if n_decisions else 0.0
+            matrix[row, 13] = n_decisions / duration if duration > 0 else 0.0
+
+            matching_matrix = matcher.matrix()
+            matrix[row, 14] = matching_matrix.density
+            matrix[row, 15] = matching_matrix.mean_confidence()
+
+            # Temporal consistency: drift of pace and confidence between the
+            # first and the second half of the session (the "temporal"
+            # dimension of the correlation features).
+            if n_decisions >= 4:
+                half = n_decisions // 2
+                matrix[row, 16] = float(confidences[half:].mean() - confidences[:half].mean())
+                matrix[row, 17] = float(times[half:].mean() - times[:half].mean())
+
+            # Consensuality aggregates (available after fitting on the train set).
+            if consensus_fitted:
+                agreements = np.array(self.consensus.history_agreement(history))
+            else:
+                agreements = np.zeros(0)
+            matrix[row, 18:22] = _safe_stats(agreements)
+        return FeatureBlock(names, matrix)
+
+    def config_fingerprint(self) -> str:
+        consensus = (
+            self.consensus.fingerprint()
+            if self.consensus is not None and self.consensus.is_fitted
+            else "unfitted"
+        )
+        return f"BehavioralFeatures:consensus={consensus}"

@@ -9,6 +9,7 @@ contribute), exactly as in Section III-B.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence
 
 from repro.matching.history import DecisionHistory
@@ -52,6 +53,14 @@ class ConsensusModel:
     def history_agreement(self, history: DecisionHistory) -> list[float]:
         """Per-decision agreement values, in sequence order."""
         return [self.agreement(decision.pair) for decision in history]
+
+    def fingerprint(self) -> str:
+        """A stable digest of the fitted state (for feature-block cache keys)."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(self._n_matchers).encode())
+        for pair, count in sorted(self._counts.items()):
+            digest.update(f"{pair[0]},{pair[1]}:{count};".encode())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         return f"ConsensusModel(n_matchers={self._n_matchers}, pairs={len(self._counts)})"

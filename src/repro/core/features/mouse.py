@@ -9,9 +9,33 @@ the Ontobuilder layout.
 
 from __future__ import annotations
 
-from repro.core.features.base import FeatureExtractor, FeatureVector
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.features.base import FeatureBlock, FeatureExtractor
 from repro.matching.matcher import HumanMatcher
 from repro.matching.mouse import MouseEventType
+
+_FEATURE_NAMES = (
+    "totalLength",
+    "totalTime",
+    "meanSpeed",
+    "countEvents",
+    "avgX",
+    "avgY",
+    "countMove",
+    "countLeftClick",
+    "countRightClick",
+    "countScroll",
+    "scrollRatio",
+    "clickRatio",
+    "coverage",
+    "massTopLeft",
+    "massTopRight",
+    "massBottom",
+    "eventsPerDecision",
+)
 
 
 class MouseFeatures(FeatureExtractor):
@@ -20,51 +44,49 @@ class MouseFeatures(FeatureExtractor):
     set_name = "mou"
     requires_fitting = False
 
-    def extract(self, matcher: HumanMatcher) -> FeatureVector:
-        movement = matcher.movement
-        features = FeatureVector()
+    def feature_names(self) -> list[str]:
+        return [self._prefixed(name) for name in _FEATURE_NAMES]
 
-        features.set(self._prefixed("totalLength"), movement.path_length())
-        features.set(self._prefixed("totalTime"), movement.duration())
-        features.set(self._prefixed("meanSpeed"), movement.mean_speed())
-        features.set(self._prefixed("countEvents"), len(movement))
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
+        names = self.feature_names()
+        matrix = np.zeros((len(matchers), len(names)))
+        for row, matcher in enumerate(matchers):
+            movement = matcher.movement
+            n_events = len(movement)
 
-        mean_x, mean_y = movement.mean_position()
-        rows, cols = movement.screen
-        features.set(self._prefixed("avgX"), mean_x / cols if cols else 0.0)
-        features.set(self._prefixed("avgY"), mean_y / rows if rows else 0.0)
+            matrix[row, 0] = movement.path_length()
+            matrix[row, 1] = movement.duration()
+            matrix[row, 2] = movement.mean_speed()
+            matrix[row, 3] = n_events
 
-        counts = movement.count_by_type()
-        total = max(len(movement), 1)
-        features.set(self._prefixed("countMove"), counts[MouseEventType.MOVE])
-        features.set(self._prefixed("countLeftClick"), counts[MouseEventType.LEFT_CLICK])
-        features.set(self._prefixed("countRightClick"), counts[MouseEventType.RIGHT_CLICK])
-        features.set(self._prefixed("countScroll"), counts[MouseEventType.SCROLL])
-        features.set(self._prefixed("scrollRatio"), counts[MouseEventType.SCROLL] / total)
-        features.set(self._prefixed("clickRatio"), counts[MouseEventType.LEFT_CLICK] / total)
+            mean_x, mean_y = movement.mean_position()
+            rows, cols = movement.screen
+            matrix[row, 4] = mean_x / cols if cols else 0.0
+            matrix[row, 5] = mean_y / rows if rows else 0.0
 
-        heat_map = movement.heat_map(shape=(24, 32))
-        features.set(self._prefixed("coverage"), heat_map.coverage())
+            counts = movement.count_by_type()
+            total = max(n_events, 1)
+            matrix[row, 6] = counts[MouseEventType.MOVE]
+            matrix[row, 7] = counts[MouseEventType.LEFT_CLICK]
+            matrix[row, 8] = counts[MouseEventType.RIGHT_CLICK]
+            matrix[row, 9] = counts[MouseEventType.SCROLL]
+            matrix[row, 10] = counts[MouseEventType.SCROLL] / total
+            matrix[row, 11] = counts[MouseEventType.LEFT_CLICK] / total
 
-        # Mass per UI region (quadrants of the Ontobuilder layout).
-        half_rows = 12
-        half_cols = 16
-        features.set(
-            self._prefixed("massTopLeft"),
-            heat_map.region_mass(slice(0, half_rows), slice(0, half_cols)),
-        )
-        features.set(
-            self._prefixed("massTopRight"),
-            heat_map.region_mass(slice(0, half_rows), slice(half_cols, 32)),
-        )
-        features.set(
-            self._prefixed("massBottom"),
-            heat_map.region_mass(slice(half_rows, 24), slice(0, 32)),
-        )
+            heat_map = movement.heat_map(shape=(24, 32))
+            matrix[row, 12] = heat_map.coverage()
 
-        events_per_decision = (
-            len(movement) / len(matcher.history) if len(matcher.history) else 0.0
-        )
-        features.set(self._prefixed("eventsPerDecision"), events_per_decision)
+            # Mass per UI region (quadrants of the Ontobuilder layout).
+            half_rows = 12
+            half_cols = 16
+            matrix[row, 13] = heat_map.region_mass(slice(0, half_rows), slice(0, half_cols))
+            matrix[row, 14] = heat_map.region_mass(slice(0, half_rows), slice(half_cols, 32))
+            matrix[row, 15] = heat_map.region_mass(slice(half_rows, 24), slice(0, 32))
 
-        return features
+            matrix[row, 16] = (
+                n_events / len(matcher.history) if len(matcher.history) else 0.0
+            )
+        return FeatureBlock(names, matrix)
+
+    def config_fingerprint(self) -> str:
+        return "MouseFeatures:v1"

@@ -2,14 +2,18 @@
 
 The Precision and Thoroughness feature groups of Section III-A: every
 predictor in :mod:`repro.predictors` is evaluated on the matrix induced by
-the matcher's decision history.
+the matcher's decision history.  The batch path projects every history to
+its matrix once and fills a preallocated ``(n_matchers, n_predictors)``
+block directly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.core.features.base import FeatureExtractor, FeatureVector
+import numpy as np
+
+from repro.core.features.base import FeatureBlock, FeatureExtractor
 from repro.matching.matcher import HumanMatcher
 from repro.predictors import PredictorRegistry, default_registry
 
@@ -23,13 +27,19 @@ class LRSMFeatures(FeatureExtractor):
     def __init__(self, registry: Optional[PredictorRegistry] = None) -> None:
         self.registry = registry or default_registry()
 
-    def extract(self, matcher: HumanMatcher) -> FeatureVector:
-        matrix = matcher.matrix()
-        features = FeatureVector()
-        for name, value in self.registry.evaluate(matrix).items():
-            features.set(self._prefixed(name), value)
-        return features
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
+        names = self.feature_names()
+        predictors = list(self.registry)
+        matrix = np.zeros((len(matchers), len(predictors)))
+        for row, matcher in enumerate(matchers):
+            matching_matrix = matcher.matrix()
+            for col, predictor in enumerate(predictors):
+                matrix[row, col] = float(predictor(matching_matrix))
+        return FeatureBlock(names, matrix)
 
     def feature_names(self) -> list[str]:
         """The names this extractor produces, in registry order."""
         return [self._prefixed(name) for name in self.registry.names()]
+
+    def config_fingerprint(self) -> str:
+        return f"LRSMFeatures:{','.join(self.registry.names())}"

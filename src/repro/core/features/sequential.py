@@ -9,17 +9,19 @@ Per decision, the sequence carries three channels (Section III-B):
 The network follows the paper's architecture (an LSTM hidden layer, dropout,
 a dense ReLU layer) with a 4-unit sigmoid head -- one coefficient per expert
 characteristic.  During training the network is fitted on the training
-matchers (and their sub-matchers); at extraction time its four output
-coefficients become the Phi_Seq features (late fusion).
+matchers (and their sub-matchers); at extraction time a single batched
+forward pass over the whole population yields the Phi_Seq coefficients
+(late fusion).
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.base import FeatureBlock, FeatureExtractor
 from repro.core.features.consensus import ConsensusModel
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.matching.matcher import HumanMatcher
@@ -56,6 +58,7 @@ class SequentialFeatures(FeatureExtractor):
         self.random_state = random_state
         self.consensus = consensus
         self._network: Optional[Sequential] = None
+        self._fit_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Sequence encoding
@@ -113,6 +116,7 @@ class SequentialFeatures(FeatureExtractor):
             raise ValueError("labels must have one row per matcher")
         if self.consensus is None:
             self.consensus = ConsensusModel().fit(matchers)
+        self._fit_fingerprint = self.fit_fingerprint(matchers, label_matrix)
 
         batch = self._batch(matchers)
         self._network = self._build_network()
@@ -125,12 +129,50 @@ class SequentialFeatures(FeatureExtractor):
         )
         return self
 
-    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+    def feature_names(self) -> list[str]:
+        return [self._prefixed(f"coef_{c}") for c in EXPERT_CHARACTERISTICS]
+
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
         if self._network is None:
             raise RuntimeError("SequentialFeatures must be fitted before extraction")
-        batch = self._batch([matcher])
-        coefficients = self._network.predict(batch)[0]
-        features = FeatureVector()
-        for characteristic, coefficient in zip(EXPERT_CHARACTERISTICS, coefficients):
-            features.set(self._prefixed(f"coef_{characteristic}"), float(coefficient))
-        return features
+        names = self.feature_names()
+        if not matchers:
+            return FeatureBlock(names, np.zeros((0, len(names))))
+        coefficients = self._network.predict(self._batch(matchers))
+        return FeatureBlock(names, coefficients)
+
+    # ------------------------------------------------------------------ #
+    # Cache fingerprints
+    # ------------------------------------------------------------------ #
+
+    def _hyper_fingerprint(self) -> str:
+        return (
+            f"SequentialFeatures:h={self.hidden_dim},d={self.dense_dim},"
+            f"T={self.max_sequence_length},e={self.epochs},lr={self.learning_rate!r},"
+            f"p={self.dropout!r},seed={self.random_state}"
+        )
+
+    def fit_fingerprint(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> str:
+        """Digest of everything :meth:`fit` depends on.
+
+        Training is deterministic given the population, labels,
+        hyper-parameters, seed and consensus model, so equal fingerprints
+        guarantee bitwise-identical trained networks.
+        """
+        from repro.core.features.cache import array_fingerprint, population_fingerprint
+
+        consensus = self.consensus.fingerprint() if self.consensus is not None else "fit-on-train"
+        raw = "|".join(
+            (
+                self._hyper_fingerprint(),
+                consensus,
+                population_fingerprint(matchers),
+                array_fingerprint(labels),
+            )
+        )
+        return hashlib.blake2b(raw.encode(), digest_size=16).hexdigest()
+
+    def config_fingerprint(self) -> str:
+        if self._fit_fingerprint is None:
+            return f"{self._hyper_fingerprint()}:unfitted"
+        return f"SequentialFeatures:fit={self._fit_fingerprint}"

@@ -6,17 +6,19 @@ The paper trains one convolutional network per heat-map type -- move
 label coefficients as features.  Here each network is a small CNN
 pre-trained on a synthetic screen-region task (see
 :mod:`repro.nn.pretrained`) and fine-tuned on the training matchers' heat
-maps; its four sigmoid outputs become the Phi_Spa features.
+maps; its four sigmoid outputs become the Phi_Spa features.  Extraction
+runs one batched forward pass per channel over the whole population.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
-from repro.core.features.base import FeatureExtractor, FeatureVector
+from repro.core.features.base import FeatureBlock, FeatureExtractor
 from repro.matching.matcher import HumanMatcher
 from repro.matching.mouse import MouseEventType
 from repro.nn.conv import Conv2D, GlobalAveragePooling2D, MaxPool2D
@@ -77,6 +79,7 @@ class SpatialFeatures(FeatureExtractor):
         self.pretrain_samples = pretrain_samples
         self.random_state = random_state
         self._networks: dict[str, Sequential] = {}
+        self._fit_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Heat-map encoding
@@ -127,6 +130,7 @@ class SpatialFeatures(FeatureExtractor):
         label_matrix = np.asarray(labels, dtype=float)
         if label_matrix.shape[0] != len(matchers):
             raise ValueError("labels must have one row per matcher")
+        self._fit_fingerprint = self.fit_fingerprint(matchers, label_matrix)
 
         self._networks = {}
         for channel_index, (channel, event_type) in enumerate(HEATMAP_CHANNELS.items()):
@@ -143,14 +147,51 @@ class SpatialFeatures(FeatureExtractor):
             self._networks[channel] = network
         return self
 
-    def extract(self, matcher: HumanMatcher) -> FeatureVector:
+    def feature_names(self) -> list[str]:
+        return [
+            self._prefixed(f"{channel}_{characteristic}")
+            for channel in HEATMAP_CHANNELS
+            for characteristic in EXPERT_CHARACTERISTICS
+        ]
+
+    def extract_batch(self, matchers: Sequence[HumanMatcher]) -> FeatureBlock:
         if not self._networks:
             raise RuntimeError("SpatialFeatures must be fitted before extraction")
-        features = FeatureVector()
+        names = self.feature_names()
+        if not matchers:
+            return FeatureBlock(names, np.zeros((0, len(names))))
+        columns = []
         for channel, event_type in HEATMAP_CHANNELS.items():
             network = self._networks[channel]
-            tensor = self._heatmap_tensor(matcher, event_type)[np.newaxis, ...]
-            coefficients = network.predict(tensor)[0]
-            for characteristic, coefficient in zip(EXPERT_CHARACTERISTICS, coefficients):
-                features.set(self._prefixed(f"{channel}_{characteristic}"), float(coefficient))
-        return features
+            batch = self._batch(matchers, event_type)
+            columns.append(network.predict(batch))
+        return FeatureBlock(names, np.hstack(columns))
+
+    # ------------------------------------------------------------------ #
+    # Cache fingerprints
+    # ------------------------------------------------------------------ #
+
+    def _hyper_fingerprint(self) -> str:
+        return (
+            f"SpatialFeatures:shape={self.input_shape},f={self.n_filters},"
+            f"e={self.epochs},pre={self.pretrain},n={self.pretrain_samples},"
+            f"seed={self.random_state}"
+        )
+
+    def fit_fingerprint(self, matchers: Sequence[HumanMatcher], labels: np.ndarray) -> str:
+        """Digest of everything :meth:`fit` depends on (see SequentialFeatures)."""
+        from repro.core.features.cache import array_fingerprint, population_fingerprint
+
+        raw = "|".join(
+            (
+                self._hyper_fingerprint(),
+                population_fingerprint(matchers),
+                array_fingerprint(labels),
+            )
+        )
+        return hashlib.blake2b(raw.encode(), digest_size=16).hexdigest()
+
+    def config_fingerprint(self) -> str:
+        if self._fit_fingerprint is None:
+            return f"{self._hyper_fingerprint()}:unfitted"
+        return f"SpatialFeatures:fit={self._fit_fingerprint}"

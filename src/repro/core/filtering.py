@@ -49,13 +49,22 @@ class FilteringResult:
         return (selected - baseline) / abs(baseline)
 
 
-def _evaluate_population(matchers: Sequence[HumanMatcher]) -> dict[str, float]:
+def evaluate_population(matchers: Sequence[HumanMatcher]) -> dict[str, float]:
+    """Aggregate matching quality of a population against its references.
+
+    Study drivers that compare several selection methods on the same cohort
+    compute this once and pass it to :meth:`ExpertFilter.evaluate`.
+    """
     performances = []
     for matcher in matchers:
         if matcher.reference is None:
             raise ValueError(f"matcher {matcher.matcher_id!r} has no reference match attached")
         performances.append(evaluate_matcher(matcher.history, matcher.reference))
     return population_performance(performances)
+
+
+#: Backwards-compatible alias.
+_evaluate_population = evaluate_population
 
 
 class ExpertFilter:
@@ -107,14 +116,21 @@ class ExpertFilter:
         matchers: Sequence[HumanMatcher],
         method_name: str = "MExI",
         early_decisions: Optional[int] = None,
+        population_perf: Optional[dict[str, float]] = None,
     ) -> FilteringResult:
-        """Select experts and compare their quality to the full population."""
+        """Select experts and compare their quality to the full population.
+
+        ``population_perf`` optionally supplies the precomputed quality of
+        the full population (shared across methods by the outcome drivers).
+        """
         selected = self.select(matchers, early_decisions=early_decisions)
         return FilteringResult(
             method=method_name,
             selected_ids=[m.matcher_id for m in selected],
-            selected_performance=_evaluate_population(selected),
-            population_performance=_evaluate_population(matchers),
+            selected_performance=evaluate_population(selected),
+            population_performance=(
+                population_perf if population_perf is not None else evaluate_population(matchers)
+            ),
             n_population=len(matchers),
         )
 

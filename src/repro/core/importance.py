@@ -19,8 +19,26 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.features.base import FeatureBlock
 from repro.ml.base import BaseClassifier
 from repro.ml.metrics import accuracy_score
+
+
+def _resolve_features(
+    X: np.ndarray | FeatureBlock, feature_names: Optional[Sequence[str]]
+) -> tuple[np.ndarray, list[str]]:
+    """Accept either a raw matrix + names or a named :class:`FeatureBlock`."""
+    if isinstance(X, FeatureBlock):
+        features = np.array(X.matrix)
+        names = list(feature_names) if feature_names is not None else list(X.names)
+    else:
+        features = np.asarray(X, dtype=float)
+        if feature_names is None:
+            raise ValueError("feature_names is required when X is not a FeatureBlock")
+        names = list(feature_names)
+    if features.shape[1] != len(names):
+        raise ValueError("feature_names must have one entry per column of X")
+    return features, names
 
 
 @dataclass
@@ -43,17 +61,15 @@ class FeatureImportanceResult:
 
 def permutation_importance(
     classifier: BaseClassifier,
-    X: np.ndarray,
+    X: np.ndarray | FeatureBlock,
     y: np.ndarray,
-    feature_names: Sequence[str],
+    feature_names: Optional[Sequence[str]] = None,
     n_repeats: int = 5,
     random_state: Optional[int] = 0,
 ) -> FeatureImportanceResult:
     """Mean accuracy drop when each feature is permuted across samples."""
-    features = np.asarray(X, dtype=float)
+    features, feature_names = _resolve_features(X, feature_names)
     labels = np.asarray(y)
-    if features.shape[1] != len(feature_names):
-        raise ValueError("feature_names must have one entry per column of X")
     rng = np.random.default_rng(random_state)
     baseline = accuracy_score(labels, classifier.predict(features))
 
@@ -71,9 +87,9 @@ def permutation_importance(
 
 def shapley_sampling_importance(
     classifier: BaseClassifier,
-    X: np.ndarray,
+    X: np.ndarray | FeatureBlock,
     y: np.ndarray,
-    feature_names: Sequence[str],
+    feature_names: Optional[Sequence[str]] = None,
     n_samples: int = 30,
     random_state: Optional[int] = 0,
 ) -> FeatureImportanceResult:
@@ -84,11 +100,9 @@ def shapley_sampling_importance(
     its true values) on top of the already revealed prefix; features not yet
     revealed are replaced by their column means (the usual background value).
     """
-    features = np.asarray(X, dtype=float)
+    features, feature_names = _resolve_features(X, feature_names)
     labels = np.asarray(y)
     n_features = features.shape[1]
-    if n_features != len(feature_names):
-        raise ValueError("feature_names must have one entry per column of X")
     rng = np.random.default_rng(random_state)
     background = features.mean(axis=0)
 

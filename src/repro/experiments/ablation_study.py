@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.ablation import AblationResult, run_ablation
 from repro.core.characterizer import MExIVariant
 from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.identification import ACCURACY_MEASURES
 from repro.experiments.reporting import format_table
@@ -38,8 +39,16 @@ def run_ablation_study(
     config: Optional[ExperimentConfig] = None,
     matchers: Optional[Sequence[HumanMatcher]] = None,
     test_size: float = 0.3,
+    cache: Optional[FeatureBlockCache] = None,
+    use_cache: bool = True,
+    classifier_bank: Optional[Callable[[], list]] = None,
 ) -> AblationStudyResult:
-    """Split the PO cohort, then run the include/exclude ablation on the split."""
+    """Split the PO cohort, then run the include/exclude ablation on the split.
+
+    All eleven configurations share ``cache`` (one is created when omitted);
+    ``use_cache=False`` forces the re-extract-everything behaviour, which the
+    feature-engine benchmark uses as its baseline.
+    """
     config = config or ExperimentConfig.reduced()
     if matchers is None:
         dataset = build_dataset(
@@ -71,5 +80,8 @@ def run_ablation_study(
         feature_sets=config.feature_sets,
         neural_config=config.neural_config,
         random_state=config.random_state,
+        cache=cache,
+        use_cache=use_cache,
+        classifier_bank=classifier_bank,
     )
     return AblationStudyResult(results=results)

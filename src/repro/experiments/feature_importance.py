@@ -18,6 +18,8 @@ from repro.core.expert_model import (
     characterize_population,
     labels_matrix,
 )
+from repro.core.features.base import FeatureBlock
+from repro.core.features.cache import FeatureBlockCache
 from repro.core.features.pipeline import FeaturePipeline
 from repro.core.importance import permutation_importance, top_features_by_set
 from repro.experiments.config import ExperimentConfig
@@ -49,8 +51,13 @@ def run_feature_importance(
     config: Optional[ExperimentConfig] = None,
     matchers: Optional[Sequence[HumanMatcher]] = None,
     top_k: int = 2,
+    cache: Optional[FeatureBlockCache] = None,
 ) -> FeatureImportanceStudyResult:
-    """Rank features per expert characteristic and keep the top-k per feature set."""
+    """Rank features per expert characteristic and keep the top-k per feature set.
+
+    ``cache`` lets a larger study (e.g. the experiment runner) share feature
+    blocks with the other tables computed over the same cohort.
+    """
     config = config or ExperimentConfig.reduced()
     if matchers is None:
         dataset = build_dataset(
@@ -68,9 +75,12 @@ def run_feature_importance(
         include=config.feature_sets,
         neural_config=config.neural_config,
         random_state=config.random_state,
+        cache=cache,
     )
-    features = pipeline.fit_transform(matchers, labels)
-    feature_names = pipeline.feature_names_
+    pipeline.fit(matchers, labels)
+    blocks = pipeline.transform_blocks(matchers)
+    fused = FeatureBlock.hstack([blocks[name] for name in pipeline.include])
+    feature_names = list(fused.names)
 
     top_features: dict[str, dict[str, list[tuple[str, float]]]] = {}
     for label_index, characteristic in enumerate(EXPERT_CHARACTERISTICS):
@@ -81,12 +91,11 @@ def run_feature_importance(
         classifier = RandomForestClassifier(
             n_estimators=20, max_depth=5, random_state=config.random_state
         )
-        classifier.fit(features, y)
+        classifier.fit(fused.matrix, y)
         importance = permutation_importance(
             classifier,
-            features,
+            fused,
             y,
-            feature_names,
             n_repeats=3,
             random_state=config.random_state,
         )

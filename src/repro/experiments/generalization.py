@@ -14,6 +14,7 @@ from repro.core.ablation import evaluate_predictions
 from repro.core.baselines import default_baselines
 from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.identification import ACCURACY_MEASURES, MethodResult
 from repro.experiments.reporting import format_table
@@ -44,9 +45,16 @@ def run_generalization_experiment(
     config: Optional[ExperimentConfig] = None,
     train_matchers: Optional[Sequence[HumanMatcher]] = None,
     test_matchers: Optional[Sequence[HumanMatcher]] = None,
+    cache: Optional[FeatureBlockCache] = None,
 ) -> GeneralizationResult:
-    """Train every method on the PO cohort and evaluate on the OAEI cohort."""
+    """Train every method on the PO cohort and evaluate on the OAEI cohort.
+
+    The three MExI variants share ``cache``, so the PO training cohort's and
+    the OAEI test cohort's offline blocks are each extracted only once.
+    """
     config = config or ExperimentConfig.reduced()
+    if cache is None:
+        cache = FeatureBlockCache()
     if train_matchers is None or test_matchers is None:
         dataset = build_dataset(
             n_po_matchers=config.n_po_matchers,
@@ -87,6 +95,7 @@ def run_generalization_experiment(
             feature_sets=config.feature_sets,
             neural_config=config.neural_config,
             random_state=config.random_state,
+            cache=cache,
         )
         model.fit(train_matchers, train_labels)
         accuracies = evaluate_predictions(test_labels, model.predict(test_matchers))

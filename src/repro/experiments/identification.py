@@ -19,6 +19,7 @@ from repro.core.ablation import evaluate_predictions
 from repro.core.baselines import BaselineCharacterizer, default_baselines
 from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import ExpertThresholds, characterize_population, labels_matrix
+from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.matching.matcher import HumanMatcher
@@ -75,7 +76,9 @@ def _label_population(
     return labels_matrix(profiles), fitted
 
 
-def _mexi_variants(config: ExperimentConfig) -> dict[str, MExICharacterizer]:
+def _mexi_variants(
+    config: ExperimentConfig, cache: Optional[FeatureBlockCache] = None
+) -> dict[str, MExICharacterizer]:
     """The three MExI training variants of Table II."""
     def build(variant: MExIVariant) -> MExICharacterizer:
         return MExICharacterizer(
@@ -83,6 +86,7 @@ def _mexi_variants(config: ExperimentConfig) -> dict[str, MExICharacterizer]:
             feature_sets=config.feature_sets,
             neural_config=config.neural_config,
             random_state=config.random_state,
+            cache=cache,
         )
 
     return {
@@ -97,8 +101,13 @@ def evaluate_methods_on_split(
     test_matchers: Sequence[HumanMatcher],
     config: ExperimentConfig,
     baselines: Optional[Sequence[BaselineCharacterizer]] = None,
+    cache: Optional[FeatureBlockCache] = None,
 ) -> dict[str, dict[str, float]]:
-    """Train and evaluate every method on one train/test split."""
+    """Train and evaluate every method on one train/test split.
+
+    The three MExI variants share ``cache``: the test cohort's offline
+    feature blocks are extracted once instead of once per variant.
+    """
     train_labels, thresholds = _label_population(train_matchers)
     test_labels, _ = _label_population(test_matchers, thresholds)
 
@@ -109,7 +118,7 @@ def evaluate_methods_on_split(
         predictions = baseline.predict(test_matchers)
         accuracies[baseline.name] = evaluate_predictions(test_labels, predictions)
 
-    for name, model in _mexi_variants(config).items():
+    for name, model in _mexi_variants(config, cache).items():
         model.fit(train_matchers, train_labels)
         predictions = model.predict(test_matchers)
         accuracies[name] = evaluate_predictions(test_labels, predictions)
@@ -157,9 +166,12 @@ def _aggregate(
 def run_identification_experiment(
     config: Optional[ExperimentConfig] = None,
     matchers: Optional[Sequence[HumanMatcher]] = None,
+    cache: Optional[FeatureBlockCache] = None,
 ) -> IdentificationResult:
     """Run the full Table IIa experiment (k-fold CV on the PO cohort)."""
     config = config or ExperimentConfig.reduced()
+    if cache is None:
+        cache = FeatureBlockCache()
     if matchers is None:
         dataset = build_dataset(
             n_po_matchers=config.n_po_matchers,
@@ -174,7 +186,7 @@ def run_identification_experiment(
     for train_indices, test_indices in folds.split(matchers):
         train = [matchers[i] for i in train_indices]
         test = [matchers[i] for i in test_indices]
-        fold_accuracies.append(evaluate_methods_on_split(train, test, config))
+        fold_accuracies.append(evaluate_methods_on_split(train, test, config, cache=cache))
 
     methods = _aggregate(fold_accuracies, config, reference_baseline="LRSM")
     return IdentificationResult(

@@ -20,7 +20,13 @@ from repro.core.baselines import (
 )
 from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import characterize_population, labels_matrix
-from repro.core.filtering import ExpertFilter, FilteringResult, median_half_decisions
+from repro.core.features.cache import FeatureBlockCache
+from repro.core.filtering import (
+    ExpertFilter,
+    FilteringResult,
+    evaluate_population,
+    median_half_decisions,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.matching.matcher import HumanMatcher
@@ -74,6 +80,7 @@ def run_outcome_experiment(
     matchers: Optional[Sequence[HumanMatcher]] = None,
     early: bool = False,
     test_size: float = 0.4,
+    cache: Optional[FeatureBlockCache] = None,
 ) -> OutcomeResult:
     """Run the Figure 10 (or Figure 11 when ``early``) expert-utilization experiment."""
     config = config or ExperimentConfig.reduced()
@@ -107,15 +114,22 @@ def run_outcome_experiment(
             feature_sets=config.feature_sets,
             neural_config=config.neural_config,
             random_state=config.random_state,
+            cache=cache,
         ),
     }
+
+    # The full held-out population's quality is shared by every method.
+    test_population_perf = evaluate_population(test)
 
     filtering_results: dict[str, FilteringResult] = {}
     for name, selector in selectors.items():
         selector.fit(train, train_labels)
         expert_filter = ExpertFilter(selector, require_all_characteristics=True)
         filtering_results[name] = expert_filter.evaluate(
-            test, method_name=name, early_decisions=early_decisions
+            test,
+            method_name=name,
+            early_decisions=early_decisions,
+            population_perf=test_population_perf,
         )
 
     return OutcomeResult(

@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
+from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.ablation_study import run_ablation_study
 from repro.experiments.archetype_curves import run_archetype_curves
 from repro.experiments.config import ExperimentConfig
@@ -26,7 +27,7 @@ from repro.experiments.population_analysis import run_population_analysis
 from repro.experiments.reporting import format_table
 
 
-def _run_archetypes(config: ExperimentConfig) -> str:
+def _run_archetypes(config: ExperimentConfig, cache: FeatureBlockCache) -> str:
     result = run_archetype_curves(config)
     table = format_table(
         result.summary_rows(),
@@ -37,26 +38,28 @@ def _run_archetypes(config: ExperimentConfig) -> str:
     return f"{table}\n\n{heatmaps}"
 
 
-def _run_population(config: ExperimentConfig) -> str:
+def _run_population(config: ExperimentConfig, cache: FeatureBlockCache) -> str:
     result = run_population_analysis(config)
     return "\n\n".join([result.format_figure8(), result.format_figure9()])
 
 
-def _run_outcome(config: ExperimentConfig, early: bool) -> str:
-    return run_outcome_experiment(config, early=early).format_table()
+def _run_outcome(config: ExperimentConfig, cache: FeatureBlockCache, early: bool) -> str:
+    return run_outcome_experiment(config, early=early, cache=cache).format_table()
 
 
-#: Experiment id -> callable producing the printable report.
-EXPERIMENTS: dict[str, Callable[[ExperimentConfig], str]] = {
+#: Experiment id -> callable producing the printable report.  Every callable
+#: receives the per-run FeatureBlockCache so feature blocks extracted for one
+#: table are reused by every other artifact over the same cohorts.
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig, FeatureBlockCache], str]] = {
     "fig1": _run_archetypes,
     "fig8": _run_population,
     "fig9": _run_population,
-    "table2a": lambda config: run_identification_experiment(config).format_table(),
-    "table2b": lambda config: run_generalization_experiment(config).format_table(),
-    "table3": lambda config: run_ablation_study(config).format_table(),
-    "table4": lambda config: run_feature_importance(config).format_table(),
-    "fig10": lambda config: _run_outcome(config, early=False),
-    "fig11": lambda config: _run_outcome(config, early=True),
+    "table2a": lambda config, cache: run_identification_experiment(config, cache=cache).format_table(),
+    "table2b": lambda config, cache: run_generalization_experiment(config, cache=cache).format_table(),
+    "table3": lambda config, cache: run_ablation_study(config, cache=cache).format_table(),
+    "table4": lambda config, cache: run_feature_importance(config, cache=cache).format_table(),
+    "fig10": lambda config, cache: _run_outcome(config, cache, early=False),
+    "fig11": lambda config, cache: _run_outcome(config, cache, early=True),
 }
 
 _SCALES: dict[str, Callable[[], ExperimentConfig]] = {
@@ -88,13 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run(experiment_ids: Sequence[str], scale: str = "reduced", seed: int = 42) -> dict[str, str]:
-    """Run the requested experiments and return their printable reports."""
+    """Run the requested experiments and return their printable reports.
+
+    One :class:`FeatureBlockCache` is shared across the whole invocation:
+    artifacts built over the same cohorts (e.g. ``table3`` and ``table4``)
+    extract each feature block once.
+    """
     config = _SCALES[scale]()
     config.random_state = seed
+    cache = FeatureBlockCache()
     selected = sorted(EXPERIMENTS) if "all" in experiment_ids else list(dict.fromkeys(experiment_ids))
     reports: dict[str, str] = {}
     for experiment_id in selected:
-        reports[experiment_id] = EXPERIMENTS[experiment_id](config)
+        reports[experiment_id] = EXPERIMENTS[experiment_id](config, cache)
     return reports
 
 

@@ -26,6 +26,7 @@ class RandomForestClassifier(BaseClassifier):
         max_features: Optional[int | str] = "sqrt",
         bootstrap: bool = True,
         random_state: Optional[int] = None,
+        split_search: str = "vectorized",
     ) -> None:
         super().__init__()
         if n_estimators < 1:
@@ -37,6 +38,7 @@ class RandomForestClassifier(BaseClassifier):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.split_search = split_search
         self.estimators_: list[DecisionTreeClassifier] = []
         self.feature_importances_: np.ndarray | None = None
 
@@ -57,6 +59,7 @@ class RandomForestClassifier(BaseClassifier):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                split_search=self.split_search,
             )
             tree.fit(X[sample_indices], y[sample_indices])
             self.estimators_.append(tree)

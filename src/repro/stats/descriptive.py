@@ -7,6 +7,7 @@ population: ``delta_Res`` is the 80th percentile of train resolutions and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -44,11 +45,18 @@ def summarize(values: Sequence[float]) -> Summary:
     array = np.asarray(values, dtype=float)
     if array.size == 0:
         return Summary(mean=0.0, std=0.0, minimum=0.0, median=0.0, maximum=0.0, count=0)
+    minimum = float(array.min())
+    maximum = float(array.max())
+    # np.mean's pairwise summation can land strictly outside [min, max] for
+    # near-equal inputs; fsum is exactly rounded, and the clamp guarantees
+    # the ordering invariant min <= mean <= max regardless.
+    mean = math.fsum(array) / array.size
+    mean = min(max(mean, minimum), maximum)
     return Summary(
-        mean=float(array.mean()),
+        mean=mean,
         std=float(array.std()),
-        minimum=float(array.min()),
+        minimum=minimum,
         median=float(np.median(array)),
-        maximum=float(array.max()),
+        maximum=maximum,
         count=int(array.size),
     )

@@ -1,0 +1,86 @@
+"""The vectorized split search must be bitwise-equivalent to the scalar scan.
+
+The scalar per-threshold loop is the seed implementation, kept as an
+equivalence oracle (and as the benchmark baseline); the vectorized default
+must select the same feature, threshold and class counts at every node so
+that fitted models — and every experiment built on them — are reproducible
+bit for bit across the two code paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _trees_identical(left, right) -> bool:
+    if (left.feature is None) != (right.feature is None):
+        return False
+    if left.feature is None:
+        return np.array_equal(left.class_counts, right.class_counts)
+    return (
+        left.feature == right.feature
+        and left.threshold == right.threshold
+        and _trees_identical(left.left, right.left)
+        and _trees_identical(left.right, right.right)
+    )
+
+
+def _random_problem(rng, n_classes=2):
+    n = int(rng.integers(6, 90))
+    f = int(rng.integers(1, 25))
+    X = rng.normal(size=(n, f))
+    # Inject ties so the equal-value skip logic is exercised.
+    X[:, : max(1, f // 3)] = np.round(X[:, : max(1, f // 3)] * 2) / 2
+    y = rng.integers(0, n_classes, size=n)
+    if np.unique(y).size < 2:
+        y[0] = 0
+        y[1] = 1
+    return X, y
+
+
+class TestSplitSearchEquivalence:
+    def test_invalid_split_search_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(split_search="magic")
+
+    @pytest.mark.parametrize("max_features", [None, "sqrt", 3])
+    @pytest.mark.parametrize("n_classes", [2, 3])
+    def test_tree_bitwise_equivalence(self, max_features, n_classes):
+        rng = np.random.default_rng(hash((str(max_features), n_classes)) % 2**32)
+        for trial in range(8):
+            X, y = _random_problem(rng, n_classes)
+            kwargs = dict(
+                max_depth=6,
+                min_samples_leaf=int(rng.integers(1, 3)),
+                max_features=max_features,
+                random_state=trial,
+            )
+            scalar = DecisionTreeClassifier(split_search="scalar", **kwargs).fit(X, y)
+            vectorized = DecisionTreeClassifier(split_search="vectorized", **kwargs).fit(X, y)
+            assert _trees_identical(scalar._root, vectorized._root)
+            X_test = rng.normal(size=(40, X.shape[1]))
+            np.testing.assert_array_equal(
+                scalar.predict_proba(X_test), vectorized.predict_proba(X_test)
+            )
+            np.testing.assert_array_equal(
+                scalar.feature_importances_, vectorized.feature_importances_
+            )
+
+    def test_forest_bitwise_equivalence(self):
+        rng = np.random.default_rng(17)
+        X, y = _random_problem(rng)
+        scalar = RandomForestClassifier(
+            n_estimators=10, max_depth=5, random_state=3, split_search="scalar"
+        ).fit(X, y)
+        vectorized = RandomForestClassifier(
+            n_estimators=10, max_depth=5, random_state=3, split_search="vectorized"
+        ).fit(X, y)
+        X_test = rng.normal(size=(30, X.shape[1]))
+        np.testing.assert_array_equal(
+            scalar.predict_proba(X_test), vectorized.predict_proba(X_test)
+        )
+        np.testing.assert_array_equal(
+            scalar.feature_importances_, vectorized.feature_importances_
+        )
