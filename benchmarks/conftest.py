@@ -6,24 +6,49 @@ paper reports.  `run_once` wraps ``benchmark.pedantic`` so each experiment
 executes exactly once per benchmark (these are end-to-end experiments, not
 micro-benchmarks).
 
-The feature-engine benchmark records per-stage wall-clock timings
-(extraction, fit, ablation) via the ``stage_timings`` fixture; at the end of
-the session they are written to ``benchmarks/BENCH_features.json`` so future
-PRs have a performance trajectory to compare against.
+Two timing registries are flushed to JSON at session end so future PRs have
+a performance trajectory to compare against:
+
+* ``stage_timings`` -> ``benchmarks/BENCH_features.json`` — per-stage
+  feature-engine wall-clock (extraction, fit, ablation);
+* ``runtime_timings`` -> ``benchmarks/BENCH_runtime.json`` — per-backend
+  wall-clock of the parallel training runtime (forest fit, 5-fold CV,
+  11-configuration ablation) plus the measured speedups.
+
+Both payloads carry the machine context needed to interpret the numbers:
+Python version, architecture, ``os.cpu_count()`` and the active
+``REPRO_RUNTIME`` backend (the runtime benchmark pins backends explicitly;
+everything else runs on the environment default).
 """
 
 import json
+import os
 import platform
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.runtime import RUNTIME_ENV_VAR
 
 #: Stage name -> seconds, populated by benchmarks through `stage_timings`.
 _STAGE_TIMINGS: dict[str, float] = {}
 
+#: Measurement name -> value, populated through `runtime_timings`.
+_RUNTIME_TIMINGS: dict[str, float] = {}
+
 BENCH_FEATURES_PATH = Path(__file__).resolve().parent / "BENCH_features.json"
+BENCH_RUNTIME_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+
+def _machine_metadata() -> dict:
+    """Context every benchmark JSON records alongside its numbers."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "runtime_backend_env": os.environ.get(RUNTIME_ENV_VAR) or "serial",
+    }
 
 
 @pytest.fixture(scope="session")
@@ -59,14 +84,26 @@ def stage_timings() -> dict[str, float]:
     return _STAGE_TIMINGS
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Persist the per-stage feature-engine timings for future perf trajectories."""
-    if not _STAGE_TIMINGS or exitstatus != 0:
+@pytest.fixture(scope="session")
+def runtime_timings() -> dict[str, float]:
+    """Mutable registry of per-backend runtime timings, flushed at session end."""
+    return _RUNTIME_TIMINGS
+
+
+def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
+    if not registry:
         return
     payload = {
         "scale": "reduced",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "stages_seconds": {name: round(value, 4) for name, value in sorted(_STAGE_TIMINGS.items())},
+        **_machine_metadata(),
+        key: {name: round(value, 4) for name, value in sorted(registry.items())},
     }
-    BENCH_FEATURES_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the benchmark timing registries for future perf trajectories."""
+    if exitstatus != 0:
+        return
+    _flush_timings(_STAGE_TIMINGS, "stages_seconds", BENCH_FEATURES_PATH)
+    _flush_timings(_RUNTIME_TIMINGS, "measurements", BENCH_RUNTIME_PATH)

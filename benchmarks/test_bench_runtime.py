@@ -1,0 +1,173 @@
+"""Deterministic parallel training runtime: per-backend wall-clock + speedup gate.
+
+Times the three training-layer hot loops under every TaskRunner backend:
+
+* a 40-tree random-forest fit,
+* 5-fold cross-validation of a 20-tree forest,
+* the 11-configuration Table III ablation (the end-to-end study loop).
+
+Outputs must be **bitwise identical** on every backend — serial is the
+oracle — and on a multi-core machine the ``process`` backend must beat the
+serial ablation by at least 1.5x.  All wall-clock numbers (and the derived
+speedups) are recorded into ``benchmarks/BENCH_runtime.json`` via the
+session hook in ``conftest.py``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.ablation import run_ablation
+from repro.core.characterizer import MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.features import FeatureBlockCache
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_val_score, train_test_split
+from repro.runtime import BACKENDS, available_workers
+from repro.simulation.dataset import build_dataset
+
+#: The ablation speedup the process backend must deliver on >= MIN_CORES.
+REQUIRED_ABLATION_SPEEDUP = 1.5
+MIN_CORES = 2
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def _forest_data():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((400, 24))
+    y = (X[:, 0] + X[:, 1] + 0.5 * rng.standard_normal(400) > 0).astype(int)
+    return X, y
+
+
+def test_bench_runtime_forest_and_cv(runtime_timings):
+    """Forest fit and 5-fold CV under each backend: identical outputs, timed."""
+    X, y = _forest_data()
+
+    proba = {}
+    for backend in BACKENDS:
+        forest = RandomForestClassifier(
+            n_estimators=40, max_depth=None, random_state=1, runtime=backend
+        )
+        _, seconds = _timed(lambda: forest.fit(X, y))
+        runtime_timings[f"forest_fit_{backend}"] = seconds
+        proba[backend] = forest.predict_proba(X)
+        print(f"forest fit [{backend}]: {seconds:.2f}s")
+
+    scores = {}
+    for backend in BACKENDS:
+        estimator = RandomForestClassifier(n_estimators=20, max_depth=8, random_state=1)
+        scores[backend], seconds = _timed(
+            lambda: cross_val_score(estimator, X, y, cv=5, runtime=backend)
+        )
+        runtime_timings[f"cv_5fold_{backend}"] = seconds
+        print(f"5-fold CV [{backend}]: {seconds:.2f}s")
+
+    for backend in ("thread", "process"):
+        assert np.array_equal(proba["serial"], proba[backend]), backend
+        assert np.array_equal(scores["serial"], scores[backend]), backend
+
+
+def test_bench_runtime_ablation(bench_config, runtime_timings):
+    """The 11-configuration ablation under each backend, with the speedup gate.
+
+    Feature extraction and the neural fits are shared, serial, pre-warm work
+    (every parallel run pays them once before fanning out), so each backend
+    is timed over a **pre-warmed** cache copy: the measurement isolates the
+    eleven configuration runs — the training loop this runtime parallelises
+    — and the pre-warm cost is recorded separately.
+    """
+    import pickle
+
+    from repro.core.ablation import _prewarm_cache
+
+    dataset = build_dataset(
+        n_po_matchers=bench_config.n_po_matchers,
+        n_oaei_matchers=2,
+        random_state=bench_config.random_state,
+    )
+    matchers = dataset.po_matchers
+
+    # The same PO split run_ablation_study uses.
+    indices = list(range(len(matchers)))
+    train_idx, test_idx, _, _ = train_test_split(
+        indices, indices, test_size=0.3, random_state=bench_config.random_state
+    )
+    train = [matchers[i] for i in train_idx]
+    test = [matchers[i] for i in test_idx]
+    train_profiles, thresholds = characterize_population(train)
+    train_labels = labels_matrix(train_profiles)
+    test_profiles, _ = characterize_population(test, thresholds)
+    test_labels = labels_matrix(test_profiles)
+
+    warm = FeatureBlockCache()
+    _, prewarm_seconds = _timed(
+        lambda: _prewarm_cache(
+            bench_config.feature_sets,
+            train,
+            train_labels,
+            test,
+            MExIVariant.SUB_50,
+            bench_config.neural_config,
+            bench_config.random_state,
+            warm,
+        )
+    )
+    runtime_timings["ablation_prewarm"] = prewarm_seconds
+    warm_pickle = pickle.dumps(warm)
+    print(f"shared pre-warm (extraction + neural fits): {prewarm_seconds:.2f}s")
+
+    def ablation(backend):
+        # Every backend starts from its own copy of the same warm cache
+        # (prewarm=False: re-warming a warm cache is redundant work that
+        # would penalise only the parallel backends).
+        return run_ablation(
+            train,
+            train_labels,
+            test,
+            test_labels,
+            variant=MExIVariant.SUB_50,
+            feature_sets=bench_config.feature_sets,
+            neural_config=bench_config.neural_config,
+            random_state=bench_config.random_state,
+            cache=pickle.loads(warm_pickle),
+            runtime=backend,
+            prewarm=False,
+        )
+
+    rows = {}
+    seconds = {}
+    for backend in BACKENDS:
+        results, elapsed = _timed(lambda: ablation(backend))
+        rows[backend] = [
+            (r.mode, r.feature_set, tuple(sorted(r.accuracies.items()))) for r in results
+        ]
+        seconds[backend] = elapsed
+        runtime_timings[f"ablation_11cfg_{backend}"] = elapsed
+        print(f"11-config ablation, warm cache [{backend}]: {elapsed:.2f}s")
+
+    for backend in ("thread", "process"):
+        speedup = seconds["serial"] / seconds[backend]
+        runtime_timings[f"ablation_speedup_{backend}_x"] = speedup
+        print(f"ablation speedup [{backend}]: {speedup:.2f}x")
+
+    # Determinism is unconditional: every backend reproduces Table III bitwise.
+    assert rows["thread"] == rows["serial"]
+    assert rows["process"] == rows["serial"]
+
+    # The speedup claim only holds where there are cores to fan out to.
+    cores = min(os.cpu_count() or 1, available_workers())
+    runtime_timings["cores_used"] = cores
+    if cores >= MIN_CORES:
+        speedup = seconds["serial"] / seconds["process"]
+        assert speedup >= REQUIRED_ABLATION_SPEEDUP, (
+            f"process backend only {speedup:.2f}x faster than serial "
+            f"on {cores} cores (required {REQUIRED_ABLATION_SPEEDUP}x)"
+        )
+    else:
+        print(f"single core ({cores}): speedup gate skipped, determinism still asserted")

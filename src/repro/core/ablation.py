@@ -27,6 +27,7 @@ from repro.core.features.cache import FeatureBlockCache
 from repro.core.features.pipeline import FEATURE_SET_NAMES
 from repro.matching.matcher import HumanMatcher
 from repro.ml.metrics import accuracy_score, jaccard_multilabel_score
+from repro.runtime import RuntimeSpec, resolve_runner
 
 
 @dataclass
@@ -81,6 +82,84 @@ def _run_configuration(
     return evaluate_predictions(test_labels, predictions)
 
 
+def ablation_configurations(
+    feature_sets: Sequence[str], include_full: bool = True
+) -> list[tuple[str, str, tuple[str, ...]]]:
+    """The ``(mode, name, feature_sets)`` rows of Table III, in paper order."""
+    configurations: list[tuple[str, str, tuple[str, ...]]] = []
+    if include_full:
+        configurations.append(("full", "all", tuple(feature_sets)))
+    configurations += [("include", name, (name,)) for name in feature_sets]
+    if len(feature_sets) > 1:
+        configurations += [
+            ("exclude", name, tuple(other for other in feature_sets if other != name))
+            for name in feature_sets
+        ]
+    return configurations
+
+
+def _configuration_task(feature_sets, shared) -> dict[str, float]:
+    """Run one ablation configuration (module-level for pickling).
+
+    ``shared`` bundles everything the eleven configurations have in common
+    (split populations, labels, settings, the pre-warmed cache) and is
+    delivered once per process worker; only the configuration's feature-set
+    tuple travels per task.
+    """
+    (
+        train_matchers,
+        train_labels,
+        test_matchers,
+        test_labels,
+        variant,
+        neural_config,
+        random_state,
+        cache,
+        classifier_bank,
+    ) = shared
+    return _run_configuration(
+        feature_sets,
+        train_matchers,
+        train_labels,
+        test_matchers,
+        test_labels,
+        variant,
+        neural_config,
+        random_state,
+        cache,
+        classifier_bank,
+    )
+
+
+def _prewarm_cache(
+    feature_sets: Sequence[str],
+    train_matchers: Sequence[HumanMatcher],
+    train_labels: np.ndarray,
+    test_matchers: Sequence[HumanMatcher],
+    variant: MExIVariant,
+    neural_config: Optional[dict[str, dict]],
+    random_state: int,
+    cache: FeatureBlockCache,
+) -> None:
+    """Populate ``cache`` with everything the ablation configurations read.
+
+    Builds a full-model characterizer exactly as :func:`_run_configuration`
+    would and runs its :meth:`~repro.core.characterizer.MExICharacterizer.prewarm`
+    — the extraction path of ``fit`` plus the test-block extraction of
+    ``predict``, minus classifier training.  After this, every
+    configuration — in any worker — only hits the cache, so ``process``
+    workers that receive a pickled copy never recompute blocks.
+    """
+    model = MExICharacterizer(
+        variant=variant,
+        feature_sets=feature_sets,
+        neural_config=neural_config,
+        random_state=random_state,
+        cache=cache,
+    )
+    model.prewarm(train_matchers, train_labels, test_matchers)
+
+
 def run_ablation(
     train_matchers: Sequence[HumanMatcher],
     train_labels: np.ndarray,
@@ -94,6 +173,8 @@ def run_ablation(
     cache: Optional[FeatureBlockCache] = None,
     use_cache: bool = True,
     classifier_bank: Optional[Callable[[], list]] = None,
+    runtime: RuntimeSpec = None,
+    prewarm: bool = True,
 ) -> list[AblationResult]:
     """Run the full include/exclude ablation and return one result per row.
 
@@ -104,65 +185,55 @@ def run_ablation(
     overrides the candidate classifiers of every configuration (the
     feature-engine benchmark passes a scalar-split bank to reproduce the
     seed implementation's cost profile).
+
+    The eleven configurations are independent (each seeds its own models
+    from ``random_state``), so they fan out on ``runtime`` (or the
+    ``REPRO_RUNTIME`` default).  Before a parallel run the cache is
+    pre-warmed with every feature block and neural fit the configurations
+    share, so thread workers only read it and process workers receive a
+    complete pickled copy; rows are collected in configuration order and
+    are bitwise identical to the serial loop on every backend.  Callers
+    that hand in an already-warm cache can skip the redundant pass with
+    ``prewarm=False``.  A parallel ``classifier_bank`` must be picklable
+    for the ``process`` backend.
     """
     if not use_cache and cache is not None:
         raise ValueError("use_cache=False contradicts an explicitly supplied cache")
     if cache is None and use_cache:
         cache = FeatureBlockCache()
-    results: list[AblationResult] = []
 
-    if include_full:
-        accuracies = _run_configuration(
+    runner = resolve_runner(runtime)
+    configurations = ablation_configurations(feature_sets, include_full)
+    if prewarm and runner.backend != "serial" and cache is not None:
+        _prewarm_cache(
             feature_sets,
             train_matchers,
             train_labels,
             test_matchers,
-            test_labels,
             variant,
             neural_config,
             random_state,
             cache,
-            classifier_bank,
-        )
-        results.append(AblationResult(mode="full", feature_set="all", accuracies=accuracies))
-
-    for feature_set in feature_sets:
-        accuracies = _run_configuration(
-            (feature_set,),
-            train_matchers,
-            train_labels,
-            test_matchers,
-            test_labels,
-            variant,
-            neural_config,
-            random_state,
-            cache,
-            classifier_bank,
-        )
-        results.append(
-            AblationResult(mode="include", feature_set=feature_set, accuracies=accuracies)
         )
 
-    if len(feature_sets) > 1:
-        for feature_set in feature_sets:
-            remaining = tuple(name for name in feature_sets if name != feature_set)
-            accuracies = _run_configuration(
-                remaining,
-                train_matchers,
-                train_labels,
-                test_matchers,
-                test_labels,
-                variant,
-                neural_config,
-                random_state,
-                cache,
-                classifier_bank,
-            )
-            results.append(
-                AblationResult(mode="exclude", feature_set=feature_set, accuracies=accuracies)
-            )
-
-    return results
+    shared = (
+        train_matchers,
+        train_labels,
+        test_matchers,
+        test_labels,
+        variant,
+        neural_config,
+        random_state,
+        cache,
+        classifier_bank,
+    )
+    accuracies_per_configuration = runner.map(
+        _configuration_task, [sets for _, _, sets in configurations], context=shared
+    )
+    return [
+        AblationResult(mode=mode, feature_set=name, accuracies=accuracies)
+        for (mode, name, _), accuracies in zip(configurations, accuracies_per_configuration)
+    ]
 
 
 def most_important_set(

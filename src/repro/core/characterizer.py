@@ -152,6 +152,37 @@ class MExICharacterizer:
     def is_fitted(self) -> bool:
         return bool(self._label_models)
 
+    def _augment(
+        self, matchers: Sequence[HumanMatcher], label_matrix: np.ndarray
+    ) -> tuple[list[HumanMatcher], np.ndarray]:
+        """The variant's training augmentation (shared by fit and prewarm)."""
+        return generate_submatchers(
+            list(matchers), label_matrix, self.variant.submatcher_config
+        )
+
+    def prewarm(
+        self,
+        matchers: Sequence[HumanMatcher],
+        labels: np.ndarray,
+        predict_matchers: Sequence[HumanMatcher] = (),
+    ) -> "MExICharacterizer":
+        """Populate the attached cache with everything ``fit``/``predict`` read.
+
+        Runs the exact extraction path of :meth:`fit` (augmentation,
+        pipeline fit with its consensus and neural fits, training-block
+        extraction) plus the block extraction :meth:`predict` would do for
+        ``predict_matchers`` — but trains no classifiers.  Studies fan many
+        configurations out over a shared cache after one pre-warm, so
+        workers only read it (and process workers receive a complete copy).
+        """
+        label_matrix = np.asarray(labels, dtype=int)
+        augmented, augmented_labels = self._augment(matchers, label_matrix)
+        self.pipeline.fit(augmented, augmented_labels)
+        self.pipeline.transform_blocks(augmented)
+        if len(predict_matchers):
+            self.pipeline.transform_blocks(list(predict_matchers))
+        return self
+
     def _select_classifier(
         self, X: np.ndarray, y: np.ndarray
     ) -> tuple[BaseClassifier, str, float]:
@@ -206,9 +237,7 @@ class MExICharacterizer:
         if not matchers:
             raise ValueError("cannot fit MExI on an empty training set")
 
-        augmented, augmented_labels = generate_submatchers(
-            list(matchers), label_matrix, self.variant.submatcher_config
-        )
+        augmented, augmented_labels = self._augment(matchers, label_matrix)
 
         self.pipeline.fit(augmented, augmented_labels)
         features = self.pipeline.transform(augmented, precomputed=precomputed)

@@ -19,6 +19,7 @@ sub-sampled matchers never collide with their parents.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Callable, Sequence
 
@@ -99,6 +100,15 @@ class FeatureBlockCache:
     exact training inputs (population, labels, hyper-parameters, seed):
     training is deterministic, so two configurations that would train the
     same network share one fit.
+
+    The cache is safe to share across :class:`repro.runtime.TaskRunner`
+    thread workers: lookups and insertions are guarded by a lock, and a
+    lost insertion race keeps the first-stored object (both competitors
+    computed bitwise-identical content, so either is correct).  Computation
+    itself runs outside the lock.  For the ``process`` backend the cache is
+    pickled into each worker (the lock is dropped and recreated), so it
+    should be **pre-warmed** before fan-out — worker-side insertions do not
+    propagate back to the parent.
     """
 
     def __init__(self, max_entries: int = 512) -> None:
@@ -107,10 +117,20 @@ class FeatureBlockCache:
         self.max_entries = max_entries
         self._blocks: OrderedDict[tuple[str, str, str], FeatureBlock] = OrderedDict()
         self._fits: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.fit_hits = 0
         self.fit_misses = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Feature blocks
@@ -125,20 +145,25 @@ class FeatureBlockCache:
     ) -> FeatureBlock:
         """The cached block for (set, population, config), computing on miss."""
         key = (set_name, population_fingerprint(matchers), config_fingerprint)
-        cached = self._blocks.get(key)
-        if cached is not None:
-            self._blocks.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._blocks.get(key)
+            if cached is not None:
+                self._blocks.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
         block = compute()
         if block.n_matchers != len(matchers):
             raise ValueError(
                 f"extractor for {set_name!r} returned {block.n_matchers} rows "
                 f"for a population of {len(matchers)}"
             )
-        self._blocks[key] = block
-        self._evict(self._blocks)
+        with self._lock:
+            raced = self._blocks.get(key)
+            if raced is not None:
+                return raced
+            self._blocks[key] = block
+            self._evict(self._blocks)
         return block
 
     # ------------------------------------------------------------------ #
@@ -147,15 +172,20 @@ class FeatureBlockCache:
 
     def get_or_fit(self, fit_fingerprint: str, fit: Callable[[], object]) -> object:
         """Memoise a deterministic fit (e.g. a trained neural extractor)."""
-        cached = self._fits.get(fit_fingerprint)
-        if cached is not None:
-            self._fits.move_to_end(fit_fingerprint)
-            self.fit_hits += 1
-            return cached
-        self.fit_misses += 1
+        with self._lock:
+            cached = self._fits.get(fit_fingerprint)
+            if cached is not None:
+                self._fits.move_to_end(fit_fingerprint)
+                self.fit_hits += 1
+                return cached
+            self.fit_misses += 1
         state = fit()
-        self._fits[fit_fingerprint] = state
-        self._evict(self._fits)
+        with self._lock:
+            raced = self._fits.get(fit_fingerprint)
+            if raced is not None:
+                return raced
+            self._fits[fit_fingerprint] = state
+            self._evict(self._fits)
         return state
 
     # ------------------------------------------------------------------ #
@@ -170,21 +200,23 @@ class FeatureBlockCache:
         return len(self._blocks)
 
     def clear(self) -> None:
-        self._blocks.clear()
-        self._fits.clear()
-        self.hits = self.misses = 0
-        self.fit_hits = self.fit_misses = 0
+        with self._lock:
+            self._blocks.clear()
+            self._fits.clear()
+            self.hits = self.misses = 0
+            self.fit_hits = self.fit_misses = 0
 
     def stats(self) -> dict[str, int]:
         """Hit/miss counters (useful in benchmarks and logs)."""
-        return {
-            "entries": len(self._blocks),
-            "hits": self.hits,
-            "misses": self.misses,
-            "fit_entries": len(self._fits),
-            "fit_hits": self.fit_hits,
-            "fit_misses": self.fit_misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._blocks),
+                "hits": self.hits,
+                "misses": self.misses,
+                "fit_entries": len(self._fits),
+                "fit_hits": self.fit_hits,
+                "fit_misses": self.fit_misses,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -83,5 +83,6 @@ def run_ablation_study(
         cache=cache,
         use_cache=use_cache,
         classifier_bank=classifier_bank,
+        runtime=config.runtime,
     )
     return AblationStudyResult(results=results)

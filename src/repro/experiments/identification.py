@@ -24,6 +24,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.matching.matcher import HumanMatcher
 from repro.ml.model_selection import KFold
+from repro.runtime import resolve_runner
 from repro.simulation.dataset import build_dataset
 from repro.stats.bootstrap import two_sample_bootstrap_test
 
@@ -126,6 +127,13 @@ def evaluate_methods_on_split(
     return accuracies
 
 
+def _fold_task(task, shared) -> dict[str, dict[str, float]]:
+    """Evaluate all methods on one fold (module-level for pickling)."""
+    train, test = task
+    config, cache = shared
+    return evaluate_methods_on_split(train, test, config, cache=cache)
+
+
 def _aggregate(
     fold_accuracies: list[dict[str, dict[str, float]]],
     config: ExperimentConfig,
@@ -158,6 +166,7 @@ def _aggregate(
                     n_bootstrap=config.n_bootstrap,
                     alternative="greater",
                     random_state=config.random_state,
+                    runtime=config.runtime,
                 )
                 result.significant[measure] = test.is_significant
     return results
@@ -181,12 +190,19 @@ def run_identification_experiment(
         matchers = dataset.po_matchers
     matchers = list(matchers)
 
+    # The fold shuffle is drawn once here, before any fan-out; each fold's
+    # methods then train independently (seeded from the config), so folds
+    # run on the configured runtime with bitwise-identical tables.  Thread
+    # workers share the (locked) cache; process workers get pickled copies.
     folds = KFold(n_splits=config.n_folds, shuffle=True, random_state=config.random_state)
-    fold_accuracies = []
+    tasks = []
     for train_indices, test_indices in folds.split(matchers):
         train = [matchers[i] for i in train_indices]
         test = [matchers[i] for i in test_indices]
-        fold_accuracies.append(evaluate_methods_on_split(train, test, config, cache=cache))
+        tasks.append((train, test))
+    fold_accuracies = resolve_runner(config.runtime).map(
+        _fold_task, tasks, context=(config, cache)
+    )
 
     methods = _aggregate(fold_accuracies, config, reference_baseline="LRSM")
     return IdentificationResult(

@@ -87,18 +87,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="cohort / model scale (default: reduced; 'paper' uses 106+34 matchers)",
     )
     parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--runtime",
+        default=None,
+        metavar="BACKEND[:N]",
+        help=(
+            "runtime backend for the parallelisable loops: serial, thread[:N] "
+            "or process[:N] (default: the REPRO_RUNTIME environment variable, "
+            "else serial; results are bitwise identical on every backend)"
+        ),
+    )
     return parser
 
 
-def run(experiment_ids: Sequence[str], scale: str = "reduced", seed: int = 42) -> dict[str, str]:
+def run(
+    experiment_ids: Sequence[str],
+    scale: str = "reduced",
+    seed: int = 42,
+    runtime: str | None = None,
+) -> dict[str, str]:
     """Run the requested experiments and return their printable reports.
 
     One :class:`FeatureBlockCache` is shared across the whole invocation:
     artifacts built over the same cohorts (e.g. ``table3`` and ``table4``)
-    extract each feature block once.
+    extract each feature block once.  ``runtime`` selects the backend for
+    the parallelisable loops (see :mod:`repro.runtime`); every backend
+    prints identical tables.
     """
     config = _SCALES[scale]()
     config.random_state = seed
+    config.runtime = runtime
     cache = FeatureBlockCache()
     selected = sorted(EXPERIMENTS) if "all" in experiment_ids else list(dict.fromkeys(experiment_ids))
     reports: dict[str, str] = {}
@@ -109,7 +127,7 @@ def run(experiment_ids: Sequence[str], scale: str = "reduced", seed: int = 42) -
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    reports = run(args.experiments, scale=args.scale, seed=args.seed)
+    reports = run(args.experiments, scale=args.scale, seed=args.seed, runtime=args.runtime)
     for experiment_id, report in reports.items():
         print(f"\n===== {experiment_id} =====")
         print(report)

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy_score
+from repro.runtime import RuntimeSpec, resolve_runner
 
 
 def train_test_split(
@@ -75,25 +76,58 @@ class KFold:
             start += fold_size
 
 
+def _fit_and_score_task(task, shared) -> float:
+    """Fit a clone on one fold and score it (module-level for pickling)."""
+    estimator, features, labels, scoring = shared
+    train_indices, test_indices = task
+    model = clone(estimator)
+    model.fit(features[train_indices], labels[train_indices])
+    predictions = model.predict(features[test_indices])
+    score_fn = scoring or accuracy_score
+    return score_fn(labels[test_indices], predictions)
+
+
 def cross_val_score(
     estimator: BaseClassifier,
     X: Sequence,
     y: Sequence,
     cv: int | KFold = 5,
     scoring=None,
+    runtime: "RuntimeSpec" = None,
 ) -> np.ndarray:
-    """Per-fold scores of a classifier (accuracy by default)."""
+    """Per-fold scores of a classifier (accuracy by default).
+
+    The fold shuffle is drawn once up front (inside :meth:`KFold.split`),
+    so the per-fold fits are independent and fan out on ``runtime``
+    (or the ``REPRO_RUNTIME`` default); scores come back in fold order and
+    are bitwise identical on every backend.  With the ``process`` backend,
+    a custom ``scoring`` callable must be picklable.
+    """
     features = np.asarray(X)
     labels = np.asarray(y)
     folds = cv if isinstance(cv, KFold) else KFold(n_splits=cv, shuffle=True, random_state=0)
-    score_fn = scoring or (lambda yt, yp: accuracy_score(yt, yp))
-    scores = []
-    for train_indices, test_indices in folds.split(features):
-        model = clone(estimator)
-        model.fit(features[train_indices], labels[train_indices])
-        predictions = model.predict(features[test_indices])
-        scores.append(score_fn(labels[test_indices], predictions))
+    scores = resolve_runner(runtime).map(
+        _fit_and_score_task,
+        list(folds.split(features)),
+        context=(estimator, features, labels, scoring),
+    )
     return np.asarray(scores, dtype=float)
+
+
+def _evaluate_candidate_task(params, shared) -> float:
+    """Cross-validate one parameter combination (module-level for pickling)."""
+    estimator, features, labels, cv, scoring = shared
+    candidate = clone(estimator).set_params(**params)
+    try:
+        # runtime=None, not "serial": inside a worker the resolution
+        # degrades to serial anyway, and when the candidate map ran in the
+        # caller (e.g. a single candidate) the folds may still fan out.
+        scores = cross_val_score(candidate, features, labels, cv=cv, scoring=scoring)
+        return float(scores.mean())
+    except ValueError:
+        # Too few samples for this fold configuration; score on training data.
+        candidate.fit(features, labels)
+        return candidate.score(features, labels)
 
 
 class GridSearchCV:
@@ -109,11 +143,13 @@ class GridSearchCV:
         param_grid: dict[str, Iterable[Any]],
         cv: int = 3,
         scoring=None,
+        runtime: "RuntimeSpec" = None,
     ) -> None:
         self.estimator = estimator
         self.param_grid = {key: list(values) for key, values in param_grid.items()}
         self.cv = cv
         self.scoring = scoring
+        self.runtime = runtime
         self.best_estimator_: Optional[BaseClassifier] = None
         self.best_params_: Optional[dict[str, Any]] = None
         self.best_score_: float = -np.inf
@@ -128,18 +164,26 @@ class GridSearchCV:
             yield dict(zip(keys, combination))
 
     def fit(self, X: Sequence, y: Sequence) -> "GridSearchCV":
+        """Evaluate every candidate (fanned out on ``runtime``) and refit the best.
+
+        Candidates are independent, so they run on the selected backend;
+        scores come back in candidate order and the first-best tie-breaking
+        of the serial loop is preserved exactly.  Inside workers the inner
+        cross-validation degrades to serial (one fan-out level at a time).
+        """
         features = np.asarray(X)
         labels = np.asarray(y)
         self.results_ = []
-        for params in self._candidates():
-            candidate = clone(self.estimator).set_params(**params)
-            try:
-                scores = cross_val_score(candidate, features, labels, cv=self.cv, scoring=self.scoring)
-                mean_score = float(scores.mean())
-            except ValueError:
-                # Too few samples for this fold configuration; score on training data.
-                candidate.fit(features, labels)
-                mean_score = candidate.score(features, labels)
+        self.best_estimator_ = None
+        self.best_params_ = None
+        self.best_score_ = -np.inf
+        candidates = list(self._candidates())
+        mean_scores = resolve_runner(self.runtime).map(
+            _evaluate_candidate_task,
+            candidates,
+            context=(self.estimator, features, labels, self.cv, self.scoring),
+        )
+        for params, mean_score in zip(candidates, mean_scores):
             self.results_.append({"params": params, "score": mean_score})
             if mean_score > self.best_score_:
                 self.best_score_ = mean_score

@@ -208,7 +208,15 @@ class DecisionTreeClassifier(BaseClassifier):
                 )
         return best
 
-    def _build(self, X: np.ndarray, y_encoded: np.ndarray, depth: int) -> _TreeNode:
+    def _grow_node(
+        self, X: np.ndarray, y_encoded: np.ndarray, depth: int
+    ) -> tuple[_TreeNode, Optional[np.ndarray]]:
+        """Create one node and, if it splits, record its importance gain.
+
+        Returns the node together with its left-child mask: ``feature`` /
+        ``threshold`` are set for splits (children attached by the caller
+        using the mask) and the mask is ``None`` for leaves.
+        """
         counts = self._class_counts(y_encoded)
         node = _TreeNode(class_counts=counts)
         if (
@@ -216,15 +224,15 @@ class DecisionTreeClassifier(BaseClassifier):
             or (self.max_depth is not None and depth >= self.max_depth)
             or np.count_nonzero(counts) == 1
         ):
-            return node
+            return node, None
 
         split = self._best_split(X, y_encoded)
         if split is None:
-            return node
+            return node, None
         feature, threshold, _ = split
         mask = X[:, feature] <= threshold
         if mask.all() or not mask.any():
-            return node
+            return node, None
 
         parent_impurity = _gini(counts)
         left_labels = y_encoded[mask]
@@ -238,9 +246,39 @@ class DecisionTreeClassifier(BaseClassifier):
 
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], left_labels, depth + 1)
-        node.right = self._build(X[~mask], right_labels, depth + 1)
-        return node
+        return node, mask
+
+    def _build(self, X: np.ndarray, y_encoded: np.ndarray, depth: int) -> _TreeNode:
+        """Grow the tree with an explicit stack (pre-order, left subtree first).
+
+        Iterative for the same reason as the traversals: ``max_depth=None``
+        chains can exceed the recursion limit.  Importance gains accumulate
+        in the recursion's exact order — parent, whole left subtree, then
+        right — so fitted trees and importances stay bitwise identical.
+        """
+        # Each entry expands one split node; pushing right before left makes
+        # the stack pop the left subtree first, matching the recursion.
+        stack: list[tuple[_TreeNode, np.ndarray, np.ndarray, int, str]] = []
+
+        def _push_children(
+            node: _TreeNode, mask: Optional[np.ndarray], X_node: np.ndarray, y_node: np.ndarray, level: int
+        ) -> None:
+            if mask is None:
+                return
+            stack.append((node, X_node[~mask], y_node[~mask], level + 1, "right"))
+            stack.append((node, X_node[mask], y_node[mask], level + 1, "left"))
+
+        root, root_mask = self._grow_node(X, y_encoded, depth)
+        _push_children(root, root_mask, X, y_encoded, depth)
+        while stack:
+            parent, X_child, y_child, level, side = stack.pop()
+            child, child_mask = self._grow_node(X_child, y_child, level)
+            if side == "left":
+                parent.left = child
+            else:
+                parent.right = child
+            _push_children(child, child_mask, X_child, y_child, level)
+        return root
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         assert self.classes_ is not None
@@ -261,18 +299,30 @@ class DecisionTreeClassifier(BaseClassifier):
     def _fill_proba(
         self, node: _TreeNode, X: np.ndarray, rows: np.ndarray, out: np.ndarray
     ) -> None:
-        """Route all ``rows`` of ``X`` through the tree at once."""
-        if node.is_leaf:
-            out[rows] = node.probabilities()
-            return
-        assert node.left is not None and node.right is not None and node.feature is not None
-        goes_left = X[rows, node.feature] <= node.threshold
-        left_rows = rows[goes_left]
-        right_rows = rows[~goes_left]
-        if left_rows.size:
-            self._fill_proba(node.left, X, left_rows, out)
-        if right_rows.size:
-            self._fill_proba(node.right, X, right_rows, out)
+        """Route all ``rows`` of ``X`` through the tree at once.
+
+        Traversal uses an explicit stack: unbounded-depth trees
+        (``max_depth=None``) can grow chains deeper than Python's recursion
+        limit.
+        """
+        stack: list[tuple[_TreeNode, np.ndarray]] = [(node, rows)]
+        while stack:
+            current, current_rows = stack.pop()
+            if current.is_leaf:
+                out[current_rows] = current.probabilities()
+                continue
+            assert (
+                current.left is not None
+                and current.right is not None
+                and current.feature is not None
+            )
+            goes_left = X[current_rows, current.feature] <= current.threshold
+            left_rows = current_rows[goes_left]
+            right_rows = current_rows[~goes_left]
+            if left_rows.size:
+                stack.append((current.left, left_rows))
+            if right_rows.size:
+                stack.append((current.right, right_rows))
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         assert self._root is not None and self.classes_ is not None
@@ -281,25 +331,37 @@ class DecisionTreeClassifier(BaseClassifier):
         return out
 
     def depth(self) -> int:
-        """Depth of the fitted tree (a single leaf has depth 0)."""
+        """Depth of the fitted tree (a single leaf has depth 0).
+
+        Iterative traversal, safe for chains deeper than the recursion limit.
+        """
         self._check_fitted()
-
-        def _depth(node: Optional[_TreeNode]) -> int:
+        deepest = 0
+        stack: list[tuple[Optional[_TreeNode], int]] = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
             if node is None or node.is_leaf:
-                return 0
-            return 1 + max(_depth(node.left), _depth(node.right))
-
-        return _depth(self._root)
+                continue
+            deepest = max(deepest, level + 1)
+            stack.append((node.left, level + 1))
+            stack.append((node.right, level + 1))
+        return deepest
 
     def n_leaves(self) -> int:
-        """Number of leaves of the fitted tree."""
+        """Number of leaves of the fitted tree.
+
+        Iterative traversal, safe for chains deeper than the recursion limit.
+        """
         self._check_fitted()
-
-        def _count(node: Optional[_TreeNode]) -> int:
+        leaves = 0
+        stack: list[Optional[_TreeNode]] = [self._root]
+        while stack:
+            node = stack.pop()
             if node is None:
-                return 0
+                continue
             if node.is_leaf:
-                return 1
-            return _count(node.left) + _count(node.right)
-
-        return _count(self._root)
+                leaves += 1
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return leaves

@@ -1,0 +1,23 @@
+"""Deterministic parallel execution substrate shared by the training loops."""
+
+from repro.runtime.runner import (
+    BACKENDS,
+    RUNTIME_ENV_VAR,
+    RuntimeSpec,
+    TaskRunner,
+    available_workers,
+    in_worker,
+    parallel_map,
+    resolve_runner,
+)
+
+__all__ = [
+    "BACKENDS",
+    "RUNTIME_ENV_VAR",
+    "RuntimeSpec",
+    "TaskRunner",
+    "available_workers",
+    "in_worker",
+    "parallel_map",
+    "resolve_runner",
+]

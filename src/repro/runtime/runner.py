@@ -1,0 +1,240 @@
+"""Deterministic parallel execution substrate (``TaskRunner`` / ``parallel_map``).
+
+Every study in this code base is dominated by loops of independent, pure
+tasks: the forest grows its trees one at a time, cross-validation visits its
+folds serially, the Table III ablation runs eleven configurations
+back-to-back and the bootstrap test draws thousands of resamples.
+:class:`TaskRunner` fans such loops out across cores while keeping the
+results **bitwise identical** to the serial loop, which stays the oracle
+(mirroring the ``split_search="scalar"`` precedent of the vectorized split
+search).
+
+The determinism contract rests on two rules:
+
+* **Pre-drawn randomness** — callers draw *all* RNG material (bootstrap
+  sample indices, per-tree seeds, fold shuffles, resample index matrices)
+  up front from the existing seed streams, in the exact order the serial
+  loop would consume them, and hand each task its own material.  Workers
+  never touch a shared generator.
+* **Ordered collection** — :meth:`TaskRunner.map` returns results in task
+  order regardless of completion order, so downstream reductions (summing
+  tree importances, stacking fold scores, assembling table rows) run in
+  the serial order.
+
+Backends
+--------
+``serial``
+    Runs tasks in the calling thread; the reference implementation.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`; useful when tasks
+    release the GIL (NumPy-heavy work) or block on I/O.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; tasks and their
+    arguments must be picklable (module-level functions, no lambdas).
+
+The backend is chosen per call (pass a :class:`TaskRunner` or a spec string
+such as ``"process:4"``) or globally through the ``REPRO_RUNTIME``
+environment variable.  Inside a worker, :func:`resolve_runner` falls back to
+``serial`` so a globally configured parallel backend never fans out
+recursively (no nested pools, no core oversubscription).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable selecting the default backend, e.g. ``process:4``.
+RUNTIME_ENV_VAR = "REPRO_RUNTIME"
+
+#: Set in process-pool workers so nested resolution degrades to serial.
+_WORKER_ENV_VAR = "_REPRO_RUNTIME_IN_WORKER"
+
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+#: Thread-pool workers flag themselves here (thread-local, so the main
+#: thread of the same process is unaffected).
+_thread_worker_state = threading.local()
+
+#: Per-call shared context, delivered once to each process-pool worker via
+#: the pool initializer instead of once per task (see ``TaskRunner.map``).
+_process_context = None
+
+
+def _mark_thread_worker() -> None:
+    _thread_worker_state.active = True
+
+
+def _mark_process_worker() -> None:
+    os.environ[_WORKER_ENV_VAR] = "1"
+
+
+def _mark_process_worker_with_context(context) -> None:
+    global _process_context
+    _mark_process_worker()
+    _process_context = context
+
+
+class _ContextCall:
+    """Calls ``function(task, context)`` with the worker's delivered context.
+
+    Pickling this wrapper ships only the bare function; the (potentially
+    large) context object travels once per worker through the pool
+    initializer, not once per task.
+    """
+
+    def __init__(self, function: Callable) -> None:
+        self.function = function
+
+    def __call__(self, task):
+        return self.function(task, _process_context)
+
+
+def in_worker() -> bool:
+    """Whether the calling context is a TaskRunner worker (thread or process)."""
+    if getattr(_thread_worker_state, "active", False):
+        return True
+    return os.environ.get(_WORKER_ENV_VAR) == "1"
+
+
+def available_workers() -> int:
+    """Usable core count (scheduler affinity aware, never below 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+class TaskRunner:
+    """Maps a function over tasks on a ``serial``/``thread``/``process`` backend.
+
+    Runners are cheap, stateless handles: executors are created per
+    :meth:`map` call and torn down before it returns, so a runner can be
+    stored as an estimator parameter, deep-copied by :func:`repro.ml.base.clone`
+    and shared freely between callers.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown runtime backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.backend = backend
+        self.max_workers = max_workers if max_workers is not None else available_workers()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "TaskRunner":
+        """Parse a ``backend[:workers]`` spec string, e.g. ``"process:4"``."""
+        text = spec.strip().lower()
+        workers: Optional[int] = None
+        if ":" in text:
+            backend, _, count = text.partition(":")
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ValueError(f"invalid worker count in runtime spec {spec!r}")
+        else:
+            backend = text
+        return cls(backend=backend, max_workers=workers)
+
+    def __deepcopy__(self, memo: dict) -> "TaskRunner":
+        return TaskRunner(backend=self.backend, max_workers=self.max_workers)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def map(
+        self,
+        function: Callable[..., _R],
+        tasks: Iterable[_T],
+        context=None,
+    ) -> list[_R]:
+        """Apply ``function`` to every task, returning results in task order.
+
+        ``context`` carries state shared by every task (a feature cache, the
+        training matrices): when given, ``function`` is called as
+        ``function(task, context)``.  Thread and serial backends pass the
+        object through directly; the process backend delivers it **once per
+        worker** via the pool initializer, so large shared payloads are not
+        re-pickled for every task.
+        """
+        items = list(tasks)
+        if not items:
+            return []
+        call = function if context is None else (lambda item: function(item, context))
+        workers = min(self.max_workers, len(items))
+        if self.backend == "serial" or workers == 1 or len(items) == 1:
+            return [call(item) for item in items]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(
+                max_workers=workers, initializer=_mark_thread_worker
+            ) as executor:
+                return list(executor.map(call, items))
+        chunksize = max(1, len(items) // (workers * 4))
+        if context is None:
+            initializer, initargs, task_call = _mark_process_worker, (), function
+        else:
+            initializer = _mark_process_worker_with_context
+            initargs = (context,)
+            task_call = _ContextCall(function)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as executor:
+            return list(executor.map(task_call, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"TaskRunner(backend={self.backend!r}, max_workers={self.max_workers})"
+
+
+#: What callers may pass wherever a runtime is accepted.
+RuntimeSpec = Union[None, str, TaskRunner]
+
+_SERIAL = TaskRunner("serial")
+
+
+def resolve_runner(spec: RuntimeSpec = None) -> TaskRunner:
+    """Resolve a per-call runtime selection to a concrete :class:`TaskRunner`.
+
+    Resolution order: an explicit :class:`TaskRunner` or spec string wins;
+    otherwise the ``REPRO_RUNTIME`` environment variable is consulted; the
+    default is ``serial``.
+
+    Inside a TaskRunner worker **every** resolution — explicit specs and
+    runner instances included — degrades to serial: one loop level fans out
+    at a time.  Without this, an estimator carrying ``runtime="process"``
+    cloned into the workers of a parallel outer loop (grid search, the
+    ablation) would spawn a pool per worker and oversubscribe the machine.
+    Results are unaffected either way — every backend is bitwise identical.
+    """
+    if in_worker():
+        return _SERIAL
+    if isinstance(spec, TaskRunner):
+        return spec
+    if spec is not None:
+        return TaskRunner.from_spec(spec)
+    env = os.environ.get(RUNTIME_ENV_VAR)
+    if env:
+        return TaskRunner.from_spec(env)
+    return _SERIAL
+
+
+def parallel_map(
+    function: Callable[..., _R],
+    tasks: Sequence[_T],
+    runtime: RuntimeSpec = None,
+    context=None,
+) -> list[_R]:
+    """Map ``function`` over ``tasks`` on the resolved runtime, in task order."""
+    return resolve_runner(runtime).map(function, tasks, context=context)

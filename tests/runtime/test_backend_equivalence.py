@@ -1,0 +1,226 @@
+"""Backend equivalence: serial is the oracle; every backend must match it bitwise.
+
+Covers the four parallelised training loops: forest probabilities,
+``cross_val_score`` arrays, ablation Table III rows and bootstrap p-values,
+each across the ``thread`` and ``process`` backends with worker counts
+{1, 2, 4}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import run_ablation
+from repro.core.characterizer import MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.core.features.cache import FeatureBlockCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.identification import run_identification_experiment
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import GridSearchCV, KFold, cross_val_score
+from repro.ml.tree import DecisionTreeClassifier
+from repro.simulation.dataset import build_dataset
+from repro.stats.bootstrap import two_sample_bootstrap_test
+
+#: Every non-serial (backend, worker-count) combination under test.
+BACKEND_GRID = [
+    f"{backend}:{workers}" for backend in ("thread", "process") for workers in (1, 2, 4)
+]
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    rng = np.random.default_rng(11)
+    X = rng.standard_normal((90, 6))
+    y = (X[:, 0] + 0.4 * rng.standard_normal(90) > 0).astype(int)
+    return X, y
+
+
+class TestForestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_proba(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=10, random_state=5, runtime="serial")
+        return forest.fit(X, y).predict_proba(X)
+
+    @pytest.mark.parametrize("spec", BACKEND_GRID)
+    def test_probabilities_bitwise_identical(self, classification_data, serial_proba, spec):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=10, random_state=5, runtime=spec)
+        probabilities = forest.fit(X, y).predict_proba(X)
+        assert np.array_equal(serial_proba, probabilities)
+
+    @pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+    def test_importances_bitwise_identical(self, classification_data, spec):
+        X, y = classification_data
+        serial = RandomForestClassifier(n_estimators=10, random_state=5).fit(X, y)
+        parallel = RandomForestClassifier(n_estimators=10, random_state=5, runtime=spec).fit(X, y)
+        assert np.array_equal(serial.feature_importances_, parallel.feature_importances_)
+
+
+class TestCrossValidationEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_scores(self, classification_data):
+        X, y = classification_data
+        estimator = RandomForestClassifier(n_estimators=6, random_state=2)
+        return cross_val_score(estimator, X, y, cv=5, runtime="serial")
+
+    @pytest.mark.parametrize("spec", BACKEND_GRID)
+    def test_scores_bitwise_identical(self, classification_data, serial_scores, spec):
+        X, y = classification_data
+        estimator = RandomForestClassifier(n_estimators=6, random_state=2)
+        scores = cross_val_score(estimator, X, y, cv=5, runtime=spec)
+        assert np.array_equal(serial_scores, scores)
+
+    @pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+    def test_explicit_kfold_identical(self, classification_data, spec):
+        X, y = classification_data
+        folds = KFold(n_splits=4, shuffle=True, random_state=9)
+        estimator = DecisionTreeClassifier(max_depth=4, random_state=0)
+        serial = cross_val_score(estimator, X, y, cv=folds, runtime="serial")
+        parallel = cross_val_score(estimator, X, y, cv=folds, runtime=spec)
+        assert np.array_equal(serial, parallel)
+
+    @pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+    def test_grid_search_identical(self, classification_data, spec):
+        X, y = classification_data
+        grid = {"max_depth": [2, 4], "min_samples_leaf": [1, 2]}
+        serial = GridSearchCV(DecisionTreeClassifier(random_state=0), grid, cv=3).fit(X, y)
+        parallel = GridSearchCV(
+            DecisionTreeClassifier(random_state=0), grid, cv=3, runtime=spec
+        ).fit(X, y)
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+        assert serial.results_ == parallel.results_
+
+
+class TestBootstrapEquivalence:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        rng = np.random.default_rng(21)
+        return rng.random(30), rng.random(30) - 0.05
+
+    @pytest.mark.parametrize("spec", BACKEND_GRID)
+    @pytest.mark.parametrize("alternative", ["greater", "less", "two-sided"])
+    def test_p_values_bitwise_identical(self, samples, spec, alternative):
+        a, b = samples
+        serial = two_sample_bootstrap_test(
+            a, b, n_bootstrap=800, alternative=alternative, random_state=13
+        )
+        parallel = two_sample_bootstrap_test(
+            a,
+            b,
+            n_bootstrap=800,
+            alternative=alternative,
+            random_state=13,
+            runtime=spec,
+            parallel_threshold=100,
+        )
+        assert serial.p_value == parallel.p_value
+        assert serial.observed_difference == parallel.observed_difference
+
+    def test_unequal_sample_sizes(self, samples):
+        a, b = samples
+        short_b = b[:17]
+        serial = two_sample_bootstrap_test(a, short_b, n_bootstrap=600, random_state=3)
+        parallel = two_sample_bootstrap_test(
+            a, short_b, n_bootstrap=600, random_state=3,
+            runtime="process:2", parallel_threshold=100,
+        )
+        assert serial.p_value == parallel.p_value
+
+    def test_block_boundaries_do_not_change_p_values(self, samples, monkeypatch):
+        # The serial matrix path draws in memory-bounded blocks; forcing
+        # tiny blocks must not move the p-value by a single ulp.
+        from repro.stats import bootstrap as bootstrap_mod
+
+        a, b = samples
+        reference = two_sample_bootstrap_test(a, b, n_bootstrap=500, random_state=17)
+        monkeypatch.setattr(bootstrap_mod, "MATRIX_BLOCK_ELEMENTS", 64)
+        blocked = two_sample_bootstrap_test(a, b, n_bootstrap=500, random_state=17)
+        assert reference.p_value == blocked.p_value
+
+    def test_loop_resample_unchanged(self, samples):
+        # The legacy per-iteration loop stays available as the seed oracle.
+        a, b = samples
+        first = two_sample_bootstrap_test(a, b, n_bootstrap=200, random_state=3, resample="loop")
+        second = two_sample_bootstrap_test(a, b, n_bootstrap=200, random_state=3, resample="loop")
+        assert first.p_value == second.p_value
+
+    def test_unknown_resample_rejected(self, samples):
+        a, b = samples
+        with pytest.raises(ValueError):
+            two_sample_bootstrap_test(a, b, resample="magic")
+
+
+class TestAblationEquivalence:
+    """Table III rows must be identical on every backend and worker count.
+
+    Runs on a deliberately small cohort with the three offline feature sets
+    (seven configurations) so the whole grid stays fast.
+    """
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        dataset = build_dataset(n_po_matchers=12, n_oaei_matchers=2, random_state=7)
+        matchers = dataset.po_matchers
+        train, test = matchers[:8], matchers[8:]
+        train_profiles, thresholds = characterize_population(train)
+        test_profiles, _ = characterize_population(test, thresholds)
+        return train, labels_matrix(train_profiles), test, labels_matrix(test_profiles)
+
+    def _rows(self, split, runtime):
+        train, train_labels, test, test_labels = split
+        results = run_ablation(
+            train,
+            train_labels,
+            test,
+            test_labels,
+            variant=MExIVariant.SUB_50,
+            feature_sets=("lrsm", "beh", "mou"),
+            random_state=7,
+            cache=FeatureBlockCache(),
+            runtime=runtime,
+        )
+        return [(r.mode, r.feature_set, tuple(sorted(r.accuracies.items()))) for r in results]
+
+    @pytest.fixture(scope="class")
+    def serial_rows(self, split):
+        return self._rows(split, "serial")
+
+    @pytest.mark.parametrize("spec", BACKEND_GRID)
+    def test_rows_bitwise_identical(self, split, serial_rows, spec):
+        assert self._rows(split, spec) == serial_rows
+
+    def test_row_order_is_paper_order(self, serial_rows):
+        modes = [mode for mode, _, _ in serial_rows]
+        assert modes == ["full"] + ["include"] * 3 + ["exclude"] * 3
+
+
+class TestIdentificationEquivalence:
+    """Table IIa (fold fan-out + bootstrap markers) across backends.
+
+    Offline feature sets only, so the whole table stays fast while still
+    exercising the per-fold fan-out, the shared cache and the significance
+    tests.
+    """
+
+    @staticmethod
+    def _config(runtime):
+        return ExperimentConfig(
+            n_po_matchers=14,
+            n_folds=2,
+            n_bootstrap=200,
+            random_state=5,
+            use_neural_features=False,
+            runtime=runtime,
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_table(self):
+        result = run_identification_experiment(self._config(None), cache=FeatureBlockCache())
+        return result.format_table()
+
+    @pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+    def test_tables_identical(self, serial_table, spec):
+        result = run_identification_experiment(self._config(spec), cache=FeatureBlockCache())
+        assert result.format_table() == serial_table

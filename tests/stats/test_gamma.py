@@ -55,6 +55,31 @@ class TestGamma:
         assert result.gamma == pytest.approx(1.0)
         assert not result.is_significant
 
+    def test_unseeded_small_sample_p_value_reproducible(self):
+        """random_state=None derives a content seed: repeated evaluations agree.
+
+        Regression: the permutation fallback used to seed from OS entropy,
+        so borderline matchers' expert labels flipped between runs.
+        """
+        x = [0.2, 0.5, 0.9, 0.4, 0.7]
+        y = [0, 0, 1, 0, 1]
+        results = {goodman_kruskal_gamma(x, y).p_value for _ in range(5)}
+        assert len(results) == 1
+
+    def test_content_seed_differs_between_inputs(self):
+        x = [0.2, 0.5, 0.9, 0.4, 0.7]
+        first = goodman_kruskal_gamma(x, [0, 0, 1, 0, 1])
+        second = goodman_kruskal_gamma(x, [1, 0, 1, 0, 0])
+        # Different data gets its own permutation stream (and statistic).
+        assert (first.gamma, first.p_value) != (second.gamma, second.p_value)
+
+    def test_explicit_seed_still_honoured(self):
+        x = [0.2, 0.5, 0.9, 0.4, 0.7]
+        y = [0, 0, 1, 0, 1]
+        seeded = goodman_kruskal_gamma(x, y, random_state=123)
+        again = goodman_kruskal_gamma(x, y, random_state=123)
+        assert seeded.p_value == again.p_value
+
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             goodman_kruskal_gamma([1, 2], [1])
