@@ -39,6 +39,10 @@ _RUNTIME_TIMINGS: dict[str, float] = {}
 
 BENCH_FEATURES_PATH = Path(__file__).resolve().parent / "BENCH_features.json"
 BENCH_RUNTIME_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
+BENCH_SERVE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+#: Measurement name -> value, populated through `serve_timings`.
+_SERVE_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -90,6 +94,12 @@ def runtime_timings() -> dict[str, float]:
     return _RUNTIME_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def serve_timings() -> dict[str, float]:
+    """Mutable registry of artifact/serving timings, flushed at session end."""
+    return _SERVE_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -107,3 +117,4 @@ def pytest_sessionfinish(session, exitstatus):
         return
     _flush_timings(_STAGE_TIMINGS, "stages_seconds", BENCH_FEATURES_PATH)
     _flush_timings(_RUNTIME_TIMINGS, "measurements", BENCH_RUNTIME_PATH)
+    _flush_timings(_SERVE_TIMINGS, "measurements", BENCH_SERVE_PATH)

@@ -16,8 +16,13 @@ together with every substrate it depends on:
 * :mod:`repro.core` -- MExI itself: the 4-way expert model, the five
   feature sets with late fusion, the characterizer, baselines, expert
   filtering, ablation and feature importance.
+* :mod:`repro.runtime` -- the deterministic parallel execution substrate
+  (serial / thread / process backends, bitwise-identical results).
 * :mod:`repro.experiments` -- one experiment module per table and figure of
   the paper's evaluation.
+* :mod:`repro.serve` -- persistent model artifacts (versioned
+  ``manifest.json`` + ``arrays.npz`` bundles) and the batch
+  characterization service plus its ``fit|score|inspect`` CLI.
 
 Quickstart
 ----------
@@ -43,5 +48,7 @@ __all__ = [
     "ml",
     "nn",
     "simulation",
+    "runtime",
     "experiments",
+    "serve",
 ]

@@ -78,6 +78,20 @@ def default_classifier_bank(
     ]
 
 
+class _DefaultClassifierBank:
+    """Picklable stand-in for the default ``classifier_bank`` callable.
+
+    A plain lambda would make fitted characterizers unpicklable, breaking
+    both ``process``-backend scoring fan-out and artifact bundles.
+    """
+
+    def __init__(self, random_state: int) -> None:
+        self.random_state = random_state
+
+    def __call__(self) -> list[BaseClassifier]:
+        return default_classifier_bank(self.random_state)
+
+
 class _ScaledFeatures:
     """Standardises a feature matrix once per distinct scaler object.
 
@@ -139,9 +153,7 @@ class MExICharacterizer:
                 random_state=random_state,
                 cache=cache,
             )
-        self._classifier_bank = classifier_bank or (
-            lambda: default_classifier_bank(self.random_state)
-        )
+        self._classifier_bank = classifier_bank or _DefaultClassifierBank(self.random_state)
         self._label_models: list[_FittedLabelModel] = []
 
     # ------------------------------------------------------------------ #
@@ -223,11 +235,29 @@ class MExICharacterizer:
     ) -> "MExICharacterizer":
         """Train MExI on a labelled training population.
 
-        ``labels`` is the ``(n_matchers, 4)`` 0/1 matrix of expert labels
-        produced by :class:`repro.core.expert_model.ExpertThresholds`.
-        ``precomputed`` optionally supplies ready-made feature blocks for
-        the *augmented* training population (keyed by set name), bypassing
-        extraction for those sets.
+        Args
+        ----
+        matchers:
+            The training population (augmented with sub-matchers per the
+            configured :class:`MExIVariant` before feature extraction).
+        labels:
+            The ``(n_matchers, 4)`` 0/1 matrix of expert labels produced
+            by :class:`repro.core.expert_model.ExpertThresholds`.
+        precomputed:
+            Optional ready-made feature blocks for the *augmented*
+            training population (keyed by set name), bypassing extraction
+            for those sets.
+
+        Returns
+        -------
+        MExICharacterizer
+            ``self``, fitted (enables chaining).
+
+        Raises
+        ------
+        ValueError
+            If ``labels`` is not an ``(n_matchers, 4)`` matrix aligned
+            with ``matchers``, or the training set is empty.
         """
         label_matrix = np.asarray(labels, dtype=int)
         if label_matrix.ndim != 2 or label_matrix.shape[1] != len(EXPERT_CHARACTERISTICS):
@@ -282,51 +312,151 @@ class MExICharacterizer:
         matchers: Sequence[HumanMatcher],
         precomputed: Optional[dict[str, FeatureBlock]] = None,
     ) -> np.ndarray:
-        """Predicted 0/1 label matrix, one row per matcher."""
-        if not self.is_fitted:
-            raise RuntimeError("MExICharacterizer must be fitted before predicting")
-        features = self.pipeline.transform(matchers, precomputed=precomputed)
-        scaled = _ScaledFeatures(features)
-        predictions = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)), dtype=int)
-        for label_index, model in enumerate(self._label_models):
-            if model.constant_label is not None:
-                predictions[:, label_index] = model.constant_label
-                continue
-            X = scaled.get(model.scaler)
-            predictions[:, label_index] = model.classifier.predict(X).astype(int)
-        return predictions
+        """Predicted 0/1 label matrix, one row per matcher.
+
+        Args
+        ----
+        matchers:
+            The population to characterize.
+        precomputed:
+            Optional ready-made feature blocks for ``matchers`` (keyed by
+            set name), bypassing extraction — the serving layer passes the
+            blocks its workers extracted.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_matchers, 4)`` 0/1 matrix, columns in
+            :data:`~repro.core.expert_model.EXPERT_CHARACTERISTICS` order.
+
+        Raises
+        ------
+        RuntimeError
+            If the characterizer has not been fitted.
+        """
+        return self.characterize(matchers, precomputed=precomputed)[0]
 
     def predict_proba(
         self,
         matchers: Sequence[HumanMatcher],
         precomputed: Optional[dict[str, FeatureBlock]] = None,
     ) -> np.ndarray:
-        """Per-label positive-class probabilities (expertise scores)."""
+        """Per-label positive-class probabilities (expertise scores).
+
+        Args and errors mirror :meth:`predict`; the returned
+        ``(n_matchers, 4)`` matrix holds the positive-class probability of
+        each characteristic (the constant label's value for degenerate
+        training labels).
+        """
+        return self.characterize(matchers, precomputed=precomputed)[1]
+
+    def characterize(
+        self,
+        matchers: Sequence[HumanMatcher],
+        precomputed: Optional[dict[str, FeatureBlock]] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Labels and expertise scores in a single classification pass.
+
+        Equivalent to calling :meth:`predict` and :meth:`predict_proba`
+        (bitwise — both derive from the same per-classifier probability
+        matrix) but transforms the features and evaluates each selected
+        classifier only once, which halves serving-path latency
+        (:class:`repro.serve.CharacterizationService` uses this).
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            The ``(n_matchers, 4)`` 0/1 label matrix and the
+            ``(n_matchers, 4)`` positive-class probability matrix.
+
+        Raises
+        ------
+        RuntimeError
+            If the characterizer has not been fitted.
+        """
         if not self.is_fitted:
             raise RuntimeError("MExICharacterizer must be fitted before predicting")
         features = self.pipeline.transform(matchers, precomputed=precomputed)
         scaled = _ScaledFeatures(features)
+        predictions = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)), dtype=int)
         probabilities = np.zeros((len(matchers), len(EXPERT_CHARACTERISTICS)))
         for label_index, model in enumerate(self._label_models):
             if model.constant_label is not None:
+                predictions[:, label_index] = model.constant_label
                 probabilities[:, label_index] = float(model.constant_label)
                 continue
             X = scaled.get(model.scaler)
             proba = model.classifier.predict_proba(X)
-            assert model.classifier.classes_ is not None
-            positive = np.where(model.classifier.classes_ == 1)[0]
+            classes = model.classifier.classes_
+            assert classes is not None
+            # Exactly BaseClassifier.predict's argmax, applied to the one
+            # probability matrix both outputs share.
+            predictions[:, label_index] = classes[np.argmax(proba, axis=1)].astype(int)
+            positive = np.where(classes == 1)[0]
             if positive.size:
                 probabilities[:, label_index] = proba[:, positive[0]]
-        return probabilities
+        return predictions, probabilities
 
     def selected_classifiers(self) -> dict[str, str]:
-        """Which classifier won the selection for each characteristic."""
+        """Which classifier won the selection for each characteristic.
+
+        Returns
+        -------
+        dict[str, str]
+            Characteristic name -> class name of the selected classifier
+            (``"constant"`` for degenerate training labels).
+
+        Raises
+        ------
+        RuntimeError
+            If the characterizer has not been fitted.
+        """
         if not self.is_fitted:
             raise RuntimeError("MExICharacterizer must be fitted first")
         return {
             characteristic: model.classifier_name
             for characteristic, model in zip(EXPERT_CHARACTERISTICS, self._label_models)
         }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> None:
+        """Persist the fitted model as a versioned artifact bundle at ``path``.
+
+        Delegates to :func:`repro.serve.save_model`; the resulting bundle
+        (``manifest.json`` + ``arrays.npz``) round-trips through
+        :meth:`load` / :func:`repro.serve.load_model` to bitwise-identical
+        predictions.
+
+        Raises
+        ------
+        repro.serve.ArtifactError
+            If the characterizer has not been fitted.
+        """
+        from repro.serve.artifacts import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "MExICharacterizer":
+        """Load a characterizer saved with :meth:`save`.
+
+        Raises
+        ------
+        repro.serve.ArtifactError
+            If the bundle is missing, corrupt, of an unsupported format
+            version, or does not contain a :class:`MExICharacterizer`.
+        """
+        from repro.serve.artifacts import ArtifactError, load_model
+
+        model = load_model(path)
+        if not isinstance(model, cls):
+            raise ArtifactError(
+                f"bundle at {path} contains a {type(model).__name__}, not a {cls.__name__}"
+            )
+        return model
 
     def __repr__(self) -> str:
         return (

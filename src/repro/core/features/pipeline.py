@@ -46,6 +46,27 @@ NEURAL_SET_NAMES: tuple[str, ...] = ("seq", "spa")
 #: Alias kept for readability of signatures.
 FeatureSetName = str
 
+#: Extractor class per supervised (neural) set name.
+_NEURAL_CLASSES = {"seq": SequentialFeatures, "spa": SpatialFeatures}
+
+
+class _NeuralFactory:
+    """A picklable factory producing pristine neural extractors.
+
+    Replaces the historical per-pipeline lambdas so that fitted pipelines
+    (and the characterizers and services wrapping them) can travel to
+    ``process``-backend :class:`repro.runtime.TaskRunner` workers and into
+    :mod:`repro.serve` artifact bundles.
+    """
+
+    def __init__(self, set_name: str, random_state: Optional[int], kwargs: dict) -> None:
+        self.set_name = set_name
+        self.random_state = random_state
+        self.kwargs = dict(kwargs)
+
+    def __call__(self):
+        return _NEURAL_CLASSES[self.set_name](random_state=self.random_state, **self.kwargs)
+
 
 class FeaturePipeline:
     """Extracts and fuses the five MExI feature sets.
@@ -84,29 +105,29 @@ class FeaturePipeline:
         self.include = tuple(name for name in FEATURE_SET_NAMES if name in selected)
         self.random_state = random_state
         self.cache = cache
-        neural_config = neural_config or {}
+        #: Neural-extractor keyword arguments, kept for introspection and
+        #: artifact serialization (:mod:`repro.serve.artifacts`).
+        self.neural_config: dict[str, dict] = {
+            name: dict(kwargs) for name, kwargs in (neural_config or {}).items()
+        }
 
         self._extractors: dict[str, FeatureExtractor] = {}
         #: Factories for pristine neural extractors.  A cache miss always
         #: fits a *fresh* instance, so fitted extractors stored in a shared
         #: cache are never retrained in place by a later ``fit``.
-        self._neural_factories: dict[str, callable] = {}
+        self._neural_factories: dict[str, _NeuralFactory] = {}
         if "lrsm" in self.include:
             self._extractors["lrsm"] = LRSMFeatures()
         if "beh" in self.include:
             self._extractors["beh"] = BehavioralFeatures()
         if "mou" in self.include:
             self._extractors["mou"] = MouseFeatures()
-        if "seq" in self.include:
-            self._neural_factories["seq"] = lambda: SequentialFeatures(
-                random_state=random_state, **neural_config.get("seq", {})
-            )
-            self._extractors["seq"] = self._neural_factories["seq"]()
-        if "spa" in self.include:
-            self._neural_factories["spa"] = lambda: SpatialFeatures(
-                random_state=random_state, **neural_config.get("spa", {})
-            )
-            self._extractors["spa"] = self._neural_factories["spa"]()
+        for name in NEURAL_SET_NAMES:
+            if name in self.include:
+                self._neural_factories[name] = _NeuralFactory(
+                    name, random_state, self.neural_config.get(name, {})
+                )
+                self._extractors[name] = self._neural_factories[name]()
 
         self.feature_names_: list[str] = []
         self._fitted = False
@@ -234,6 +255,34 @@ class FeaturePipeline:
                     block = extractor.extract_batch(matchers)
             blocks[name] = block
         return blocks
+
+    def store_blocks(
+        self, matchers: Sequence[HumanMatcher], blocks: dict[str, FeatureBlock]
+    ) -> None:
+        """Insert externally extracted blocks into the attached cache.
+
+        The serving layer extracts blocks in parallel workers; with the
+        ``process`` backend, worker-side cache insertions die with the
+        pool, so the parent re-inserts the returned blocks here to keep
+        cache warmth backend-independent.  A no-op without a cache; an
+        existing entry wins (both copies are bitwise identical).
+
+        Raises
+        ------
+        ValueError
+            If a block's row count does not match ``matchers``.
+        """
+        if self.cache is None:
+            return
+        for name, block in blocks.items():
+            if name not in self._extractors:
+                continue
+            self.cache.get_or_compute(
+                name,
+                matchers,
+                self._extractors[name].config_fingerprint(),
+                lambda block=block: block,
+            )
 
     def transform(
         self,

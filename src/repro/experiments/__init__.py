@@ -17,7 +17,7 @@ the paper reports.
 | :mod:`repro.experiments.outcome`             | Figures 10, 11     |
 """
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SCALE_NAMES, SCALES, ExperimentConfig
 from repro.experiments.population_analysis import run_population_analysis
 from repro.experiments.identification import run_identification_experiment
 from repro.experiments.generalization import run_generalization_experiment
@@ -28,6 +28,8 @@ from repro.experiments.archetype_curves import run_archetype_curves
 
 __all__ = [
     "ExperimentConfig",
+    "SCALES",
+    "SCALE_NAMES",
     "run_population_analysis",
     "run_identification_experiment",
     "run_generalization_experiment",

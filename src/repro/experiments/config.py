@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 def _small_neural_config() -> dict[str, dict]:
@@ -65,9 +66,44 @@ class ExperimentConfig:
             },
         )
 
+    @classmethod
+    def from_scale(cls, scale: str, random_state: int = 42) -> "ExperimentConfig":
+        """Build the configuration registered under a scale name.
+
+        Args
+        ----
+        scale:
+            One of :data:`SCALE_NAMES` (``"tiny"``, ``"reduced"``,
+            ``"paper"``).
+        random_state:
+            Master seed installed on the returned configuration.
+
+        Raises
+        ------
+        ValueError
+            If ``scale`` is not a registered scale name.
+        """
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; expected one of {SCALE_NAMES}")
+        config = SCALES[scale]()
+        config.random_state = random_state
+        return config
+
     @property
     def feature_sets(self) -> tuple[str, ...]:
         """Feature sets active under this configuration."""
         if self.use_neural_features:
             return ("lrsm", "beh", "mou", "seq", "spa")
         return ("lrsm", "beh", "mou")
+
+
+#: Scale name -> configuration factory, shared by the experiments runner and
+#: the ``repro.serve`` CLI so both speak the same ``--scale`` vocabulary.
+SCALES: dict[str, Callable[[], "ExperimentConfig"]] = {
+    "tiny": ExperimentConfig.tiny,
+    "reduced": ExperimentConfig.reduced,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+#: The registered scale names, in increasing-cost order.
+SCALE_NAMES: tuple[str, ...] = tuple(SCALES)

@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.ablation_study import run_ablation_study
 from repro.experiments.archetype_curves import run_archetype_curves
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SCALE_NAMES, ExperimentConfig
 from repro.experiments.feature_importance import run_feature_importance
 from repro.experiments.generalization import run_generalization_experiment
 from repro.experiments.identification import run_identification_experiment
@@ -62,13 +62,6 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig, FeatureBlockCache], str]] = {
     "fig11": lambda config, cache: _run_outcome(config, cache, early=True),
 }
 
-_SCALES: dict[str, Callable[[], ExperimentConfig]] = {
-    "tiny": ExperimentConfig.tiny,
-    "reduced": ExperimentConfig.reduced,
-    "paper": ExperimentConfig.paper_scale,
-}
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -82,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
+        choices=sorted(SCALE_NAMES),
         default="reduced",
         help="cohort / model scale (default: reduced; 'paper' uses 106+34 matchers)",
     )
@@ -114,8 +107,7 @@ def run(
     the parallelisable loops (see :mod:`repro.runtime`); every backend
     prints identical tables.
     """
-    config = _SCALES[scale]()
-    config.random_state = seed
+    config = ExperimentConfig.from_scale(scale, random_state=seed)
     config.runtime = runtime
     cache = FeatureBlockCache()
     selected = sorted(EXPERIMENTS) if "all" in experiment_ids else list(dict.fromkeys(experiment_ids))

@@ -99,6 +99,93 @@ class _RegressionTree:
             predictions[index] = node.value
         return predictions
 
+    # ------------------------------------------------------------------ #
+    # Structured state (artifact serialization)
+    # ------------------------------------------------------------------ #
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the fitted tree into parallel arrays (pre-order indexing).
+
+        Mirrors :meth:`repro.ml.tree.DecisionTreeClassifier.tree_arrays`:
+        ``value``, ``feature`` (``-1`` for leaves), ``threshold`` and
+        ``children_left`` / ``children_right`` node-index arrays.
+        """
+        assert self.root is not None
+        order: list[_RegressionNode] = []
+        index_of: dict[int, int] = {}
+        stack: list[_RegressionNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            index_of[id(node)] = len(order)
+            order.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        n_nodes = len(order)
+        value = np.zeros(n_nodes, dtype=np.float64)
+        feature = np.full(n_nodes, -1, dtype=np.int64)
+        threshold = np.zeros(n_nodes, dtype=np.float64)
+        children_left = np.full(n_nodes, -1, dtype=np.int64)
+        children_right = np.full(n_nodes, -1, dtype=np.int64)
+        for index, node in enumerate(order):
+            value[index] = node.value
+            if not node.is_leaf:
+                assert node.feature is not None
+                feature[index] = node.feature
+                threshold[index] = node.threshold
+                children_left[index] = index_of[id(node.left)]
+                children_right[index] = index_of[id(node.right)]
+        return {
+            "value": value,
+            "feature": feature,
+            "threshold": threshold,
+            "children_left": children_left,
+            "children_right": children_right,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], max_depth: int, min_samples_leaf: int
+    ) -> "_RegressionTree":
+        """Rebuild a fitted regression tree from :meth:`to_arrays` output."""
+        value = np.asarray(arrays["value"], dtype=np.float64)
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        children_left = np.asarray(arrays["children_left"], dtype=np.int64)
+        children_right = np.asarray(arrays["children_right"], dtype=np.int64)
+        tree = cls(
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            rng=np.random.default_rng(0),
+        )
+        n_nodes = value.shape[0]
+        if n_nodes == 0:
+            raise ValueError("tree arrays must contain at least one node")
+        nodes = [
+            _RegressionNode(
+                value=float(value[index]),
+                feature=None if feature[index] < 0 else int(feature[index]),
+                threshold=float(threshold[index]),
+            )
+            for index in range(n_nodes)
+        ]
+        for index, node in enumerate(nodes):
+            if node.is_leaf:
+                continue
+            left, right = int(children_left[index]), int(children_right[index])
+            # Strictly increasing child indices (pre-order invariant) keep
+            # crafted arrays from forming cycles that would hang predict.
+            if not (index < left < n_nodes and index < right < n_nodes):
+                raise ValueError(
+                    f"tree arrays reference an invalid child at node {index}: "
+                    "child indices must be strictly increasing (acyclic)"
+                )
+            node.left = nodes[left]
+            node.right = nodes[right]
+        tree.root = nodes[0]
+        return tree
+
 
 class GradientBoostingClassifier(BaseClassifier):
     """Binary gradient boosting with log-loss; multi-class handled one-vs-rest."""

@@ -330,6 +330,111 @@ class DecisionTreeClassifier(BaseClassifier):
         self._fill_proba(self._root, X, np.arange(X.shape[0]), out)
         return out
 
+    # ------------------------------------------------------------------ #
+    # Structured state (artifact serialization)
+    # ------------------------------------------------------------------ #
+
+    def tree_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the fitted tree into parallel arrays (pre-order indexing).
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            ``feature`` (``-1`` for leaves), ``threshold``, ``children_left``
+            / ``children_right`` (node indices, ``-1`` for leaves) and
+            ``class_counts`` (``(n_nodes, n_classes)``).  The arrays fully
+            describe the prediction function and feed
+            :mod:`repro.serve.artifacts`; :meth:`set_tree_arrays` rebuilds a
+            bitwise-identical tree from them.
+
+        Raises
+        ------
+        RuntimeError
+            If the tree has not been fitted.
+        """
+        self._check_fitted()
+        assert self._root is not None and self.classes_ is not None
+        # Iterative pre-order walk (left subtree first) — unbounded-depth
+        # chains can exceed the recursion limit, as in the traversals above.
+        order: list[_TreeNode] = []
+        index_of: dict[int, int] = {}
+        stack: list[_TreeNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            index_of[id(node)] = len(order)
+            order.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        n_nodes = len(order)
+        feature = np.full(n_nodes, -1, dtype=np.int64)
+        threshold = np.zeros(n_nodes, dtype=np.float64)
+        children_left = np.full(n_nodes, -1, dtype=np.int64)
+        children_right = np.full(n_nodes, -1, dtype=np.int64)
+        class_counts = np.zeros((n_nodes, self.classes_.size), dtype=np.float64)
+        for index, node in enumerate(order):
+            class_counts[index] = node.class_counts
+            if not node.is_leaf:
+                assert node.feature is not None
+                feature[index] = node.feature
+                threshold[index] = node.threshold
+                children_left[index] = index_of[id(node.left)]
+                children_right[index] = index_of[id(node.right)]
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "children_left": children_left,
+            "children_right": children_right,
+            "class_counts": class_counts,
+        }
+
+    def set_tree_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Rebuild the fitted node structure from :meth:`tree_arrays` output.
+
+        The caller is responsible for restoring ``classes_`` /
+        ``n_features_in_`` (done by :mod:`repro.serve.artifacts`); this
+        method only reconstructs the node graph.
+
+        Raises
+        ------
+        ValueError
+            If the arrays are inconsistent: empty (a fitted tree always
+            has a root), dangling child indices, or a child index not
+            strictly greater than its parent's (pre-order flattening
+            always yields increasing child indices, and the check makes
+            cycles — which would hang ``predict`` — impossible in arrays
+            from an untrusted bundle).
+        """
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        children_left = np.asarray(arrays["children_left"], dtype=np.int64)
+        children_right = np.asarray(arrays["children_right"], dtype=np.int64)
+        class_counts = np.asarray(arrays["class_counts"], dtype=np.float64)
+        n_nodes = feature.shape[0]
+        if n_nodes == 0:
+            raise ValueError("tree arrays must contain at least one node")
+        nodes = [
+            _TreeNode(
+                class_counts=class_counts[index].copy(),
+                feature=None if feature[index] < 0 else int(feature[index]),
+                threshold=float(threshold[index]),
+            )
+            for index in range(n_nodes)
+        ]
+        for index, node in enumerate(nodes):
+            if node.is_leaf:
+                continue
+            left, right = int(children_left[index]), int(children_right[index])
+            if not (index < left < n_nodes and index < right < n_nodes):
+                raise ValueError(
+                    f"tree arrays reference an invalid child at node {index}: "
+                    "child indices must be strictly increasing (acyclic)"
+                )
+            node.left = nodes[left]
+            node.right = nodes[right]
+        self._root = nodes[0]
+
     def depth(self) -> int:
         """Depth of the fitted tree (a single leaf has depth 0).
 

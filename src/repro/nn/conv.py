@@ -103,6 +103,13 @@ class Conv2D(Layer):
             return (height - k + 1, width - k + 1, self.out_channels)
         return input_dim
 
+    def config(self) -> dict:
+        return {
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.kernel_size,
+        }
+
     def __repr__(self) -> str:
         return (
             f"Conv2D(in={self.in_channels}, out={self.out_channels}, "
@@ -148,6 +155,9 @@ class MaxPool2D(Layer):
             height, width, channels = input_dim
             return (height // self.pool_size, width // self.pool_size, channels)
         return input_dim
+
+    def config(self) -> dict:
+        return {"pool_size": self.pool_size}
 
     def __repr__(self) -> str:
         return f"MaxPool2D(pool_size={self.pool_size})"

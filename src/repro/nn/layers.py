@@ -30,6 +30,14 @@ class Layer:
         """Best-effort output shape given an input shape (used for stacking)."""
         return input_dim
 
+    def config(self) -> dict:
+        """JSON-able constructor arguments reproducing this layer's shape.
+
+        Used by :mod:`repro.serve.artifacts` to rebuild the layer before its
+        parameters are restored; parameter-free layers need no arguments.
+        """
+        return {}
+
     def __repr__(self) -> str:
         return type(self).__name__ + "()"
 
@@ -70,6 +78,9 @@ class Dense(Layer):
 
     def output_dim(self, input_dim):
         return self.out_features
+
+    def config(self) -> dict:
+        return {"in_features": self.in_features, "out_features": self.out_features}
 
     def __repr__(self) -> str:
         return f"Dense({self.in_features}, {self.out_features})"
@@ -132,6 +143,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must lie in [0, 1)")
         self.rate = rate
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._mask: Optional[np.ndarray] = None
 
@@ -147,6 +159,9 @@ class Dropout(Layer):
         if self._mask is None:
             return grad
         return grad * self._mask / (1.0 - self.rate)
+
+    def config(self) -> dict:
+        return {"rate": self.rate, "seed": self.seed}
 
     def __repr__(self) -> str:
         return f"Dropout(rate={self.rate})"

@@ -124,6 +124,34 @@ class Sequential:
             for name, value in layer_weights.items():
                 layer.params[name][...] = value
 
+    def get_state(self) -> dict:
+        """A full in-process training checkpoint: weights, optimizer, history.
+
+        Unlike :meth:`get_weights`, the returned state also carries the
+        optimizer's moments / step counter, so restoring it with
+        :meth:`set_state` resumes training where the checkpoint left off.
+        For *on-disk* checkpoints use :func:`repro.serve.save_model`, whose
+        codec persists the same information (per-layer parameters plus
+        :meth:`Optimizer.get_state`) in the versioned bundle format.
+        """
+        return {
+            "weights": self.get_weights(),
+            "optimizer": self.optimizer.get_state(),
+            "history": list(self.history_),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a checkpoint captured with :meth:`get_state`.
+
+        Raises
+        ------
+        ValueError
+            If the weights do not match the current layer stack.
+        """
+        self.set_weights(state["weights"])
+        self.optimizer.set_state(state.get("optimizer", {}))
+        self.history_ = [float(value) for value in state.get("history", [])]
+
     def __repr__(self) -> str:
         inner = ", ".join(repr(layer) for layer in self.layers)
         return f"Sequential([{inner}])"

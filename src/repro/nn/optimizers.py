@@ -5,12 +5,43 @@ from __future__ import annotations
 import numpy as np
 
 
+def _encode_slot_keys(slots: dict[tuple[int, str], np.ndarray]) -> dict[str, np.ndarray]:
+    """Flatten ``(layer_index, parameter_name)`` slot keys to strings.
+
+    The string form (``"0:W_f"``) is what :meth:`Optimizer.get_state`
+    exposes, so optimizer state survives JSON/npz artifact round-trips.
+    """
+    return {f"{index}:{name}": value for (index, name), value in slots.items()}
+
+
+def _decode_slot_keys(state: dict[str, np.ndarray]) -> dict[tuple[int, str], np.ndarray]:
+    """Invert :func:`_encode_slot_keys`."""
+    slots: dict[tuple[int, str], np.ndarray] = {}
+    for key, value in state.items():
+        index, _, name = key.partition(":")
+        slots[(int(index), name)] = np.asarray(value, dtype=float)
+    return slots
+
+
 class Optimizer:
     """Updates layer parameters in place from accumulated gradients."""
 
     def step(self, layers) -> None:
         """Apply one update to every parameterised layer."""
         raise NotImplementedError
+
+    def get_state(self) -> dict:
+        """The optimizer's mutable state as JSON/array-friendly values.
+
+        Returns a dict of plain scalars and ``{"index:param": array}``
+        sub-dicts; restoring it with :meth:`set_state` resumes training
+        exactly where a checkpoint left off.  Stateless optimizers return
+        an empty dict.
+        """
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured with :meth:`get_state`."""
 
 
 class SGD(Optimizer):
@@ -38,6 +69,12 @@ class SGD(Optimizer):
                 velocity = self.momentum * velocity - self.learning_rate * gradient
                 self._velocity[key] = velocity
                 parameter += velocity
+
+    def get_state(self) -> dict:
+        return {"velocity": _encode_slot_keys(self._velocity)}
+
+    def set_state(self, state: dict) -> None:
+        self._velocity = _decode_slot_keys(state.get("velocity", {}))
 
 
 class Adam(Optimizer):
@@ -77,3 +114,15 @@ class Adam(Optimizer):
                 m_hat = m / (1.0 - self.beta1**self._t)
                 v_hat = v / (1.0 - self.beta2**self._t)
                 parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def get_state(self) -> dict:
+        return {
+            "t": self._t,
+            "first_moment": _encode_slot_keys(self._first_moment),
+            "second_moment": _encode_slot_keys(self._second_moment),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._t = int(state.get("t", 0))
+        self._first_moment = _decode_slot_keys(state.get("first_moment", {}))
+        self._second_moment = _decode_slot_keys(state.get("second_moment", {}))

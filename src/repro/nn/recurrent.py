@@ -130,6 +130,9 @@ class LSTM(Layer):
     def output_dim(self, input_dim):
         return self.hidden_dim
 
+    def config(self) -> dict:
+        return {"input_dim": self.input_dim, "hidden_dim": self.hidden_dim}
+
     def __repr__(self) -> str:
         return f"LSTM(input_dim={self.input_dim}, hidden_dim={self.hidden_dim})"
 

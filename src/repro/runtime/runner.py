@@ -96,14 +96,29 @@ class _ContextCall:
 
 
 def in_worker() -> bool:
-    """Whether the calling context is a TaskRunner worker (thread or process)."""
+    """Whether the calling context is a TaskRunner worker (thread or process).
+
+    Returns
+    -------
+    bool
+        ``True`` inside a ``thread``- or ``process``-backend worker;
+        :func:`resolve_runner` uses this to degrade nested resolutions to
+        ``serial`` (one loop level fans out at a time).
+    """
     if getattr(_thread_worker_state, "active", False):
         return True
     return os.environ.get(_WORKER_ENV_VAR) == "1"
 
 
 def available_workers() -> int:
-    """Usable core count (scheduler affinity aware, never below 1)."""
+    """Usable core count (scheduler affinity aware, never below 1).
+
+    Returns
+    -------
+    int
+        The number of cores the scheduler allows this process to use —
+        the default ``max_workers`` of a :class:`TaskRunner`.
+    """
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux platforms
@@ -135,7 +150,20 @@ class TaskRunner:
 
     @classmethod
     def from_spec(cls, spec: str) -> "TaskRunner":
-        """Parse a ``backend[:workers]`` spec string, e.g. ``"process:4"``."""
+        """Parse a ``backend[:workers]`` spec string, e.g. ``"process:4"``.
+
+        Args
+        ----
+        spec:
+            ``"serial"``, ``"thread"``, ``"process"``, optionally suffixed
+            with ``:N`` to cap the worker count.
+
+        Raises
+        ------
+        ValueError
+            If the backend name is unknown or the worker count is not a
+            positive integer.
+        """
         text = spec.strip().lower()
         workers: Optional[int] = None
         if ":" in text:
@@ -163,12 +191,27 @@ class TaskRunner:
     ) -> list[_R]:
         """Apply ``function`` to every task, returning results in task order.
 
-        ``context`` carries state shared by every task (a feature cache, the
-        training matrices): when given, ``function`` is called as
-        ``function(task, context)``.  Thread and serial backends pass the
-        object through directly; the process backend delivers it **once per
-        worker** via the pool initializer, so large shared payloads are not
-        re-pickled for every task.
+        Args
+        ----
+        function:
+            The task function.  Must be picklable (module-level) for the
+            ``process`` backend; called as ``function(task)`` or, when a
+            context is given, ``function(task, context)``.
+        tasks:
+            The task payloads, each carrying its own pre-drawn randomness
+            (see the module docstring's determinism contract).
+        context:
+            State shared by every task (a feature cache, the training
+            matrices).  Thread and serial backends pass the object through
+            directly; the process backend delivers it **once per worker**
+            via the pool initializer, so large shared payloads are not
+            re-pickled for every task.
+
+        Returns
+        -------
+        list
+            One result per task, in task order regardless of completion
+            order — bitwise identical across backends and worker counts.
         """
         items = list(tasks)
         if not items:
@@ -236,5 +279,17 @@ def parallel_map(
     runtime: RuntimeSpec = None,
     context=None,
 ) -> list[_R]:
-    """Map ``function`` over ``tasks`` on the resolved runtime, in task order."""
+    """Map ``function`` over ``tasks`` on the resolved runtime, in task order.
+
+    The one-call form of :meth:`TaskRunner.map`: ``runtime`` is resolved
+    through :func:`resolve_runner` (explicit spec > ``REPRO_RUNTIME`` >
+    ``serial``; always ``serial`` inside a worker) and ``context`` is
+    forwarded unchanged.
+
+    Returns
+    -------
+    list
+        One result per task, in task order — bitwise identical across
+        backends and worker counts.
+    """
     return resolve_runner(runtime).map(function, tasks, context=context)

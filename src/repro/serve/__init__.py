@@ -1,0 +1,53 @@
+"""Persistent model artifacts and the batch characterization service.
+
+The serving layer makes trained models durable and servable:
+
+* :mod:`repro.serve.artifacts` — versioned ``manifest.json`` +
+  ``arrays.npz`` bundles (:func:`save_model` / :func:`load_model`) for
+  every fitted estimator, round-tripping to bitwise-identical
+  predictions, with format-version and content-fingerprint checks.
+* :mod:`repro.serve.service` — :class:`CharacterizationService`: load a
+  bundle once, keep a warm feature-block cache, and score matcher
+  populations in deterministic parallel chunks over the
+  :class:`~repro.runtime.TaskRunner`.
+* :mod:`repro.serve.population` — single-file scoring populations
+  (:func:`save_population` / :func:`load_population`).
+* :mod:`repro.serve.cli` — the ``python -m repro.serve fit|score|inspect``
+  command line.
+
+See ``docs/api.md`` for worked examples.
+"""
+
+from repro.serve.artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    load_model,
+    read_manifest,
+    save_model,
+)
+from repro.serve.population import (
+    POPULATION_FORMAT_VERSION,
+    load_population,
+    save_population,
+)
+from repro.serve.service import (
+    DEFAULT_CHUNK_SIZE,
+    BatchScores,
+    CharacterizationService,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "save_model",
+    "load_model",
+    "read_manifest",
+    "POPULATION_FORMAT_VERSION",
+    "save_population",
+    "load_population",
+    "DEFAULT_CHUNK_SIZE",
+    "BatchScores",
+    "CharacterizationService",
+]

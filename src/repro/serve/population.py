@@ -1,0 +1,207 @@
+"""Scoring-population files: matcher behaviour saved as a single ``.npz``.
+
+A *population file* carries exactly what the serving path reads from a
+:class:`~repro.matching.matcher.HumanMatcher` — the identifier, the full
+decision history (pairs, confidences, timestamps, matrix shape) and the
+movement map (positions, event types, timestamps, screen size).  Task
+schemata, reference matches and self-reported metadata are **not**
+stored: they are training/evaluation context, never consumed by feature
+extraction, so a loaded population produces bitwise-identical feature
+blocks and predictions (its content fingerprints match the originals).
+
+Ragged per-matcher sequences are stored as concatenated arrays plus an
+offsets vector, the standard flat encoding for variable-length data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+import zipfile
+
+import numpy as np
+
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.matcher import HumanMatcher
+from repro.matching.mouse import MouseEvent, MouseEventType, MovementMap
+from repro.serve.artifacts import ArtifactError
+
+#: Population file format version (independent of the model-bundle version).
+POPULATION_FORMAT_VERSION = 1
+
+#: Stable event-type codes (matches the feature cache's fingerprint codes).
+_EVENT_CODES: dict[MouseEventType, int] = {
+    MouseEventType.MOVE: 0,
+    MouseEventType.LEFT_CLICK: 1,
+    MouseEventType.RIGHT_CLICK: 2,
+    MouseEventType.SCROLL: 3,
+}
+_EVENT_TYPES: dict[int, MouseEventType] = {code: kind for kind, code in _EVENT_CODES.items()}
+
+_REQUIRED_KEYS = (
+    "format_version",
+    "ids",
+    "history_offsets",
+    "history_rows",
+    "history_cols",
+    "history_confidences",
+    "history_timestamps",
+    "history_shapes",
+    "movement_offsets",
+    "movement_x",
+    "movement_y",
+    "movement_codes",
+    "movement_timestamps",
+    "movement_screens",
+)
+
+
+def save_population(matchers: Sequence[HumanMatcher], path) -> Path:
+    """Write a scoring population to a single ``.npz`` file.
+
+    Args
+    ----
+    matchers:
+        The matchers to persist (their task / reference context is
+        intentionally dropped — see the module docstring).
+    path:
+        Destination file (conventionally ``*.npz``).
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    matchers = list(matchers)
+    history_offsets = np.zeros(len(matchers) + 1, dtype=np.int64)
+    movement_offsets = np.zeros(len(matchers) + 1, dtype=np.int64)
+    rows: list[int] = []
+    cols: list[int] = []
+    confidences: list[float] = []
+    decision_times: list[float] = []
+    shapes = np.zeros((len(matchers), 2), dtype=np.int64)
+    xs: list[float] = []
+    ys: list[float] = []
+    codes: list[int] = []
+    event_times: list[float] = []
+    screens = np.zeros((len(matchers), 2), dtype=np.int64)
+
+    for index, matcher in enumerate(matchers):
+        history = matcher.history
+        for decision in history:
+            rows.append(decision.row)
+            cols.append(decision.col)
+            confidences.append(decision.confidence)
+            decision_times.append(decision.timestamp)
+        history_offsets[index + 1] = len(rows)
+        shapes[index] = history.shape
+
+        movement = matcher.movement
+        for event in movement:
+            xs.append(event.x)
+            ys.append(event.y)
+            codes.append(_EVENT_CODES[event.event_type])
+            event_times.append(event.timestamp)
+        movement_offsets[index + 1] = len(xs)
+        screens[index] = movement.screen
+
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with open(destination, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format_version=np.int64(POPULATION_FORMAT_VERSION),
+            ids=np.array([matcher.matcher_id for matcher in matchers], dtype=np.str_),
+            history_offsets=history_offsets,
+            history_rows=np.array(rows, dtype=np.int64),
+            history_cols=np.array(cols, dtype=np.int64),
+            history_confidences=np.array(confidences, dtype=np.float64),
+            history_timestamps=np.array(decision_times, dtype=np.float64),
+            history_shapes=shapes,
+            movement_offsets=movement_offsets,
+            movement_x=np.array(xs, dtype=np.float64),
+            movement_y=np.array(ys, dtype=np.float64),
+            movement_codes=np.array(codes, dtype=np.int64),
+            movement_timestamps=np.array(event_times, dtype=np.float64),
+            movement_screens=screens,
+        )
+    return destination
+
+
+def load_population(path) -> list[HumanMatcher]:
+    """Load a population file written by :func:`save_population`.
+
+    Returns
+    -------
+    list[HumanMatcher]
+        Matchers with behaviour identical to the saved ones (no task /
+        reference context — these populations are for scoring only).
+
+    Raises
+    ------
+    ArtifactError
+        If the file is missing, unreadable, from an unsupported format
+        version, or missing required arrays.
+    """
+    source = Path(path)
+    if not source.is_file():
+        raise ArtifactError(f"population file {source} does not exist")
+    try:
+        with np.load(source, allow_pickle=False) as npz:
+            data = {key: np.array(npz[key]) for key in npz.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
+        raise ArtifactError(
+            f"population file {source} is unreadable ({error}); it may be truncated"
+        ) from error
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ArtifactError(
+            f"population file {source} is missing arrays {missing}; "
+            "was it written by save_population()?"
+        )
+    version = int(data["format_version"])
+    if version != POPULATION_FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported population format version {version}; this build reads "
+            f"version {POPULATION_FORMAT_VERSION}"
+        )
+
+    matchers: list[HumanMatcher] = []
+    ids = data["ids"]
+    history_offsets = data["history_offsets"]
+    movement_offsets = data["movement_offsets"]
+    for index in range(ids.shape[0]):
+        h_start, h_end = int(history_offsets[index]), int(history_offsets[index + 1])
+        decisions = [
+            Decision(
+                row=int(data["history_rows"][position]),
+                col=int(data["history_cols"][position]),
+                confidence=float(data["history_confidences"][position]),
+                timestamp=float(data["history_timestamps"][position]),
+            )
+            for position in range(h_start, h_end)
+        ]
+        shape = (int(data["history_shapes"][index, 0]), int(data["history_shapes"][index, 1]))
+        history = DecisionHistory(decisions, shape=shape)
+
+        m_start, m_end = int(movement_offsets[index]), int(movement_offsets[index + 1])
+        events = []
+        for position in range(m_start, m_end):
+            code = int(data["movement_codes"][position])
+            if code not in _EVENT_TYPES:
+                raise ArtifactError(f"population file {source} has unknown event code {code}")
+            events.append(
+                MouseEvent(
+                    x=float(data["movement_x"][position]),
+                    y=float(data["movement_y"][position]),
+                    event_type=_EVENT_TYPES[code],
+                    timestamp=float(data["movement_timestamps"][position]),
+                )
+            )
+        screen = (int(data["movement_screens"][index, 0]), int(data["movement_screens"][index, 1]))
+        movement = MovementMap(events, screen=screen)
+
+        matchers.append(
+            HumanMatcher(matcher_id=str(ids[index]), history=history, movement=movement)
+        )
+    return matchers

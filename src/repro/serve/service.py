@@ -1,0 +1,306 @@
+"""Batch characterization service over a saved (or in-memory) MExI model.
+
+:class:`CharacterizationService` is the serving-side counterpart of the
+training pipeline: it loads an artifact bundle **once**, keeps a warm
+:class:`~repro.core.features.cache.FeatureBlockCache` attached to the
+model's feature pipeline, and scores incoming matcher populations in
+chunks fanned out over the deterministic
+:class:`~repro.runtime.TaskRunner` (``serial`` / ``thread`` /
+``process``).
+
+Determinism contract
+--------------------
+``score_batch`` is **bitwise identical** to an in-memory
+``MExICharacterizer.predict`` / ``predict_proba`` on the whole population,
+on every backend and for every chunk size >= 2 (enforced by
+``tests/serve/test_service.py``).  Two design rules make this hold:
+
+* **Chunks parallelise feature extraction only.**  Classification always
+  runs once, in the parent, on the fused full feature matrix — the exact
+  arrays the in-memory path sees — so shape-dependent BLAS kernels (a
+  ``(m, k) @ (k,)`` GEMV rounds differently for different ``m``) never
+  see different shapes between the served and in-memory paths.
+* **Chunks are never singletons** (unless the population itself has one
+  matcher): batch-1 matrix products dispatch to different BLAS kernels
+  than batch-n products, so a trailing 1-matcher chunk is merged into its
+  neighbour.  ``chunk_size=1`` is allowed but exempt from the guarantee
+  for models with neural feature sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterizer import MExICharacterizer
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.base import FeatureBlock
+from repro.core.features.cache import FeatureBlockCache
+from repro.matching.matcher import HumanMatcher
+from repro.runtime import RuntimeSpec, parallel_map
+from repro.serve.artifacts import ArtifactError, load_model, read_manifest
+
+#: Default number of matchers scored per task (one TaskRunner unit of work).
+DEFAULT_CHUNK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class BatchScores:
+    """FeatureBlock-style result of one :meth:`CharacterizationService.score_batch`.
+
+    Attributes
+    ----------
+    matcher_ids:
+        Identifier of each scored matcher, in input order.
+    labels:
+        ``(n_matchers, 4)`` 0/1 expert-label matrix (columns in
+        :data:`~repro.core.expert_model.EXPERT_CHARACTERISTICS` order).
+    probabilities:
+        ``(n_matchers, 4)`` per-characteristic positive-class scores.
+    """
+
+    matcher_ids: tuple[str, ...]
+    labels: np.ndarray
+    probabilities: np.ndarray
+
+    @property
+    def n_matchers(self) -> int:
+        return self.labels.shape[0]
+
+    def label_block(self) -> FeatureBlock:
+        """The 0/1 labels as a named :class:`FeatureBlock`."""
+        names = [f"label_{name}" for name in EXPERT_CHARACTERISTICS]
+        return FeatureBlock(names, self.labels.astype(float))
+
+    def probability_block(self) -> FeatureBlock:
+        """The expertise scores as a named :class:`FeatureBlock`."""
+        names = [f"proba_{name}" for name in EXPERT_CHARACTERISTICS]
+        return FeatureBlock(names, self.probabilities)
+
+    def block(self) -> FeatureBlock:
+        """Labels and scores fused into one eight-column block."""
+        return FeatureBlock.hstack([self.label_block(), self.probability_block()])
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (used by ``python -m repro.serve score``)."""
+        return {
+            "characteristics": list(EXPERT_CHARACTERISTICS),
+            "matchers": [
+                {
+                    "id": matcher_id,
+                    "labels": {
+                        name: int(self.labels[row, column])
+                        for column, name in enumerate(EXPERT_CHARACTERISTICS)
+                    },
+                    "scores": {
+                        name: float(self.probabilities[row, column])
+                        for column, name in enumerate(EXPERT_CHARACTERISTICS)
+                    },
+                }
+                for row, matcher_id in enumerate(self.matcher_ids)
+            ],
+        }
+
+
+def _extract_chunk(
+    matchers: list[HumanMatcher], model: MExICharacterizer
+) -> dict[str, FeatureBlock]:
+    """Extract one chunk's feature blocks (module-level for pickling)."""
+    return model.pipeline.transform_blocks(matchers)
+
+
+def _chunked(matchers: list[HumanMatcher], size: int) -> list[list[HumanMatcher]]:
+    """Split a population into extraction chunks of ~``size`` matchers.
+
+    A trailing singleton chunk is merged into its predecessor (see the
+    module docstring): batch-1 forwards can round differently.
+    """
+    if len(matchers) <= size:
+        return [matchers]
+    chunks = [matchers[start : start + size] for start in range(0, len(matchers), size)]
+    if size > 1 and len(chunks[-1]) == 1:
+        chunks[-2] = chunks[-2] + chunks[-1]
+        chunks.pop()
+    return chunks
+
+
+class CharacterizationService:
+    """Long-lived scoring service around one fitted MExI characterizer.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`MExICharacterizer` (load one with
+        :meth:`from_bundle`, or pass an in-memory model).
+    runtime:
+        Default :class:`~repro.runtime.TaskRunner` spec for chunk fan-out
+        (``None`` defers to ``REPRO_RUNTIME``, then ``serial``).  Results
+        are bitwise identical on every backend.
+    chunk_size:
+        Default matchers per scoring task.
+    cache:
+        Feature-block cache to keep warm across ``score_batch`` calls.
+        When omitted, the model's existing pipeline cache is adopted if it
+        has one (a caller-shared cache is never silently replaced) and a
+        fresh cache is attached otherwise.  Repeat scores of the same
+        population hit the cache instead of re-extracting.
+
+    Raises
+    ------
+    ValueError
+        If the model is not fitted.
+    """
+
+    def __init__(
+        self,
+        model: MExICharacterizer,
+        *,
+        runtime: RuntimeSpec = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache: Optional[FeatureBlockCache] = None,
+        bundle_info: Optional[dict] = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("CharacterizationService requires a fitted MExICharacterizer")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.model = model
+        self.runtime = runtime
+        self.chunk_size = chunk_size
+        # Keep a cache warm across calls: the pipeline consults it for
+        # every block extraction.  An explicit cache wins; otherwise a
+        # cache the model already carries (possibly shared with other
+        # models) is adopted rather than silently replaced.
+        if cache is not None:
+            self.cache = cache
+        elif model.pipeline.cache is not None:
+            self.cache = model.pipeline.cache
+        else:
+            self.cache = FeatureBlockCache()
+        self.model.pipeline.cache = self.cache
+        self._bundle_info = dict(bundle_info) if bundle_info else None
+
+    @classmethod
+    def from_bundle(
+        cls,
+        path,
+        *,
+        runtime: RuntimeSpec = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache: Optional[FeatureBlockCache] = None,
+    ) -> "CharacterizationService":
+        """Load an artifact bundle once and wrap it in a service.
+
+        Raises
+        ------
+        ArtifactError
+            If the bundle is missing, corrupt, of an unsupported format
+            version, or does not contain a ``MExICharacterizer``.
+        """
+        manifest = read_manifest(path)
+        if manifest.get("model_type") != MExICharacterizer.__name__:
+            raise ArtifactError(
+                f"bundle at {path} contains a {manifest.get('model_type')!r}, "
+                "but CharacterizationService serves MExICharacterizer bundles"
+            )
+        model = load_model(path, manifest=manifest)
+        info = {
+            "path": str(path),
+            "format_version": manifest["format_version"],
+            "repro_version": manifest.get("repro_version"),
+            "fingerprint": manifest.get("fingerprint"),
+            "model_type": manifest.get("model_type"),
+        }
+        return cls(model, runtime=runtime, chunk_size=chunk_size, cache=cache, bundle_info=info)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def score_batch(
+        self,
+        matchers: Sequence[HumanMatcher],
+        *,
+        runtime: RuntimeSpec = None,
+        chunk_size: Optional[int] = None,
+    ) -> BatchScores:
+        """Characterize a matcher population in deterministic parallel chunks.
+
+        Args
+        ----
+        matchers:
+            The population to score (any length, including empty).
+        runtime:
+            Per-call backend override (defaults to the service's runtime).
+        chunk_size:
+            Per-call chunk override (defaults to the service's chunk size).
+
+        Returns
+        -------
+        BatchScores
+            Labels and expertise scores in input order — bitwise identical
+            to ``model.predict`` / ``model.predict_proba`` on the whole
+            population, for every backend and chunk size >= 2 (see the
+            module docstring's determinism contract).
+        """
+        matchers = list(matchers)
+        ids = tuple(matcher.matcher_id for matcher in matchers)
+        n_labels = len(EXPERT_CHARACTERISTICS)
+        if not matchers:
+            return BatchScores(ids, np.zeros((0, n_labels), dtype=int), np.zeros((0, n_labels)))
+        size = chunk_size if chunk_size is not None else self.chunk_size
+        if size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        chunks = _chunked(matchers, size)
+        chunk_blocks = parallel_map(
+            _extract_chunk,
+            chunks,
+            runtime=runtime if runtime is not None else self.runtime,
+            context=self.model,
+        )
+        # Re-insert the extracted blocks into the parent-side cache:
+        # process workers' insertions die with the pool, so without this
+        # the warm-cache fast path would be backend-dependent.
+        for chunk, blocks_of_chunk in zip(chunks, chunk_blocks):
+            self.model.pipeline.store_blocks(chunk, blocks_of_chunk)
+        # Fuse the per-chunk blocks into full-population blocks, then
+        # classify once in the parent: classification sees the exact
+        # arrays the in-memory path sees (see the determinism contract).
+        blocks = {
+            name: FeatureBlock(
+                chunk_blocks[0][name].names,
+                np.vstack([chunk[name].matrix for chunk in chunk_blocks]),
+            )
+            for name in self.model.pipeline.include
+        }
+        labels, probabilities = self.model.characterize(matchers, precomputed=blocks)
+        return BatchScores(ids, labels, probabilities)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> dict:
+        """Service metadata: bundle provenance, model summary, cache stats."""
+        pipeline = self.model.pipeline
+        return {
+            "bundle": self._bundle_info,
+            "model": {
+                "type": type(self.model).__name__,
+                "variant": self.model.variant.value,
+                "feature_sets": list(pipeline.include),
+                "n_features": len(pipeline.feature_names_),
+                "selected_classifiers": self.model.selected_classifiers(),
+            },
+            "chunk_size": self.chunk_size,
+            "runtime": self.runtime if isinstance(self.runtime, (str, type(None))) else repr(self.runtime),
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacterizationService(model={self.model!r}, "
+            f"chunk_size={self.chunk_size}, runtime={self.runtime!r})"
+        )

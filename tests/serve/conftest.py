@@ -1,0 +1,60 @@
+"""Shared fixtures for the serving-layer tests: datasets, fitted models, bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.simulation.dataset import build_dataset
+
+#: Neural-extractor settings small enough for per-test fits.
+TINY_NEURAL_CONFIG = {
+    "seq": {"hidden_dim": 4, "dense_dim": 6, "max_sequence_length": 15, "epochs": 2},
+    "spa": {"n_filters": 2, "epochs": 1, "pretrain_samples": 8},
+}
+
+
+@pytest.fixture(scope="session")
+def serve_dataset():
+    """A small two-cohort dataset shared by every serving test."""
+    return build_dataset(n_po_matchers=14, n_oaei_matchers=7, random_state=5)
+
+
+@pytest.fixture(scope="session")
+def serve_labels(serve_dataset):
+    profiles, _ = characterize_population(serve_dataset.po_matchers, random_state=5)
+    return labels_matrix(profiles)
+
+
+@pytest.fixture(scope="session")
+def offline_model(serve_dataset, serve_labels):
+    """A characterizer over the offline feature sets (cheap to fit and score)."""
+    model = MExICharacterizer(
+        variant=MExIVariant.SUB_50,
+        feature_sets=("lrsm", "beh", "mou"),
+        random_state=5,
+    )
+    return model.fit(serve_dataset.po_matchers, serve_labels)
+
+
+@pytest.fixture(scope="session")
+def neural_model(serve_dataset, serve_labels):
+    """A characterizer over all five feature sets (tiny neural networks)."""
+    model = MExICharacterizer(
+        variant=MExIVariant.SUB_50,
+        neural_config=TINY_NEURAL_CONFIG,
+        random_state=5,
+    )
+    return model.fit(serve_dataset.po_matchers, serve_labels)
+
+
+@pytest.fixture(scope="session")
+def classification_data():
+    """A small, well-separated binary classification problem."""
+    rng = np.random.default_rng(11)
+    X = rng.standard_normal((80, 7))
+    y = (X[:, 0] - 0.5 * X[:, 1] + 0.3 * rng.standard_normal(80) > 0).astype(int)
+    X_new = rng.standard_normal((25, 7))
+    return X, y, X_new

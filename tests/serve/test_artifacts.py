@@ -1,0 +1,388 @@
+"""Artifact round-trips: bitwise-identical predictions, clear load failures."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.features.cache import matcher_fingerprint
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LinearSVC, LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+from repro.nn.layers import Dense, Dropout, ReLU, Sigmoid
+from repro.nn.losses import BinaryCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.recurrent import LSTM
+from repro.serve.artifacts import (
+    ARRAYS_NAME,
+    ARTIFACT_FORMAT_VERSION,
+    MANIFEST_NAME,
+    ArtifactError,
+    load_model,
+    read_manifest,
+    save_model,
+)
+from repro.serve.population import load_population, save_population
+
+ESTIMATOR_FACTORIES = {
+    "decision_tree": lambda: DecisionTreeClassifier(max_depth=4, random_state=0),
+    "decision_tree_unbounded": lambda: DecisionTreeClassifier(max_depth=None, random_state=1),
+    "random_forest": lambda: RandomForestClassifier(n_estimators=12, max_depth=5, random_state=0),
+    "gradient_boosting": lambda: GradientBoostingClassifier(n_estimators=10, max_depth=2, random_state=0),
+    "logistic_regression": lambda: LogisticRegression(n_iterations=80),
+    "linear_svc": lambda: LinearSVC(n_iterations=80),
+    "gaussian_nb": lambda: GaussianNB(),
+    "k_neighbors": lambda: KNeighborsClassifier(n_neighbors=3, weights="distance"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ESTIMATOR_FACTORIES))
+def test_classifier_roundtrip_bitwise(name, classification_data, tmp_path):
+    """Every estimator type reloads to bitwise-identical predict / predict_proba."""
+    X, y, X_new = classification_data
+    model = ESTIMATOR_FACTORIES[name]().fit(X, y)
+    bundle = save_model(model, tmp_path / name)
+    loaded = load_model(bundle)
+    assert type(loaded) is type(model)
+    assert np.array_equal(loaded.classes_, model.classes_)
+    for data in (X, X_new):
+        assert np.array_equal(loaded.predict(data), model.predict(data))
+        assert np.array_equal(loaded.predict_proba(data), model.predict_proba(data))
+
+
+def test_tree_importances_and_structure_survive(classification_data, tmp_path):
+    X, y, _ = classification_data
+    tree = DecisionTreeClassifier(max_depth=6, random_state=3).fit(X, y)
+    loaded = load_model(save_model(tree, tmp_path / "tree"))
+    assert np.array_equal(loaded.feature_importances_, tree.feature_importances_)
+    assert loaded.depth() == tree.depth()
+    assert loaded.n_leaves() == tree.n_leaves()
+
+
+def test_forest_importances_survive(classification_data, tmp_path):
+    X, y, _ = classification_data
+    forest = RandomForestClassifier(n_estimators=8, max_depth=4, random_state=2).fit(X, y)
+    loaded = load_model(save_model(forest, tmp_path / "forest"))
+    assert np.array_equal(loaded.feature_importances_, forest.feature_importances_)
+    assert len(loaded.estimators_) == len(forest.estimators_)
+
+
+def test_single_class_classifier_roundtrip(tmp_path):
+    """Degenerate single-class fits (empty one-vs-rest model lists) round-trip."""
+    X = np.arange(12, dtype=float).reshape(6, 2)
+    y = np.ones(6, dtype=int)
+    for name, factory in (
+        ("logreg", lambda: LogisticRegression(n_iterations=10)),
+        ("nb", lambda: GaussianNB()),
+    ):
+        model = factory().fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / f"single_{name}"))
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+        assert np.array_equal(loaded.predict_proba(X), model.predict_proba(X))
+
+
+def test_standard_scaler_roundtrip(classification_data, tmp_path):
+    X, _, X_new = classification_data
+    scaler = StandardScaler().fit(X)
+    loaded = load_model(save_model(scaler, tmp_path / "scaler"))
+    assert np.array_equal(loaded.transform(X_new), scaler.transform(X_new))
+
+
+def _dense_network(dropout: float = 0.3) -> Sequential:
+    network = Sequential(
+        [
+            Dense(5, 8, seed=0),
+            ReLU(),
+            Dropout(rate=dropout, seed=1),
+            Dense(8, 2, seed=2),
+            Sigmoid(),
+        ]
+    )
+    return network.compile(loss=BinaryCrossEntropy(), optimizer=Adam(learning_rate=0.01))
+
+
+def test_network_roundtrip_bitwise(tmp_path):
+    """The nn Sequential reloads layer weights to bitwise-identical outputs."""
+    rng = np.random.default_rng(4)
+    X = rng.standard_normal((40, 5))
+    y = rng.integers(0, 2, size=(40, 2)).astype(float)
+    network = _dense_network().fit(X, y, epochs=3, batch_size=8, random_state=0)
+    loaded = load_model(save_model(network, tmp_path / "net"))
+    assert np.array_equal(loaded.predict(X), network.predict(X))
+    assert loaded.history_ == network.history_
+
+
+def test_network_optimizer_state_resumes_training(tmp_path):
+    """Adam moments/step survive, so resumed training matches uninterrupted training.
+
+    The network is dropout-free: the dropout RNG stream is the one piece of
+    training state intentionally not serialized.
+    """
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((32, 5))
+    y = rng.integers(0, 2, size=(32, 2)).astype(float)
+
+    reference = _dense_network(dropout=0.0).fit(X, y, epochs=4, batch_size=8, shuffle=False)
+
+    checkpoint = _dense_network(dropout=0.0).fit(X, y, epochs=2, batch_size=8, shuffle=False)
+    resumed = load_model(save_model(checkpoint, tmp_path / "ckpt"))
+    resumed.fit(X, y, epochs=2, batch_size=8, shuffle=False)
+    assert np.array_equal(resumed.predict(X), reference.predict(X))
+
+
+def test_network_get_set_state_resumes_in_process():
+    """The in-process checkpoint API mirrors the bundle round-trip semantics."""
+    rng = np.random.default_rng(13)
+    X = rng.standard_normal((24, 5))
+    y = rng.integers(0, 2, size=(24, 2)).astype(float)
+    reference = _dense_network(dropout=0.0).fit(X, y, epochs=4, batch_size=8, shuffle=False)
+
+    checkpointed = _dense_network(dropout=0.0).fit(X, y, epochs=2, batch_size=8, shuffle=False)
+    state = checkpointed.get_state()
+    resumed = _dense_network(dropout=0.0)
+    resumed.set_state(state)
+    resumed.fit(X, y, epochs=2, batch_size=8, shuffle=False)
+    assert np.array_equal(resumed.predict(X), reference.predict(X))
+
+
+def test_tree_arrays_reject_empty():
+    """Empty node arrays are invalid (a fitted tree always has a root)."""
+    from repro.ml.boosting import _RegressionTree
+
+    empty_int = np.zeros(0, dtype=np.int64)
+    empty_float = np.zeros(0, dtype=np.float64)
+    with pytest.raises(ValueError, match="at least one node"):
+        DecisionTreeClassifier().set_tree_arrays(
+            {
+                "feature": empty_int,
+                "threshold": empty_float,
+                "children_left": empty_int,
+                "children_right": empty_int,
+                "class_counts": np.zeros((0, 2)),
+            }
+        )
+    with pytest.raises(ValueError, match="at least one node"):
+        _RegressionTree.from_arrays(
+            {
+                "value": empty_float,
+                "feature": empty_int,
+                "threshold": empty_float,
+                "children_left": empty_int,
+                "children_right": empty_int,
+            },
+            max_depth=2,
+            min_samples_leaf=1,
+        )
+
+
+def test_lstm_network_roundtrip(tmp_path):
+    rng = np.random.default_rng(9)
+    X = rng.standard_normal((12, 6, 3))
+    y = rng.integers(0, 2, size=(12, 1)).astype(float)
+    network = Sequential([LSTM(input_dim=3, hidden_dim=4, seed=0), Dense(4, 1, seed=1), Sigmoid()])
+    network.compile(loss=BinaryCrossEntropy(), optimizer=Adam())
+    network.fit(X, y, epochs=2, batch_size=4, random_state=0)
+    loaded = load_model(save_model(network, tmp_path / "lstm"))
+    assert np.array_equal(loaded.predict(X), network.predict(X))
+
+
+def test_characterizer_roundtrip_offline(offline_model, serve_dataset, tmp_path):
+    model = offline_model
+    loaded = load_model(save_model(model, tmp_path / "mexi"))
+    for cohort in (serve_dataset.po_matchers, serve_dataset.oaei_matchers):
+        assert np.array_equal(loaded.predict(cohort), model.predict(cohort))
+        assert np.array_equal(loaded.predict_proba(cohort), model.predict_proba(cohort))
+    assert loaded.selected_classifiers() == model.selected_classifiers()
+    assert loaded.pipeline.include == model.pipeline.include
+    assert loaded.pipeline.feature_names_ == model.pipeline.feature_names_
+    assert loaded.variant == model.variant
+
+
+def test_characterizer_roundtrip_neural(neural_model, serve_dataset, tmp_path):
+    """The full five-set model (LSTM + CNNs) round-trips bitwise."""
+    model = neural_model
+    loaded = load_model(save_model(model, tmp_path / "mexi-neural"))
+    cohort = serve_dataset.oaei_matchers
+    assert np.array_equal(loaded.predict(cohort), model.predict(cohort))
+    assert np.array_equal(loaded.predict_proba(cohort), model.predict_proba(cohort))
+
+
+def test_characterizer_save_load_methods(offline_model, serve_dataset, tmp_path):
+    """The MExICharacterizer.save / .load convenience methods round-trip."""
+    offline_model.save(tmp_path / "via-method")
+    loaded = type(offline_model).load(tmp_path / "via-method")
+    assert np.array_equal(
+        loaded.predict(serve_dataset.oaei_matchers),
+        offline_model.predict(serve_dataset.oaei_matchers),
+    )
+
+
+def test_manifest_metadata(offline_model, tmp_path):
+    bundle = save_model(offline_model, tmp_path / "meta")
+    manifest = read_manifest(bundle)
+    assert manifest["format_version"] == ARTIFACT_FORMAT_VERSION
+    assert manifest["model_type"] == "MExICharacterizer"
+    assert manifest["arrays"]["count"] > 0
+    assert len(manifest["fingerprint"]) == 32
+
+
+# --------------------------------------------------------------------- #
+# Failure modes
+# --------------------------------------------------------------------- #
+
+
+def test_save_unfitted_rejected(tmp_path):
+    with pytest.raises(ArtifactError, match="unfitted"):
+        save_model(DecisionTreeClassifier(), tmp_path / "unfitted")
+
+
+def test_save_unknown_type_rejected(tmp_path):
+    with pytest.raises(ArtifactError, match="no artifact codec"):
+        save_model(object(), tmp_path / "unknown")
+
+
+def test_load_missing_bundle(tmp_path):
+    with pytest.raises(ArtifactError, match="missing manifest.json"):
+        load_model(tmp_path / "nowhere")
+
+
+def test_load_rejects_wrong_format_version(classification_data, tmp_path):
+    X, y, _ = classification_data
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "versioned")
+    manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+    manifest["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactError, match="unsupported artifact format version"):
+        load_model(bundle)
+
+
+def test_load_rejects_truncated_arrays(classification_data, tmp_path):
+    X, y, _ = classification_data
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "truncated")
+    arrays_path = bundle / ARRAYS_NAME
+    arrays_path.write_bytes(arrays_path.read_bytes()[: arrays_path.stat().st_size // 2])
+    with pytest.raises(ArtifactError):
+        load_model(bundle)
+
+
+def test_load_rejects_missing_arrays(classification_data, tmp_path):
+    X, y, _ = classification_data
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "no-arrays")
+    (bundle / ARRAYS_NAME).unlink()
+    with pytest.raises(ArtifactError, match="missing"):
+        load_model(bundle)
+
+
+def test_load_rejects_tampered_content(classification_data, tmp_path):
+    """Modifying an array without re-signing fails fingerprint verification."""
+    X, y, _ = classification_data
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "tampered")
+    with np.load(bundle / ARRAYS_NAME, allow_pickle=False) as npz:
+        arrays = {key: np.array(npz[key]) for key in npz.files}
+    first = next(iter(arrays))
+    arrays[first] = arrays[first] + 1.0
+    with open(bundle / ARRAYS_NAME, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        load_model(bundle)
+
+
+def test_load_rejects_invalid_manifest_json(classification_data, tmp_path):
+    X, y, _ = classification_data
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "badjson")
+    (bundle / MANIFEST_NAME).write_text('{"format": "repro-model-bundle", trunc')
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_model(bundle)
+
+
+def test_load_wraps_inconsistent_spec_errors(classification_data, tmp_path):
+    """Cross-array inconsistencies surface as ArtifactError, not raw IndexError.
+
+    The bundle is re-signed after shortening one node array, so it passes
+    fingerprint verification and the decoder itself must catch the clash.
+    """
+    from repro.serve.artifacts import _content_fingerprint
+
+    X, y, _ = classification_data
+    tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+    bundle = save_model(tree, tmp_path / "inconsistent")
+    manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+    with np.load(bundle / ARRAYS_NAME, allow_pickle=False) as npz:
+        arrays = {key: np.array(npz[key]) for key in npz.files}
+    counts_key = next(key for key in arrays if key.endswith("tree/class_counts"))
+    arrays[counts_key] = arrays[counts_key][:1]
+    manifest["fingerprint"] = _content_fingerprint(
+        json.dumps(manifest["spec"], sort_keys=True), arrays
+    )
+    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with open(bundle / ARRAYS_NAME, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with pytest.raises(ArtifactError, match="inconsistent"):
+        load_model(bundle)
+
+
+def test_tree_arrays_reject_cycles(classification_data):
+    """Crafted node arrays with cycles are rejected instead of hanging predict."""
+    X, y, _ = classification_data
+    tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+    arrays = tree.tree_arrays()
+    hostile = {name: array.copy() for name, array in arrays.items()}
+    hostile["feature"][0] = 0
+    hostile["children_left"][0] = 0  # self-cycle
+    hostile["children_right"][0] = 0
+    with pytest.raises(ValueError, match="strictly increasing"):
+        DecisionTreeClassifier().set_tree_arrays(hostile)
+
+    from repro.ml.boosting import _RegressionTree
+
+    boosted = GradientBoostingClassifier(n_estimators=2, max_depth=2, random_state=0).fit(X, y)
+    regression_arrays = boosted._ensembles[0][1][0].to_arrays()
+    regression_arrays["feature"][0] = 0
+    regression_arrays["children_left"][0] = 0
+    regression_arrays["children_right"][0] = 0
+    with pytest.raises(ValueError, match="strictly increasing"):
+        _RegressionTree.from_arrays(regression_arrays, max_depth=2, min_samples_leaf=1)
+
+
+# --------------------------------------------------------------------- #
+# Population files
+# --------------------------------------------------------------------- #
+
+
+def test_population_roundtrip_preserves_behaviour(serve_dataset, tmp_path):
+    """Saved matchers reload with identical behavioural content fingerprints."""
+    original = serve_dataset.oaei_matchers
+    path = save_population(original, tmp_path / "pop.npz")
+    loaded = load_population(path)
+    assert [m.matcher_id for m in loaded] == [m.matcher_id for m in original]
+    for saved, fresh in zip(original, loaded):
+        assert matcher_fingerprint(fresh) == matcher_fingerprint(saved)
+        assert fresh.history.shape == saved.history.shape
+        assert fresh.movement.screen == saved.movement.screen
+
+
+def test_population_missing_file(tmp_path):
+    with pytest.raises(ArtifactError, match="does not exist"):
+        load_population(tmp_path / "missing.npz")
+
+
+def test_population_truncated_file(serve_dataset, tmp_path):
+    path = save_population(serve_dataset.oaei_matchers, tmp_path / "pop.npz")
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(ArtifactError):
+        load_population(path)
+
+
+def test_population_missing_arrays(tmp_path):
+    path = tmp_path / "partial.npz"
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, format_version=np.int64(1), ids=np.array(["a"]))
+    with pytest.raises(ArtifactError, match="missing arrays"):
+        load_population(path)
