@@ -40,9 +40,13 @@ _RUNTIME_TIMINGS: dict[str, float] = {}
 BENCH_FEATURES_PATH = Path(__file__).resolve().parent / "BENCH_features.json"
 BENCH_RUNTIME_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
 BENCH_SERVE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
+BENCH_KERNELS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `kernel_timings`.
+_KERNEL_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -100,6 +104,12 @@ def serve_timings() -> dict[str, float]:
     return _SERVE_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def kernel_timings() -> dict[str, float]:
+    """Mutable registry of fast-vs-oracle kernel timings, flushed at session end."""
+    return _KERNEL_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -118,3 +128,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_STAGE_TIMINGS, "stages_seconds", BENCH_FEATURES_PATH)
     _flush_timings(_RUNTIME_TIMINGS, "measurements", BENCH_RUNTIME_PATH)
     _flush_timings(_SERVE_TIMINGS, "measurements", BENCH_SERVE_PATH)
+    _flush_timings(_KERNEL_TIMINGS, "measurements", BENCH_KERNELS_PATH)

@@ -1,0 +1,247 @@
+"""Kernel benchmark: vectorized hot paths vs the retained scalar oracles.
+
+Measures the three gated speedups of the columnar event-stream / vectorized
+kernel refactor and asserts every fast kernel's equivalence oracle **in the
+same run**:
+
+* ``Conv2D`` forward at heat-map shapes (im2col vs the retained
+  per-output-pixel patch loop) — gate >= 5x, equivalence bitwise;
+* population simulation (columnar pre-drawn engine vs the legacy
+  event-by-event generator) — gate >= 3x, with the columnar engine asserted
+  bitwise against its scalar ``reference`` consumer;
+* cold ``CharacterizationService.score_batch`` (all fast kernels vs all
+  oracle kernels) — gate >= 2x on the serial backend, with fast-vs-oracle
+  equivalence asserted on the serial, thread **and** process backends.
+
+The timing gates are enforced only when ``REPRO_KERNEL_GATES`` is set (the
+``workflow_dispatch`` benchmark CI job sets it); the tier-1 job still runs
+this module for the equivalence assertions, so correctness is checked on
+every push while wall-clock flakiness cannot break the build.  All numbers
+land in ``benchmarks/BENCH_kernels.json`` via the session hook.
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.kernels import use_kernels
+from repro.matching.matrix import MatchingMatrix
+from repro.nn.conv import Conv2D, MaxPool2D
+from repro.nn.recurrent import LSTM
+from repro.predictors.entropy import RowEntropyPredictor
+from repro.predictors.structural import DominantsPredictor, MutualDominancePredictor
+from repro.serve import CharacterizationService, save_model
+from repro.simulation.dataset import build_dataset, build_po_task
+from repro.simulation.mouse_sim import simulate_movement
+from repro.simulation.population import simulate_population
+
+#: Whether the wall-clock gates are enforced (equivalence always is).
+GATES_ENFORCED = bool(os.environ.get("REPRO_KERNEL_GATES"))
+
+CONV_SPEEDUP_GATE = 5.0
+SIMULATION_SPEEDUP_GATE = 3.0
+SERVE_SPEEDUP_GATE = 2.0
+
+
+def _median_seconds(function, repeats: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        function()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _gate(name: str, speedup: float, threshold: float) -> None:
+    print(f"{name}: {speedup:.2f}x (gate >= {threshold}x, enforced={GATES_ENFORCED})")
+    if GATES_ENFORCED:
+        assert speedup >= threshold, f"{name} speedup {speedup:.2f}x below {threshold}x gate"
+
+
+def test_bench_conv_kernels(kernel_timings):
+    """im2col Conv2D / MaxPool2D vs the per-pixel loop oracle (bitwise)."""
+    rng = np.random.default_rng(0)
+    # The serving latency shape: one matcher's heat map per channel.
+    x = rng.normal(size=(1, 24, 32, 1))
+    layer = Conv2D(1, 4, kernel_size=3, seed=0)
+    grad = rng.normal(size=(1, 22, 30, 4))
+
+    with use_kernels("oracle"):
+        out_oracle = layer.forward(x)
+        grad_in_oracle = layer.backward(grad)
+        grads_oracle = {key: value.copy() for key, value in layer.grads.items()}
+        oracle_seconds = _median_seconds(lambda: layer.forward(x), repeats=30)
+    out_fast = layer.forward(x)
+    grad_in_fast = layer.backward(grad)
+    fast_seconds = _median_seconds(lambda: layer.forward(x), repeats=30)
+
+    # Equivalence oracle: identical patch matrices feed identical products.
+    np.testing.assert_array_equal(out_fast, out_oracle)
+    np.testing.assert_array_equal(grad_in_fast, grad_in_oracle)
+    for key, value in grads_oracle.items():
+        np.testing.assert_array_equal(layer.grads[key], value)
+
+    pool = MaxPool2D(pool_size=2)
+    pool_grad = rng.normal(size=(1, 12, 16, 1))
+    with use_kernels("oracle"):
+        pooled_oracle = pool.forward(x)
+        pool_back_oracle = pool.backward(pool_grad)
+    pooled_fast = pool.forward(x)
+    pool_back_fast = pool.backward(pool_grad)
+    np.testing.assert_array_equal(pooled_fast, pooled_oracle)
+    np.testing.assert_array_equal(pool_back_fast, pool_back_oracle)
+
+    speedup = oracle_seconds / fast_seconds
+    kernel_timings["conv2d_forward_oracle_ms"] = oracle_seconds * 1e3
+    kernel_timings["conv2d_forward_fast_ms"] = fast_seconds * 1e3
+    kernel_timings["conv2d_forward_speedup"] = speedup
+    _gate("conv2d_forward", speedup, CONV_SPEEDUP_GATE)
+
+
+def test_bench_lstm_and_matrix_kernels(kernel_timings):
+    """Fused-gate LSTM (tight tolerance) and matrix/predictor oracles (bitwise)."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(30, 24, 3))
+    layer = LSTM(3, 16, seed=1)
+    grad = rng.normal(size=(30, 16))
+    with use_kernels("oracle"):
+        hidden_oracle = layer.forward(x)
+        grad_in_oracle = layer.backward(grad)
+        oracle_seconds = _median_seconds(lambda: layer.forward(x), repeats=20)
+    hidden_fast = layer.forward(x)
+    grad_in_fast = layer.backward(grad)
+    fast_seconds = _median_seconds(lambda: layer.forward(x), repeats=20)
+    np.testing.assert_allclose(hidden_fast, hidden_oracle, rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(grad_in_fast, grad_in_oracle, rtol=1e-8, atol=1e-11)
+    kernel_timings["lstm_forward_speedup"] = oracle_seconds / fast_seconds
+
+    values = rng.random((40, 25))
+    values[values < 0.6] = 0.0
+    matrix = MatchingMatrix(values)
+    np.testing.assert_array_equal(
+        matrix.top_1_per_row().values, matrix._top_1_per_row_loop().values
+    )
+    for predictor in (DominantsPredictor(), MutualDominancePredictor()):
+        with use_kernels("oracle"):
+            reference = predictor(matrix)
+        assert predictor(matrix) == reference
+    row_entropy = RowEntropyPredictor()
+    with use_kernels("oracle"):
+        reference = row_entropy(matrix)
+    np.testing.assert_allclose(row_entropy(matrix), reference, rtol=1e-12, atol=1e-15)
+
+
+def test_bench_population_simulation(kernel_timings):
+    """Columnar pre-drawn mouse simulation vs the legacy generator."""
+    pair, reference = build_po_task()
+
+    def simulate(engine_env):
+        previous = os.environ.get("REPRO_SIM_ENGINE")
+        os.environ["REPRO_SIM_ENGINE"] = engine_env
+        try:
+            return simulate_population(pair, reference, n_matchers=40, random_state=7)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIM_ENGINE", None)
+            else:
+                os.environ["REPRO_SIM_ENGINE"] = previous
+
+    legacy_seconds = _median_seconds(lambda: simulate("legacy"), repeats=3)
+    columnar_seconds = _median_seconds(lambda: simulate("columnar"), repeats=3)
+
+    # Equivalence oracle: the vectorized engine must consume the pre-drawn
+    # randomness exactly like its retained scalar reference consumer.
+    population = simulate("columnar")
+    for index, matcher in enumerate(population[:6]):
+        trace = matcher.movement
+        # Re-derive both engines from one seed on the matcher's history.
+        rng_seed = 1000 + index
+        fast = simulate_movement(
+            matcher.history, _po_traits(), rng=np.random.default_rng(rng_seed),
+            engine="columnar",
+        )
+        scalar = simulate_movement(
+            matcher.history, _po_traits(), rng=np.random.default_rng(rng_seed),
+            engine="reference",
+        )
+        np.testing.assert_array_equal(fast.data.x, scalar.data.x)
+        np.testing.assert_array_equal(fast.data.y, scalar.data.y)
+        np.testing.assert_array_equal(fast.data.codes, scalar.data.codes)
+        np.testing.assert_array_equal(fast.data.t, scalar.data.t)
+        assert len(trace) >= 3 * len(matcher.history)
+
+    speedup = legacy_seconds / columnar_seconds
+    kernel_timings["simulation_legacy_s"] = legacy_seconds
+    kernel_timings["simulation_columnar_s"] = columnar_seconds
+    kernel_timings["simulation_speedup"] = speedup
+    _gate("population_simulation", speedup, SIMULATION_SPEEDUP_GATE)
+
+
+def _po_traits():
+    from repro.simulation.archetypes import ARCHETYPE_LIBRARY, Archetype
+
+    return ARCHETYPE_LIBRARY[Archetype.A]
+
+
+def test_bench_cold_serve(bench_config, kernel_timings, tmp_path):
+    """Cold score_batch with fast kernels vs all-oracle kernels, per backend."""
+    dataset = build_dataset(
+        n_po_matchers=bench_config.n_po_matchers,
+        n_oaei_matchers=bench_config.n_oaei_matchers,
+        random_state=bench_config.random_state,
+    )
+    profiles, _ = characterize_population(
+        dataset.po_matchers, random_state=bench_config.random_state
+    )
+    model = MExICharacterizer(
+        variant=MExIVariant.SUB_50,
+        feature_sets=("lrsm", "beh", "mou"),
+        random_state=bench_config.random_state,
+    )
+    model.fit(dataset.po_matchers, labels_matrix(profiles))
+    bundle = save_model(model, tmp_path / "bundle")
+    population = dataset.po_matchers
+
+    def cold_score(backend):
+        service = CharacterizationService.from_bundle(bundle, runtime=backend, chunk_size=8)
+        start = time.perf_counter()
+        result = service.score_batch(population)
+        return result, time.perf_counter() - start
+
+    expected = model.predict(population)
+    for backend in ("serial", "thread", "process"):
+        result_fast, _ = cold_score(backend)
+        with use_kernels("oracle"):
+            result_oracle, _ = cold_score(backend)
+        # Equivalence oracle on every backend: the all-oracle service must
+        # agree with the all-fast service (bitwise labels; scores to float
+        # reassociation) and with the in-memory model.
+        np.testing.assert_array_equal(result_fast.labels, result_oracle.labels)
+        np.testing.assert_allclose(
+            result_fast.probabilities, result_oracle.probabilities, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_array_equal(result_fast.labels, expected)
+
+    fast_samples, oracle_samples = [], []
+    for _ in range(5):
+        _, fast_seconds = cold_score("serial")
+        with use_kernels("oracle"):
+            _, oracle_seconds = cold_score("serial")
+        fast_samples.append(fast_seconds)
+        oracle_samples.append(oracle_seconds)
+    fast_median = statistics.median(fast_samples)
+    oracle_median = statistics.median(oracle_samples)
+
+    speedup = oracle_median / fast_median
+    kernel_timings["serve_cold_oracle_s"] = oracle_median
+    kernel_timings["serve_cold_fast_s"] = fast_median
+    kernel_timings["serve_cold_speedup"] = speedup
+    kernel_timings["serve_cold_throughput_matchers_per_s"] = len(population) / fast_median
+    kernel_timings["gates_enforced"] = float(GATES_ENFORCED)
+    _gate("serve_cold_score_batch", speedup, SERVE_SPEEDUP_GATE)

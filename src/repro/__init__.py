@@ -23,6 +23,8 @@ together with every substrate it depends on:
 * :mod:`repro.serve` -- persistent model artifacts (versioned
   ``manifest.json`` + ``arrays.npz`` bundles) and the batch
   characterization service plus its ``fit|score|inspect`` CLI.
+* :mod:`repro.kernels` -- fast-vs-oracle selection for the vectorized
+  hot-path kernels (``REPRO_KERNELS`` / :func:`repro.kernels.use_kernels`).
 
 Quickstart
 ----------
@@ -42,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "kernels",
     "matching",
     "predictors",
     "stats",

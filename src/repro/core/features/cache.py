@@ -55,17 +55,20 @@ def matcher_fingerprint(matcher: HumanMatcher) -> str:
     movement = matcher.movement
     digest.update(np.asarray(movement.screen, dtype=np.int64).tobytes())
     if len(movement):
-        events = np.array(
-            [(e.x, e.y, float(_EVENT_CODES[e.event_type.value]), e.timestamp) for e in movement],
-            dtype=np.float64,
-        )
-        digest.update(events.tobytes())
+        # Columnar fast path: identical bytes to the historical row-wise
+        # [(x, y, code, t), ...] float64 layout, without materialising
+        # MouseEvent objects.
+        data = movement.data
+        events = np.column_stack([data.x, data.y, data.codes.astype(np.float64), data.t])
+        digest.update(np.ascontiguousarray(events).tobytes())
     fingerprint = digest.hexdigest()
     matcher._repro_fingerprint = fingerprint
     return fingerprint
 
 
-_EVENT_CODES = {"move": 0, "left": 1, "right": 2, "scroll": 3}
+# Event-type codes now live with the columnar store; re-exported here for
+# backwards compatibility of the fingerprint contract.
+from repro.matching.events import EVENT_CODES as _EVENT_CODES  # noqa: E402
 
 
 def population_fingerprint(matchers: Sequence[HumanMatcher]) -> str:

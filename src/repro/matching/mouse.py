@@ -4,6 +4,12 @@ Every mouse movement is a triplet ``<(x, y), type, time>`` where the type is
 one of move, left click, right click, or scroll.  Aggregating positions per
 type yields screen-sized heat maps in which frequently visited pixels carry
 higher values; the paper down-streams those heat maps into a CNN.
+
+Since the columnar event-stream refactor the map is backed by an
+:class:`~repro.matching.events.EventArray` (struct-of-arrays: positions,
+type codes, timestamps), so heat maps, per-type counts, path statistics and
+time-window slicing are single vectorized operations.  The historical
+``MouseEvent`` object API is kept as a thin, lazily-materialised view.
 """
 
 from __future__ import annotations
@@ -13,6 +19,10 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
+
+from repro.kernels import oracle_active
+from repro.matching import events as _events
+from repro.matching.events import EventArray
 
 
 class MouseEventType(enum.Enum):
@@ -71,11 +81,38 @@ class HeatMap:
         return self._counts / maximum
 
     def downscale(self, shape: tuple[int, int]) -> "HeatMap":
-        """Sum-pool the heat map down to ``shape`` (for CNN input)."""
+        """Sum-pool the heat map down to ``shape`` (for CNN input).
+
+        Vectorized via ``np.add.reduceat`` over the bin edges; the counts
+        are visit frequencies (integer-valued), so the pooled sums are
+        bitwise-identical to the retained double-loop oracle for divisible
+        and non-divisible shapes alike.
+        """
         target_rows, target_cols = shape
-        rows, cols = self.shape
         if target_rows <= 0 or target_cols <= 0:
             raise ValueError("target shape must be positive")
+        if oracle_active():
+            return HeatMap(self._downscale_loop(shape))
+        rows, cols = self.shape
+        if rows == 0 or cols == 0:
+            return HeatMap(np.zeros(shape, dtype=float))
+        row_edges = np.linspace(0, rows, target_rows + 1).astype(int)
+        col_edges = np.linspace(0, cols, target_cols + 1).astype(int)
+        pooled = np.add.reduceat(self._counts, row_edges[:-1], axis=0)
+        pooled = np.add.reduceat(pooled, col_edges[:-1], axis=1)
+        # reduceat yields counts[i] (not 0) for empty segments; blank them.
+        empty_rows = np.diff(row_edges) == 0
+        empty_cols = np.diff(col_edges) == 0
+        if empty_rows.any():
+            pooled[empty_rows, :] = 0.0
+        if empty_cols.any():
+            pooled[:, empty_cols] = 0.0
+        return HeatMap(pooled)
+
+    def _downscale_loop(self, shape: tuple[int, int]) -> np.ndarray:
+        """The original per-target-cell pooling loop (retained oracle)."""
+        target_rows, target_cols = shape
+        rows, cols = self.shape
         row_edges = np.linspace(0, rows, target_rows + 1).astype(int)
         col_edges = np.linspace(0, cols, target_cols + 1).astype(int)
         pooled = np.zeros(shape, dtype=float)
@@ -85,7 +122,7 @@ class HeatMap:
                     row_edges[i] : row_edges[i + 1], col_edges[j] : col_edges[j + 1]
                 ]
                 pooled[i, j] = block.sum()
-        return HeatMap(pooled)
+        return pooled
 
     def region_mass(self, row_slice: slice, col_slice: slice) -> float:
         """Fraction of the total mass falling in a screen region."""
@@ -124,67 +161,93 @@ class MovementMap:
         self,
         events: Iterable[MouseEvent] = (),
         screen: tuple[int, int] = DEFAULT_SCREEN,
+        *,
+        data: Optional[EventArray] = None,
     ) -> None:
-        self._events: list[MouseEvent] = sorted(events, key=lambda e: e.timestamp)
+        if data is not None:
+            self._data = data
+        else:
+            self._data = EventArray.from_events(events)
         rows, cols = screen
         if rows <= 0 or cols <= 0:
             raise ValueError("screen dimensions must be positive")
         self.screen = (int(rows), int(cols))
+        self._event_view: Optional[tuple[MouseEvent, ...]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        codes: np.ndarray,
+        timestamps: np.ndarray,
+        screen: tuple[int, int] = DEFAULT_SCREEN,
+        *,
+        assume_sorted: bool = False,
+        validate: bool = True,
+    ) -> "MovementMap":
+        """Build a map directly from columnar event data (no objects)."""
+        data = EventArray(
+            x, y, codes, timestamps, assume_sorted=assume_sorted, validate=validate
+        )
+        return cls(screen=screen, data=data)
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
 
     @property
+    def data(self) -> EventArray:
+        """The columnar event store backing this map."""
+        return self._data
+
+    @property
     def events(self) -> tuple[MouseEvent, ...]:
-        return tuple(self._events)
+        if self._event_view is None:
+            self._event_view = tuple(self._data.to_events())
+        return self._event_view
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._data)
 
     def __iter__(self) -> Iterator[MouseEvent]:
-        return iter(self._events)
+        return iter(self.events)
 
     @property
     def is_empty(self) -> bool:
-        return not self._events
+        return len(self._data) == 0
 
     def events_of_type(self, event_type: MouseEventType) -> list[MouseEvent]:
-        return [e for e in self._events if e.event_type == event_type]
+        return [e for e in self.events if e.event_type == event_type]
 
     def count_by_type(self) -> dict[MouseEventType, int]:
-        counts = {event_type: 0 for event_type in MouseEventType}
-        for event in self._events:
-            counts[event.event_type] += 1
-        return counts
+        if oracle_active():
+            counts = self._data.counts_by_code_loop()
+        else:
+            counts = self._data.counts_by_code()
+        return {
+            event_type: int(counts[_events.EVENT_CODES[event_type.value]])
+            for event_type in MouseEventType
+        }
 
     def duration(self) -> float:
         """Elapsed time between the first and last event."""
-        if len(self._events) < 2:
-            return 0.0
-        return self._events[-1].timestamp - self._events[0].timestamp
+        return self._data.duration()
 
     def positions(self) -> np.ndarray:
         """An ``(n, 2)`` array of ``(x, y)`` positions in event order."""
-        if not self._events:
-            return np.zeros((0, 2), dtype=float)
-        return np.array([(e.x, e.y) for e in self._events], dtype=float)
+        return self._data.positions()
 
     def path_length(self) -> float:
         """Total Euclidean distance travelled by the cursor."""
-        positions = self.positions()
-        if positions.shape[0] < 2:
-            return 0.0
-        deltas = np.diff(positions, axis=0)
-        return float(np.sqrt((deltas**2).sum(axis=1)).sum())
+        return self._data.path_length()
 
     def mean_position(self) -> tuple[float, float]:
         """Average ``(x, y)`` position over all events."""
-        positions = self.positions()
-        if positions.shape[0] == 0:
+        if self.is_empty:
             rows, cols = self.screen
             return (cols / 2.0, rows / 2.0)
-        return (float(positions[:, 0].mean()), float(positions[:, 1].mean()))
+        return (float(self._data.x.mean()), float(self._data.y.mean()))
 
     def mean_speed(self) -> float:
         """Average cursor speed in pixels per second."""
@@ -205,21 +268,16 @@ class MovementMap:
         """Aggregate events of ``event_type`` (or all) into a heat map.
 
         Positions are clipped to the screen, then binned onto a grid of
-        ``shape`` (defaults to the full screen resolution).
+        ``shape`` (defaults to the full screen resolution).  The fast path
+        is one ``bincount``; counts are integers, so it is bitwise-identical
+        to the retained event-by-event oracle.
         """
-        rows, cols = shape if shape is not None else self.screen
-        counts = np.zeros((rows, cols), dtype=float)
-        screen_rows, screen_cols = self.screen
-        for event in self._events:
-            if event_type is not None and event.event_type != event_type:
-                continue
-            x = min(max(event.x, 0.0), screen_cols - 1)
-            y = min(max(event.y, 0.0), screen_rows - 1)
-            row = int(y / screen_rows * rows)
-            col = int(x / screen_cols * cols)
-            row = min(row, rows - 1)
-            col = min(col, cols - 1)
-            counts[row, col] += 1.0
+        grid = shape if shape is not None else self.screen
+        code = None if event_type is None else _events.EVENT_CODES[event_type.value]
+        if oracle_active():
+            counts = self._data.heat_map_counts_loop(self.screen, grid, code=code)
+        else:
+            counts = self._data.heat_map_counts(self.screen, grid, code=code)
         return HeatMap(counts)
 
     def heat_maps_by_type(self, shape: Optional[tuple[int, int]] = None) -> dict[MouseEventType, HeatMap]:
@@ -235,15 +293,11 @@ class MovementMap:
 
     def until(self, timestamp: float) -> "MovementMap":
         """Events up to (and including) ``timestamp``."""
-        return MovementMap(
-            (e for e in self._events if e.timestamp <= timestamp), screen=self.screen
-        )
+        return MovementMap(screen=self.screen, data=self._data.slice_until(timestamp))
 
     def between(self, start: float, end: float) -> "MovementMap":
         """Events in the closed time interval ``[start, end]``."""
-        return MovementMap(
-            (e for e in self._events if start <= e.timestamp <= end), screen=self.screen
-        )
+        return MovementMap(screen=self.screen, data=self._data.slice_between(start, end))
 
     def __repr__(self) -> str:
         return f"MovementMap(events={len(self)}, screen={self.screen})"
@@ -254,9 +308,8 @@ def merge_movement_maps(maps: Sequence[MovementMap]) -> MovementMap:
     if not maps:
         return MovementMap()
     screen = maps[0].screen
-    events: list[MouseEvent] = []
     for movement_map in maps:
         if movement_map.screen != screen:
             raise ValueError("cannot merge movement maps with different screen sizes")
-        events.extend(movement_map.events)
-    return MovementMap(events, screen=screen)
+    merged = _events.concatenate([movement_map.data for movement_map in maps])
+    return MovementMap(screen=screen, data=merged)

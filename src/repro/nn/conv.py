@@ -1,9 +1,20 @@
 """Convolutional layers for the heat-map CNN (Phi_Spa).
 
-Inputs are shaped ``(batch, height, width, channels)``.  The implementation
-favours clarity over speed: heat maps are down-scaled to small grids (e.g.
-24x32) before reaching the CNN, so explicit loops over kernel positions stay
-affordable.
+Inputs are shaped ``(batch, height, width, channels)``.  The forward/backward
+hot paths are vectorized:
+
+* patch extraction (im2col) uses ``sliding_window_view`` stride tricks in
+  place of the original double loop over output pixels, producing the exact
+  same patch matrix — the subsequent matrix products are therefore
+  **bitwise identical** to the loop implementation;
+* the input-gradient scatter (col2im) accumulates one slice-add per kernel
+  offset, iterated in descending offset order so every input cell receives
+  its contributions in the same order as the original per-pixel loop —
+  again bitwise identical.
+
+The original loops are retained as the oracle (selected via
+``repro.kernels``, e.g. ``REPRO_KERNELS=oracle``) and asserted against in
+``tests/nn/test_kernel_equivalence.py`` and the kernel benchmark.
 """
 
 from __future__ import annotations
@@ -11,8 +22,81 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.kernels import oracle_active
 from repro.nn.layers import Layer
+
+
+def extract_patches_loop(x: np.ndarray, kernel_size: int) -> np.ndarray:
+    """Original loop-over-output-pixels patch extraction (retained oracle)."""
+    batch, height, width, channels = x.shape
+    k = kernel_size
+    out_h = height - k + 1
+    out_w = width - k + 1
+    patches = np.zeros((batch, out_h, out_w, k * k * channels))
+    for i in range(out_h):
+        for j in range(out_w):
+            patches[:, i, j, :] = x[:, i : i + k, j : j + k, :].reshape(batch, -1)
+    return patches
+
+
+def extract_patches(x: np.ndarray, kernel_size: int) -> np.ndarray:
+    """im2col via stride tricks: (batch, out_h, out_w, k*k*channels).
+
+    Element-for-element identical to :func:`extract_patches_loop` (the
+    reshape copies the windows into the same row-major patch layout).
+    """
+    batch = x.shape[0]
+    k = kernel_size
+    # (batch, out_h, out_w, channels, k, k) -> (batch, out_h, out_w, k, k, C)
+    windows = sliding_window_view(x, (k, k), axis=(1, 2))
+    patches = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+        batch, windows.shape[1], windows.shape[2], -1
+    )
+    if patches.dtype != np.float64:
+        patches = patches.astype(np.float64)
+    return patches
+
+
+def scatter_patch_grads_loop(
+    d_patches: np.ndarray, input_shape: tuple[int, ...], kernel_size: int
+) -> np.ndarray:
+    """Original per-output-pixel col2im accumulation (retained oracle)."""
+    batch, height, width, channels = input_shape
+    k = kernel_size
+    out_h = height - k + 1
+    out_w = width - k + 1
+    grad_input = np.zeros(input_shape)
+    for i in range(out_h):
+        for j in range(out_w):
+            grad_input[:, i : i + k, j : j + k, :] += d_patches[:, i, j, :].reshape(
+                batch, k, k, channels
+            )
+    return grad_input
+
+
+def scatter_patch_grads(
+    d_patches: np.ndarray, input_shape: tuple[int, ...], kernel_size: int
+) -> np.ndarray:
+    """Vectorized col2im: one slice-add per kernel offset.
+
+    An input cell ``(r, c)`` receives contributions from patches
+    ``(i, j) = (r - di, c - dj)``; iterating the kernel offsets ``(di, dj)``
+    in *descending* order adds those contributions in ascending ``(i, j)``
+    order — exactly the order of the oracle loop — so the accumulated float
+    sums are bitwise identical.
+    """
+    batch, height, width, channels = input_shape
+    k = kernel_size
+    out_h = height - k + 1
+    out_w = width - k + 1
+    blocks = d_patches.reshape(batch, out_h, out_w, k, k, channels)
+    grad_input = np.zeros(input_shape)
+    for di in range(k - 1, -1, -1):
+        for dj in range(k - 1, -1, -1):
+            grad_input[:, di : di + out_h, dj : dj + out_w, :] += blocks[:, :, :, di, dj, :]
+    return grad_input
 
 
 class Conv2D(Layer):
@@ -46,15 +130,9 @@ class Conv2D(Layer):
 
     def _patches(self, x: np.ndarray) -> np.ndarray:
         """Extract sliding patches shaped (batch, out_h, out_w, k*k*in_channels)."""
-        batch, height, width, channels = x.shape
-        k = self.kernel_size
-        out_h = height - k + 1
-        out_w = width - k + 1
-        patches = np.zeros((batch, out_h, out_w, k * k * channels))
-        for i in range(out_h):
-            for j in range(out_w):
-                patches[:, i, j, :] = x[:, i : i + k, j : j + k, :].reshape(batch, -1)
-        return patches
+        if oracle_active():
+            return extract_patches_loop(x, self.kernel_size)
+        return extract_patches(x, self.kernel_size)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4:
@@ -88,13 +166,9 @@ class Conv2D(Layer):
         kernel = self.params["W"].reshape(-1, self.out_channels)
         d_patches = (grad_flat @ kernel.T).reshape(batch, out_h, out_w, k * k * channels)
 
-        grad_input = np.zeros_like(x)
-        for i in range(out_h):
-            for j in range(out_w):
-                grad_input[:, i : i + k, j : j + k, :] += d_patches[:, i, j, :].reshape(
-                    batch, k, k, channels
-                )
-        return grad_input
+        if oracle_active():
+            return scatter_patch_grads_loop(d_patches, x.shape, k)
+        return scatter_patch_grads(d_patches, x.shape, k)
 
     def output_dim(self, input_dim):
         if isinstance(input_dim, tuple) and len(input_dim) == 3:
@@ -117,6 +191,42 @@ class Conv2D(Layer):
         )
 
 
+def maxpool_forward_loop(x: np.ndarray, pool_size: int) -> np.ndarray:
+    """Per-output-pixel max pooling (retained scalar oracle)."""
+    p = pool_size
+    batch, height, width, channels = x.shape
+    out_h = height // p
+    out_w = width // p
+    output = np.zeros((batch, out_h, out_w, channels))
+    for i in range(out_h):
+        for j in range(out_w):
+            output[:, i, j, :] = x[:, i * p : (i + 1) * p, j * p : (j + 1) * p, :].max(
+                axis=(1, 2)
+            )
+    return output
+
+
+def maxpool_backward_loop(
+    x: np.ndarray, output: np.ndarray, grad: np.ndarray, pool_size: int
+) -> np.ndarray:
+    """Per-output-pixel gradient routing to max positions (oracle).
+
+    Ties within a window all receive the gradient, matching the fast
+    mask-based path.
+    """
+    p = pool_size
+    batch, out_h, out_w, channels = output.shape
+    grad_input = np.zeros((batch, out_h * p, out_w * p, channels))
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, i * p : (i + 1) * p, j * p : (j + 1) * p, :]
+            mask = window == output[:, i, None, j, None, :].reshape(batch, 1, 1, channels)
+            grad_input[:, i * p : (i + 1) * p, j * p : (j + 1) * p, :] = (
+                mask * grad[:, i, None, j, None, :].reshape(batch, 1, 1, channels)
+            )
+    return grad_input
+
+
 class MaxPool2D(Layer):
     """Non-overlapping max pooling."""
 
@@ -126,7 +236,7 @@ class MaxPool2D(Layer):
             raise ValueError("pool_size must be positive")
         self.pool_size = pool_size
         self._input: Optional[np.ndarray] = None
-        self._mask: Optional[np.ndarray] = None
+        self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4:
@@ -137,18 +247,27 @@ class MaxPool2D(Layer):
         out_w = width // p
         trimmed = x[:, : out_h * p, : out_w * p, :]
         self._input = trimmed
-        reshaped = trimmed.reshape(batch, out_h, p, out_w, p, channels)
-        output = reshaped.max(axis=(2, 4))
-        # Mask of max positions for the backward pass.
-        expanded = np.repeat(np.repeat(output, p, axis=1), p, axis=2)
-        self._mask = trimmed == expanded
+        if oracle_active():
+            output = maxpool_forward_loop(trimmed, p)
+        else:
+            reshaped = trimmed.reshape(batch, out_h, p, out_w, p, channels)
+            output = reshaped.max(axis=(2, 4))
+        self._output = output
         return output
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        assert self._input is not None and self._mask is not None
+        assert self._input is not None and self._output is not None
         p = self.pool_size
-        expanded = np.repeat(np.repeat(grad, p, axis=1), p, axis=2)
-        return expanded * self._mask
+        trimmed = self._input
+        if oracle_active():
+            return maxpool_backward_loop(trimmed, self._output, grad, p)
+        batch, out_h, out_w, channels = self._output.shape
+        reshaped = trimmed.reshape(batch, out_h, p, out_w, p, channels)
+        # Mask of max positions (ties all receive the gradient), built in
+        # the reshaped space instead of via two materialised np.repeat's.
+        mask = reshaped == self._output[:, :, None, :, None, :]
+        spread = mask * grad[:, :, None, :, None, :]
+        return spread.reshape(batch, out_h * p, out_w * p, channels)
 
     def output_dim(self, input_dim):
         if isinstance(input_dim, tuple) and len(input_dim) == 3:

@@ -5,6 +5,16 @@ consensus) triplets.  The layer consumes a batch of sequences shaped
 ``(batch, time, features)`` and emits the final hidden state shaped
 ``(batch, hidden)``, matching the paper's "LSTM hidden layer of 64 nodes
 followed by dropout and a dense layer".
+
+The fast path steps the **whole padded batch** with a single fused-gate
+matrix multiply per timestep (the four gate weight matrices concatenated
+into one ``(features + hidden, 4 * hidden)`` operand), instead of four
+separate per-gate products; the backward pass mirrors this with one fused
+pre-activation gradient product per timestep.  The original per-gate
+implementation is retained as the oracle (``REPRO_KERNELS=oracle``) and the
+two are asserted equivalent to tight tolerance (fusing the GEMM operands
+may reassociate floating-point accumulation) in
+``tests/nn/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -13,7 +23,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import oracle_active
 from repro.nn.layers import Layer
+
+# Fused operand layout: the three sigmoid gates first so one sigmoid
+# evaluation covers them, then the tanh candidate gate.
+_GATES = ("f", "i", "o", "c")
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -50,6 +65,12 @@ class LSTM(Layer):
         self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
         self._cache: Optional[dict] = None
 
+    def _fused_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """The four gate operands concatenated into one (D+H, 4H) matrix."""
+        weights = np.concatenate([self.params[f"W_{g}"] for g in _GATES], axis=1)
+        biases = np.concatenate([self.params[f"b_{g}"] for g in _GATES])
+        return weights, biases
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(f"LSTM expects (batch, time, features), got shape {x.shape}")
@@ -57,6 +78,86 @@ class LSTM(Layer):
             raise ValueError(
                 f"LSTM expected {self.input_dim} input features, got {x.shape[2]}"
             )
+        if oracle_active():
+            return self._forward_gates(x)
+        return self._forward_fused(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        if self._cache["impl"] == "gates":
+            return self._backward_gates(grad)
+        return self._backward_fused(grad)
+
+    # ------------------------------------------------------------------ #
+    # Fast path: one fused-gate GEMM per timestep over the whole batch
+    # ------------------------------------------------------------------ #
+
+    def _forward_fused(self, x: np.ndarray) -> np.ndarray:
+        batch, time_steps, _ = x.shape
+        hidden = self.hidden_dim
+        weights, biases = self._fused_weights()
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        steps = []
+        for t in range(time_steps):
+            concat = np.concatenate([x[:, t, :], h], axis=1)
+            z = concat @ weights + biases
+            sig = _sigmoid(z[:, : 3 * hidden])
+            f = sig[:, :hidden]
+            i = sig[:, hidden : 2 * hidden]
+            o = sig[:, 2 * hidden :]
+            c_hat = np.tanh(z[:, 3 * hidden :])
+            c_prev = c
+            c = f * c_prev + i * c_hat
+            h = o * np.tanh(c)
+            steps.append((concat, f, i, c_hat, o, c, c_prev))
+        self._cache = {"impl": "fused", "x": x, "steps": steps, "weights": weights}
+        return h
+
+    def _backward_fused(self, grad: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        x = cache["x"]
+        batch, time_steps, _ = x.shape
+        hidden = self.hidden_dim
+        weights = cache["weights"]
+
+        d_weights = np.zeros_like(weights)
+        d_biases = np.zeros(4 * hidden)
+        grad_input = np.zeros_like(x)
+        dh_next = grad
+        dc_next = np.zeros((batch, hidden))
+
+        for t in reversed(range(time_steps)):
+            concat, f, i, c_hat, o, c, c_prev = cache["steps"][t]
+
+            tanh_c = np.tanh(c)
+            do = dh_next * tanh_c
+            dc = dh_next * o * (1.0 - tanh_c**2) + dc_next
+
+            d_z = np.empty((batch, 4 * hidden))
+            d_z[:, :hidden] = (dc * c_prev) * f * (1.0 - f)
+            d_z[:, hidden : 2 * hidden] = (dc * c_hat) * i * (1.0 - i)
+            d_z[:, 2 * hidden : 3 * hidden] = do * o * (1.0 - o)
+            d_z[:, 3 * hidden :] = (dc * i) * (1.0 - c_hat**2)
+
+            d_weights += concat.T @ d_z
+            d_biases += d_z.sum(axis=0)
+
+            d_concat = d_z @ weights.T
+            grad_input[:, t, :] = d_concat[:, : self.input_dim]
+            dh_next = d_concat[:, self.input_dim :]
+            dc_next = dc * f
+
+        for index, gate in enumerate(_GATES):
+            self.grads[f"W_{gate}"] = d_weights[:, index * hidden : (index + 1) * hidden].copy()
+            self.grads[f"b_{gate}"] = d_biases[index * hidden : (index + 1) * hidden].copy()
+        return grad_input
+
+    # ------------------------------------------------------------------ #
+    # Retained oracle: per-gate products (the original implementation)
+    # ------------------------------------------------------------------ #
+
+    def _forward_gates(self, x: np.ndarray) -> np.ndarray:
         batch, time_steps, _ = x.shape
         h = np.zeros((batch, self.hidden_dim))
         c = np.zeros((batch, self.hidden_dim))
@@ -73,11 +174,10 @@ class LSTM(Layer):
             steps.append(
                 {"concat": concat, "f": f, "i": i, "c_hat": c_hat, "o": o, "c": c, "c_prev": c_prev}
             )
-        self._cache = {"x": x, "steps": steps}
+        self._cache = {"impl": "gates", "x": x, "steps": steps}
         return h
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        assert self._cache is not None
+    def _backward_gates(self, grad: np.ndarray) -> np.ndarray:
         x = self._cache["x"]
         steps = self._cache["steps"]
         batch, time_steps, _ = x.shape
@@ -158,3 +258,15 @@ def pad_sequences(sequences: list[np.ndarray], max_length: Optional[int] = None)
             array = array[-target:]
         batch[index, target - array.shape[0] :, :] = array
     return batch
+
+
+def sequence_length_mask(lengths: list[int], max_length: int) -> np.ndarray:
+    """A ``(batch, max_length)`` 0/1 mask matching :func:`pad_sequences`.
+
+    Entry ``(b, t)`` is 1 where timestep ``t`` of padded sequence ``b``
+    carries real (non-padding) data — the front-padding convention puts the
+    real suffix at the *end* of the padded axis.
+    """
+    lengths_array = np.minimum(np.asarray(lengths, dtype=np.int64), max_length)
+    steps = np.arange(max_length)
+    return (steps[None, :] >= (max_length - lengths_array[:, None])).astype(float)

@@ -21,22 +21,20 @@ import zipfile
 
 import numpy as np
 
+from repro.matching.events import EVENT_CODES, N_EVENT_TYPES
 from repro.matching.history import Decision, DecisionHistory
 from repro.matching.matcher import HumanMatcher
-from repro.matching.mouse import MouseEvent, MouseEventType, MovementMap
+from repro.matching.mouse import MouseEventType, MovementMap
 from repro.serve.artifacts import ArtifactError
 
 #: Population file format version (independent of the model-bundle version).
 POPULATION_FORMAT_VERSION = 1
 
-#: Stable event-type codes (matches the feature cache's fingerprint codes).
+#: Stable event-type codes (the columnar store's codes — identical to the
+#: feature cache's fingerprint codes and to all previously written files).
 _EVENT_CODES: dict[MouseEventType, int] = {
-    MouseEventType.MOVE: 0,
-    MouseEventType.LEFT_CLICK: 1,
-    MouseEventType.RIGHT_CLICK: 2,
-    MouseEventType.SCROLL: 3,
+    kind: EVENT_CODES[kind.value] for kind in MouseEventType
 }
-_EVENT_TYPES: dict[int, MouseEventType] = {code: kind for kind, code in _EVENT_CODES.items()}
 
 _REQUIRED_KEYS = (
     "format_version",
@@ -80,12 +78,13 @@ def save_population(matchers: Sequence[HumanMatcher], path) -> Path:
     confidences: list[float] = []
     decision_times: list[float] = []
     shapes = np.zeros((len(matchers), 2), dtype=np.int64)
-    xs: list[float] = []
-    ys: list[float] = []
-    codes: list[int] = []
-    event_times: list[float] = []
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    codes: list[np.ndarray] = []
+    event_times: list[np.ndarray] = []
     screens = np.zeros((len(matchers), 2), dtype=np.int64)
 
+    n_events = 0
     for index, matcher in enumerate(matchers):
         history = matcher.history
         for decision in history:
@@ -96,14 +95,15 @@ def save_population(matchers: Sequence[HumanMatcher], path) -> Path:
         history_offsets[index + 1] = len(rows)
         shapes[index] = history.shape
 
-        movement = matcher.movement
-        for event in movement:
-            xs.append(event.x)
-            ys.append(event.y)
-            codes.append(_EVENT_CODES[event.event_type])
-            event_times.append(event.timestamp)
-        movement_offsets[index + 1] = len(xs)
-        screens[index] = movement.screen
+        # The movement map is columnar: persist its arrays directly.
+        data = matcher.movement.data
+        xs.append(data.x)
+        ys.append(data.y)
+        codes.append(data.codes)
+        event_times.append(data.t)
+        n_events += len(data)
+        movement_offsets[index + 1] = n_events
+        screens[index] = matcher.movement.screen
 
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
@@ -119,10 +119,12 @@ def save_population(matchers: Sequence[HumanMatcher], path) -> Path:
             history_timestamps=np.array(decision_times, dtype=np.float64),
             history_shapes=shapes,
             movement_offsets=movement_offsets,
-            movement_x=np.array(xs, dtype=np.float64),
-            movement_y=np.array(ys, dtype=np.float64),
-            movement_codes=np.array(codes, dtype=np.int64),
-            movement_timestamps=np.array(event_times, dtype=np.float64),
+            movement_x=np.concatenate(xs) if xs else np.zeros(0, dtype=np.float64),
+            movement_y=np.concatenate(ys) if ys else np.zeros(0, dtype=np.float64),
+            movement_codes=np.concatenate(codes) if codes else np.zeros(0, dtype=np.int64),
+            movement_timestamps=(
+                np.concatenate(event_times) if event_times else np.zeros(0, dtype=np.float64)
+            ),
             movement_screens=screens,
         )
     return destination
@@ -185,21 +187,22 @@ def load_population(path) -> list[HumanMatcher]:
         history = DecisionHistory(decisions, shape=shape)
 
         m_start, m_end = int(movement_offsets[index]), int(movement_offsets[index + 1])
-        events = []
-        for position in range(m_start, m_end):
-            code = int(data["movement_codes"][position])
-            if code not in _EVENT_TYPES:
-                raise ArtifactError(f"population file {source} has unknown event code {code}")
-            events.append(
-                MouseEvent(
-                    x=float(data["movement_x"][position]),
-                    y=float(data["movement_y"][position]),
-                    event_type=_EVENT_TYPES[code],
-                    timestamp=float(data["movement_timestamps"][position]),
-                )
-            )
+        codes = data["movement_codes"][m_start:m_end]
+        if codes.size and (codes.min() < 0 or codes.max() >= N_EVENT_TYPES):
+            bad = int(codes[(codes < 0) | (codes >= N_EVENT_TYPES)][0])
+            raise ArtifactError(f"population file {source} has unknown event code {bad}")
+        timestamps = data["movement_timestamps"][m_start:m_end]
+        if timestamps.size and timestamps.min() < 0:
+            raise ArtifactError(f"population file {source} has a negative event timestamp")
         screen = (int(data["movement_screens"][index, 0]), int(data["movement_screens"][index, 1]))
-        movement = MovementMap(events, screen=screen)
+        movement = MovementMap.from_arrays(
+            data["movement_x"][m_start:m_end],
+            data["movement_y"][m_start:m_end],
+            codes,
+            timestamps,
+            screen=screen,
+            validate=False,
+        )
 
         matchers.append(
             HumanMatcher(matcher_id=str(ids[index]), history=history, movement=movement)

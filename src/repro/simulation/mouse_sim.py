@@ -12,17 +12,51 @@ A matcher's ``exploration`` trait controls how much of the screen is visited
 controls the fraction of scroll events (the paper's ablation singles out
 scrolling as an uncertainty signal).  Events are generated around each
 decision's timestamp so that decision pacing and mouse pacing agree.
+
+Engines
+-------
+``columnar`` (the default, dataset version 2)
+    Pre-draws **all** randomness in a fixed block order (event counts,
+    per-event time fractions, region picks, positional jitter, event-type
+    rolls), then assembles the whole trace with vectorized NumPy and hands
+    the columns straight to :meth:`MovementMap.from_arrays` — no per-event
+    Python, no ``MouseEvent`` objects.
+``reference``
+    A retained scalar consumer of the **same pre-drawn blocks**: it walks
+    the events one at a time exactly as the columnar assembly defines them.
+    Given the same generator it is bitwise-identical to ``columnar`` (the
+    pre-drawn-randomness convention of the parallel runtime), making it the
+    equivalence oracle for the vectorized engine.
+``legacy``
+    The original event-by-event generator (dataset version 1), which
+    interleaves its draws per event.  Its stream order cannot be reproduced
+    by block pre-drawing, so datasets generated before the columnar engine
+    need ``engine="legacy"`` (or ``REPRO_SIM_ENGINE=legacy``) to be
+    regenerated bit-for-bit; see EXPERIMENTS.md for the version bump.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
 
+from repro.matching.events import EVENT_CODES
 from repro.matching.history import DecisionHistory
 from repro.matching.mouse import MouseEvent, MouseEventType, MovementMap
 from repro.simulation.archetypes import BehavioralTraits
+
+#: Environment variable selecting the default trace engine.
+SIM_ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: Known engines (see the module docstring).
+SIM_ENGINES: tuple[str, ...] = ("columnar", "reference", "legacy")
+
+#: Version of the simulated mouse-trace datasets produced by the default
+#: engine.  Bumped from 1 -> 2 with the columnar generator (new randomness
+#: stream order); ``engine="legacy"`` still produces version-1 traces.
+MOUSE_TRACE_VERSION = 2
 
 #: Screen regions as (x_center, y_center) fractions of (width, height).
 SCREEN_REGIONS: dict[str, tuple[float, float]] = {
@@ -31,6 +65,11 @@ SCREEN_REGIONS: dict[str, tuple[float, float]] = {
     "properties_box": (0.5, 0.52),
     "match_table": (0.5, 0.82),
 }
+
+_MOVE = EVENT_CODES[MouseEventType.MOVE.value]
+_LEFT = EVENT_CODES[MouseEventType.LEFT_CLICK.value]
+_RIGHT = EVENT_CODES[MouseEventType.RIGHT_CLICK.value]
+_SCROLL = EVENT_CODES[MouseEventType.SCROLL.value]
 
 
 def _region_centers(screen: tuple[int, int]) -> dict[str, tuple[float, float]]:
@@ -51,14 +90,197 @@ def _visited_regions(traits: BehavioralTraits, rng: np.random.Generator) -> list
     return regions
 
 
+def _decision_windows(history: DecisionHistory) -> tuple[np.ndarray, np.ndarray]:
+    """Per-decision wander windows ``[start_d, end_d]``.
+
+    ``end_d`` is the decision's timestamp; the next window starts shortly
+    after it (1% of the window's duration, at least 5 ms).  Deterministic
+    given the history — no randomness is consumed.
+    """
+    ends = history.timestamps()
+    starts = np.zeros_like(ends)
+    previous_time = 0.0
+    for index, end in enumerate(ends):
+        starts[index] = previous_time
+        duration = max(end - previous_time, 0.5)
+        previous_time = end + 0.01 * duration
+    return starts, ends
+
+
+def _predraw(
+    history: DecisionHistory,
+    regions: list[str],
+    events_per_decision: int,
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Draw every decision's randomness up front, in a fixed block order.
+
+    The blocks (event counts, time fractions, region picks, x/y jitter,
+    event-type rolls) are the entire randomness of the trace; both the
+    vectorized assembly and the scalar reference consume them identically,
+    which is what makes the two engines bitwise-equal.
+    """
+    n_decisions = len(history)
+    n_events = np.maximum(3, rng.poisson(events_per_decision, size=n_decisions))
+    total = int(n_events.sum())
+    return {
+        "n_events": n_events,
+        "time_fractions": rng.random(total),
+        "region_picks": rng.integers(0, len(regions), size=total),
+        "dx": rng.normal(0.0, 1.0, size=total),
+        "dy": rng.normal(0.0, 1.0, size=total),
+        "rolls": rng.random(total),
+    }
+
+
 def simulate_movement(
     history: DecisionHistory,
     traits: BehavioralTraits,
     screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
     events_per_decision: int = 9,
     rng: Optional[np.random.Generator] = None,
+    engine: Optional[str] = None,
 ) -> MovementMap:
-    """Simulate the mouse trace accompanying a decision history."""
+    """Simulate the mouse trace accompanying a decision history.
+
+    Args
+    ----
+    engine:
+        ``"columnar"`` (vectorized, the default), ``"reference"`` (scalar
+        consumer of the same pre-drawn randomness — the columnar engine's
+        bitwise oracle) or ``"legacy"`` (the original event-by-event
+        generator).  ``None`` defers to ``REPRO_SIM_ENGINE``, then
+        ``columnar``.
+    """
+    if engine is None:
+        engine = os.environ.get(SIM_ENGINE_ENV_VAR) or "columnar"
+    if engine not in SIM_ENGINES:
+        raise ValueError(f"unknown mouse-sim engine {engine!r}; choose from {SIM_ENGINES}")
+    if engine == "legacy":
+        return _simulate_movement_legacy(history, traits, screen, events_per_decision, rng)
+
+    rng = rng or np.random.default_rng()
+    traits = traits.clipped()
+    if history.is_empty:
+        return MovementMap((), screen=screen)
+
+    centers = _region_centers(screen)
+    regions = _visited_regions(traits, rng)
+    draws = _predraw(history, regions, events_per_decision, rng)
+    starts, ends = _decision_windows(history)
+
+    if engine == "reference":
+        return _assemble_reference(
+            draws, starts, ends, regions, centers, traits, screen
+        )
+    return _assemble_columnar(draws, starts, ends, regions, centers, traits, screen)
+
+
+def _assemble_columnar(
+    draws: dict[str, np.ndarray],
+    starts: np.ndarray,
+    ends: np.ndarray,
+    regions: list[str],
+    centers: dict[str, tuple[float, float]],
+    traits: BehavioralTraits,
+    screen: tuple[int, int],
+) -> MovementMap:
+    """Vectorized trace assembly from the pre-drawn randomness blocks."""
+    rows, cols = screen
+    spread_x = cols * 0.08
+    spread_y = rows * 0.07
+    n_events = draws["n_events"]
+    n_decisions = n_events.size
+    total = int(n_events.sum())
+    decision_idx = np.repeat(np.arange(n_decisions), n_events)
+    offsets = np.concatenate(([0], np.cumsum(n_events)))
+
+    # Timestamps: scale each decision's uniform fractions into its window,
+    # then sort within the decision (the flat layout keeps decisions
+    # contiguous, so a stable two-key sort does every decision at once).
+    span = ends - starts
+    timestamps = starts[decision_idx] + span[decision_idx] * draws["time_fractions"]
+    order = np.lexsort((timestamps, decision_idx))
+    timestamps = timestamps[order]
+
+    # Attributes bind to the post-sort event position: the last event of
+    # every decision window is the committing left click at the match
+    # table, the others wander between the habitual regions.
+    is_last = np.zeros(total, dtype=bool)
+    is_last[offsets[1:] - 1] = True
+
+    region_cx = np.array([centers[name][0] for name in regions])
+    region_cy = np.array([centers[name][1] for name in regions])
+    center_x = region_cx[draws["region_picks"]]
+    center_y = region_cy[draws["region_picks"]]
+    center_x[is_last] = centers["match_table"][0]
+    center_y[is_last] = centers["match_table"][1]
+
+    x = np.clip(center_x + spread_x * draws["dx"], 0, cols - 1)
+    y = np.clip(center_y + spread_y * draws["dy"], 0, rows - 1)
+
+    rolls = draws["rolls"]
+    scroll_cut = traits.scroll_tendency * 0.3
+    codes = np.full(total, _MOVE, dtype=np.int64)
+    codes[rolls < scroll_cut + 0.03] = _RIGHT
+    codes[rolls < scroll_cut] = _SCROLL
+    codes[is_last] = _LEFT
+
+    return MovementMap.from_arrays(x, y, codes, timestamps, screen=screen, validate=False)
+
+
+def _assemble_reference(
+    draws: dict[str, np.ndarray],
+    starts: np.ndarray,
+    ends: np.ndarray,
+    regions: list[str],
+    centers: dict[str, tuple[float, float]],
+    traits: BehavioralTraits,
+    screen: tuple[int, int],
+) -> MovementMap:
+    """Scalar consumer of the pre-drawn blocks (the columnar oracle)."""
+    rows, cols = screen
+    spread_x = cols * 0.08
+    spread_y = rows * 0.07
+    scroll_cut = traits.scroll_tendency * 0.3
+    events: list[MouseEvent] = []
+    position = 0
+    for index, count in enumerate(draws["n_events"].tolist()):
+        start, end = starts[index], ends[index]
+        fractions = draws["time_fractions"][position : position + count]
+        times = np.sort(start + (end - start) * fractions)
+        for event_index in range(count):
+            flat = position + event_index
+            if event_index == count - 1:
+                region_center = centers["match_table"]
+            else:
+                region_center = centers[regions[int(draws["region_picks"][flat])]]
+            x = float(np.clip(region_center[0] + spread_x * draws["dx"][flat], 0, cols - 1))
+            y = float(np.clip(region_center[1] + spread_y * draws["dy"][flat], 0, rows - 1))
+            roll = draws["rolls"][flat]
+            if event_index == count - 1:
+                event_type = MouseEventType.LEFT_CLICK
+            elif roll < scroll_cut:
+                event_type = MouseEventType.SCROLL
+            elif roll < scroll_cut + 0.03:
+                event_type = MouseEventType.RIGHT_CLICK
+            else:
+                event_type = MouseEventType.MOVE
+            events.append(
+                MouseEvent(x=x, y=y, event_type=event_type, timestamp=float(times[event_index]))
+            )
+        position += count
+    return MovementMap(events, screen=screen)
+
+
+def _simulate_movement_legacy(
+    history: DecisionHistory,
+    traits: BehavioralTraits,
+    screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+    events_per_decision: int = 9,
+    rng: Optional[np.random.Generator] = None,
+) -> MovementMap:
+    """The original event-by-event generator (dataset version 1)."""
     rng = rng or np.random.default_rng()
     traits = traits.clipped()
     rows, cols = screen

@@ -143,3 +143,19 @@ class TestProperties:
         top = matrix.top_1_per_row()
         per_row = (top.to_array() > 0).sum(axis=1)
         assert (per_row <= 1).all()
+
+    @given(unit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_top_1_per_row_bitwise_vs_loop(self, values):
+        """Vectorized whole-matrix argmax == the retained row loop, bitwise."""
+        matrix = MatchingMatrix(values)
+        np.testing.assert_array_equal(
+            matrix.top_1_per_row().values, matrix._top_1_per_row_loop().values
+        )
+
+    def test_top_1_per_row_tie_keeps_first_like_loop(self):
+        values = np.array([[0.5, 0.5, 0.2], [0.0, 0.7, 0.7], [0.0, 0.0, 0.0]])
+        matrix = MatchingMatrix(values)
+        top = matrix.top_1_per_row()
+        np.testing.assert_array_equal(top.values, matrix._top_1_per_row_loop().values)
+        assert top.nonzero_entries() == {(0, 0), (1, 1)}

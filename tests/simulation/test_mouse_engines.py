@@ -1,0 +1,138 @@
+"""Mouse-trace engine tests: columnar vs reference (bitwise) vs legacy."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.matching.history import DecisionHistory
+from repro.matching.mouse import MouseEventType
+from repro.simulation.archetypes import ARCHETYPE_LIBRARY, Archetype, BehavioralTraits
+from repro.simulation.decisions import simulate_history
+from repro.simulation.mouse_sim import (
+    MOUSE_TRACE_VERSION,
+    SIM_ENGINE_ENV_VAR,
+    SIM_ENGINES,
+    simulate_movement,
+)
+from repro.simulation.schemas import build_small_task
+
+
+@pytest.fixture(scope="module")
+def histories():
+    pair, reference = build_small_task(random_state=9)
+    traits = list(ARCHETYPE_LIBRARY.values())
+    return [
+        (
+            simulate_history(pair, reference, traits[seed % 4], rng=np.random.default_rng(seed)),
+            traits[seed % 4],
+        )
+        for seed in range(6)
+    ]
+
+
+class TestColumnarEngine:
+    def test_bitwise_equal_to_reference_consumer(self, histories):
+        """The vectorized assembly consumes the pre-drawn randomness exactly
+        like the retained scalar reference walk (the PR 2 convention)."""
+        for seed, (history, traits) in enumerate(histories):
+            fast = simulate_movement(
+                history, traits, rng=np.random.default_rng(seed), engine="columnar"
+            )
+            scalar = simulate_movement(
+                history, traits, rng=np.random.default_rng(seed), engine="reference"
+            )
+            np.testing.assert_array_equal(fast.data.x, scalar.data.x)
+            np.testing.assert_array_equal(fast.data.y, scalar.data.y)
+            np.testing.assert_array_equal(fast.data.codes, scalar.data.codes)
+            np.testing.assert_array_equal(fast.data.t, scalar.data.t)
+
+    def test_deterministic_given_seed(self, histories):
+        history, traits = histories[0]
+        a = simulate_movement(history, traits, rng=np.random.default_rng(5))
+        b = simulate_movement(history, traits, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.data.t, b.data.t)
+        np.testing.assert_array_equal(a.data.x, b.data.x)
+
+    def test_every_decision_commits_with_a_click(self, histories):
+        history, traits = histories[1]
+        movement = simulate_movement(history, traits, rng=np.random.default_rng(0))
+        counts = movement.count_by_type()
+        assert counts[MouseEventType.LEFT_CLICK] >= len(history)
+        assert len(movement) >= 3 * len(history)
+
+    def test_events_stay_on_screen_and_in_decision_range(self, histories):
+        history, traits = histories[2]
+        screen = (300, 400)
+        movement = simulate_movement(history, traits, screen=screen, rng=np.random.default_rng(1))
+        data = movement.data
+        assert (data.x >= 0).all() and (data.x <= screen[1] - 1).all()
+        assert (data.y >= 0).all() and (data.y <= screen[0] - 1).all()
+        assert data.t[-1] <= history.timestamps()[-1] + 1e-9
+        assert (np.diff(data.t) >= 0).all()
+
+    def test_empty_history_gives_empty_movement(self):
+        for engine in SIM_ENGINES:
+            movement = simulate_movement(
+                DecisionHistory(shape=(2, 2)), BehavioralTraits(), engine=engine
+            )
+            assert movement.is_empty
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, histories):
+        history, traits = histories[0]
+        with pytest.raises(ValueError):
+            simulate_movement(history, traits, engine="quantum")
+
+    def test_env_var_selects_legacy(self, histories):
+        history, traits = histories[0]
+        explicit = simulate_movement(
+            history, traits, rng=np.random.default_rng(3), engine="legacy"
+        )
+        previous = os.environ.get(SIM_ENGINE_ENV_VAR)
+        os.environ[SIM_ENGINE_ENV_VAR] = "legacy"
+        try:
+            from_env = simulate_movement(history, traits, rng=np.random.default_rng(3))
+        finally:
+            if previous is None:
+                os.environ.pop(SIM_ENGINE_ENV_VAR, None)
+            else:
+                os.environ[SIM_ENGINE_ENV_VAR] = previous
+        np.testing.assert_array_equal(from_env.data.x, explicit.data.x)
+        np.testing.assert_array_equal(from_env.data.t, explicit.data.t)
+
+    def test_legacy_engine_still_produces_version_1_traces(self, histories):
+        """The legacy generator remains selectable and statistically sane."""
+        history, traits = histories[3]
+        movement = simulate_movement(
+            history, traits, rng=np.random.default_rng(4), engine="legacy"
+        )
+        counts = movement.count_by_type()
+        assert counts[MouseEventType.LEFT_CLICK] >= len(history)
+        assert len(movement) >= 3 * len(history)
+
+    def test_trace_version_bumped(self):
+        assert MOUSE_TRACE_VERSION == 2
+
+
+class TestEngineStatisticsAgree:
+    def test_columnar_and_legacy_have_matching_distributions(self, histories):
+        """Both engines model the same behaviour: event volumes, click
+        counts and scroll fractions agree in aggregate (different streams,
+        same distribution)."""
+        history, traits = histories[4]
+        scroller = BehavioralTraits(exploration=0.8, scroll_tendency=1.0)
+        totals = {"columnar": [], "legacy": []}
+        scrolls = {"columnar": [], "legacy": []}
+        for seed in range(12):
+            for engine in ("columnar", "legacy"):
+                movement = simulate_movement(
+                    history, scroller, rng=np.random.default_rng(seed), engine=engine
+                )
+                totals[engine].append(len(movement))
+                scrolls[engine].append(
+                    movement.count_by_type()[MouseEventType.SCROLL] / len(movement)
+                )
+        assert abs(np.mean(totals["columnar"]) - np.mean(totals["legacy"])) < 15
+        assert abs(np.mean(scrolls["columnar"]) - np.mean(scrolls["legacy"])) < 0.08
