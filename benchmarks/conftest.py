@@ -41,12 +41,16 @@ BENCH_FEATURES_PATH = Path(__file__).resolve().parent / "BENCH_features.json"
 BENCH_RUNTIME_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
 BENCH_SERVE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
 BENCH_KERNELS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
+BENCH_STREAM_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
 
 #: Measurement name -> value, populated through `kernel_timings`.
 _KERNEL_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `stream_timings`.
+_STREAM_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -110,6 +114,12 @@ def kernel_timings() -> dict[str, float]:
     return _KERNEL_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def stream_timings() -> dict[str, float]:
+    """Mutable registry of streaming-layer timings, flushed at session end."""
+    return _STREAM_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -129,3 +139,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_RUNTIME_TIMINGS, "measurements", BENCH_RUNTIME_PATH)
     _flush_timings(_SERVE_TIMINGS, "measurements", BENCH_SERVE_PATH)
     _flush_timings(_KERNEL_TIMINGS, "measurements", BENCH_KERNELS_PATH)
+    _flush_timings(_STREAM_TIMINGS, "measurements", BENCH_STREAM_PATH)

@@ -23,6 +23,9 @@ together with every substrate it depends on:
 * :mod:`repro.serve` -- persistent model artifacts (versioned
   ``manifest.json`` + ``arrays.npz`` bundles) and the batch
   characterization service plus its ``fit|score|inspect`` CLI.
+* :mod:`repro.stream` -- the streaming session layer: incremental event
+  ingestion, online feature maintenance, live multi-session
+  characterization, checkpoints, and the ``replay`` CLI.
 * :mod:`repro.kernels` -- fast-vs-oracle selection for the vectorized
   hot-path kernels (``REPRO_KERNELS`` / :func:`repro.kernels.use_kernels`).
 
@@ -54,4 +57,5 @@ __all__ = [
     "runtime",
     "experiments",
     "serve",
+    "stream",
 ]

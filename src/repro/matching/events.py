@@ -36,6 +36,26 @@ _CODE_VALUES: tuple[str, ...] = tuple(
 )
 
 
+def bin_position(
+    x: float, y: float, screen: tuple[int, int], shape: tuple[int, int]
+) -> tuple[int, int]:
+    """Grid cell of one position: the scalar heat-map binning rule.
+
+    The single source of truth for clip-truncate-cap binning, shared by
+    the retained scalar oracle (:meth:`EventArray.heat_map_counts_loop`)
+    and the streaming per-event fast path
+    (:class:`repro.stream.IncrementalHeatMap`); the vectorized
+    :meth:`EventArray.heat_map_counts` is bitwise-identical to it.
+    """
+    rows, cols = shape
+    screen_rows, screen_cols = screen
+    x = min(max(float(x), 0.0), screen_cols - 1)
+    y = min(max(float(y), 0.0), screen_rows - 1)
+    row = min(int(y / screen_rows * rows), rows - 1)
+    col = min(int(x / screen_cols * cols), cols - 1)
+    return row, col
+
+
 def type_for(code: int) -> "MouseEventType":
     """The :class:`MouseEventType` of a stable integer code."""
     from repro.matching.mouse import MouseEventType
@@ -120,6 +140,51 @@ class EventArray:
 
     def __len__(self) -> int:
         return self.t.size
+
+    # ------------------------------------------------------------------ #
+    # Functional growth (columns stay immutable; a new store is returned)
+    # ------------------------------------------------------------------ #
+
+    def append(self, x: float, y: float, code: int, t: float) -> "EventArray":
+        """A new store with one event added (re-sorted by timestamp, stable).
+
+        ``EventArray`` columns are immutable, so growth is functional:
+        ``store = store.append(...)``.  The result is bitwise-identical to
+        rebuilding via :meth:`from_events` on the equivalent ``MouseEvent``
+        list — without round-tripping through Python objects.  For
+        high-rate appends use
+        :class:`~repro.stream.StreamingEventBuffer`, which grows
+        amortized-O(1) columns instead of copying per event.
+        """
+        return self.extend([x], [y], [code], [t])
+
+    def extend(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        codes: np.ndarray,
+        t: np.ndarray,
+    ) -> "EventArray":
+        """A new store with a column batch of events added (stable re-sort).
+
+        Equivalent to ``EventArray`` built from the concatenated columns:
+        the incoming events are validated and stably merged by timestamp
+        after the existing ones, exactly as :meth:`from_events` orders an
+        extended event list.
+        """
+        added = EventArray(x, y, codes, t, assume_sorted=False, validate=True)
+        if not len(self):
+            return added
+        if not len(added):
+            return self
+        return EventArray(
+            np.concatenate([self.x, added.x]),
+            np.concatenate([self.y, added.y]),
+            np.concatenate([self.codes, added.codes]),
+            np.concatenate([self.t, added.t]),
+            assume_sorted=bool(added.t[0] >= self.t[-1]),
+            validate=False,
+        )
 
     def to_events(self) -> list["MouseEvent"]:
         """Materialise ``MouseEvent`` objects (the thin object view)."""
@@ -217,17 +282,11 @@ class EventArray:
     ) -> np.ndarray:
         """The original event-by-event heat-map aggregation (oracle)."""
         rows, cols = shape
-        screen_rows, screen_cols = screen
         counts = np.zeros((rows, cols), dtype=float)
         for index in range(len(self)):
             if code is not None and self.codes[index] != code:
                 continue
-            x = min(max(float(self.x[index]), 0.0), screen_cols - 1)
-            y = min(max(float(self.y[index]), 0.0), screen_rows - 1)
-            row = int(y / screen_rows * rows)
-            col = int(x / screen_cols * cols)
-            row = min(row, rows - 1)
-            col = min(col, cols - 1)
+            row, col = bin_position(self.x[index], self.y[index], screen, shape)
             counts[row, col] += 1.0
         return counts
 

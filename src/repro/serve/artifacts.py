@@ -806,10 +806,18 @@ class _MExICharacterizerCodec:
 # --------------------------------------------------------------------- #
 
 
-def _content_fingerprint(spec_json: str, arrays: dict[str, np.ndarray]) -> str:
-    """Digest of the spec plus every array's dtype, shape and raw bytes."""
+def arrays_fingerprint(arrays: dict[str, np.ndarray], *, header: str = "") -> str:
+    """Keyless blake2b digest of named arrays (dtype, shape, raw bytes).
+
+    The shared integrity fingerprint of every bundle format in the repo:
+    model artifacts prepend their spec JSON as the ``header``, stream
+    checkpoints (:mod:`repro.stream.checkpoint`) digest their arrays
+    alone.  An *integrity* check catching corruption and truncation, not
+    an authenticity signature.
+    """
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(spec_json.encode())
+    if header:
+        digest.update(header.encode())
     for key in sorted(arrays):
         array = np.ascontiguousarray(arrays[key])
         digest.update(key.encode())
@@ -817,6 +825,11 @@ def _content_fingerprint(spec_json: str, arrays: dict[str, np.ndarray]) -> str:
         digest.update(str(array.shape).encode())
         digest.update(array.tobytes())
     return digest.hexdigest()
+
+
+def _content_fingerprint(spec_json: str, arrays: dict[str, np.ndarray]) -> str:
+    """Digest of the spec plus every array's dtype, shape and raw bytes."""
+    return arrays_fingerprint(arrays, header=spec_json)
 
 
 def save_model(model: Any, path) -> Path:

@@ -2,7 +2,7 @@
 
 from repro.stats.gamma import GammaResult, goodman_kruskal_gamma
 from repro.stats.bootstrap import BootstrapTestResult, two_sample_bootstrap_test
-from repro.stats.descriptive import percentile_threshold, summarize, Summary
+from repro.stats.descriptive import RunningSummary, percentile_threshold, summarize, Summary
 
 __all__ = [
     "GammaResult",
@@ -12,4 +12,5 @@ __all__ = [
     "percentile_threshold",
     "summarize",
     "Summary",
+    "RunningSummary",
 ]

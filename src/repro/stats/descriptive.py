@@ -40,6 +40,155 @@ class Summary:
     count: int
 
 
+class RunningSummary:
+    """A mergeable online summary (Welford / Chan et al. count-mean-M2).
+
+    Maintains ``count``, ``mean``, the centred second moment ``M2`` and the
+    running ``minimum`` / ``maximum`` of a stream of values, updatable one
+    value (:meth:`push`) or one chunk (:meth:`update`) at a time, and
+    mergeable across independently-maintained summaries (:meth:`merge`)
+    with the parallel-variance combination formula.  The streaming session
+    layer uses it to keep per-session descriptive statistics current
+    without revisiting old events.
+
+    Agreement contract (asserted by ``tests/stats/test_descriptive.py``):
+    for any split of a sample into chunks, chunked updates and pairwise
+    merges reproduce :func:`summarize`'s ``mean`` / ``std`` / ``min`` /
+    ``max`` / ``count`` to tight floating-point tolerance (the summation
+    orders differ, so bitwise equality is not guaranteed).  The median is
+    intentionally absent: it cannot be maintained in O(1) state.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(
+        self,
+        count: int = 0,
+        mean: float = 0.0,
+        m2: float = 0.0,
+        minimum: float = math.inf,
+        maximum: float = -math.inf,
+    ) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0 and (mean != 0.0 or m2 != 0.0):
+            raise ValueError("an empty summary must have zero mean and M2")
+        if m2 < 0:
+            raise ValueError("M2 must be non-negative")
+        self.count = int(count)
+        self.mean = float(mean)
+        self.m2 = float(m2)
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+
+    def push(self, value: float) -> "RunningSummary":
+        """Consume one value (Welford's single-pass update); returns self."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        return self
+
+    def update(self, values: Sequence[float]) -> "RunningSummary":
+        """Consume a chunk of values in one vectorized step; returns self.
+
+        The chunk's count/mean/M2 are computed with NumPy and folded in via
+        the same combination formula as :meth:`merge`, so arbitrary
+        chunkings of a stream agree with each other (and with
+        :func:`summarize`) to tight tolerance.
+        """
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return self
+        if array.size == 1:
+            return self.push(float(array[0]))
+        chunk_mean = float(array.mean())
+        chunk = RunningSummary(
+            count=int(array.size),
+            mean=chunk_mean,
+            m2=float(((array - chunk_mean) ** 2).sum()),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+        )
+        self._merge_in_place(chunk)
+        return self
+
+    def merge(self, other: "RunningSummary") -> "RunningSummary":
+        """The summary of the two underlying samples pooled (non-mutating)."""
+        merged = self.copy()
+        merged._merge_in_place(other)
+        return merged
+
+    def _merge_in_place(self, other: "RunningSummary") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * (other.count / total)
+        self.m2 += other.m2 + delta * delta * (self.count * other.count / total)
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def copy(self) -> "RunningSummary":
+        return RunningSummary(
+            count=self.count,
+            mean=self.mean,
+            m2=self.m2,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``, matching ``numpy.std``)."""
+        if self.count == 0:
+            return 0.0
+        return max(self.m2 / self.count, 0.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def state(self) -> tuple[int, float, float, float, float]:
+        """The five scalars of the accumulator (for checkpointing)."""
+        return (self.count, self.mean, self.m2, self.minimum, self.maximum)
+
+    @classmethod
+    def from_state(cls, state: Sequence[float]) -> "RunningSummary":
+        count, mean, m2, minimum, maximum = state
+        return cls(
+            count=int(count),
+            mean=float(mean),
+            m2=float(m2),
+            minimum=float(minimum),
+            maximum=float(maximum),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunningSummary):
+            return NotImplemented
+        return self.state() == other.state()
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "RunningSummary(count=0)"
+        return (
+            f"RunningSummary(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g}, min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )
+
+
 def summarize(values: Sequence[float]) -> Summary:
     """Summarise a sample (an empty sample yields an all-zero summary)."""
     array = np.asarray(values, dtype=float)

@@ -1,0 +1,61 @@
+"""Streaming session layer: live ingestion, online features, live scoring.
+
+Everything upstream of this package is one-shot: a
+:class:`~repro.matching.matcher.HumanMatcher` is materialised in full,
+then scored.  The streaming layer makes the repo's outputs
+*time-evolving* — events are ingested as they arrive and per-session
+characterizations stay continuously current:
+
+* :mod:`repro.stream.ingest` —
+  :class:`StreamingEventBuffer`: amortized-growth columnar ingestion
+  over :class:`~repro.matching.events.EventArray`, with
+  monotonic-timestamp validation and a bounded reorder window for
+  out-of-order arrival;
+* :mod:`repro.stream.incremental` — online maintainers for the hot
+  behavioral features (heat maps, per-type counts, Welford running
+  statistics), provably equivalent to batch recomputation;
+* :mod:`repro.stream.session` — :class:`SessionManager`: many concurrent
+  sessions with LRU/idle eviction, dirty-flagging, and batched
+  re-characterization through the
+  :class:`~repro.serve.CharacterizationService`;
+* :mod:`repro.stream.checkpoint` — versioned, fingerprinted
+  snapshot/restore of the full session state;
+* :mod:`repro.stream.cli` — the ``python -m repro.stream replay``
+  live-workload driver.
+
+See the "Streaming session layer" section of ``docs/architecture.md``.
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_manifest,
+    save_checkpoint,
+)
+from repro.stream.incremental import (
+    IncrementalHeatMap,
+    IncrementalMotionStats,
+    IncrementalTypeCounts,
+    SessionFeatureState,
+)
+from repro.stream.ingest import StreamingEventBuffer, StreamOrderError
+from repro.stream.session import MatcherSession, SessionManager
+
+__all__ = [
+    "StreamingEventBuffer",
+    "StreamOrderError",
+    "IncrementalHeatMap",
+    "IncrementalTypeCounts",
+    "IncrementalMotionStats",
+    "SessionFeatureState",
+    "MatcherSession",
+    "SessionManager",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_manifest",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.stream`` entry point."""
+
+from repro.stream.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,354 @@
+"""Session-state checkpoints: snapshot/restore a whole :class:`SessionManager`.
+
+A checkpoint follows the serve artifact format conventions
+(:mod:`repro.serve.artifacts`): a directory bundle holding
+
+* ``manifest.json`` — format name/version, the producing ``repro``
+  version, a keyless blake2b **content fingerprint** over the arrays,
+  session counters, and (when the service was loaded from a bundle) the
+  model bundle's fingerprint: loading against a *different* bundle
+  fingerprint is refused, and loading into an in-memory service (which
+  has no fingerprint to verify) warns instead of proceeding silently;
+* ``arrays.npz`` — every session's exact state as flat arrays: the event
+  buffer (committed and pending columns, arrival sequence numbers,
+  watermark scalars), the incremental feature maintainers (heat-map
+  grid, type counts, motion-statistics vector), the decision history,
+  the dirty flag and the latest scores.  Ragged per-session data uses
+  the concatenated-arrays-plus-offsets encoding of
+  :mod:`repro.serve.population`.
+
+Restore rebuilds sessions whose future behaviour is *identical* to the
+saved ones: ``tests/stream/test_checkpoint.py`` asserts that
+checkpoint → restore → continue produces bitwise-identical final scores
+to an uninterrupted run.  Corruption (truncated arrays, tampered bytes,
+missing keys, wrong format version) raises :class:`CheckpointError`
+instead of resuming wrong state.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.matching.events import N_EVENT_TYPES
+from repro.matching.history import Decision
+from repro.matching.mouse import MovementMap
+from repro.serve.artifacts import ArtifactError, arrays_fingerprint
+from repro.serve.service import CharacterizationService
+from repro.stream.incremental import IncrementalMotionStats, SESSION_HEAT_SHAPE
+from repro.stream.ingest import StreamingEventBuffer
+from repro.stream.session import MatcherSession, SessionManager
+
+#: Checkpoint format identifier written into every manifest.
+CHECKPOINT_FORMAT = "repro-stream-checkpoint"
+
+#: Current checkpoint format version; loaders reject any other version.
+CHECKPOINT_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Buffer column groups persisted per session (matching
+#: ``StreamingEventBuffer.state()`` keys).
+_BUFFER_KEYS = (
+    "committed_x", "committed_y", "committed_codes", "committed_t",
+    "pending_x", "pending_y", "pending_codes", "pending_t", "pending_seq",
+)
+
+#: Width of the ``IncrementalMotionStats.state()`` vector.
+_MOTION_STATE_WIDTH = 18
+
+#: Number of expert characteristics in the stored score rows.
+_N_LABELS = len(EXPERT_CHARACTERISTICS)
+
+
+class CheckpointError(ArtifactError):
+    """Raised when a checkpoint cannot be written or restored."""
+
+
+def _ragged(chunks: list[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-session chunks and return (flat, offsets)."""
+    offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+    for index, chunk in enumerate(chunks):
+        offsets[index + 1] = offsets[index] + chunk.size
+    if chunks:
+        flat = np.concatenate([np.asarray(c, dtype=dtype) for c in chunks])
+    else:
+        flat = np.zeros(0, dtype=dtype)
+    return flat.astype(dtype, copy=False), offsets
+
+
+def save_checkpoint(manager: SessionManager, path) -> Path:
+    """Write the manager's complete session state as a checkpoint bundle.
+
+    The scoring model itself is **not** stored (persist it once with
+    :func:`repro.serve.save_model`); the manifest records the model
+    bundle's fingerprint when the service was loaded from one, and
+    :func:`load_checkpoint` refuses to resume against a different model.
+
+    Returns
+    -------
+    pathlib.Path
+        The checkpoint bundle directory.
+    """
+    sessions = [manager.session(session_id) for session_id in manager.session_ids()]
+    arrays: dict[str, np.ndarray] = {}
+
+    buffer_chunks: dict[str, list[np.ndarray]] = {key: [] for key in _BUFFER_KEYS}
+    buffer_scalars: list[np.ndarray] = []
+    decision_chunks: list[np.ndarray] = []
+    heat_grids = np.zeros((len(sessions), *SESSION_HEAT_SHAPE), dtype=np.float64)
+    type_counts = np.zeros((len(sessions), N_EVENT_TYPES), dtype=np.int64)
+    motion_states = np.zeros((len(sessions), _MOTION_STATE_WIDTH), dtype=np.float64)
+    shapes = np.zeros((len(sessions), 2), dtype=np.int64)
+    screens = np.zeros((len(sessions), 2), dtype=np.int64)
+    flags = np.zeros((len(sessions), 3), dtype=np.float64)  # dirty, scored, n_char
+    activity = np.zeros(len(sessions), dtype=np.float64)
+    labels = np.zeros((len(sessions), _N_LABELS), dtype=np.int64)
+    probabilities = np.zeros((len(sessions), _N_LABELS), dtype=np.float64)
+
+    for index, session in enumerate(sessions):
+        state = session.buffer.state()
+        for key in _BUFFER_KEYS:
+            buffer_chunks[key].append(state[key])
+        buffer_scalars.append(state["scalars"])
+        decision_chunks.append(
+            np.array(
+                [(d.row, d.col, d.confidence, d.timestamp) for d in session.decisions],
+                dtype=np.float64,
+            ).reshape(-1, 4)
+        )
+        heat_grids[index] = session.features.heat.counts
+        type_counts[index] = session.features.type_counts.counts
+        motion_states[index] = session.features.motion.state()
+        shapes[index] = session.shape
+        screens[index] = session.screen
+        flags[index, 0] = 1.0 if session.dirty else 0.0
+        flags[index, 1] = 1.0 if session.last_labels is not None else 0.0
+        flags[index, 2] = session.n_characterizations
+        activity[index] = session.last_activity
+        if session.last_labels is not None:
+            labels[index] = session.last_labels
+            probabilities[index] = session.last_probabilities
+
+    for key in _BUFFER_KEYS:
+        dtype = np.int64 if key in ("committed_codes", "pending_codes", "pending_seq") else np.float64
+        flat, offsets = _ragged(buffer_chunks[key], dtype)
+        arrays[key] = flat
+        arrays[f"{key}_offsets"] = offsets
+    decisions_flat, decision_offsets = _ragged(
+        [chunk.ravel() for chunk in decision_chunks], np.float64
+    )
+    arrays["decisions"] = decisions_flat
+    arrays["decision_offsets"] = decision_offsets
+    arrays["buffer_scalars"] = (
+        np.vstack(buffer_scalars) if buffer_scalars else np.zeros((0, 5))
+    )
+    arrays["ids"] = np.array(
+        [session.session_id for session in sessions], dtype=np.str_
+    )
+    arrays["heat_grids"] = heat_grids
+    arrays["type_counts"] = type_counts
+    arrays["motion_states"] = motion_states
+    arrays["shapes"] = shapes
+    arrays["screens"] = screens
+    arrays["flags"] = flags
+    arrays["activity"] = activity
+    arrays["labels"] = labels
+    arrays["probabilities"] = probabilities
+
+    bundle_info = getattr(manager.service, "_bundle_info", None) or {}
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "repro_version": repro.__version__,
+        "n_sessions": len(sessions),
+        "n_evicted": manager.n_evicted,
+        "manager": {
+            "max_sessions": manager.max_sessions,
+            "idle_timeout": manager.idle_timeout,
+            "reorder_window": manager.reorder_window,
+            "screen": list(manager.screen),
+        },
+        "model_fingerprint": bundle_info.get("fingerprint"),
+        "fingerprint": arrays_fingerprint(arrays),
+    }
+
+    bundle = Path(path)
+    bundle.mkdir(parents=True, exist_ok=True)
+    with open(bundle / ARRAYS_NAME, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return bundle
+
+
+def read_checkpoint_manifest(path) -> dict:
+    """Read and structurally validate a checkpoint's ``manifest.json``.
+
+    Raises
+    ------
+    CheckpointError
+        If the bundle or manifest is missing/unreadable, of the wrong
+        format name, or an unsupported format version.
+    """
+    bundle = Path(path)
+    manifest_path = bundle / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no checkpoint manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"checkpoint manifest {manifest_path} is not valid JSON") from error
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{manifest_path} is not a {CHECKPOINT_FORMAT} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = manifest.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {version}; this build reads "
+            f"version {CHECKPOINT_FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def load_checkpoint(
+    path,
+    service: CharacterizationService,
+    *,
+    on_evict=None,
+) -> SessionManager:
+    """Restore a :class:`SessionManager` from a checkpoint bundle.
+
+    Args
+    ----
+    path:
+        The checkpoint bundle directory.
+    service:
+        The scoring service to attach.  When both the checkpoint and the
+        service carry a model-bundle fingerprint they must match.
+    on_evict:
+        Eviction callback for the restored manager (callbacks are not
+        serializable, so they are re-attached explicitly).
+
+    Raises
+    ------
+    CheckpointError
+        On missing/corrupt bundles, fingerprint mismatches (content or
+        model), or unsupported versions.
+    """
+    bundle = Path(path)
+    manifest = read_checkpoint_manifest(bundle)
+
+    arrays_path = bundle / ARRAYS_NAME
+    if not arrays_path.is_file():
+        raise CheckpointError(f"checkpoint {bundle} is missing {ARRAYS_NAME}")
+    try:
+        with np.load(arrays_path, allow_pickle=False) as npz:
+            arrays = {key: np.array(npz[key]) for key in npz.files}
+    except Exception as error:
+        raise CheckpointError(
+            f"checkpoint arrays {arrays_path} are unreadable ({error}); "
+            "the file may be truncated or corrupt"
+        ) from error
+
+    actual = arrays_fingerprint(arrays)
+    if actual != manifest.get("fingerprint"):
+        raise CheckpointError(
+            f"checkpoint {bundle} failed content-fingerprint verification "
+            f"(expected {manifest.get('fingerprint')!r}, computed {actual!r}); "
+            "the bundle is corrupt or was modified"
+        )
+
+    saved_model = manifest.get("model_fingerprint")
+    bundle_info = getattr(service, "_bundle_info", None) or {}
+    serving_model = bundle_info.get("fingerprint")
+    if saved_model and serving_model and saved_model != serving_model:
+        raise CheckpointError(
+            f"checkpoint {bundle} was taken against model fingerprint "
+            f"{saved_model!r}, but the service serves {serving_model!r}; "
+            "resume with the matching model bundle"
+        )
+    if saved_model and not serving_model:
+        # An in-memory service carries no fingerprint, so the binding
+        # cannot be verified — resume proceeds, but not silently.
+        warnings.warn(
+            f"checkpoint {bundle} is bound to model fingerprint {saved_model!r}, "
+            "but the service has no bundle fingerprint to verify against "
+            "(in-memory model); scores may differ from the original run",
+            stacklevel=2,
+        )
+
+    settings = manifest.get("manager", {})
+    manager = SessionManager(
+        service,
+        max_sessions=settings.get("max_sessions"),
+        idle_timeout=settings.get("idle_timeout"),
+        reorder_window=float(settings.get("reorder_window", 0.0)),
+        screen=tuple(settings.get("screen", MovementMap.DEFAULT_SCREEN)),
+        on_evict=on_evict,
+    )
+    manager.n_evicted = int(manifest.get("n_evicted", 0))
+
+    n_sessions = int(manifest.get("n_sessions", 0))
+    required = [
+        "ids", "buffer_scalars", "decisions", "decision_offsets", "heat_grids",
+        "type_counts", "motion_states", "shapes", "screens", "flags",
+        "activity", "labels", "probabilities",
+    ]
+    required += [key for name in _BUFFER_KEYS for key in (name, f"{name}_offsets")]
+    missing = [key for key in required if key not in arrays]
+    if missing:
+        raise CheckpointError(f"checkpoint {bundle} is missing arrays {missing}")
+    if arrays["ids"].shape[0] != n_sessions:
+        raise CheckpointError(
+            f"checkpoint {bundle} declares {n_sessions} sessions but stores "
+            f"{arrays['ids'].shape[0]}"
+        )
+
+    for index in range(n_sessions):
+        shape = (int(arrays["shapes"][index, 0]), int(arrays["shapes"][index, 1]))
+        screen = (int(arrays["screens"][index, 0]), int(arrays["screens"][index, 1]))
+        session = MatcherSession(
+            str(arrays["ids"][index]), shape, screen=screen,
+            reorder_window=manager.reorder_window,
+        )
+
+        state = {"scalars": arrays["buffer_scalars"][index]}
+        for key in _BUFFER_KEYS:
+            offsets = arrays[f"{key}_offsets"]
+            state[key] = arrays[key][int(offsets[index]) : int(offsets[index + 1])]
+        session.buffer = StreamingEventBuffer.from_state(state)
+
+        session.features.heat.counts = arrays["heat_grids"][index].copy()
+        session.features.type_counts.counts = arrays["type_counts"][index].copy()
+        session.features.motion = IncrementalMotionStats.from_state(
+            arrays["motion_states"][index]
+        )
+
+        start = int(arrays["decision_offsets"][index])
+        end = int(arrays["decision_offsets"][index + 1])
+        rows = arrays["decisions"][start:end].reshape(-1, 4)
+        session.decisions = [
+            Decision(
+                row=int(entry[0]), col=int(entry[1]),
+                confidence=float(entry[2]), timestamp=float(entry[3]),
+            )
+            for entry in rows
+        ]
+
+        session.dirty = bool(arrays["flags"][index, 0])
+        session.n_characterizations = int(arrays["flags"][index, 2])
+        session.last_activity = float(arrays["activity"][index])
+        if arrays["flags"][index, 1]:
+            session.last_labels = arrays["labels"][index].copy()
+            session.last_probabilities = arrays["probabilities"][index].copy()
+
+        manager._sessions[session.session_id] = session
+    return manager

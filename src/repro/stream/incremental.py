@@ -1,0 +1,299 @@
+"""Online maintainers for the hot behavioral features.
+
+Each maintainer consumes the committed chunks a
+:class:`~repro.stream.ingest.StreamingEventBuffer` drains and keeps one
+feature of the live session continuously up to date, instead of
+recomputing it from the full trace on every arrival:
+
+* :class:`IncrementalHeatMap` — the per-screen-region visit counts the
+  paper's heat maps are built from (one ``bincount`` per chunk, added
+  onto the running grid);
+* :class:`IncrementalTypeCounts` — per-event-type totals;
+* :class:`IncrementalMotionStats` — path length, duration, mean speed
+  and the running x/y position summaries
+  (:class:`~repro.stats.descriptive.RunningSummary`, Welford-style);
+* :class:`SessionFeatureState` — the bundle of all three a live session
+  carries.
+
+Equivalence contract
+--------------------
+Every maintainer carries a ``from_batch`` constructor that computes the
+same state from a full :class:`~repro.matching.events.EventArray` in one
+shot.  Replaying a trace in arbitrary chunkings must agree with the
+batch computation:
+
+* **bitwise** for the integer-valued states (heat-map counts, type
+  counts, event counts) — integer additions are exact, so chunking
+  cannot change them;
+* **tight tolerance** for the float statistics (mean/std/path
+  length/speed), whose summation order differs between chunked and
+  one-shot evaluation.
+
+``tests/stream/test_stream_equivalence.py`` asserts both over random
+traces, random chunk sizes (including single-event chunks) and
+in-window out-of-order arrival.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.matching.events import EventArray, N_EVENT_TYPES, bin_position
+from repro.matching.mouse import HeatMap
+from repro.stats.descriptive import RunningSummary
+
+
+class IncrementalHeatMap:
+    """A live visit-count grid, updated one committed chunk at a time.
+
+    Parameters mirror :meth:`EventArray.heat_map_counts`: events are
+    clipped to ``screen``, binned onto ``shape``, optionally restricted
+    to one event-type ``code``.
+    """
+
+    def __init__(
+        self,
+        screen: tuple[int, int],
+        shape: tuple[int, int],
+        code: Optional[int] = None,
+    ) -> None:
+        self.screen = (int(screen[0]), int(screen[1]))
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.shape[0] <= 0 or self.shape[1] <= 0:
+            raise ValueError("heat-map shape must be positive")
+        self.code = code
+        self.counts = np.zeros(self.shape, dtype=float)
+
+    def update(self, events: EventArray) -> "IncrementalHeatMap":
+        """Fold one chunk of events into the grid (exact integer adds)."""
+        if not len(events):
+            return self
+        if len(events) == 1:
+            # Scalar fast path for event-at-a-time streams; bin_position
+            # is the same rule heat_map_counts implements vectorized, so
+            # the grid stays bitwise-identical.
+            if self.code is not None and int(events.codes[0]) != self.code:
+                return self
+            row, col = bin_position(events.x[0], events.y[0], self.screen, self.shape)
+            self.counts[row, col] += 1.0
+            return self
+        self.counts += events.heat_map_counts(self.screen, self.shape, code=self.code)
+        return self
+
+    def heat_map(self) -> HeatMap:
+        """The current state as a :class:`~repro.matching.mouse.HeatMap`."""
+        return HeatMap(self.counts.copy())
+
+    @classmethod
+    def from_batch(
+        cls,
+        events: EventArray,
+        screen: tuple[int, int],
+        shape: tuple[int, int],
+        code: Optional[int] = None,
+    ) -> "IncrementalHeatMap":
+        """The state a one-shot batch computation yields (the oracle)."""
+        maintainer = cls(screen, shape, code=code)
+        maintainer.counts = events.heat_map_counts(screen, shape, code=code)
+        return maintainer
+
+
+class IncrementalTypeCounts:
+    """Per-event-type totals, updated one committed chunk at a time."""
+
+    def __init__(self) -> None:
+        self.counts = np.zeros(N_EVENT_TYPES, dtype=np.int64)
+
+    def update(self, events: EventArray) -> "IncrementalTypeCounts":
+        if len(events) == 1:
+            self.counts[int(events.codes[0])] += 1
+        elif len(events):
+            self.counts += events.counts_by_code()
+        return self
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @classmethod
+    def from_batch(cls, events: EventArray) -> "IncrementalTypeCounts":
+        maintainer = cls()
+        maintainer.counts = events.counts_by_code().astype(np.int64)
+        return maintainer
+
+
+class IncrementalMotionStats:
+    """Running motion statistics: path, duration, speed, position summaries.
+
+    Chunks must arrive in committed (time-sorted) order — exactly what
+    :meth:`StreamingEventBuffer.drain` delivers — because the path length
+    and the duration bridge consecutive chunks (the segment from the last
+    event of one chunk to the first event of the next belongs to the
+    path).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.path_length = 0.0
+        self.first_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+        self._last_position: Optional[tuple[float, float]] = None
+        self.x_summary = RunningSummary()
+        self.y_summary = RunningSummary()
+
+    def update(self, events: EventArray) -> "IncrementalMotionStats":
+        if not len(events):
+            return self
+        if len(events) == 1:
+            return self._update_one(
+                float(events.x[0]), float(events.y[0]), float(events.t[0])
+            )
+        if self.first_t is None:
+            self.first_t = float(events.t[0])
+        self.last_t = float(events.t[-1])
+        positions = events.positions()
+        if self._last_position is not None:
+            bridge = positions[0] - np.asarray(self._last_position)
+            self.path_length += float(np.sqrt((bridge**2).sum()))
+        if len(events) > 1:
+            deltas = np.diff(positions, axis=0)
+            self.path_length += float(np.sqrt((deltas**2).sum(axis=1)).sum())
+        self._last_position = (float(events.x[-1]), float(events.y[-1]))
+        self.count += len(events)
+        self.x_summary.update(events.x)
+        self.y_summary.update(events.y)
+        return self
+
+    def _update_one(self, x: float, y: float, t: float) -> "IncrementalMotionStats":
+        """Scalar fast path for event-at-a-time streams."""
+        if self.first_t is None:
+            self.first_t = t
+        self.last_t = t
+        if self._last_position is not None:
+            dx = x - self._last_position[0]
+            dy = y - self._last_position[1]
+            self.path_length += math.sqrt(dx * dx + dy * dy)
+        self._last_position = (x, y)
+        self.count += 1
+        self.x_summary.push(x)
+        self.y_summary.push(y)
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.first_t is None or self.count < 2:
+            return 0.0
+        return float(self.last_t - self.first_t)
+
+    @property
+    def mean_speed(self) -> float:
+        duration = self.duration
+        if duration <= 0:
+            return 0.0
+        return self.path_length / duration
+
+    def mean_position(self) -> tuple[float, float]:
+        if self.count == 0:
+            return (0.0, 0.0)
+        return (self.x_summary.mean, self.y_summary.mean)
+
+    @classmethod
+    def from_batch(cls, events: EventArray) -> "IncrementalMotionStats":
+        """The state of a one-shot pass over the full store (the oracle)."""
+        stats = cls()
+        if len(events):
+            stats.count = len(events)
+            stats.first_t = float(events.t[0])
+            stats.last_t = float(events.t[-1])
+            stats.path_length = events.path_length()
+            stats._last_position = (float(events.x[-1]), float(events.y[-1]))
+            stats.x_summary.update(events.x)
+            stats.y_summary.update(events.y)
+        return stats
+
+    # Checkpoint support ------------------------------------------------ #
+
+    def state(self) -> np.ndarray:
+        """Flat float64 state vector (see ``checkpoint.py``)."""
+        has_first = self.first_t is not None
+        has_position = self._last_position is not None
+        return np.array(
+            [
+                self.count,
+                self.path_length,
+                1.0 if has_first else 0.0,
+                self.first_t if has_first else 0.0,
+                self.last_t if has_first else 0.0,
+                1.0 if has_position else 0.0,
+                self._last_position[0] if has_position else 0.0,
+                self._last_position[1] if has_position else 0.0,
+                *self.x_summary.state(),
+                *self.y_summary.state(),
+            ],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def from_state(cls, state: np.ndarray) -> "IncrementalMotionStats":
+        stats = cls()
+        stats.count = int(state[0])
+        stats.path_length = float(state[1])
+        if state[2] != 0.0:
+            stats.first_t = float(state[3])
+            stats.last_t = float(state[4])
+        if state[5] != 0.0:
+            stats._last_position = (float(state[6]), float(state[7]))
+        stats.x_summary = RunningSummary.from_state(state[8:13])
+        stats.y_summary = RunningSummary.from_state(state[13:18])
+        return stats
+
+
+#: Grid used by the live per-session heat map — the 24x32 grid of
+#: :class:`~repro.core.features.mouse.MouseFeatures` (coverage / region mass).
+SESSION_HEAT_SHAPE: tuple[int, int] = (24, 32)
+
+
+class SessionFeatureState:
+    """The incremental feature bundle one live session maintains.
+
+    One overall heat map (on the :data:`SESSION_HEAT_SHAPE` grid the mouse
+    feature set reads), per-type counts, and the motion statistics.
+    ``update`` is called with every drained chunk; ``report`` summarises
+    the live state for monitoring without touching the event history.
+    """
+
+    def __init__(self, screen: tuple[int, int]) -> None:
+        self.screen = (int(screen[0]), int(screen[1]))
+        self.heat = IncrementalHeatMap(self.screen, SESSION_HEAT_SHAPE)
+        self.type_counts = IncrementalTypeCounts()
+        self.motion = IncrementalMotionStats()
+
+    def update(self, events: EventArray) -> "SessionFeatureState":
+        self.heat.update(events)
+        self.type_counts.update(events)
+        self.motion.update(events)
+        return self
+
+    @classmethod
+    def from_batch(cls, events: EventArray, screen: tuple[int, int]) -> "SessionFeatureState":
+        state = cls(screen)
+        state.heat = IncrementalHeatMap.from_batch(events, state.screen, SESSION_HEAT_SHAPE)
+        state.type_counts = IncrementalTypeCounts.from_batch(events)
+        state.motion = IncrementalMotionStats.from_batch(events)
+        return state
+
+    def report(self) -> dict:
+        """Live descriptive snapshot of the session's behaviour."""
+        heat_map = self.heat.heat_map()
+        return {
+            "n_events": self.motion.count,
+            "counts_by_code": self.type_counts.counts.tolist(),
+            "duration": self.motion.duration,
+            "path_length": self.motion.path_length,
+            "mean_speed": self.motion.mean_speed,
+            "mean_position": self.motion.mean_position(),
+            "coverage": heat_map.coverage(),
+        }

@@ -151,3 +151,58 @@ class TestDownscaleVectorized:
     def test_rejects_nonpositive_target(self):
         with pytest.raises(ValueError):
             HeatMap(np.zeros((4, 4))).downscale((0, 2))
+
+
+class TestEventArrayGrowth:
+    """The append/extend ergonomics satellite: no MouseEvent round-trips."""
+
+    def test_append_matches_from_events(self):
+        rng = np.random.default_rng(3)
+        store = _random_store(rng, 12)
+        grown = store.append(5.0, 6.0, EVENT_CODES["left"], 100.0)
+        events = store.to_events() + [
+            MouseEvent(x=5.0, y=6.0, event_type=MouseEventType.LEFT_CLICK, timestamp=100.0)
+        ]
+        reference = EventArray.from_events(events)
+        for column in ("x", "y", "codes", "t"):
+            np.testing.assert_array_equal(getattr(grown, column), getattr(reference, column))
+
+    def test_extend_merges_out_of_order_batches_stably(self):
+        rng = np.random.default_rng(4)
+        store = _random_store(rng, 20)
+        x = rng.uniform(0, 160, 15)
+        y = rng.uniform(0, 120, 15)
+        codes = rng.integers(0, 4, 15)
+        t = rng.uniform(0, 50, 15)  # interleaves with the existing events
+        grown = store.extend(x, y, codes, t)
+        reference = EventArray(
+            np.concatenate([store.x, x]),
+            np.concatenate([store.y, y]),
+            np.concatenate([store.codes, codes]),
+            np.concatenate([store.t, t]),
+        )
+        for column in ("x", "y", "codes", "t"):
+            np.testing.assert_array_equal(getattr(grown, column), getattr(reference, column))
+
+    def test_extend_empty_is_identity(self):
+        rng = np.random.default_rng(5)
+        store = _random_store(rng, 8)
+        assert store.extend([], [], [], []) is store
+        empty = EventArray.empty()
+        grown = empty.extend(store.x, store.y, store.codes, store.t)
+        np.testing.assert_array_equal(grown.t, store.t)
+
+    def test_extend_validates_new_events(self):
+        store = EventArray([1.0], [1.0], [0], [1.0])
+        with pytest.raises(ValueError):
+            store.extend([0.0], [0.0], [9], [2.0])
+        with pytest.raises(ValueError):
+            store.extend([0.0], [0.0], [0], [-2.0])
+
+    def test_original_constructor_unchanged(self):
+        """Growth is functional: the source store's columns never move."""
+        store = EventArray([1.0, 2.0], [3.0, 4.0], [0, 1], [0.5, 1.5])
+        before = store.t.copy()
+        store.append(9.0, 9.0, 0, 0.75)
+        np.testing.assert_array_equal(store.t, before)
+        assert not store.t.flags.writeable

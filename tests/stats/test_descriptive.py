@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.descriptive import percentile_threshold, summarize
+from repro.stats.descriptive import RunningSummary, percentile_threshold, summarize
 
 
 class TestPercentileThreshold:
@@ -49,3 +49,70 @@ class TestSummarize:
         summary = summarize(values)
         assert summary.minimum <= summary.median <= summary.maximum
         assert summary.minimum <= summary.mean <= summary.maximum
+
+
+class TestRunningSummary:
+    def test_push_matches_summarize(self):
+        values = [3.0, -1.5, 2.25, 8.0, 0.0]
+        running = RunningSummary()
+        for value in values:
+            running.push(value)
+        summary = summarize(values)
+        assert running.count == summary.count
+        assert running.mean == pytest.approx(summary.mean, rel=1e-12)
+        assert running.std == pytest.approx(summary.std, rel=1e-12)
+        assert running.minimum == summary.minimum
+        assert running.maximum == summary.maximum
+
+    def test_empty(self):
+        running = RunningSummary()
+        assert running.count == 0
+        assert running.std == 0.0
+        assert running.variance == 0.0
+
+    def test_merge_with_empty_is_identity(self):
+        running = RunningSummary().update([1.0, 2.0, 5.0])
+        assert running.merge(RunningSummary()) == running
+        assert RunningSummary().merge(running) == running
+
+    def test_state_round_trip(self):
+        running = RunningSummary().update([1.0, 4.0, -2.0])
+        assert RunningSummary.from_state(running.state()) == running
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError):
+            RunningSummary(count=-1)
+        with pytest.raises(ValueError):
+            RunningSummary(count=0, mean=1.0)
+        with pytest.raises(ValueError):
+            RunningSummary(count=2, mean=0.0, m2=-0.5)
+
+    @given(
+        st.lists(st.floats(-1000, 1000), min_size=0, max_size=40),
+        st.lists(st.floats(-1000, 1000), min_size=0, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_pooled_summarize(self, left, right):
+        """The satellite regression: merge(a, b) == summarize(a + b)."""
+        merged = RunningSummary().update(left).merge(RunningSummary().update(right))
+        pooled = summarize(left + right)
+        assert merged.count == pooled.count
+        if pooled.count == 0:
+            return
+        assert merged.mean == pytest.approx(pooled.mean, rel=1e-9, abs=1e-9)
+        assert merged.std == pytest.approx(pooled.std, rel=1e-9, abs=1e-9)
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum
+
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=60), st.integers(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_updates_match_summarize(self, values, n_chunks):
+        """Any chunking of the stream agrees with the one-shot summary."""
+        running = RunningSummary()
+        size = max(1, len(values) // n_chunks)
+        for start in range(0, len(values), size):
+            running.update(values[start : start + size])
+        summary = summarize(values)
+        assert running.count == summary.count
+        assert running.mean == pytest.approx(summary.mean, rel=1e-9, abs=1e-9)
+        assert running.std == pytest.approx(summary.std, rel=1e-9, abs=1e-9)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the streaming-layer tests: model, service, workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import MExICharacterizer, MExIVariant
+from repro.core.expert_model import characterize_population, labels_matrix
+from repro.serve.service import CharacterizationService
+from repro.simulation.dataset import build_dataset
+from repro.stream.cli import _workload
+
+
+@pytest.fixture(scope="session")
+def stream_model():
+    """A small offline-feature characterizer (cheap to fit and score)."""
+    dataset = build_dataset(n_po_matchers=10, n_oaei_matchers=4, random_state=3)
+    profiles, _ = characterize_population(dataset.po_matchers, random_state=3)
+    model = MExICharacterizer(
+        variant=MExIVariant.SUB_50,
+        feature_sets=("lrsm", "beh", "mou"),
+        random_state=3,
+    )
+    return model.fit(dataset.po_matchers, labels_matrix(profiles))
+
+
+@pytest.fixture
+def stream_service(stream_model):
+    """A fresh service per test (its cache is per-test state)."""
+    return CharacterizationService(stream_model, chunk_size=4)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """Five archetype-cycled live matchers to replay as sessions."""
+    return _workload(seed=3, n_sessions=5)
+
+
+def random_trace(rng, n, screen=(768, 1024), horizon=100.0):
+    """Random event columns (arrival order == time order)."""
+    return (
+        rng.uniform(0, screen[1], size=n),
+        rng.uniform(0, screen[0], size=n),
+        rng.integers(0, 4, size=n),
+        np.sort(rng.uniform(0, horizon, size=n)),
+    )
+
+
+def jittered(columns, rng, lag):
+    """Reorder a time-sorted trace so arrivals lag by at most ``lag`` seconds."""
+    x, y, codes, t = columns
+    order = np.argsort(t + rng.uniform(-lag, 0.0, size=t.size), kind="stable")
+    return x[order], y[order], codes[order], t[order]

@@ -1,0 +1,92 @@
+"""The ``python -m repro.stream`` driver: replay, checkpoint, resume, inspect."""
+
+import json
+
+import pytest
+
+from repro.stream import cli
+
+
+@pytest.fixture
+def fast_service(stream_service, monkeypatch):
+    """Skip the in-process model fit: serve the shared test model instead."""
+    monkeypatch.setattr(cli, "_build_service", lambda args: stream_service)
+    return stream_service
+
+
+def test_replay_reports_scores_over_time(fast_service, capsys):
+    code = cli.main(
+        ["replay", "--sessions", "4", "--seed", "3", "--steps", "4", "--report-every", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "step" in out and "precise" in out
+    assert "across 4 sessions" in out
+
+
+def test_replay_json_format(fast_service, capsys):
+    code = cli.main(
+        ["replay", "--sessions", "3", "--seed", "3", "--steps", "2", "--format", "json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["n_sessions"] == 3
+    assert len(payload["final_scores"]) == 3
+    assert all("probabilities" in entry for entry in payload["final_scores"].values())
+    assert payload["reports"][-1]["n_scored"] >= 1
+
+
+def test_replay_checkpoint_resume_inspect(fast_service, tmp_path, capsys):
+    checkpoint = str(tmp_path / "ckpt")
+    full = [
+        "replay", "--sessions", "3", "--seed", "3", "--steps", "4",
+        "--report-every", "2", "--format", "json",
+    ]
+    assert cli.main(full) == 0
+    uninterrupted = json.loads(capsys.readouterr().out)["final_scores"]
+
+    half = [
+        "replay", "--sessions", "3", "--seed", "3", "--steps", "4",
+        "--report-every", "2", "--stop-after", "2", "--checkpoint", checkpoint,
+    ]
+    assert cli.main(half) == 0
+    assert "saved 3-session checkpoint" in capsys.readouterr().out
+
+    assert cli.main(["inspect", "--checkpoint", checkpoint]) == 0
+    inspected = capsys.readouterr().out
+    assert "repro-stream-checkpoint v1" in inspected
+    assert "sessions:       3" in inspected
+
+    resumed = [
+        "replay", "--sessions", "3", "--seed", "3", "--steps", "4",
+        "--report-every", "2", "--resume", checkpoint, "--format", "json",
+    ]
+    assert cli.main(resumed) == 0
+    resumed_payload = json.loads(capsys.readouterr().out)
+    assert resumed_payload["resumed_from"] == checkpoint
+    assert resumed_payload["final_scores"] == uninterrupted
+
+
+def test_replay_with_eviction_and_reorder_flags(fast_service, capsys):
+    code = cli.main(
+        [
+            "replay", "--sessions", "4", "--seed", "3", "--steps", "3",
+            "--max-sessions", "2", "--reorder-window", "1.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "across 2 sessions" in out
+    assert "(0 evicted" not in out  # the LRU cap forced evictions
+
+
+def test_replay_idle_timeout_evicts(fast_service, capsys):
+    """Sessions whose traces end early are dropped by event-time idleness."""
+    code = cli.main(
+        [
+            "replay", "--sessions", "4", "--seed", "3", "--steps", "8",
+            "--idle-timeout", "40",
+        ]
+    )
+    assert code == 0
+    assert "(0 evicted" not in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Incremental maintainers vs one-shot batch computation on the same events."""
+
+import numpy as np
+import pytest
+
+from repro.matching.events import EVENT_CODES, EventArray
+from repro.matching.mouse import MovementMap
+from repro.stream import (
+    IncrementalHeatMap,
+    IncrementalMotionStats,
+    IncrementalTypeCounts,
+    SessionFeatureState,
+)
+from repro.stream.incremental import SESSION_HEAT_SHAPE
+
+from tests.stream.conftest import random_trace
+
+SCREEN = (768, 1024)
+
+
+def _chunks(columns, sizes):
+    x, y, codes, t = columns
+    start = 0
+    for size in sizes:
+        yield EventArray(
+            x[start : start + size], y[start : start + size],
+            codes[start : start + size], t[start : start + size],
+            assume_sorted=True,
+        )
+        start += size
+    assert start == t.size
+
+
+def _chunkings(rng, n):
+    yield [n]  # one shot
+    yield [1] * n  # event-by-event
+    sizes = []
+    remaining = n
+    while remaining:
+        size = int(rng.integers(1, 12))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    yield sizes  # random chunking
+
+
+class TestIncrementalHeatMap:
+    def test_bitwise_equal_to_batch_for_every_chunking(self):
+        rng = np.random.default_rng(0)
+        columns = random_trace(rng, 300, screen=SCREEN)
+        batch = EventArray(*columns)
+        for code in (None, EVENT_CODES["move"], EVENT_CODES["scroll"]):
+            expected = IncrementalHeatMap.from_batch(batch, SCREEN, (24, 32), code=code)
+            for sizes in _chunkings(rng, 300):
+                maintainer = IncrementalHeatMap(SCREEN, (24, 32), code=code)
+                for chunk in _chunks(columns, sizes):
+                    maintainer.update(chunk)
+                np.testing.assert_array_equal(maintainer.counts, expected.counts)
+
+    def test_matches_movement_map_heat_map(self):
+        """The maintained grid is the grid MouseFeatures reads."""
+        rng = np.random.default_rng(1)
+        columns = random_trace(rng, 200, screen=SCREEN)
+        movement = MovementMap.from_arrays(*columns, screen=SCREEN)
+        maintainer = IncrementalHeatMap(SCREEN, SESSION_HEAT_SHAPE)
+        maintainer.update(movement.data)
+        np.testing.assert_array_equal(
+            maintainer.heat_map().counts,
+            movement.heat_map(shape=SESSION_HEAT_SHAPE).counts,
+        )
+
+    def test_rejects_degenerate_shape(self):
+        with pytest.raises(ValueError):
+            IncrementalHeatMap(SCREEN, (0, 8))
+
+
+class TestIncrementalTypeCounts:
+    def test_bitwise_equal_to_batch(self):
+        rng = np.random.default_rng(2)
+        columns = random_trace(rng, 150, screen=SCREEN)
+        batch = EventArray(*columns)
+        maintainer = IncrementalTypeCounts()
+        for chunk in _chunks(columns, [50, 1, 99]):
+            maintainer.update(chunk)
+        np.testing.assert_array_equal(
+            maintainer.counts, IncrementalTypeCounts.from_batch(batch).counts
+        )
+        assert maintainer.total == 150
+
+
+class TestIncrementalMotionStats:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_tight_tolerance_vs_batch(self, trial):
+        rng = np.random.default_rng(10 + trial)
+        n = int(rng.integers(2, 250))
+        columns = random_trace(rng, n, screen=SCREEN)
+        batch = EventArray(*columns)
+        expected = IncrementalMotionStats.from_batch(batch)
+        for sizes in _chunkings(rng, n):
+            stats = IncrementalMotionStats()
+            for chunk in _chunks(columns, sizes):
+                stats.update(chunk)
+            assert stats.count == expected.count == n
+            assert stats.duration == expected.duration  # first/last: exact
+            assert stats.path_length == pytest.approx(expected.path_length, rel=1e-12)
+            assert stats.mean_speed == pytest.approx(expected.mean_speed, rel=1e-12)
+            assert stats.mean_position() == pytest.approx(
+                expected.mean_position(), rel=1e-12
+            )
+            assert stats.x_summary.std == pytest.approx(expected.x_summary.std, rel=1e-9)
+
+    def test_matches_movement_map_statistics(self):
+        """Batch state equals the MovementMap aggregations it mirrors."""
+        rng = np.random.default_rng(20)
+        columns = random_trace(rng, 120, screen=SCREEN)
+        movement = MovementMap.from_arrays(*columns, screen=SCREEN)
+        stats = IncrementalMotionStats.from_batch(movement.data)
+        assert stats.path_length == movement.path_length()
+        assert stats.duration == movement.duration()
+        assert stats.mean_speed == pytest.approx(movement.mean_speed(), rel=1e-12)
+
+    def test_empty_and_singleton(self):
+        stats = IncrementalMotionStats()
+        assert stats.duration == 0.0
+        assert stats.mean_speed == 0.0
+        assert stats.mean_position() == (0.0, 0.0)
+        stats.update(EventArray([5.0], [6.0], [0], [1.0]))
+        assert stats.count == 1
+        assert stats.duration == 0.0  # matches EventArray.duration() for n < 2
+        assert stats.path_length == 0.0
+
+    def test_state_round_trip_continues_identically(self):
+        rng = np.random.default_rng(21)
+        columns = random_trace(rng, 80, screen=SCREEN)
+        first, second = list(_chunks(columns, [50, 30]))
+        stats = IncrementalMotionStats().update(first)
+        restored = IncrementalMotionStats.from_state(stats.state())
+        stats.update(second)
+        restored.update(second)
+        assert restored.path_length == stats.path_length
+        assert restored.x_summary == stats.x_summary
+        assert restored.y_summary == stats.y_summary
+
+
+class TestSessionFeatureState:
+    def test_report_fields_track_batch(self):
+        rng = np.random.default_rng(30)
+        columns = random_trace(rng, 90, screen=SCREEN)
+        batch = EventArray(*columns)
+        state = SessionFeatureState(SCREEN)
+        for chunk in _chunks(columns, [30, 30, 30]):
+            state.update(chunk)
+        oracle = SessionFeatureState.from_batch(batch, SCREEN)
+        report, expected = state.report(), oracle.report()
+        assert report["n_events"] == expected["n_events"] == 90
+        assert report["counts_by_code"] == expected["counts_by_code"]
+        assert report["coverage"] == expected["coverage"]
+        assert report["path_length"] == pytest.approx(expected["path_length"], rel=1e-12)

@@ -1,0 +1,121 @@
+"""Property-style streaming equivalence: incremental state == batch recompute.
+
+Replays random traces through a :class:`StreamingEventBuffer` +
+:class:`SessionFeatureState` in random chunkings — including one-event
+chunks and arrivals reordered inside the reorder window — and asserts at
+**every** chunk boundary that the incrementally-maintained state equals a
+full batch recomputation over the same committed events:
+
+* bitwise for the integer-valued features (heat-map counts, type counts,
+  event counts),
+* tight tolerance for the float statistics (means, path length, speed),
+* and, after the final flush, that the buffer's snapshot is bitwise
+  identical to a one-shot :class:`EventArray` over the whole trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matching.events import EventArray
+from repro.stream import SessionFeatureState, StreamingEventBuffer
+from repro.stream.incremental import SESSION_HEAT_SHAPE, IncrementalHeatMap
+
+from tests.stream.conftest import jittered, random_trace
+
+SCREEN = (768, 1024)
+
+
+def _random_chunk_sizes(rng, n):
+    """A random chunking of ``n`` arrivals, singleton chunks included."""
+    sizes = []
+    remaining = n
+    while remaining:
+        if rng.random() < 0.25:
+            size = 1
+        else:
+            size = int(rng.integers(1, 16))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _assert_incremental_equals_batch(state, committed, screen):
+    """The equivalence contract, checked against the committed region."""
+    oracle = SessionFeatureState.from_batch(committed, screen)
+    np.testing.assert_array_equal(state.heat.counts, oracle.heat.counts)
+    np.testing.assert_array_equal(state.type_counts.counts, oracle.type_counts.counts)
+    assert state.motion.count == oracle.motion.count
+    assert state.motion.duration == oracle.motion.duration
+    assert state.motion.path_length == pytest.approx(
+        oracle.motion.path_length, rel=1e-12, abs=1e-9
+    )
+    assert state.motion.mean_position() == pytest.approx(
+        oracle.motion.mean_position(), rel=1e-12, abs=1e-9
+    )
+    assert state.motion.x_summary.std == pytest.approx(
+        oracle.motion.x_summary.std, rel=1e-9, abs=1e-9
+    )
+    assert state.motion.y_summary.std == pytest.approx(
+        oracle.motion.y_summary.std, rel=1e-9, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("trial", range(8))
+@pytest.mark.parametrize("reorder", [0.0, 5.0])
+def test_random_traces_random_chunkings(trial, reorder):
+    """The streaming property over random traces, chunkings, reorderings."""
+    rng = np.random.default_rng(1000 * trial + int(reorder))
+    n = int(rng.integers(1, 400))
+    columns = random_trace(rng, n, screen=SCREEN)
+    if reorder:
+        columns = jittered(columns, rng, lag=reorder)
+    x, y, codes, t = columns
+    reference = EventArray(x, y, codes, t)
+
+    buffer = StreamingEventBuffer(reorder_window=reorder)
+    state = SessionFeatureState(SCREEN)
+    start = 0
+    for size in _random_chunk_sizes(rng, n):
+        sl = slice(start, start + size)
+        buffer.extend(x[sl], y[sl], codes[sl], t[sl])
+        state.update(buffer.drain())
+        start += size
+        # Checkpoint: incremental state vs batch recompute, every chunk.
+        _assert_incremental_equals_batch(state, buffer.committed(), SCREEN)
+
+    buffer.flush()
+    state.update(buffer.drain())
+    assert buffer.n_pending == 0
+    _assert_incremental_equals_batch(state, buffer.committed(), SCREEN)
+    snapshot = buffer.snapshot()
+    for column in ("x", "y", "codes", "t"):
+        np.testing.assert_array_equal(
+            getattr(snapshot, column), getattr(reference, column)
+        )
+
+
+@pytest.mark.parametrize("trial", range(3))
+def test_heat_map_equivalence_survives_interleaved_sessions(trial):
+    """Independent per-session maintainers never bleed into each other."""
+    rng = np.random.default_rng(50 + trial)
+    traces = [random_trace(rng, int(rng.integers(10, 120)), screen=SCREEN) for _ in range(4)]
+    buffers = [StreamingEventBuffer() for _ in traces]
+    maintainers = [IncrementalHeatMap(SCREEN, SESSION_HEAT_SHAPE) for _ in traces]
+    cursors = [0] * len(traces)
+    while any(cursors[i] < traces[i][3].size for i in range(len(traces))):
+        i = int(rng.integers(0, len(traces)))
+        x, y, codes, t = traces[i]
+        if cursors[i] >= t.size:
+            continue
+        size = min(int(rng.integers(1, 9)), t.size - cursors[i])
+        sl = slice(cursors[i], cursors[i] + size)
+        buffers[i].extend(x[sl], y[sl], codes[sl], t[sl])
+        maintainers[i].update(buffers[i].drain())
+        cursors[i] += size
+    for trace, maintainer in zip(traces, maintainers):
+        batch = EventArray(*trace)
+        np.testing.assert_array_equal(
+            maintainer.counts,
+            IncrementalHeatMap.from_batch(batch, SCREEN, SESSION_HEAT_SHAPE).counts,
+        )
