@@ -42,6 +42,7 @@ BENCH_RUNTIME_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
 BENCH_SERVE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
 BENCH_KERNELS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
 BENCH_STREAM_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
+BENCH_MEMORY_PATH = Path(__file__).resolve().parent / "BENCH_memory.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
@@ -51,6 +52,9 @@ _KERNEL_TIMINGS: dict[str, float] = {}
 
 #: Measurement name -> value, populated through `stream_timings`.
 _STREAM_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `memory_timings`.
+_MEMORY_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -120,6 +124,12 @@ def stream_timings() -> dict[str, float]:
     return _STREAM_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def memory_timings() -> dict[str, float]:
+    """Mutable registry of zero-copy data-plane timings, flushed at session end."""
+    return _MEMORY_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -140,3 +150,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_SERVE_TIMINGS, "measurements", BENCH_SERVE_PATH)
     _flush_timings(_KERNEL_TIMINGS, "measurements", BENCH_KERNELS_PATH)
     _flush_timings(_STREAM_TIMINGS, "measurements", BENCH_STREAM_PATH)
+    _flush_timings(_MEMORY_TIMINGS, "measurements", BENCH_MEMORY_PATH)

@@ -1,0 +1,27 @@
+"""Shared on-disk array-bundle codec (:mod:`repro.io.bundle`).
+
+One implementation of the ``manifest.json`` + named-arrays round-trip
+used by model artifacts (:mod:`repro.serve.artifacts`), scoring
+populations (:mod:`repro.serve.population`) and stream checkpoints
+(:mod:`repro.stream.checkpoint`), with three array layouts behind one
+enum: compressed ``.npz``, uncompressed ``.npz`` and a memory-mappable
+``.npy``-per-array directory.
+"""
+
+from repro.io.bundle import (
+    BundleError,
+    BundleLayout,
+    arrays_fingerprint,
+    read_arrays,
+    read_bundle_manifest,
+    write_arrays,
+)
+
+__all__ = [
+    "BundleError",
+    "BundleLayout",
+    "arrays_fingerprint",
+    "read_arrays",
+    "read_bundle_manifest",
+    "write_arrays",
+]

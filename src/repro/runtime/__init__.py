@@ -10,14 +10,30 @@ from repro.runtime.runner import (
     parallel_map,
     resolve_runner,
 )
+from repro.runtime.shm import (
+    BlockHandle,
+    SharedColumnBlock,
+    SharedMemoryError,
+    leaked_segments,
+    pack_context,
+    register_context_exporter,
+    unpack_context,
+)
 
 __all__ = [
     "BACKENDS",
     "RUNTIME_ENV_VAR",
+    "BlockHandle",
     "RuntimeSpec",
+    "SharedColumnBlock",
+    "SharedMemoryError",
     "TaskRunner",
     "available_workers",
     "in_worker",
+    "leaked_segments",
+    "pack_context",
     "parallel_map",
+    "register_context_exporter",
     "resolve_runner",
+    "unpack_context",
 ]

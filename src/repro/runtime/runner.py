@@ -46,6 +46,8 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
+from repro.runtime.shm import PackedContext, pack_context, unpack_context
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
@@ -77,6 +79,15 @@ def _mark_process_worker() -> None:
 def _mark_process_worker_with_context(context) -> None:
     global _process_context
     _mark_process_worker()
+    if isinstance(context, PackedContext):
+        # Shared-context delivery: the initializer received only a small
+        # attach handle; rebuild the context once per worker from the
+        # shared segment's read-only views (zero-copy).  The parent owns
+        # the segment for the pool's whole lifetime (map() closes it only
+        # after the pool exits), so the segment name cannot have been
+        # recycled and the full fingerprint re-hash is skipped — the O(1)
+        # schema/size checks still reject truncated segments.
+        context = unpack_context(context, verify=False)
     _process_context = context
 
 
@@ -188,6 +199,9 @@ class TaskRunner:
         function: Callable[..., _R],
         tasks: Iterable[_T],
         context=None,
+        *,
+        context_mode: str = "pickle",
+        chunksize: Optional[int] = None,
     ) -> list[_R]:
         """Apply ``function`` to every task, returning results in task order.
 
@@ -206,6 +220,25 @@ class TaskRunner:
             directly; the process backend delivers it **once per worker**
             via the pool initializer, so large shared payloads are not
             re-pickled for every task.
+        context_mode:
+            How the process backend delivers the context.  ``"pickle"``
+            (default, the bitwise oracle) serializes the whole context
+            into every worker.  ``"shared"`` exports the context's
+            array-bearing members once into a shared-memory column block
+            (:mod:`repro.runtime.shm`) and ships only the small attach
+            handle through the pool initializer; workers re-attach
+            zero-copy and verify a blake2b fingerprint.  Results are
+            bitwise identical either way; serial and thread backends
+            already share the context object in-process, so the mode is
+            a no-op for them.
+        chunksize:
+            Tasks submitted per process-pool dispatch.  ``None`` uses the
+            default formula ``max(1, n_tasks // (workers * 4))`` — four
+            waves of chunks per worker, amortizing inter-process transfer
+            while keeping enough slack for load balancing.  Pass an
+            explicit value to pin it (benchmarks do, so their timings are
+            not confounded by the heuristic).  Ignored by the serial and
+            thread backends.
 
         Returns
         -------
@@ -213,6 +246,12 @@ class TaskRunner:
             One result per task, in task order regardless of completion
             order — bitwise identical across backends and worker counts.
         """
+        if context_mode not in ("pickle", "shared"):
+            raise ValueError(
+                f"unknown context_mode {context_mode!r}; expected 'pickle' or 'shared'"
+            )
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
         items = list(tasks)
         if not items:
             return []
@@ -225,17 +264,28 @@ class TaskRunner:
                 max_workers=workers, initializer=_mark_thread_worker
             ) as executor:
                 return list(executor.map(call, items))
-        chunksize = max(1, len(items) // (workers * 4))
+        if chunksize is None:
+            chunksize = max(1, len(items) // (workers * 4))
+        shared_block = None
         if context is None:
             initializer, initargs, task_call = _mark_process_worker, (), function
         else:
+            payload = context
+            if context_mode == "shared":
+                payload, shared_block = pack_context(context)
             initializer = _mark_process_worker_with_context
-            initargs = (context,)
+            initargs = (payload,)
             task_call = _ContextCall(function)
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as executor:
-            return list(executor.map(task_call, items, chunksize=chunksize))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            ) as executor:
+                return list(executor.map(task_call, items, chunksize=chunksize))
+        finally:
+            # The owner unlinks the segment as soon as the pool is done;
+            # worker crashes cannot leak it (only the owner unlinks).
+            if shared_block is not None:
+                shared_block.close()
 
     def __repr__(self) -> str:
         return f"TaskRunner(backend={self.backend!r}, max_workers={self.max_workers})"
@@ -278,13 +328,16 @@ def parallel_map(
     tasks: Sequence[_T],
     runtime: RuntimeSpec = None,
     context=None,
+    *,
+    context_mode: str = "pickle",
+    chunksize: Optional[int] = None,
 ) -> list[_R]:
     """Map ``function`` over ``tasks`` on the resolved runtime, in task order.
 
     The one-call form of :meth:`TaskRunner.map`: ``runtime`` is resolved
     through :func:`resolve_runner` (explicit spec > ``REPRO_RUNTIME`` >
-    ``serial``; always ``serial`` inside a worker) and ``context`` is
-    forwarded unchanged.
+    ``serial``; always ``serial`` inside a worker) and ``context``,
+    ``context_mode`` and ``chunksize`` are forwarded unchanged.
 
     Returns
     -------
@@ -292,4 +345,6 @@ def parallel_map(
         One result per task, in task order — bitwise identical across
         backends and worker counts.
     """
-    return resolve_runner(runtime).map(function, tasks, context=context)
+    return resolve_runner(runtime).map(
+        function, tasks, context=context, context_mode=context_mode, chunksize=chunksize
+    )

@@ -1,0 +1,657 @@
+"""Zero-copy shared-memory columns (:class:`SharedColumnBlock`).
+
+The process backend of :class:`~repro.runtime.TaskRunner` historically
+delivered its per-call ``context`` by pickling it into every pool worker:
+for array-heavy contexts (feature matrices, model weights, population
+columns) that is one full serialize → pipe → deserialize copy *per
+worker*.  This module removes that tax.
+
+:class:`SharedColumnBlock` exports a named schema of NumPy arrays into a
+single ``multiprocessing.shared_memory`` segment (or a memory-mapped
+scratch file on hosts without a usable ``/dev/shm``), and hands out a
+small picklable :class:`BlockHandle`.  Workers re-attach by handle and
+see the same physical pages as read-only array views — no copies, no
+decompression, no pickling of bulk data.
+
+Safety contract
+---------------
+* **Fingerprint verification on attach** — the handle carries a keyless
+  blake2b digest (:func:`repro.io.bundle.arrays_fingerprint`) of every
+  array; :meth:`SharedColumnBlock.attach` recomputes it over the mapped
+  bytes and refuses to hand out views on mismatch, so a recycled or
+  corrupted segment can never be silently consumed.  (A live pool's
+  initializer is the one sanctioned ``verify=False`` attach: the
+  exporting parent holds the segment open for the pool's whole
+  lifetime, so the name cannot have been recycled — see
+  :func:`unpack_context`.)
+* **Deterministic cleanup** — the exporting (owner) side unlinks the
+  segment in :meth:`close` (context-manager exit), and a module
+  ``atexit`` hook closes anything still registered, so a normal or
+  exceptional interpreter exit leaves no ``/dev/shm/repro_*`` orphans.
+  Worker crashes cannot leak either: only the owner unlinks, and the OS
+  reclaims a crashed worker's mappings.
+* **Read-only views** — every array handed out (owner and attacher
+  alike) is marked non-writable; shared context is immutable by
+  construction, exactly like the pickled-context oracle.
+
+Context packing
+---------------
+:func:`pack_context` walks a task context (dicts / lists / tuples /
+arrays, plus registered exporter types such as the serve layer's
+``MExICharacterizer``), moves every array into one shared block and
+returns a :class:`PackedContext` whose pickled size is O(schema), not
+O(data).  :func:`unpack_context` rebuilds the context inside a worker
+from the attached views.  ``TaskRunner.map(context_mode="shared")`` is
+the integration point; the pickled path remains the bitwise oracle.
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap as _mmap_module
+import os
+import secrets
+import tempfile
+from dataclasses import dataclass
+from importlib import import_module
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.io.bundle import arrays_fingerprint
+
+#: Every shared segment / scratch file starts with this prefix, so leak
+#: checks (tests, CI) can enumerate repo-owned segments unambiguously.
+SEGMENT_PREFIX = "repro_"
+
+#: Environment variable forcing the export backend: ``shm`` | ``file`` | ``auto``.
+SHM_BACKEND_ENV_VAR = "REPRO_SHM_BACKEND"
+
+#: Environment variable overriding the scratch directory of the ``file`` backend.
+SHM_DIR_ENV_VAR = "REPRO_SHM_DIR"
+
+#: Byte alignment of every array inside a segment.
+_ALIGNMENT = 64
+
+
+class SharedMemoryError(RuntimeError):
+    """Raised when a shared block cannot be exported, attached or verified."""
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Small picklable ticket for re-attaching a :class:`SharedColumnBlock`.
+
+    Attributes
+    ----------
+    kind:
+        ``"shm"`` (POSIX shared memory) or ``"file"`` (memmapped scratch
+        file).
+    name:
+        The segment name (``shm``) or absolute file path (``file``).
+    schema:
+        One ``(key, dtype_str, shape, offset)`` tuple per array.
+    nbytes:
+        Total segment size in bytes.
+    fingerprint:
+        blake2b digest of the arrays, verified on attach.
+    """
+
+    kind: str
+    name: str
+    schema: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    nbytes: int
+    fingerprint: str
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
+
+
+def _scratch_dir() -> Path:
+    return Path(os.environ.get(SHM_DIR_ENV_VAR) or tempfile.gettempdir())
+
+
+def _attach_shared_memory(name: str):
+    """Attach a POSIX segment without registering it with the resource tracker.
+
+    ``SharedMemory(name=...)`` registers every *attach* with the
+    ``multiprocessing`` resource tracker, which then believes the
+    attaching process owns the segment: a forked worker's attach would
+    corrupt the parent tracker's bookkeeping, and an unrelated process's
+    tracker would unlink the segment at exit while the owner still uses
+    it.  Ownership here is explicit — only the exporting owner unlinks —
+    so the registration is suppressed for the duration of the attach
+    (Python 3.13 exposes this as ``track=False``; earlier versions need
+    the patch).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+#: Blocks that still own or map a live segment; the atexit hook below
+#: closes (and, for owners, unlinks) whatever normal control flow missed.
+_LIVE_BLOCKS: dict[int, "SharedColumnBlock"] = {}
+
+
+@atexit.register
+def _close_live_blocks() -> None:  # pragma: no cover - runs at interpreter exit
+    for block in list(_LIVE_BLOCKS.values()):
+        block.close()
+
+
+class SharedColumnBlock:
+    """A named-schema bundle of NumPy arrays in one shared-memory segment.
+
+    Create with :meth:`export` (the owning side) or :meth:`attach` (a
+    consumer holding a :class:`BlockHandle`).  Arrays are exposed as
+    read-only views through the mapping interface::
+
+        with SharedColumnBlock.export({"x": xs, "y": ys}) as block:
+            handle = block.handle()          # picklable, O(schema) bytes
+            ...                              # ship handle to workers
+        # segment unlinked here — no /dev/shm orphans
+
+    The owner's :meth:`close` unlinks the segment; an attacher's
+    :meth:`close` only drops its mapping.  Both are idempotent and both
+    are backstopped by an ``atexit`` hook.
+    """
+
+    def __init__(self) -> None:
+        raise TypeError("use SharedColumnBlock.export(...) or .attach(...)")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _blank(cls) -> "SharedColumnBlock":
+        block = object.__new__(cls)
+        block.owner = False
+        block._views = {}
+        block._handle = None
+        block._shm = None
+        block._file = None
+        block._map = None
+        block._path = None
+        block._closed = False
+        return block
+
+    @classmethod
+    def export(
+        cls,
+        arrays: dict,
+        *,
+        backend: Optional[str] = None,
+    ) -> "SharedColumnBlock":
+        """Copy ``arrays`` into a fresh shared segment and own it.
+
+        Args
+        ----
+        arrays:
+            ``key -> ndarray``; any fixed-size dtype (object dtypes are
+            rejected).  The arrays are copied once, into the segment.
+        backend:
+            ``"shm"``, ``"file"`` or ``"auto"`` (default; also read from
+            the ``REPRO_SHM_BACKEND`` environment variable).  ``auto``
+            tries POSIX shared memory first and falls back to a
+            memmapped scratch file.
+
+        Raises
+        ------
+        SharedMemoryError
+            On object dtypes, unknown backends, or when no backend can
+            allocate the segment.
+        """
+        backend = (backend or os.environ.get(SHM_BACKEND_ENV_VAR) or "auto").lower()
+        if backend not in ("auto", "shm", "file"):
+            raise SharedMemoryError(
+                f"unknown shared-memory backend {backend!r}; expected shm, file or auto"
+            )
+        contiguous: dict[str, np.ndarray] = {}
+        schema: list[tuple[str, str, tuple[int, ...], int]] = []
+        offset = 0
+        for key in arrays:
+            array = np.ascontiguousarray(arrays[key])
+            if array.dtype.hasobject:
+                raise SharedMemoryError(
+                    f"array {key!r} has an object dtype, which cannot live in shared memory"
+                )
+            contiguous[key] = array
+            schema.append((str(key), array.dtype.str, tuple(array.shape), offset))
+            offset = _aligned(offset + array.nbytes)
+        total = max(offset, _ALIGNMENT)
+
+        block = cls._blank()
+        block.owner = True
+        if backend in ("auto", "shm"):
+            try:
+                block._create_shm(total)
+            except (OSError, ValueError, ImportError) as error:
+                if backend == "shm":
+                    raise SharedMemoryError(
+                        f"cannot create a shared-memory segment ({error})"
+                    ) from error
+        if block._shm is None and block._map is None:
+            block._create_file(total)
+
+        buffer = block._buffer()
+        for key, dtype, shape, start in schema:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buffer, offset=start)
+            view[...] = contiguous[key]
+        block._handle = BlockHandle(
+            kind="shm" if block._shm is not None else "file",
+            name=block._shm.name if block._shm is not None else str(block._path),
+            schema=tuple(schema),
+            nbytes=total,
+            fingerprint=arrays_fingerprint(contiguous),
+        )
+        block._build_views()
+        _LIVE_BLOCKS[id(block)] = block
+        return block
+
+    @classmethod
+    def attach(cls, handle: BlockHandle, *, verify: bool = True) -> "SharedColumnBlock":
+        """Map an exported segment and return read-only views on it.
+
+        Args
+        ----
+        handle:
+            The :class:`BlockHandle` from the owning block.
+        verify:
+            Recompute the blake2b fingerprint over the mapped bytes and
+            compare it to the handle's (default).  Refusing mismatches
+            means a stale, recycled or corrupted segment is detected at
+            attach time, never consumed.
+
+        Raises
+        ------
+        SharedMemoryError
+            If the segment is gone, too small for the schema, or fails
+            fingerprint verification.
+        """
+        block = cls._blank()
+        block.owner = False
+        if handle.kind == "shm":
+            try:
+                block._shm = _attach_shared_memory(handle.name)
+            except FileNotFoundError as error:
+                raise SharedMemoryError(
+                    f"shared segment {handle.name!r} no longer exists "
+                    "(was its owner closed before the attach?)"
+                ) from error
+        elif handle.kind == "file":
+            try:
+                block._file = open(handle.name, "rb")
+                block._map = _mmap_module.mmap(
+                    block._file.fileno(), 0, access=_mmap_module.ACCESS_READ
+                )
+            except (OSError, ValueError) as error:
+                block.close()
+                raise SharedMemoryError(
+                    f"shared scratch file {handle.name!r} cannot be mapped ({error})"
+                ) from error
+        else:
+            raise SharedMemoryError(f"unknown handle kind {handle.kind!r}")
+        if len(block._buffer()) < handle.nbytes:
+            actual = len(block._buffer())
+            block.close()
+            raise SharedMemoryError(
+                f"shared segment {handle.name!r} is smaller than its schema "
+                f"({actual} < {handle.nbytes} bytes); it was truncated or recycled"
+            )
+        block._handle = handle
+        block._build_views()
+        if verify:
+            actual = arrays_fingerprint(block._views)
+            if actual != handle.fingerprint:
+                block.close()
+                raise SharedMemoryError(
+                    f"shared segment {handle.name!r} failed fingerprint verification "
+                    f"(expected {handle.fingerprint!r}, computed {actual!r}); "
+                    "the segment was modified or recycled after export"
+                )
+        _LIVE_BLOCKS[id(block)] = block
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _create_shm(self, total: int) -> None:
+        from multiprocessing import shared_memory
+
+        while True:
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=total, name=_new_segment_name()
+                )
+                return
+            except FileExistsError:  # pragma: no cover - 48-bit token collision
+                continue
+
+    def _create_file(self, total: int) -> None:
+        self._path = _scratch_dir() / f"{_new_segment_name()}.bin"
+        try:
+            self._file = open(self._path, "w+b")
+            self._file.truncate(total)
+            self._map = _mmap_module.mmap(self._file.fileno(), total)
+        except (OSError, ValueError) as error:
+            if self._file is not None:
+                self._file.close()
+            self._path.unlink(missing_ok=True)
+            raise SharedMemoryError(
+                f"cannot create shared scratch file {self._path} ({error})"
+            ) from error
+
+    def _buffer(self):
+        return self._shm.buf if self._shm is not None else self._map
+
+    def _build_views(self) -> None:
+        buffer = self._buffer()
+        views: dict[str, np.ndarray] = {}
+        for key, dtype, shape, offset in self._handle.schema:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buffer, offset=offset)
+            view.flags.writeable = False
+            views[key] = view
+        self._views = views
+
+    # ------------------------------------------------------------------ #
+    # Mapping interface
+    # ------------------------------------------------------------------ #
+
+    def handle(self) -> BlockHandle:
+        """The picklable attach ticket (O(schema) bytes, never O(data))."""
+        return self._handle
+
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All views, keyed by schema name (read-only arrays)."""
+        return dict(self._views)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._views.keys())
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._views[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment size in bytes."""
+        return self._handle.nbytes if self._handle else 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Idempotent.  Views handed out earlier become invalid.  If a
+        caller still holds a view that pins the mapping, the unmap is
+        skipped (the OS reclaims it at process exit) but the owner's
+        unlink still happens, so the segment never outlives the owner.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_BLOCKS.pop(id(self), None)
+        self._views = {}
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - externally pinned view
+                pass
+            if self.owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:  # pragma: no cover - externally pinned view
+                pass
+        if self._file is not None:
+            self._file.close()
+        if self.owner and self._map is not None:
+            try:
+                os.unlink(self._path)
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedColumnBlock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        kind = self._handle.kind if self._handle else "unbound"
+        return (
+            f"SharedColumnBlock(kind={kind!r}, arrays={len(self._views)}, "
+            f"nbytes={self.nbytes}, owner={self.owner})"
+        )
+
+
+def leaked_segments() -> list[str]:
+    """Repo-owned shared segments still present on this host.
+
+    Lists ``/dev/shm/repro_*`` segments plus ``repro_*.bin`` scratch
+    files in the configured scratch directory.  Used by the tier-1 CI
+    leak check and the lifecycle tests: after every normal exit,
+    exception path and worker crash this must be empty.
+    """
+    leaked: list[str] = []
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        leaked.extend(sorted(str(path) for path in shm_dir.glob(f"{SEGMENT_PREFIX}*")))
+    scratch = _scratch_dir()
+    if scratch.is_dir() and scratch != shm_dir:
+        leaked.extend(
+            sorted(str(path) for path in scratch.glob(f"{SEGMENT_PREFIX}*.bin"))
+        )
+    return leaked
+
+
+# --------------------------------------------------------------------- #
+# Context packing (TaskRunner integration)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Placeholder for one shared array inside a packed context template."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class _ExportedRef:
+    """Placeholder for a registered exporter type (e.g. a fitted model)."""
+
+    tag: str
+    meta: Any
+    prefix: str
+
+
+@dataclass(frozen=True)
+class PackedContext:
+    """A task context whose arrays live in a shared block.
+
+    Pickles to the structural ``template`` (with :class:`_ArrayRef` /
+    :class:`_ExportedRef` placeholders) plus the :class:`BlockHandle` —
+    O(schema) bytes regardless of array sizes.
+    """
+
+    template: Any
+    handle: BlockHandle
+
+
+#: type -> (tag, export) where export(obj) -> (arrays, meta).
+_EXPORTERS: dict[type, tuple[str, Callable]] = {}
+
+#: tag -> rebuild where rebuild(meta, arrays) -> obj.
+_REBUILDERS: dict[str, Callable] = {}
+
+
+def register_context_exporter(
+    cls: type,
+    export: Callable,
+    rebuild: Callable,
+    *,
+    tag: Optional[str] = None,
+) -> None:
+    """Teach :func:`pack_context` to share a custom type's arrays.
+
+    Args
+    ----
+    cls:
+        The context-member type to intercept (matched exactly).
+    export:
+        ``export(obj) -> (arrays, meta)``: the object's bulk arrays plus
+        a small picklable remainder (e.g. a JSON spec).
+    rebuild:
+        ``rebuild(meta, arrays) -> obj``: module-level (workers import
+        it), rebuilding an object whose behaviour is bitwise identical.
+    tag:
+        Stable registry key; defaults to ``module:QualName``.  Workers
+        that have not imported the registering module resolve the tag by
+        importing its module part first.
+    """
+    resolved = tag or f"{cls.__module__}:{cls.__qualname__}"
+    _EXPORTERS[cls] = (resolved, export)
+    _REBUILDERS[resolved] = rebuild
+
+
+def _resolve_rebuilder(tag: str) -> Callable:
+    rebuild = _REBUILDERS.get(tag)
+    if rebuild is None and ":" in tag:
+        import_module(tag.partition(":")[0])
+        rebuild = _REBUILDERS.get(tag)
+    if rebuild is None:
+        raise SharedMemoryError(
+            f"no context rebuilder is registered for tag {tag!r}; "
+            "was register_context_exporter() called by the module that packed it?"
+        )
+    return rebuild
+
+
+def pack_context(
+    context: Any,
+    *,
+    backend: Optional[str] = None,
+) -> tuple[Any, Optional[SharedColumnBlock]]:
+    """Move a context's arrays into one shared block.
+
+    Walks dicts, lists, tuples, bare arrays and registered exporter
+    types (:func:`register_context_exporter`); everything else stays in
+    the template and travels by pickle as before.
+
+    Returns
+    -------
+    tuple
+        ``(packed, block)`` where ``packed`` is a :class:`PackedContext`
+        and ``block`` the owning :class:`SharedColumnBlock` the caller
+        must ``close()`` after the pool is done — or ``(context, None)``
+        unchanged when the context contains no arrays to share.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    counter = 0
+
+    def walk(obj: Any) -> Any:
+        nonlocal counter
+        exporter = _EXPORTERS.get(type(obj))
+        if exporter is not None:
+            tag, export = exporter
+            exported, meta = export(obj)
+            prefix = f"{counter:06d}"
+            counter += 1
+            for key, value in exported.items():
+                arrays[f"{prefix}/{key}"] = np.asarray(value)
+            return _ExportedRef(tag=tag, meta=meta, prefix=prefix)
+        if isinstance(obj, np.ndarray):
+            key = f"{counter:06d}/array"
+            counter += 1
+            arrays[key] = obj
+            return _ArrayRef(key)
+        if isinstance(obj, dict):
+            return {key: walk(value) for key, value in obj.items()}
+        if isinstance(obj, tuple):
+            return tuple(walk(value) for value in obj)
+        if isinstance(obj, list):
+            return [walk(value) for value in obj]
+        return obj
+
+    template = walk(context)
+    if not arrays:
+        return context, None
+    block = SharedColumnBlock.export(arrays, backend=backend)
+    return PackedContext(template=template, handle=block.handle()), block
+
+
+#: Blocks attached by unpack_context in this process; kept alive for the
+#: worker's lifetime (views reference them) and closed by the atexit hook.
+_ATTACHED_BLOCKS: list[SharedColumnBlock] = []
+
+
+def unpack_context(packed: PackedContext, *, verify: bool = True) -> Any:
+    """Rebuild a packed context from its shared block (worker side).
+
+    Attaches the block, substitutes read-only views for every array
+    placeholder and calls registered rebuilders for exported objects.
+    The attached block stays alive for the process lifetime — its views
+    back the returned context.
+
+    Args
+    ----
+    packed:
+        The :class:`PackedContext` from :func:`pack_context`.
+    verify:
+        Recompute the blake2b fingerprint over the mapped bytes
+        (default).  Pool workers may pass ``False`` when the exporting
+        parent provably still owns the segment for the duration of the
+        attach (a live pool's initializer does: the owner holds the
+        segment open until the pool is torn down, so the name cannot
+        have been recycled) — the O(1) schema/size checks still run,
+        and the attach becomes O(1) instead of O(data).
+    """
+    block = SharedColumnBlock.attach(packed.handle, verify=verify)
+    _ATTACHED_BLOCKS.append(block)
+    by_prefix: dict[str, dict[str, np.ndarray]] = {}
+    for key in block.keys():
+        prefix, _, rest = key.partition("/")
+        by_prefix.setdefault(prefix, {})[rest] = block[key]
+
+    def walk(obj: Any) -> Any:
+        if isinstance(obj, _ArrayRef):
+            return block[obj.key]
+        if isinstance(obj, _ExportedRef):
+            rebuild = _resolve_rebuilder(obj.tag)
+            return rebuild(obj.meta, by_prefix.get(obj.prefix, {}))
+        if isinstance(obj, dict):
+            return {key: walk(value) for key, value in obj.items()}
+        if isinstance(obj, tuple):
+            return tuple(walk(value) for value in obj)
+        if isinstance(obj, list):
+            return [walk(value) for value in obj]
+        return obj
+
+    return walk(packed.template)

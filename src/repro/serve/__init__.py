@@ -2,16 +2,21 @@
 
 The serving layer makes trained models durable and servable:
 
-* :mod:`repro.serve.artifacts` — versioned ``manifest.json`` +
-  ``arrays.npz`` bundles (:func:`save_model` / :func:`load_model`) for
-  every fitted estimator, round-tripping to bitwise-identical
-  predictions, with format-version and content-fingerprint checks.
+* :mod:`repro.serve.artifacts` — versioned ``manifest.json`` + array
+  bundles (:func:`save_model` / :func:`load_model`) for every fitted
+  estimator, round-tripping to bitwise-identical predictions, with
+  format-version and content-fingerprint checks.  Arrays are written
+  through the shared :mod:`repro.io.bundle` codec; the default
+  ``mmap-dir`` layout is loaded with ``np.load(mmap_mode="r")`` so model
+  loads are O(pages-touched) and concurrent processes share pages.
 * :mod:`repro.serve.service` — :class:`CharacterizationService`: load a
   bundle once, keep a warm feature-block cache, and score matcher
   populations in deterministic parallel chunks over the
-  :class:`~repro.runtime.TaskRunner`.
-* :mod:`repro.serve.population` — single-file scoring populations
-  (:func:`save_population` / :func:`load_population`).
+  :class:`~repro.runtime.TaskRunner` (optionally shipping the model to
+  process workers through shared memory with ``context_mode="shared"``).
+* :mod:`repro.serve.population` — scoring populations
+  (:func:`save_population` / :func:`load_population`): a single ``.npz``
+  file or a memory-mappable bundle directory.
 * :mod:`repro.serve.cli` — the ``python -m repro.serve fit|score|inspect``
   command line.
 
@@ -21,12 +26,14 @@ See ``docs/api.md`` for worked examples.
 from repro.serve.artifacts import (
     ARTIFACT_FORMAT,
     ARTIFACT_FORMAT_VERSION,
+    SUPPORTED_ARTIFACT_VERSIONS,
     ArtifactError,
     load_model,
     read_manifest,
     save_model,
 )
 from repro.serve.population import (
+    POPULATION_FORMAT,
     POPULATION_FORMAT_VERSION,
     load_population,
     save_population,
@@ -40,10 +47,12 @@ from repro.serve.service import (
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_FORMAT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
     "ArtifactError",
     "save_model",
     "load_model",
     "read_manifest",
+    "POPULATION_FORMAT",
     "POPULATION_FORMAT_VERSION",
     "save_population",
     "load_population",

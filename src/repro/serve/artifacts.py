@@ -1,22 +1,29 @@
-"""Versioned on-disk model artifacts (format version 1).
+"""Versioned on-disk model artifacts (format version 2).
 
 A fitted estimator is persisted as a **bundle**: a directory holding
 
 * ``manifest.json`` — a self-describing JSON manifest with the format
   name/version, the producing ``repro`` version, the model type, a
-  **content fingerprint**, and the ``spec`` tree describing the object
-  graph (scalars inline, arrays as ``{"__array__": key}`` references);
-* ``arrays.npz`` — every NumPy array of the model, stored losslessly
-  (bit-exact float64 round-trips), keyed by the references in the spec.
+  **content fingerprint**, the array-layout entry, and the ``spec``
+  tree describing the object graph (scalars inline, arrays as
+  ``{"__array__": key}`` references);
+* the arrays themselves, in one of the :class:`~repro.io.bundle.BundleLayout`
+  layouts of the shared :mod:`repro.io.bundle` codec.  The default
+  (format version 2) is ``mmap-dir``: one raw ``.npy`` file per array,
+  loaded with ``np.load(mmap_mode="r")`` so load cost is O(pages-touched)
+  and concurrent loaders share physical pages.  Format-version-1 bundles
+  (a single compressed ``arrays.npz``) remain fully readable, and
+  ``save_model(..., layout=...)`` can still produce the npz layouts.
 
-No pickle is involved: bundles contain only JSON and ``.npz`` data, so
-loading never executes bundle-supplied code, and bundles stay portable
-across Python versions and diffable.  Loading verifies the format
-version and the content fingerprint (a keyless blake2b — an *integrity*
-check catching corruption and truncation, not an authenticity
-signature), and any spec/array inconsistency the decoders trip over is
-reported as a clear :class:`ArtifactError` instead of mis-predicting
-silently.
+No pickle is involved: bundles contain only JSON and ``.npy``/``.npz``
+data, so loading never executes bundle-supplied code, and bundles stay
+portable across Python versions and diffable.  Loading verifies the
+format version and the content fingerprint (a keyless blake2b — an
+*integrity* check catching corruption and truncation, not an
+authenticity signature; layout-independent, so re-saving a bundle in a
+different layout preserves it), and any spec/array inconsistency the
+decoders trip over is reported as a clear :class:`ArtifactError`
+instead of mis-predicting silently.
 
 Every fitted estimator in the code base round-trips to **bitwise-identical
 predictions**: the classical classifiers (:mod:`repro.ml`), the neural
@@ -37,11 +44,9 @@ caller's responsibility) — and the
 
 from __future__ import annotations
 
-import hashlib
 import json
-import zipfile
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
@@ -72,13 +77,25 @@ from repro.nn.losses import BinaryCrossEntropy, MeanSquaredError
 from repro.nn.network import Sequential
 from repro.nn.optimizers import SGD, Adam
 from repro.nn.recurrent import LSTM
-from repro.runtime import TaskRunner
+from repro.io.bundle import (
+    BundleLayout,
+    arrays_fingerprint,
+    read_arrays,
+    read_bundle_manifest,
+    write_arrays,
+)
+from repro.runtime import TaskRunner, register_context_exporter
 
 #: Bundle format identifier written into every manifest.
 ARTIFACT_FORMAT = "repro-model-bundle"
 
-#: Current artifact format version; loaders reject any other version.
-ARTIFACT_FORMAT_VERSION = 1
+#: Current artifact format version (2 = shared-codec layouts; 1 = the
+#: historical compressed ``arrays.npz``).  Writers stamp the current
+#: version; loaders accept every supported one.
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Format versions load_model / read_manifest accept.
+SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 
 #: File names inside a bundle directory.
 MANIFEST_NAME = "manifest.json"
@@ -128,19 +145,29 @@ class _Encoder:
 
 
 class _Decoder:
-    """Resolves array references while codecs rebuild the object graph."""
+    """Resolves array references while codecs rebuild the object graph.
 
-    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+    With ``copy=True`` (the default) every reference resolves to a
+    writable, owned copy — the historical semantics.  ``copy=False``
+    hands out the stored arrays directly, which keeps mmap- and
+    shared-memory-backed bundles **zero-copy**: the views are read-only,
+    and every decoder either treats its arrays as immutable or copies
+    the pieces it mutates, so decoded models behave identically.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], *, copy: bool = True) -> None:
         self.arrays = arrays
+        self.copy = copy
 
     def get(self, reference: dict) -> np.ndarray:
-        """The (writable, owned) array behind a spec reference."""
+        """The array behind a spec reference (owned copy unless ``copy=False``)."""
         if not isinstance(reference, dict) or "__array__" not in reference:
             raise ArtifactError(f"malformed array reference in spec: {reference!r}")
         key = reference["__array__"]
         if key not in self.arrays:
-            raise ArtifactError(f"bundle is missing array {key!r} (truncated arrays.npz?)")
-        return np.array(self.arrays[key])
+            raise ArtifactError(f"bundle is missing array {key!r} (truncated bundle?)")
+        array = self.arrays[key]
+        return np.array(array) if self.copy else array
 
     def get_optional(self, reference: Optional[dict]) -> Optional[np.ndarray]:
         return None if reference is None else self.get(reference)
@@ -806,33 +833,17 @@ class _MExICharacterizerCodec:
 # --------------------------------------------------------------------- #
 
 
-def arrays_fingerprint(arrays: dict[str, np.ndarray], *, header: str = "") -> str:
-    """Keyless blake2b digest of named arrays (dtype, shape, raw bytes).
-
-    The shared integrity fingerprint of every bundle format in the repo:
-    model artifacts prepend their spec JSON as the ``header``, stream
-    checkpoints (:mod:`repro.stream.checkpoint`) digest their arrays
-    alone.  An *integrity* check catching corruption and truncation, not
-    an authenticity signature.
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    if header:
-        digest.update(header.encode())
-    for key in sorted(arrays):
-        array = np.ascontiguousarray(arrays[key])
-        digest.update(key.encode())
-        digest.update(array.dtype.str.encode())
-        digest.update(str(array.shape).encode())
-        digest.update(array.tobytes())
-    return digest.hexdigest()
-
-
 def _content_fingerprint(spec_json: str, arrays: dict[str, np.ndarray]) -> str:
     """Digest of the spec plus every array's dtype, shape and raw bytes."""
     return arrays_fingerprint(arrays, header=spec_json)
 
 
-def save_model(model: Any, path) -> Path:
+def save_model(
+    model: Any,
+    path,
+    *,
+    layout: Union[str, BundleLayout] = BundleLayout.MMAP_DIR,
+) -> Path:
     """Persist a fitted estimator as a versioned artifact bundle.
 
     Args
@@ -846,6 +857,14 @@ def save_model(model: Any, path) -> Path:
     path:
         Bundle directory to create (parents included).  Existing bundle
         files at the same location are overwritten.
+    layout:
+        On-disk array layout (:class:`~repro.io.bundle.BundleLayout` or
+        its string value).  The default ``mmap-dir`` writes one raw
+        ``.npy`` per array so :func:`load_model` can memory-map them;
+        ``npz-compressed`` reproduces the smaller format-version-1
+        payload (readable by older builds' array loader, though they
+        reject the version-2 manifest).  The content fingerprint is
+        layout-independent.
 
     Returns
     -------
@@ -860,20 +879,17 @@ def save_model(model: Any, path) -> Path:
     encoder = _Encoder()
     spec = encoder.encode(model)
     spec_json = json.dumps(spec, sort_keys=True)
-    total_bytes = int(sum(array.nbytes for array in encoder.arrays.values()))
+    bundle = Path(path)
+    info = write_arrays(bundle, encoder.arrays, layout=layout, error=ArtifactError)
     manifest = {
         "format": ARTIFACT_FORMAT,
         "format_version": ARTIFACT_FORMAT_VERSION,
         "repro_version": repro.__version__,
         "model_type": type(model).__name__,
-        "arrays": {"file": ARRAYS_NAME, "count": len(encoder.arrays), "bytes": total_bytes},
+        "arrays": info,
         "fingerprint": _content_fingerprint(spec_json, encoder.arrays),
         "spec": spec,
     }
-    bundle = Path(path)
-    bundle.mkdir(parents=True, exist_ok=True)
-    with open(bundle / ARRAYS_NAME, "wb") as handle:
-        np.savez_compressed(handle, **encoder.arrays)
     (bundle / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return bundle
 
@@ -890,34 +906,17 @@ def read_manifest(path) -> dict:
         If the path is not a bundle, the manifest is unreadable, or the
         format name/version is unsupported.
     """
-    bundle = Path(path)
-    manifest_path = bundle / MANIFEST_NAME
-    if not manifest_path.is_file():
-        raise ArtifactError(
-            f"{bundle} is not a model bundle (missing {MANIFEST_NAME}); "
-            "expected a directory created by save_model()"
-        )
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as error:
-        raise ArtifactError(
-            f"{manifest_path} is not valid JSON ({error}); the bundle may be truncated"
-        ) from error
-    if manifest.get("format") != ARTIFACT_FORMAT:
-        raise ArtifactError(
-            f"{bundle} is not a {ARTIFACT_FORMAT} bundle "
-            f"(format field: {manifest.get('format')!r})"
-        )
-    version = manifest.get("format_version")
-    if version != ARTIFACT_FORMAT_VERSION:
-        raise ArtifactError(
-            f"unsupported artifact format version {version!r}; this build reads "
-            f"version {ARTIFACT_FORMAT_VERSION} — re-save the model with a matching repro"
-        )
-    return manifest
+    return read_bundle_manifest(
+        path,
+        format_name=ARTIFACT_FORMAT,
+        supported_versions=SUPPORTED_ARTIFACT_VERSIONS,
+        kind="artifact",
+        manifest_name=MANIFEST_NAME,
+        error=ArtifactError,
+    )
 
 
-def load_model(path, manifest: Optional[dict] = None) -> Any:
+def load_model(path, manifest: Optional[dict] = None, *, mmap: bool = True) -> Any:
     """Load a fitted estimator from a bundle created by :func:`save_model`.
 
     Verifies the format version and the content fingerprint before any
@@ -930,11 +929,18 @@ def load_model(path, manifest: Optional[dict] = None) -> Any:
     manifest:
         The bundle's manifest, if the caller already read it with
         :func:`read_manifest` (skips a second read/parse of the spec).
+    mmap:
+        For ``mmap-dir`` bundles, memory-map the arrays
+        (``np.load(mmap_mode="r")``) and rebuild the model **zero-copy**
+        on top of the read-only file-backed views; repeated loads hit
+        the page cache and concurrent processes share physical pages.
+        ``False`` forces owned in-RAM copies.  The npz layouts always
+        materialize (zip members cannot be mapped).
 
     Returns
     -------
     The deserialized estimator; predictions are bitwise identical to the
-    model that was saved.
+    model that was saved, whichever layout or ``mmap`` setting is used.
 
     Raises
     ------
@@ -945,17 +951,13 @@ def load_model(path, manifest: Optional[dict] = None) -> Any:
     bundle = Path(path)
     if manifest is None:
         manifest = read_manifest(bundle)
-    arrays_path = bundle / manifest.get("arrays", {}).get("file", ARRAYS_NAME)
-    if not arrays_path.is_file():
-        raise ArtifactError(f"bundle {bundle} is missing {arrays_path.name} (truncated?)")
-    try:
-        with np.load(arrays_path, allow_pickle=False) as npz:
-            arrays = {key: np.array(npz[key]) for key in npz.files}
-    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
-        raise ArtifactError(
-            f"bundle {bundle} has an unreadable {arrays_path.name} ({error}); "
-            "the bundle is corrupt or truncated"
-        ) from error
+    info = manifest.get("arrays")
+    arrays = read_arrays(
+        bundle,
+        info if isinstance(info, dict) else None,
+        mmap=mmap,
+        error=ArtifactError,
+    )
     spec = manifest.get("spec")
     if not isinstance(spec, dict):
         raise ArtifactError(f"bundle {bundle} has no spec tree in its manifest")
@@ -966,8 +968,9 @@ def load_model(path, manifest: Optional[dict] = None) -> Any:
             f"(expected {manifest.get('fingerprint')!r}, computed {actual!r}); "
             "the bundle was modified or corrupted after it was saved"
         )
+    mmap_backed = any(isinstance(array, np.memmap) for array in arrays.values())
     try:
-        return _Decoder(arrays).decode(spec)
+        return _Decoder(arrays, copy=not mmap_backed).decode(spec)
     except ArtifactError:
         raise
     except (KeyError, IndexError, TypeError, ValueError) as error:
@@ -977,3 +980,33 @@ def load_model(path, manifest: Optional[dict] = None) -> Any:
             f"bundle {bundle} has an inconsistent spec ({type(error).__name__}: {error}); "
             "it was not written by save_model() or was edited afterwards"
         ) from error
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory context export (repro.runtime.shm)
+# --------------------------------------------------------------------- #
+
+
+def _export_characterizer(model: MExICharacterizer) -> tuple[dict, str]:
+    """Split a fitted characterizer into (arrays, spec JSON) for shm export."""
+    encoder = _Encoder()
+    spec = encoder.encode(model)
+    return encoder.arrays, json.dumps(spec, sort_keys=True)
+
+
+def _rebuild_characterizer(meta: str, arrays: dict) -> MExICharacterizer:
+    """Rebuild a characterizer zero-copy on top of shared read-only views."""
+    return _Decoder(arrays, copy=False).decode(json.loads(meta))
+
+
+# Lets TaskRunner.map(context=..., context_mode="shared") ship a fitted
+# MExICharacterizer through shared memory: the codec's arrays travel in
+# one shared block and only the JSON spec is pickled.  The tag names
+# *this* module so workers that receive a packed context can resolve the
+# rebuilder by importing it.
+register_context_exporter(
+    MExICharacterizer,
+    _export_characterizer,
+    _rebuild_characterizer,
+    tag=f"{__name__}:MExICharacterizer",
+)

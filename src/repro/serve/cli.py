@@ -34,6 +34,7 @@ from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import EXPERT_CHARACTERISTICS, characterize_population, labels_matrix
 from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.config import SCALE_NAMES, ExperimentConfig
+from repro.io.bundle import BundleLayout
 from repro.serve.artifacts import read_manifest, save_model
 from repro.serve.population import load_population, save_population
 from repro.serve.service import DEFAULT_CHUNK_SIZE, CharacterizationService
@@ -78,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also save the held-out OAEI cohort as a scoring population file",
     )
+    fit.add_argument(
+        "--layout",
+        choices=tuple(member.value for member in BundleLayout),
+        default=BundleLayout.MMAP_DIR.value,
+        help="on-disk array layout of the bundle (default: mmap-dir, the "
+        "memory-mappable serving layout; npz-compressed is smallest)",
+    )
 
     score = commands.add_parser("score", help="score a population against a saved bundle")
     score.add_argument("--bundle", required=True, metavar="DIR", help="bundle directory")
@@ -103,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BACKEND[:N]",
         help="TaskRunner backend for chunk fan-out (serial, thread[:N], process[:N])",
+    )
+    score.add_argument(
+        "--context-mode",
+        choices=("pickle", "shared"),
+        default="pickle",
+        help="how the process backend ships the model to workers (shared = "
+        "one shared-memory export instead of per-worker pickling)",
     )
     score.add_argument(
         "--format", choices=("table", "json"), default="table", help="output format"
@@ -145,7 +160,7 @@ def _fit(args: argparse.Namespace) -> int:
         cache=FeatureBlockCache(),
     )
     model.fit(matchers, labels)
-    bundle = save_model(model, args.out)
+    bundle = save_model(model, args.out, layout=args.layout)
     manifest = read_manifest(bundle)
     print(f"saved {manifest['model_type']} bundle to {bundle}")
     print(f"  format_version: {manifest['format_version']}")
@@ -163,7 +178,10 @@ def _fit(args: argparse.Namespace) -> int:
 
 def _score(args: argparse.Namespace) -> int:
     service = CharacterizationService.from_bundle(
-        args.bundle, runtime=args.runtime, chunk_size=args.chunk_size
+        args.bundle,
+        runtime=args.runtime,
+        chunk_size=args.chunk_size,
+        context_mode=args.context_mode,
     )
     if args.population:
         matchers = load_population(args.population)

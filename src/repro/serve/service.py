@@ -140,6 +140,15 @@ class CharacterizationService:
         are bitwise identical on every backend.
     chunk_size:
         Default matchers per scoring task.
+    context_mode:
+        How the ``process`` backend delivers the model to workers (see
+        :meth:`repro.runtime.TaskRunner.map`): ``"pickle"`` (default)
+        re-serializes the whole model per worker; ``"shared"`` exports
+        its arrays once into a shared-memory column block
+        (:mod:`repro.runtime.shm`) and ships only a small attach handle
+        — workers rebuild the model zero-copy on read-only shared views.
+        Scores are bitwise identical either way; serial and thread
+        backends share the model in-process regardless.
     cache:
         Feature-block cache to keep warm across ``score_batch`` calls.
         When omitted, the model's existing pipeline cache is adopted if it
@@ -159,6 +168,7 @@ class CharacterizationService:
         *,
         runtime: RuntimeSpec = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        context_mode: str = "pickle",
         cache: Optional[FeatureBlockCache] = None,
         bundle_info: Optional[dict] = None,
     ) -> None:
@@ -166,9 +176,14 @@ class CharacterizationService:
             raise ValueError("CharacterizationService requires a fitted MExICharacterizer")
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if context_mode not in ("pickle", "shared"):
+            raise ValueError(
+                f"unknown context_mode {context_mode!r}; expected 'pickle' or 'shared'"
+            )
         self.model = model
         self.runtime = runtime
         self.chunk_size = chunk_size
+        self.context_mode = context_mode
         # Keep a cache warm across calls: the pipeline consults it for
         # every block extraction.  An explicit cache wins; otherwise a
         # cache the model already carries (possibly shared with other
@@ -189,6 +204,7 @@ class CharacterizationService:
         *,
         runtime: RuntimeSpec = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        context_mode: str = "pickle",
         cache: Optional[FeatureBlockCache] = None,
     ) -> "CharacterizationService":
         """Load an artifact bundle once and wrap it in a service.
@@ -213,7 +229,14 @@ class CharacterizationService:
             "fingerprint": manifest.get("fingerprint"),
             "model_type": manifest.get("model_type"),
         }
-        return cls(model, runtime=runtime, chunk_size=chunk_size, cache=cache, bundle_info=info)
+        return cls(
+            model,
+            runtime=runtime,
+            chunk_size=chunk_size,
+            context_mode=context_mode,
+            cache=cache,
+            bundle_info=info,
+        )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -225,6 +248,7 @@ class CharacterizationService:
         *,
         runtime: RuntimeSpec = None,
         chunk_size: Optional[int] = None,
+        context_mode: Optional[str] = None,
     ) -> BatchScores:
         """Characterize a matcher population in deterministic parallel chunks.
 
@@ -236,6 +260,12 @@ class CharacterizationService:
             Per-call backend override (defaults to the service's runtime).
         chunk_size:
             Per-call chunk override (defaults to the service's chunk size).
+        context_mode:
+            Per-call model-delivery override for the ``process`` backend
+            (defaults to the service's ``context_mode``): ``"pickle"``
+            re-serializes the model per worker, ``"shared"`` ships it
+            once through a shared-memory column block.  Bitwise
+            identical either way.
 
         Returns
         -------
@@ -259,6 +289,7 @@ class CharacterizationService:
             chunks,
             runtime=runtime if runtime is not None else self.runtime,
             context=self.model,
+            context_mode=context_mode if context_mode is not None else self.context_mode,
         )
         # Re-insert the extracted blocks into the parent-side cache:
         # process workers' insertions die with the pool, so without this
@@ -295,6 +326,7 @@ class CharacterizationService:
                 "selected_classifiers": self.model.selected_classifiers(),
             },
             "chunk_size": self.chunk_size,
+            "context_mode": self.context_mode,
             "runtime": self.runtime if isinstance(self.runtime, (str, type(None))) else repr(self.runtime),
             "cache": self.cache.stats(),
         }

@@ -9,13 +9,18 @@ A checkpoint follows the serve artifact format conventions
   model bundle's fingerprint: loading against a *different* bundle
   fingerprint is refused, and loading into an in-memory service (which
   has no fingerprint to verify) warns instead of proceeding silently;
-* ``arrays.npz`` — every session's exact state as flat arrays: the event
-  buffer (committed and pending columns, arrival sequence numbers,
+* the session arrays — every session's exact state as flat arrays: the
+  event buffer (committed and pending columns, arrival sequence numbers,
   watermark scalars), the incremental feature maintainers (heat-map
   grid, type counts, motion-statistics vector), the decision history,
   the dirty flag and the latest scores.  Ragged per-session data uses
   the concatenated-arrays-plus-offsets encoding of
-  :mod:`repro.serve.population`.
+  :mod:`repro.serve.population`.  Arrays are written through the shared
+  :mod:`repro.io.bundle` codec: format version 2 defaults to the
+  memory-mappable ``mmap-dir`` layout (restores load columns with
+  ``np.load(mmap_mode="r")`` and copy only what sessions own), while
+  format-version-1 checkpoints (a single compressed ``arrays.npz``)
+  remain fully readable.
 
 Restore rebuilds sessions whose future behaviour is *identical* to the
 saved ones: ``tests/stream/test_checkpoint.py`` asserts that
@@ -30,15 +35,23 @@ from __future__ import annotations
 import json
 import warnings
 from pathlib import Path
+from typing import Union
 
 import numpy as np
 
 import repro
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.io.bundle import (
+    BundleLayout,
+    arrays_fingerprint,
+    read_arrays,
+    read_bundle_manifest,
+    write_arrays,
+)
 from repro.matching.events import N_EVENT_TYPES
 from repro.matching.history import Decision
 from repro.matching.mouse import MovementMap
-from repro.serve.artifacts import ArtifactError, arrays_fingerprint
+from repro.serve.artifacts import ArtifactError
 from repro.serve.service import CharacterizationService
 from repro.stream.incremental import IncrementalMotionStats, SESSION_HEAT_SHAPE
 from repro.stream.ingest import StreamingEventBuffer
@@ -47,8 +60,12 @@ from repro.stream.session import MatcherSession, SessionManager
 #: Checkpoint format identifier written into every manifest.
 CHECKPOINT_FORMAT = "repro-stream-checkpoint"
 
-#: Current checkpoint format version; loaders reject any other version.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Current checkpoint format version (2 = shared-codec layouts; 1 = the
+#: historical compressed ``arrays.npz``).
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: Format versions load_checkpoint / read_checkpoint_manifest accept.
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
@@ -83,13 +100,31 @@ def _ragged(chunks: list[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
     return flat.astype(dtype, copy=False), offsets
 
 
-def save_checkpoint(manager: SessionManager, path) -> Path:
+def save_checkpoint(
+    manager: SessionManager,
+    path,
+    *,
+    layout: Union[str, BundleLayout] = BundleLayout.MMAP_DIR,
+) -> Path:
     """Write the manager's complete session state as a checkpoint bundle.
 
     The scoring model itself is **not** stored (persist it once with
     :func:`repro.serve.save_model`); the manifest records the model
     bundle's fingerprint when the service was loaded from one, and
     :func:`load_checkpoint` refuses to resume against a different model.
+
+    Args
+    ----
+    manager:
+        The session manager to snapshot.
+    path:
+        Checkpoint bundle directory to create.
+    layout:
+        On-disk array layout (:class:`~repro.io.bundle.BundleLayout` or
+        its string value); the default ``mmap-dir`` restores via
+        memory-mapped columns, ``npz-compressed`` reproduces the smaller
+        format-version-1 payload.  The content fingerprint is
+        layout-independent.
 
     Returns
     -------
@@ -162,6 +197,8 @@ def save_checkpoint(manager: SessionManager, path) -> Path:
     arrays["labels"] = labels
     arrays["probabilities"] = probabilities
 
+    bundle = Path(path)
+    info = write_arrays(bundle, arrays, layout=layout, error=CheckpointError)
     bundle_info = getattr(manager.service, "_bundle_info", None) or {}
     manifest = {
         "format": CHECKPOINT_FORMAT,
@@ -175,14 +212,10 @@ def save_checkpoint(manager: SessionManager, path) -> Path:
             "reorder_window": manager.reorder_window,
             "screen": list(manager.screen),
         },
+        "arrays": info,
         "model_fingerprint": bundle_info.get("fingerprint"),
         "fingerprint": arrays_fingerprint(arrays),
     }
-
-    bundle = Path(path)
-    bundle.mkdir(parents=True, exist_ok=True)
-    with open(bundle / ARRAYS_NAME, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
     (bundle / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return bundle
 
@@ -196,26 +229,14 @@ def read_checkpoint_manifest(path) -> dict:
         If the bundle or manifest is missing/unreadable, of the wrong
         format name, or an unsupported format version.
     """
-    bundle = Path(path)
-    manifest_path = bundle / MANIFEST_NAME
-    if not manifest_path.is_file():
-        raise CheckpointError(f"no checkpoint manifest at {manifest_path}")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as error:
-        raise CheckpointError(f"checkpoint manifest {manifest_path} is not valid JSON") from error
-    if manifest.get("format") != CHECKPOINT_FORMAT:
-        raise CheckpointError(
-            f"{manifest_path} is not a {CHECKPOINT_FORMAT} manifest "
-            f"(format={manifest.get('format')!r})"
-        )
-    version = manifest.get("format_version")
-    if version != CHECKPOINT_FORMAT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint format version {version}; this build reads "
-            f"version {CHECKPOINT_FORMAT_VERSION}"
-        )
-    return manifest
+    return read_bundle_manifest(
+        path,
+        format_name=CHECKPOINT_FORMAT,
+        supported_versions=SUPPORTED_CHECKPOINT_VERSIONS,
+        kind="checkpoint",
+        manifest_name=MANIFEST_NAME,
+        error=CheckpointError,
+    )
 
 
 def load_checkpoint(
@@ -246,17 +267,18 @@ def load_checkpoint(
     bundle = Path(path)
     manifest = read_checkpoint_manifest(bundle)
 
-    arrays_path = bundle / ARRAYS_NAME
-    if not arrays_path.is_file():
-        raise CheckpointError(f"checkpoint {bundle} is missing {ARRAYS_NAME}")
-    try:
-        with np.load(arrays_path, allow_pickle=False) as npz:
-            arrays = {key: np.array(npz[key]) for key in npz.files}
-    except Exception as error:
-        raise CheckpointError(
-            f"checkpoint arrays {arrays_path} are unreadable ({error}); "
-            "the file may be truncated or corrupt"
-        ) from error
+    # Version-2 manifests carry the layout entry; version-1 checkpoints
+    # (no entry) fall back to the historical arrays.npz.  The mmap-dir
+    # layout restores through read-only file-backed views — every
+    # session-owned buffer below copies out of them, so the restored
+    # manager never aliases the checkpoint files.
+    info = manifest.get("arrays")
+    arrays = read_arrays(
+        bundle,
+        info if isinstance(info, dict) else None,
+        mmap=True,
+        error=CheckpointError,
+    )
 
     actual = arrays_fingerprint(arrays)
     if actual != manifest.get("fingerprint"):

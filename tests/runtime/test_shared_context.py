@@ -1,0 +1,259 @@
+"""Shared-context delivery: pack/unpack round-trips and pool equivalence."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    SharedMemoryError,
+    TaskRunner,
+    leaked_segments,
+    pack_context,
+    register_context_exporter,
+    unpack_context,
+)
+from repro.runtime import shm as shm_module
+from repro.runtime.shm import PackedContext, _resolve_rebuilder
+
+
+def _unpack_and_close(packed):
+    """Unpack in-process and release the attach mapping immediately.
+
+    Workers keep the attached block alive for their whole life; tests
+    attach in the test process, so the mapping is dropped right away to
+    keep the lifecycle assertions (`leaked_segments() == []`) sharp.
+    """
+    rebuilt = unpack_context(packed)
+    # Materialize the views before the mapping goes away.
+    materialized = _deep_copy_arrays(rebuilt)
+    shm_module._ATTACHED_BLOCKS.pop().close()
+    return materialized
+
+
+def _deep_copy_arrays(obj):
+    if isinstance(obj, np.ndarray):
+        return np.array(obj)
+    if isinstance(obj, dict):
+        return {key: _deep_copy_arrays(value) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_deep_copy_arrays(value) for value in obj)
+    if isinstance(obj, list):
+        return [_deep_copy_arrays(value) for value in obj]
+    return obj
+
+
+def _assert_same_structure(actual, expected):
+    if isinstance(expected, np.ndarray):
+        assert isinstance(actual, np.ndarray)
+        assert actual.dtype == expected.dtype
+        np.testing.assert_array_equal(actual, expected)
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected)
+        for key in expected:
+            _assert_same_structure(actual[key], expected[key])
+    elif isinstance(expected, (list, tuple)):
+        assert type(actual) is type(expected) and len(actual) == len(expected)
+        for left, right in zip(actual, expected):
+            _assert_same_structure(left, right)
+    else:
+        assert actual == expected
+
+
+# --------------------------------------------------------------------- #
+# Module-level task functions (process workers must pickle them)
+# --------------------------------------------------------------------- #
+
+
+def _weighted_row(task, context):
+    row = context["matrix"][task]
+    return (row * context["params"]["weights"]).sum() + context["params"]["bias"]
+
+
+def _row_stats(task, context):
+    row = context["matrix"][task]
+    return [float(row.min()), float(row.max()), float(row @ row)]
+
+
+class TestPackContext:
+    def test_no_array_context_passes_through(self):
+        context = {"factor": 10, "label": "plain"}
+        packed, block = pack_context(context)
+        assert packed is context
+        assert block is None
+
+    def test_nested_round_trip(self):
+        rng = np.random.default_rng(5)
+        context = {
+            "matrix": rng.standard_normal((9, 3)),
+            "params": {"weights": rng.standard_normal(3), "bias": 0.25},
+            "chunks": [rng.integers(0, 9, size=4), rng.integers(0, 9, size=2)],
+            "pair": (np.arange(6), "label"),
+            "nothing": None,
+            "flag": True,
+        }
+        packed, block = pack_context(context)
+        assert isinstance(packed, PackedContext)
+        try:
+            rebuilt = _unpack_and_close(packed)
+        finally:
+            block.close()
+        _assert_same_structure(rebuilt, context)
+        assert leaked_segments() == []
+
+    def test_packed_context_pickles_small(self):
+        context = {"big": np.zeros(200_000), "note": "tiny template"}
+        packed, block = pack_context(context)
+        try:
+            assert len(pickle.dumps(packed)) < 4096
+        finally:
+            block.close()
+
+    def test_unpacked_arrays_are_read_only_views(self):
+        packed, block = pack_context({"x": np.arange(8.0)})
+        try:
+            rebuilt = unpack_context(packed)
+            assert not rebuilt["x"].flags.writeable
+            shm_module._ATTACHED_BLOCKS.pop().close()
+        finally:
+            block.close()
+
+    @given(
+        context=st.recursive(
+            st.one_of(
+                st.integers(-100, 100),
+                st.text(max_size=4),
+                st.none(),
+                st.booleans(),
+                st.lists(
+                    st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=6
+                ).map(lambda xs: np.asarray(xs, dtype=np.float64)),
+                st.lists(st.integers(-1000, 1000), min_size=1, max_size=6).map(
+                    lambda xs: np.asarray(xs, dtype=np.int64)
+                ),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=3),
+                st.dictionaries(st.text(max_size=3), children, max_size=3),
+                st.tuples(children, children),
+            ),
+            max_leaves=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_nested_context_round_trips(self, context):
+        packed, block = pack_context(context)
+        if block is None:
+            assert packed is context
+            return
+        try:
+            rebuilt = _unpack_and_close(packed)
+        finally:
+            block.close()
+        _assert_same_structure(rebuilt, context)
+
+
+class TestCustomExporters:
+    class _Calibration:
+        def __init__(self, scale, values):
+            self.scale = scale
+            self.values = np.asarray(values)
+
+    @pytest.fixture
+    def calibration_exporter(self):
+        cls = self._Calibration
+        tag = f"{__name__}:_Calibration"
+        register_context_exporter(
+            cls,
+            lambda obj: ({"values": obj.values}, obj.scale),
+            lambda meta, arrays: cls(meta, arrays["values"]),
+            tag=tag,
+        )
+        yield tag
+        shm_module._EXPORTERS.pop(cls, None)
+        shm_module._REBUILDERS.pop(tag, None)
+
+    def test_registered_type_round_trips(self, calibration_exporter):
+        original = self._Calibration(2.5, np.arange(12.0))
+        packed, block = pack_context({"calibration": original, "n": 3})
+        try:
+            rebuilt = unpack_context(packed)
+            attached = shm_module._ATTACHED_BLOCKS.pop()
+            try:
+                # Assert while the attach mapping is live: the rebuilt
+                # object's arrays are zero-copy views into the block.
+                assert isinstance(rebuilt["calibration"], self._Calibration)
+                assert rebuilt["calibration"].scale == 2.5
+                np.testing.assert_array_equal(
+                    rebuilt["calibration"].values, original.values
+                )
+                assert rebuilt["n"] == 3
+            finally:
+                del rebuilt
+                attached.close()
+        finally:
+            block.close()
+        assert leaked_segments() == []
+
+    def test_unknown_rebuilder_tag_raises(self):
+        with pytest.raises(SharedMemoryError, match="no context rebuilder"):
+            _resolve_rebuilder("repro.runtime.shm:NotARegisteredType")
+
+
+class TestPoolEquivalence:
+    @pytest.fixture(scope="class")
+    def context(self):
+        rng = np.random.default_rng(29)
+        return {
+            "matrix": rng.standard_normal((40, 6)),
+            "params": {"weights": rng.standard_normal(6), "bias": -0.5},
+        }
+
+    @pytest.mark.parametrize("max_workers", [1, 2, 4])
+    @pytest.mark.parametrize("function", [_weighted_row, _row_stats])
+    def test_shared_equals_pickle_equals_serial(self, context, function, max_workers):
+        """The acceptance property: shared delivery is bitwise invisible."""
+        tasks = list(range(len(context["matrix"])))
+        expected = TaskRunner("serial").map(function, tasks, context=context)
+        runner = TaskRunner("process", max_workers=max_workers)
+        pickled = runner.map(function, tasks, context=context, context_mode="pickle")
+        shared = runner.map(function, tasks, context=context, context_mode="shared")
+        assert pickled == expected
+        assert shared == expected
+        assert leaked_segments() == []
+
+    def test_shared_mode_with_file_backend(self, context, monkeypatch, tmp_path):
+        monkeypatch.setenv(shm_module.SHM_BACKEND_ENV_VAR, "file")
+        monkeypatch.setenv(shm_module.SHM_DIR_ENV_VAR, str(tmp_path))
+        tasks = list(range(len(context["matrix"])))
+        expected = TaskRunner("serial").map(_weighted_row, tasks, context=context)
+        shared = TaskRunner("process", max_workers=2).map(
+            _weighted_row, tasks, context=context, context_mode="shared"
+        )
+        assert shared == expected
+        assert leaked_segments() == []
+
+    def test_thread_backend_ignores_context_mode(self, context):
+        tasks = list(range(8))
+        expected = TaskRunner("serial").map(_weighted_row, tasks, context=context)
+        shared = TaskRunner("thread", max_workers=2).map(
+            _weighted_row, tasks, context=context, context_mode="shared"
+        )
+        assert shared == expected
+
+    def test_invalid_context_mode_rejected(self):
+        with pytest.raises(ValueError, match="context_mode"):
+            TaskRunner("serial").map(_weighted_row, [0], context={}, context_mode="zap")
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            TaskRunner("process", max_workers=2).map(abs, [1, 2], chunksize=0)
+
+    @pytest.mark.parametrize("chunksize", [1, 3, 64])
+    def test_chunksize_override_preserves_results(self, chunksize):
+        runner = TaskRunner("process", max_workers=2)
+        assert runner.map(abs, range(-7, 7), chunksize=chunksize) == [
+            abs(v) for v in range(-7, 7)
+        ]

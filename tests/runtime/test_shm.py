@@ -1,0 +1,203 @@
+"""SharedColumnBlock: export/attach round-trips, fingerprints, lifecycle."""
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import SharedColumnBlock, SharedMemoryError, leaked_segments
+from repro.runtime.shm import SEGMENT_PREFIX, SHM_BACKEND_ENV_VAR, SHM_DIR_ENV_VAR
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _sample_arrays():
+    rng = np.random.default_rng(11)
+    return {
+        "floats": rng.standard_normal((13, 4)),
+        "ints": rng.integers(-9, 9, size=17),
+        "000000/nested/key": np.array([1.5, -2.5]),
+        "bools": np.array([True, False, True]),
+        "names": np.array(["alpha", "beta"], dtype=np.str_),
+        "empty": np.zeros((0, 3)),
+        "scalarish": np.array(7.25),
+    }
+
+
+class TestExportAttach:
+    def test_round_trip_bitwise(self):
+        arrays = _sample_arrays()
+        with SharedColumnBlock.export(arrays) as block:
+            with SharedColumnBlock.attach(block.handle()) as attached:
+                assert set(attached.keys()) == set(arrays)
+                for key, original in arrays.items():
+                    assert attached[key].dtype == np.asarray(original).dtype
+                    np.testing.assert_array_equal(attached[key], original)
+        assert leaked_segments() == []
+
+    def test_views_read_only_on_both_sides(self):
+        with SharedColumnBlock.export({"x": np.arange(6.0)}) as block:
+            assert not block["x"].flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                block["x"][0] = 99.0
+            with SharedColumnBlock.attach(block.handle()) as attached:
+                assert not attached["x"].flags.writeable
+
+    def test_handle_pickles_small(self):
+        payload = {"big": np.zeros(200_000)}  # 1.6 MB of data
+        with SharedColumnBlock.export(payload) as block:
+            pickled = pickle.dumps(block.handle())
+            assert len(pickled) < 2048
+            assert len(pickled) < payload["big"].nbytes // 100
+
+    def test_mapping_interface(self):
+        arrays = _sample_arrays()
+        with SharedColumnBlock.export(arrays) as block:
+            assert len(block) == len(arrays)
+            assert "floats" in block
+            assert "nope" not in block
+            assert set(block.arrays) == set(arrays)
+            assert block.nbytes >= sum(np.asarray(a).nbytes for a in arrays.values())
+            assert "SharedColumnBlock" in repr(block)
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(SharedMemoryError, match="object dtype"):
+            SharedColumnBlock.export({"objs": np.array([{}, []], dtype=object)})
+        assert leaked_segments() == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SharedMemoryError, match="unknown shared-memory backend"):
+            SharedColumnBlock.export({"x": np.arange(3)}, backend="gpu")
+
+    def test_direct_construction_forbidden(self):
+        with pytest.raises(TypeError):
+            SharedColumnBlock()
+
+
+class TestFingerprint:
+    def test_tampered_fingerprint_rejected(self):
+        with SharedColumnBlock.export({"x": np.arange(8.0)}) as block:
+            bogus = dataclasses.replace(block.handle(), fingerprint="0" * 32)
+            with pytest.raises(SharedMemoryError, match="fingerprint"):
+                SharedColumnBlock.attach(bogus)
+            # The failed attach must not leave a dangling mapping.
+            with SharedColumnBlock.attach(bogus, verify=False) as unchecked:
+                np.testing.assert_array_equal(unchecked["x"], np.arange(8.0))
+        assert leaked_segments() == []
+
+    def test_attach_after_owner_close_fails(self):
+        block = SharedColumnBlock.export({"x": np.arange(4)})
+        handle = block.handle()
+        block.close()
+        with pytest.raises(SharedMemoryError):
+            SharedColumnBlock.attach(handle)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        block = SharedColumnBlock.export({"x": np.arange(3)})
+        block.close()
+        block.close()
+        assert leaked_segments() == []
+
+    def test_exception_inside_with_still_unlinks(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedColumnBlock.export({"x": np.arange(5)}):
+                assert leaked_segments() != []
+                raise RuntimeError("boom")
+        assert leaked_segments() == []
+
+    def test_attacher_close_does_not_unlink(self):
+        with SharedColumnBlock.export({"x": np.arange(4.0)}) as block:
+            attached = SharedColumnBlock.attach(block.handle())
+            attached.close()
+            # The owner's segment survives its attacher.
+            with SharedColumnBlock.attach(block.handle()) as again:
+                np.testing.assert_array_equal(again["x"], np.arange(4.0))
+        assert leaked_segments() == []
+
+    def test_atexit_unlinks_in_forgetful_process(self):
+        """A process that never calls close() still leaves no orphans."""
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "import numpy as np\n"
+            "from repro.runtime import SharedColumnBlock\n"
+            "block = SharedColumnBlock.export({{'x': np.arange(64.0)}})\n"
+            "print(block.handle().name)\n"
+            # no close(): the module atexit hook must unlink the segment
+        ).format(src=_SRC)
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        name = result.stdout.strip()
+        assert name.startswith(SEGMENT_PREFIX) or SEGMENT_PREFIX in name
+        assert not any(name in leaked for leaked in leaked_segments())
+
+    def test_attacher_crash_does_not_leak(self, tmp_path):
+        """A worker dying mid-use leaks nothing: only the owner unlinks."""
+        with SharedColumnBlock.export({"x": np.arange(32.0)}) as block:
+            handle_path = tmp_path / "handle.pkl"
+            handle_path.write_bytes(pickle.dumps(block.handle()))
+            script = (
+                "import os, pickle, sys; sys.path.insert(0, {src!r})\n"
+                "import numpy as np\n"
+                "from repro.runtime import SharedColumnBlock\n"
+                "handle = pickle.loads(open({path!r}, 'rb').read())\n"
+                "attached = SharedColumnBlock.attach(handle)\n"
+                "assert float(attached['x'][5]) == 5.0\n"
+                "os._exit(17)\n"  # simulated crash: no close, no atexit
+            ).format(src=_SRC, path=str(handle_path))
+            result = subprocess.run([sys.executable, "-c", script], capture_output=True)
+            assert result.returncode == 17, result.stderr.decode()
+            # The owner still sees (and finally unlinks) the segment.
+            with SharedColumnBlock.attach(block.handle()) as again:
+                np.testing.assert_array_equal(again["x"], np.arange(32.0))
+        assert leaked_segments() == []
+
+
+class TestFileBackend:
+    @pytest.fixture
+    def file_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SHM_BACKEND_ENV_VAR, "file")
+        monkeypatch.setenv(SHM_DIR_ENV_VAR, str(tmp_path))
+        return tmp_path
+
+    def test_round_trip_through_scratch_file(self, file_backend):
+        arrays = _sample_arrays()
+        with SharedColumnBlock.export(arrays) as block:
+            handle = block.handle()
+            assert handle.kind == "file"
+            assert Path(handle.name).parent == file_backend
+            assert Path(handle.name).name.startswith(SEGMENT_PREFIX)
+            with SharedColumnBlock.attach(handle) as attached:
+                for key, original in arrays.items():
+                    np.testing.assert_array_equal(attached[key], original)
+        assert not Path(handle.name).exists()
+        assert leaked_segments() == []
+
+    def test_leaked_segments_sees_open_scratch_files(self, file_backend):
+        with SharedColumnBlock.export({"x": np.arange(3)}) as block:
+            assert block.handle().name in leaked_segments()
+        assert leaked_segments() == []
+
+    def test_explicit_backend_argument_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SHM_BACKEND_ENV_VAR, "shm")
+        monkeypatch.setenv(SHM_DIR_ENV_VAR, str(tmp_path))
+        with SharedColumnBlock.export({"x": np.arange(3)}, backend="file") as block:
+            assert block.handle().kind == "file"
+
+    def test_tampered_scratch_file_fails_fingerprint(self, file_backend):
+        with SharedColumnBlock.export({"x": np.arange(16.0)}) as block:
+            handle = block.handle()
+            schema_offset = handle.schema[0][3]
+            with open(handle.name, "r+b") as scratch:
+                scratch.seek(schema_offset)
+                scratch.write(b"\xff" * 8)
+            with pytest.raises(SharedMemoryError, match="fingerprint"):
+                SharedColumnBlock.attach(handle)
+        assert leaked_segments() == []

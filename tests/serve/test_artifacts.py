@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.features.cache import matcher_fingerprint
+from repro.io.bundle import BundleLayout
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.linear import LinearSVC, LogisticRegression
@@ -234,6 +235,75 @@ def test_manifest_metadata(offline_model, tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# Layouts and memory-mapped loading (format version 2)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("layout", [member.value for member in BundleLayout])
+def test_every_layout_roundtrips_bitwise(classification_data, tmp_path, layout):
+    """All three array layouts reload to bitwise-identical predictions."""
+    X, y, X_new = classification_data
+    model = RandomForestClassifier(n_estimators=6, max_depth=4, random_state=0).fit(X, y)
+    bundle = save_model(model, tmp_path / layout, layout=layout)
+    manifest = read_manifest(bundle)
+    assert manifest["arrays"]["layout"] == layout
+    for loaded in (load_model(bundle), load_model(bundle, mmap=False)):
+        assert np.array_equal(loaded.predict(X_new), model.predict(X_new))
+        assert np.array_equal(loaded.predict_proba(X_new), model.predict_proba(X_new))
+
+
+def test_mmap_dir_load_is_file_backed(classification_data, tmp_path):
+    """The default layout decodes zero-copy onto read-only memmaps."""
+    X, _, X_new = classification_data
+    scaler = StandardScaler().fit(X)
+    bundle = save_model(scaler, tmp_path / "scaler")
+    loaded = load_model(bundle)
+    assert isinstance(loaded.mean_, np.memmap)
+    assert not loaded.mean_.flags.writeable
+    assert np.array_equal(loaded.transform(X_new), scaler.transform(X_new))
+    # mmap=False materializes owned in-RAM copies instead.
+    owned = load_model(bundle, mmap=False)
+    assert not isinstance(owned.mean_, np.memmap)
+    assert np.array_equal(owned.transform(X_new), scaler.transform(X_new))
+
+
+def test_legacy_v1_bundle_still_loads(classification_data, tmp_path):
+    """A format-version-1 manifest (no arrays entry) reads arrays.npz."""
+    X, y, X_new = classification_data
+    model = GaussianNB().fit(X, y)
+    bundle = save_model(model, tmp_path / "v1", layout="npz-compressed")
+    manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+    assert (bundle / ARRAYS_NAME).is_file()
+    manifest["format_version"] = 1
+    del manifest["arrays"]
+    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest))
+    loaded = load_model(bundle)
+    assert np.array_equal(loaded.predict_proba(X_new), model.predict_proba(X_new))
+
+
+def test_mmap_dir_tamper_fails_fingerprint(classification_data, tmp_path):
+    X, _, _ = classification_data
+    bundle = save_model(StandardScaler().fit(X), tmp_path / "tampered-dir")
+    manifest = read_manifest(bundle)
+    target = bundle / "arrays" / next(iter(manifest["arrays"]["files"].values()))
+    payload = np.load(target)
+    np.save(target, payload + 1.0)
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        load_model(bundle)
+
+
+def test_characterizer_mmap_roundtrip_bitwise(offline_model, serve_dataset, tmp_path):
+    """The full characterizer served off memmapped arrays is bitwise exact."""
+    bundle = save_model(offline_model, tmp_path / "mexi-mmap", layout="mmap-dir")
+    loaded = load_model(bundle)
+    cohort = serve_dataset.oaei_matchers
+    assert np.array_equal(loaded.predict(cohort), offline_model.predict(cohort))
+    assert np.array_equal(
+        loaded.predict_proba(cohort), offline_model.predict_proba(cohort)
+    )
+
+
+# --------------------------------------------------------------------- #
 # Failure modes
 # --------------------------------------------------------------------- #
 
@@ -265,7 +335,7 @@ def test_load_rejects_wrong_format_version(classification_data, tmp_path):
 
 def test_load_rejects_truncated_arrays(classification_data, tmp_path):
     X, y, _ = classification_data
-    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "truncated")
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "truncated", layout="npz-compressed")
     arrays_path = bundle / ARRAYS_NAME
     arrays_path.write_bytes(arrays_path.read_bytes()[: arrays_path.stat().st_size // 2])
     with pytest.raises(ArtifactError):
@@ -274,7 +344,7 @@ def test_load_rejects_truncated_arrays(classification_data, tmp_path):
 
 def test_load_rejects_missing_arrays(classification_data, tmp_path):
     X, y, _ = classification_data
-    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "no-arrays")
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "no-arrays", layout="npz-compressed")
     (bundle / ARRAYS_NAME).unlink()
     with pytest.raises(ArtifactError, match="missing"):
         load_model(bundle)
@@ -283,7 +353,7 @@ def test_load_rejects_missing_arrays(classification_data, tmp_path):
 def test_load_rejects_tampered_content(classification_data, tmp_path):
     """Modifying an array without re-signing fails fingerprint verification."""
     X, y, _ = classification_data
-    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "tampered")
+    bundle = save_model(GaussianNB().fit(X, y), tmp_path / "tampered", layout="npz-compressed")
     with np.load(bundle / ARRAYS_NAME, allow_pickle=False) as npz:
         arrays = {key: np.array(npz[key]) for key in npz.files}
     first = next(iter(arrays))
@@ -312,7 +382,7 @@ def test_load_wraps_inconsistent_spec_errors(classification_data, tmp_path):
 
     X, y, _ = classification_data
     tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
-    bundle = save_model(tree, tmp_path / "inconsistent")
+    bundle = save_model(tree, tmp_path / "inconsistent", layout="npz-compressed")
     manifest = json.loads((bundle / MANIFEST_NAME).read_text())
     with np.load(bundle / ARRAYS_NAME, allow_pickle=False) as npz:
         arrays = {key: np.array(npz[key]) for key in npz.files}
@@ -386,3 +456,51 @@ def test_population_missing_arrays(tmp_path):
         np.savez_compressed(handle, format_version=np.int64(1), ids=np.array(["a"]))
     with pytest.raises(ArtifactError, match="missing arrays"):
         load_population(path)
+
+
+@pytest.mark.parametrize("layout", [member.value for member in BundleLayout])
+def test_population_bundle_roundtrip(serve_dataset, tmp_path, layout):
+    """Format-version-2 bundle directories reload with identical behaviour."""
+    original = serve_dataset.oaei_matchers
+    bundle = save_population(original, tmp_path / layout, layout=layout)
+    assert bundle.is_dir()
+    for loaded in (load_population(bundle), load_population(bundle, mmap=False)):
+        assert [m.matcher_id for m in loaded] == [m.matcher_id for m in original]
+        for saved, fresh in zip(original, loaded):
+            assert matcher_fingerprint(fresh) == matcher_fingerprint(saved)
+
+
+def test_population_mmap_dir_slices_are_views(serve_dataset, tmp_path):
+    """mmap-dir populations hand out zero-copy file-backed movement columns."""
+    bundle = save_population(
+        serve_dataset.oaei_matchers, tmp_path / "pop-dir", layout="mmap-dir"
+    )
+    loaded = load_population(bundle)
+    data = loaded[0].movement.data
+    base = data.x
+    while base is not None and not isinstance(base, np.memmap):
+        base = getattr(base, "base", None)
+    assert isinstance(base, np.memmap)
+    assert not data.x.flags.writeable
+
+
+def test_population_bundle_tamper_fails_fingerprint(serve_dataset, tmp_path):
+    bundle = save_population(
+        serve_dataset.oaei_matchers, tmp_path / "pop-dir", layout="mmap-dir"
+    )
+    manifest = json.loads((bundle / "manifest.json").read_text())
+    target = bundle / "arrays" / manifest["arrays"]["files"]["movement_x"]
+    np.save(target, np.load(target) + 1.0)
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        load_population(bundle)
+
+
+def test_population_bundle_rejects_wrong_version(serve_dataset, tmp_path):
+    bundle = save_population(
+        serve_dataset.oaei_matchers, tmp_path / "pop-dir", layout="npz"
+    )
+    manifest = json.loads((bundle / "manifest.json").read_text())
+    manifest["format_version"] = 99
+    (bundle / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactError, match="unsupported population format version"):
+        load_population(bundle)

@@ -184,6 +184,6 @@ def test_cli_inspect(cli_bundle, capsys):
     bundle, _ = cli_bundle
     assert main(["inspect", "--bundle", str(bundle)]) == 0
     output = capsys.readouterr().out
-    assert "repro-model-bundle v1" in output
+    assert "repro-model-bundle v2" in output
     assert "MExICharacterizer" in output
     assert "fingerprint" in output

@@ -38,6 +38,33 @@ def test_service_matches_in_memory_predictions(
     assert np.array_equal(result.probabilities, probabilities)
 
 
+@pytest.mark.parametrize("chunk_size", [3, 64])
+def test_shared_context_mode_matches_pickle_bitwise(
+    offline_bundle, serve_dataset, expected, chunk_size
+):
+    """Shipping the model through shared memory changes nothing observable."""
+    from repro.runtime import leaked_segments
+
+    labels, probabilities = expected
+    service = CharacterizationService.from_bundle(
+        offline_bundle, runtime="process:2", chunk_size=chunk_size, context_mode="shared"
+    )
+    assert service.info()["context_mode"] == "shared"
+    result = service.score_batch(serve_dataset.oaei_matchers)
+    assert np.array_equal(result.labels, labels)
+    assert np.array_equal(result.probabilities, probabilities)
+    # Per-call override back to the pickled oracle is also bitwise equal.
+    pickled = service.score_batch(serve_dataset.oaei_matchers, context_mode="pickle")
+    assert np.array_equal(pickled.labels, labels)
+    assert np.array_equal(pickled.probabilities, probabilities)
+    assert leaked_segments() == []
+
+
+def test_service_rejects_unknown_context_mode(offline_model):
+    with pytest.raises(ValueError, match="context_mode"):
+        CharacterizationService(offline_model, context_mode="zap")
+
+
 def test_service_neural_model_matches_in_memory(neural_model, serve_dataset, tmp_path):
     """The full five-set model scores identically through the service."""
     bundle = save_model(neural_model, tmp_path / "neural")

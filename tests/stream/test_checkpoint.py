@@ -95,6 +95,28 @@ class TestRoundTrip:
                 actual[session_id]["probabilities"], entry["probabilities"]
             )
 
+    @pytest.mark.parametrize("layout", ["npz-compressed", "npz", "mmap-dir"])
+    def test_every_layout_round_trips(
+        self, half_replayed, stream_service, tmp_path, layout
+    ):
+        """All three array layouts restore sessions exactly (v2 bundles)."""
+        bundle = save_checkpoint(half_replayed, tmp_path / layout, layout=layout)
+        manifest = read_checkpoint_manifest(bundle)
+        assert manifest["arrays"]["layout"] == layout
+        restored = load_checkpoint(bundle, stream_service)
+        assert restored.session_ids() == half_replayed.session_ids()
+        for session_id in half_replayed.session_ids():
+            original = half_replayed.session(session_id)
+            copy = restored.session(session_id)
+            np.testing.assert_array_equal(
+                copy.features.heat.counts, original.features.heat.counts
+            )
+            for column in ("x", "y", "codes", "t"):
+                np.testing.assert_array_equal(
+                    getattr(copy.buffer.snapshot(), column),
+                    getattr(original.buffer.snapshot(), column),
+                )
+
     def test_empty_manager_round_trips(self, stream_service, tmp_path):
         bundle = save_checkpoint(SessionManager(stream_service), tmp_path / "empty")
         restored = load_checkpoint(bundle, stream_service)
@@ -148,7 +170,7 @@ class TestCorruption:
             load_checkpoint(bundle, stream_service)
 
     def test_truncated_arrays(self, half_replayed, stream_service, tmp_path):
-        bundle = save_checkpoint(half_replayed, tmp_path / "ckpt")
+        bundle = save_checkpoint(half_replayed, tmp_path / "ckpt", layout="npz-compressed")
         arrays_path = bundle / "arrays.npz"
         arrays_path.write_bytes(arrays_path.read_bytes()[: arrays_path.stat().st_size // 2])
         with pytest.raises(CheckpointError):
@@ -157,7 +179,7 @@ class TestCorruption:
     def test_tampered_arrays_fail_fingerprint(
         self, half_replayed, stream_service, tmp_path
     ):
-        bundle = save_checkpoint(half_replayed, tmp_path / "ckpt")
+        bundle = save_checkpoint(half_replayed, tmp_path / "ckpt", layout="npz-compressed")
         with np.load(bundle / "arrays.npz", allow_pickle=False) as npz:
             arrays = {key: np.array(npz[key]) for key in npz.files}
         arrays["activity"] = arrays["activity"] + 1.0
