@@ -30,6 +30,7 @@ import pytest
 
 from repro.experiments import ExperimentConfig
 from repro.runtime import RUNTIME_ENV_VAR
+from repro.runtime.faults import FAULTS_ENV_VAR
 
 #: Stage name -> seconds, populated by benchmarks through `stage_timings`.
 _STAGE_TIMINGS: dict[str, float] = {}
@@ -43,6 +44,7 @@ BENCH_SERVE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
 BENCH_KERNELS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
 BENCH_STREAM_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
 BENCH_MEMORY_PATH = Path(__file__).resolve().parent / "BENCH_memory.json"
+BENCH_FAULTS_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
@@ -56,14 +58,23 @@ _STREAM_TIMINGS: dict[str, float] = {}
 #: Measurement name -> value, populated through `memory_timings`.
 _MEMORY_TIMINGS: dict[str, float] = {}
 
+#: Measurement name -> value, populated through `fault_timings`.
+_FAULT_TIMINGS: dict[str, float] = {}
+
 
 def _machine_metadata() -> dict:
     """Context every benchmark JSON records alongside its numbers."""
+    fault_plan = os.environ.get(FAULTS_ENV_VAR) or None
     return {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "runtime_backend_env": os.environ.get(RUNTIME_ENV_VAR) or "serial",
+        # Chaos context: numbers taken under an injected fault plan are
+        # not comparable to clean-run trajectories, so every BENCH_*.json
+        # records which plan (if any) the session ran under.
+        "fault_plan": fault_plan,
+        "faults_active": fault_plan is not None,
     }
 
 
@@ -130,6 +141,12 @@ def memory_timings() -> dict[str, float]:
     return _MEMORY_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def fault_timings() -> dict[str, float]:
+    """Mutable registry of fault-tolerance timings, flushed at session end."""
+    return _FAULT_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -151,3 +168,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_KERNEL_TIMINGS, "measurements", BENCH_KERNELS_PATH)
     _flush_timings(_STREAM_TIMINGS, "measurements", BENCH_STREAM_PATH)
     _flush_timings(_MEMORY_TIMINGS, "measurements", BENCH_MEMORY_PATH)
+    _flush_timings(_FAULT_TIMINGS, "measurements", BENCH_FAULTS_PATH)

@@ -12,6 +12,8 @@ from repro.io.bundle import (
     BundleError,
     BundleLayout,
     arrays_fingerprint,
+    atomic_bundle_dir,
+    fsync_dir,
     read_arrays,
     read_bundle_manifest,
     write_arrays,
@@ -21,6 +23,8 @@ __all__ = [
     "BundleError",
     "BundleLayout",
     "arrays_fingerprint",
+    "atomic_bundle_dir",
+    "fsync_dir",
     "read_arrays",
     "read_bundle_manifest",
     "write_arrays",

@@ -43,9 +43,25 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
+from repro.runtime.faults import (
+    DegradedRuntimeWarning,
+    FaultPlan,
+    InjectedFault,
+    _hash_unit,
+    active_injector,
+)
 from repro.runtime.shm import PackedContext, pack_context, unpack_context
 
 _T = TypeVar("_T")
@@ -106,6 +122,155 @@ class _ContextCall:
         return self.function(task, _process_context)
 
 
+@dataclass(frozen=True)
+class Supervision:
+    """Retry / backoff / degradation policy for :meth:`TaskRunner.map`.
+
+    With a policy attached, task failures are retried with exponential
+    backoff (jitter drawn from pre-seeded randomness, so delays are as
+    deterministic as everything else), broken process pools are rebuilt,
+    and a backend that cannot finish the work within its retry budget
+    hands the remainder to the next-safer one (``process`` → ``thread``
+    → ``serial``) with a :class:`~repro.runtime.faults.DegradedRuntimeWarning`.
+    Results stay **bitwise identical** to the unsupervised fault-free
+    run whenever the work completes: retries re-run pure tasks, and the
+    collection order is task order on every backend.
+
+    Attributes
+    ----------
+    max_retries:
+        Failed attempts allowed per task *per backend stage* beyond the
+        first try.  On the last stage (``serial``) exhaustion re-raises
+        the task's error.
+    timeout:
+        Stall timeout (seconds) for the ``process`` stage: if no task
+        completes for this long, the in-flight tasks are marked failed
+        and the pool is rebuilt.  ``None`` disables; ignored by the
+        thread and serial stages (threads cannot be interrupted).
+    backoff_base / backoff_factor / backoff_max:
+        Retry delay ``min(backoff_max, backoff_base * backoff_factor**(attempt-1))``
+        scaled by a deterministic jitter in [0.5, 1.5).  A zero base
+        disables sleeping (the tests' choice).
+    jitter_seed:
+        Seed of the jitter stream.
+    max_pool_rebuilds:
+        Broken-pool events tolerated before the ``process`` stage
+        degrades to ``thread``.
+    degrade:
+        Whether stages degrade at all; with ``False`` the configured
+        backend's exhaustion re-raises immediately.
+    """
+
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter_seed: int = 0
+    max_pool_rebuilds: int = 2
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
+
+    def backoff(self, key: object, attempt: int) -> float:
+        """Deterministic retry delay (seconds) before ``attempt`` of ``key``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(attempt - 1, 0),
+        )
+        return delay * (0.5 + _hash_unit(self.jitter_seed, "backoff", f"{key}|{attempt}"))
+
+
+def _check_task_seams(injector, index: int, attempt: int) -> None:
+    """Consult the task seams through the injector (recording each firing).
+
+    The in-process stages go through :meth:`FaultInjector.fires` rather
+    than the bare plan so ``chaos.fired()`` observability counts what
+    actually fired in this process; process-pool workers carry the plan
+    instead (their injector state is per-process and invisible here).
+    """
+    if injector is None:
+        return
+    if injector.fires("worker.death", key=index, attempt=attempt) or injector.fires(
+        "task.execute", key=index, attempt=attempt
+    ):
+        raise InjectedFault(
+            f"injected task failure (task {index}, attempt {attempt})"
+        )
+
+
+class _SupervisedCall:
+    """Per-task wrapper of the supervised paths: fault seams, then the task.
+
+    Picklable; carries the (tiny) fault plan into process-pool workers,
+    where the ``worker.death`` seam is a real ``os._exit`` crash.  On
+    the in-process backends both seams raise
+    :class:`~repro.runtime.faults.InjectedFault` instead — killing the
+    caller's interpreter is not an absorbable fault.
+    """
+
+    def __init__(
+        self,
+        function: Callable,
+        index: int,
+        attempt: int,
+        plan: Optional[FaultPlan],
+        with_context: bool,
+        in_process_pool: bool,
+    ) -> None:
+        self.function = function
+        self.index = index
+        self.attempt = attempt
+        self.plan = plan
+        self.with_context = with_context
+        self.in_process_pool = in_process_pool
+
+    def __call__(self, task):
+        plan = self.plan
+        if plan is not None:
+            if plan.should_fail("worker.death", key=self.index, attempt=self.attempt):
+                if self.in_process_pool:  # pragma: no cover - dies before reporting
+                    os._exit(3)
+                raise InjectedFault(
+                    f"injected worker death (task {self.index}, attempt {self.attempt})"
+                )
+            if plan.should_fail("task.execute", key=self.index, attempt=self.attempt):
+                raise InjectedFault(
+                    f"injected task failure (task {self.index}, attempt {self.attempt})"
+                )
+        if self.with_context:
+            return self.function(task, _process_context)
+        return self.function(task)
+
+
+def _supervised_process_initializer(
+    context, plan: Optional[FaultPlan], generation: int
+) -> None:
+    """Pool initializer of the supervised process stage.
+
+    The ``worker.start`` seam is keyed on the pool *generation* so plans
+    can express "the first pool comes up broken, its rebuild is
+    healthy"; an initializer failure marks the whole pool broken.
+    """
+    if plan is not None and plan.should_fail("worker.start", key=generation, attempt=0):
+        raise InjectedFault(f"injected worker startup failure (pool generation {generation})")
+    _mark_process_worker_with_context(context)
+
+
+class _TaskStallError(TimeoutError):
+    """A supervised process round saw no completion within the stall timeout."""
+
+
 def in_worker() -> bool:
     """Whether the calling context is a TaskRunner worker (thread or process).
 
@@ -145,7 +310,12 @@ class TaskRunner:
     and shared freely between callers.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        supervision: Optional[Supervision] = None,
+    ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown runtime backend {backend!r}; expected one of {BACKENDS}"
@@ -154,6 +324,7 @@ class TaskRunner:
             raise ValueError("max_workers must be at least 1")
         self.backend = backend
         self.max_workers = max_workers if max_workers is not None else available_workers()
+        self.supervision = supervision
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -188,7 +359,11 @@ class TaskRunner:
         return cls(backend=backend, max_workers=workers)
 
     def __deepcopy__(self, memo: dict) -> "TaskRunner":
-        return TaskRunner(backend=self.backend, max_workers=self.max_workers)
+        return TaskRunner(
+            backend=self.backend,
+            max_workers=self.max_workers,
+            supervision=self.supervision,
+        )
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -202,6 +377,7 @@ class TaskRunner:
         *,
         context_mode: str = "pickle",
         chunksize: Optional[int] = None,
+        supervision: Optional[Supervision] = None,
     ) -> list[_R]:
         """Apply ``function`` to every task, returning results in task order.
 
@@ -238,7 +414,13 @@ class TaskRunner:
             while keeping enough slack for load balancing.  Pass an
             explicit value to pin it (benchmarks do, so their timings are
             not confounded by the heuristic).  Ignored by the serial and
-            thread backends.
+            thread backends, and by supervised process dispatch (which
+            submits per task so failures are attributable).
+        supervision:
+            Retry / backoff / degradation policy (see
+            :class:`Supervision`); defaults to the runner's own.  With
+            ``None`` (the default everywhere) the unsupervised fast
+            path below runs byte-for-byte as before.
 
         Returns
         -------
@@ -255,6 +437,11 @@ class TaskRunner:
         items = list(tasks)
         if not items:
             return []
+        supervision = supervision if supervision is not None else self.supervision
+        if supervision is not None:
+            return self._map_supervised(
+                function, items, context, context_mode, supervision
+            )
         call = function if context is None else (lambda item: function(item, context))
         workers = min(self.max_workers, len(items))
         if self.backend == "serial" or workers == 1 or len(items) == 1:
@@ -286,6 +473,264 @@ class TaskRunner:
             # worker crashes cannot leak it (only the owner unlinks).
             if shared_block is not None:
                 shared_block.close()
+
+    # ------------------------------------------------------------------ #
+    # Supervised execution
+    # ------------------------------------------------------------------ #
+
+    def _map_supervised(
+        self,
+        function: Callable,
+        items: list,
+        context,
+        context_mode: str,
+        supervision: Supervision,
+    ) -> list:
+        """The retrying, degradable engine behind ``map(supervision=...)``.
+
+        Execution walks a backend *chain* (``process`` → ``thread`` →
+        ``serial`` from the configured backend down): each stage gets a
+        fresh per-task retry budget, and tasks a stage cannot finish are
+        handed to the next-safer stage with a
+        :class:`DegradedRuntimeWarning`.  The final stage re-raises on
+        exhaustion.  Completed results are bitwise identical to the
+        unsupervised run — retries re-run pure tasks and results are
+        collected in task order.
+        """
+        injector = active_injector()
+        plan = injector.plan if injector is not None else None
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        backend = self.backend
+        workers = min(self.max_workers, len(items))
+        if backend != "serial" and (workers == 1 or len(items) == 1):
+            backend = "serial"
+        chain: tuple[str, ...] = {
+            "process": ("process", "thread", "serial"),
+            "thread": ("thread", "serial"),
+            "serial": ("serial",),
+        }[backend]
+        if not supervision.degrade:
+            chain = chain[:1]
+        for position, stage in enumerate(chain):
+            final_stage = position == len(chain) - 1
+            if stage == "process":
+                pending, error = self._stage_process(
+                    function, items, context, context_mode,
+                    supervision, plan, results, pending, final_stage,
+                )
+            elif stage == "thread":
+                pending, error = self._stage_thread(
+                    function, items, context, supervision, injector,
+                    results, pending, final_stage,
+                )
+            else:
+                pending, error = self._stage_serial(
+                    function, items, context, supervision, injector,
+                    results, pending, final_stage,
+                )
+            if not pending:
+                return results
+            warnings.warn(
+                DegradedRuntimeWarning(
+                    f"supervised {stage!r} execution could not finish "
+                    f"{len(pending)} of {len(items)} task(s) within its retry "
+                    f"budget (last error: {error!r}); degrading to "
+                    f"{chain[position + 1]!r}"
+                ),
+                stacklevel=3,
+            )
+        raise AssertionError("unreachable: the serial stage completes or raises")
+
+    def _stage_serial(
+        self, function, items, context, supervision, injector, results, pending,
+        final_stage,
+    ) -> tuple[list[int], Optional[BaseException]]:
+        """Serial stage: in-thread retry loop (the last resort re-raises)."""
+        call = function if context is None else (lambda item: function(item, context))
+        remaining: list[int] = []
+        last_error: Optional[BaseException] = None
+        for index in pending:
+            attempt = 0
+            while True:
+                try:
+                    _check_task_seams(injector, index, attempt)
+                    results[index] = call(items[index])
+                    break
+                except Exception as error:
+                    last_error = error
+                    attempt += 1
+                    if attempt > supervision.max_retries:
+                        if final_stage:
+                            raise
+                        remaining.append(index)
+                        break
+                    delay = supervision.backoff(index, attempt)
+                    if delay:
+                        time.sleep(delay)
+        return remaining, last_error
+
+    def _stage_thread(
+        self, function, items, context, supervision, injector, results, pending,
+        final_stage,
+    ) -> tuple[list[int], Optional[BaseException]]:
+        """Thread stage: rounds of submissions, failed tasks retried next round."""
+        call = function if context is None else (lambda item: function(item, context))
+        attempts = {index: 0 for index in pending}
+        errors: dict[int, BaseException] = {}
+        exhausted: list[int] = []
+        last_error: Optional[BaseException] = None
+        current = list(pending)
+
+        def run(index: int):
+            _check_task_seams(injector, index, attempts[index])
+            return call(items[index])
+
+        while current:
+            workers = min(self.max_workers, len(current))
+            with ThreadPoolExecutor(
+                max_workers=workers, initializer=_mark_thread_worker
+            ) as executor:
+                futures = {index: executor.submit(run, index) for index in current}
+                failed: list[int] = []
+                for index, future in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except Exception as error:
+                        errors[index] = error
+                        last_error = error
+                        failed.append(index)
+            retry: list[int] = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] > supervision.max_retries:
+                    if final_stage:
+                        raise errors[index]
+                    exhausted.append(index)
+                else:
+                    retry.append(index)
+            if retry:
+                delay = max(supervision.backoff(index, attempts[index]) for index in retry)
+                if delay:
+                    time.sleep(delay)
+            current = sorted(retry)
+        return sorted(exhausted), last_error
+
+    def _stage_process(
+        self,
+        function,
+        items,
+        context,
+        context_mode,
+        supervision,
+        plan,
+        results,
+        pending,
+        final_stage,
+    ) -> tuple[list[int], Optional[BaseException]]:
+        """Process stage: per-task futures, stall detection, pool rebuilds.
+
+        Tasks are submitted one per future so failures are attributable
+        to a task index.  A broken pool (worker death, failed
+        initializer) or a stall (no completion within
+        ``supervision.timeout``) fails the in-flight tasks, unlinks the
+        round's shared-memory segment, and rebuilds the pool — until the
+        rebuild budget is spent and the remainder degrades.
+        """
+        attempts = {index: 0 for index in pending}
+        errors: dict[int, BaseException] = {}
+        exhausted: list[int] = []
+        last_error: Optional[BaseException] = None
+        current = list(pending)
+        pool_failures = 0
+        generation = 0
+        while current:
+            workers = min(self.max_workers, len(current))
+            shared_block = None
+            payload = context
+            pool_broken = False
+            failed: list[int] = []
+            try:
+                if context is not None and context_mode == "shared":
+                    payload, shared_block = pack_context(context)
+                executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_supervised_process_initializer,
+                    initargs=(payload, plan, generation),
+                )
+                try:
+                    futures = {}
+                    for index in current:
+                        wrapper = _SupervisedCall(
+                            function, index, attempts[index], plan,
+                            with_context=context is not None, in_process_pool=True,
+                        )
+                        futures[executor.submit(wrapper, items[index])] = index
+                    unfinished = set(futures)
+                    while unfinished:
+                        completed, unfinished = wait(
+                            unfinished,
+                            timeout=supervision.timeout,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not completed:
+                            # Stall: nothing finished within the timeout.
+                            pool_broken = True
+                            for future in unfinished:
+                                index = futures[future]
+                                errors[index] = _TaskStallError(
+                                    f"task {index} made no progress within "
+                                    f"{supervision.timeout}s; rebuilding the pool"
+                                )
+                                last_error = errors[index]
+                                failed.append(index)
+                            break
+                        for future in completed:
+                            index = futures[future]
+                            try:
+                                results[index] = future.result()
+                            except BrokenExecutor as error:
+                                pool_broken = True
+                                errors[index] = error
+                                last_error = error
+                                failed.append(index)
+                            except Exception as error:
+                                errors[index] = error
+                                last_error = error
+                                failed.append(index)
+                finally:
+                    executor.shutdown(wait=not pool_broken, cancel_futures=True)
+            finally:
+                # The rebuild path's cleanup guarantee: the round's shared
+                # segment is unlinked before any retry or degradation, so
+                # a crashed pool can never leak a repro_* segment.
+                if shared_block is not None:
+                    shared_block.close()
+            retry: list[int] = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] > supervision.max_retries:
+                    if final_stage:
+                        raise errors[index]
+                    exhausted.append(index)
+                else:
+                    retry.append(index)
+            if pool_broken:
+                pool_failures += 1
+                if pool_failures > supervision.max_pool_rebuilds:
+                    leftovers = sorted(exhausted + retry)
+                    if final_stage and leftovers:
+                        raise last_error if last_error is not None else RuntimeError(
+                            "supervised process pool failed repeatedly"
+                        )
+                    return leftovers, last_error
+            if retry:
+                delay = max(supervision.backoff(index, attempts[index]) for index in retry)
+                if delay:
+                    time.sleep(delay)
+            current = sorted(retry)
+            generation += 1
+        return sorted(exhausted), last_error
 
     def __repr__(self) -> str:
         return f"TaskRunner(backend={self.backend!r}, max_workers={self.max_workers})"
@@ -331,13 +776,15 @@ def parallel_map(
     *,
     context_mode: str = "pickle",
     chunksize: Optional[int] = None,
+    supervision: Optional[Supervision] = None,
 ) -> list[_R]:
     """Map ``function`` over ``tasks`` on the resolved runtime, in task order.
 
     The one-call form of :meth:`TaskRunner.map`: ``runtime`` is resolved
     through :func:`resolve_runner` (explicit spec > ``REPRO_RUNTIME`` >
     ``serial``; always ``serial`` inside a worker) and ``context``,
-    ``context_mode`` and ``chunksize`` are forwarded unchanged.
+    ``context_mode``, ``chunksize`` and ``supervision`` are forwarded
+    unchanged.
 
     Returns
     -------
@@ -346,5 +793,10 @@ def parallel_map(
         backends and worker counts.
     """
     return resolve_runner(runtime).map(
-        function, tasks, context=context, context_mode=context_mode, chunksize=chunksize
+        function,
+        tasks,
+        context=context,
+        context_mode=context_mode,
+        chunksize=chunksize,
+        supervision=supervision,
     )

@@ -60,6 +60,7 @@ from typing import Any, Callable, Iterator, Optional, Union
 import numpy as np
 
 from repro.io.bundle import arrays_fingerprint
+from repro.runtime.faults import active_injector
 
 #: Every shared segment / scratch file starts with this prefix, so leak
 #: checks (tests, CI) can enumerate repo-owned segments unambiguously.
@@ -281,6 +282,12 @@ class SharedColumnBlock:
             If the segment is gone, too small for the schema, or fails
             fingerprint verification.
         """
+        injector = active_injector()
+        if injector is not None and injector.fires("shm.attach", key="attach"):
+            raise SharedMemoryError(
+                f"injected attach failure for segment {handle.name!r} "
+                "(fault seam 'shm.attach', key 'attach')"
+            )
         block = cls._blank()
         block.owner = False
         if handle.kind == "shm":
@@ -471,6 +478,41 @@ def leaked_segments() -> list[str]:
     return leaked
 
 
+def _segment_owner_pid(name: str) -> Optional[int]:
+    """Owner pid encoded in a ``repro_{pid}_{token}`` segment name, if any."""
+    stem = name[len(SEGMENT_PREFIX):] if name.startswith(SEGMENT_PREFIX) else name
+    pid_text = stem.split("_", 1)[0]
+    return int(pid_text) if pid_text.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def orphaned_segments() -> list[str]:
+    """Leaked segments whose owning process is no longer alive.
+
+    Segment names embed the exporting pid (``repro_{pid}_{token}``), so
+    a segment outliving its owner is provably abandoned — the crash-leak
+    signature the supervisor's pool-rebuild cleanup exists to prevent.
+    A subset of :func:`leaked_segments`: segments whose owner is still
+    running (e.g. a concurrently executing test process) are excluded,
+    as are names that do not carry a decodable pid.
+    """
+    orphaned: list[str] = []
+    for path_text in leaked_segments():
+        pid = _segment_owner_pid(Path(path_text).name)
+        if pid is not None and not _pid_alive(pid):
+            orphaned.append(path_text)
+    return orphaned
+
+
 # --------------------------------------------------------------------- #
 # Context packing (TaskRunner integration)
 # --------------------------------------------------------------------- #
@@ -603,6 +645,12 @@ def pack_context(
     template = walk(context)
     if not arrays:
         return context, None
+    injector = active_injector()
+    if injector is not None and injector.fires("shm.attach", key="export"):
+        raise SharedMemoryError(
+            "injected shared-context export failure "
+            "(fault seam 'shm.attach', key 'export')"
+        )
     block = SharedColumnBlock.export(arrays, backend=backend)
     return PackedContext(template=template, handle=block.handle()), block
 

@@ -80,6 +80,7 @@ from repro.nn.recurrent import LSTM
 from repro.io.bundle import (
     BundleLayout,
     arrays_fingerprint,
+    atomic_bundle_dir,
     read_arrays,
     read_bundle_manifest,
     write_arrays,
@@ -880,17 +881,23 @@ def save_model(
     spec = encoder.encode(model)
     spec_json = json.dumps(spec, sort_keys=True)
     bundle = Path(path)
-    info = write_arrays(bundle, encoder.arrays, layout=layout, error=ArtifactError)
-    manifest = {
-        "format": ARTIFACT_FORMAT,
-        "format_version": ARTIFACT_FORMAT_VERSION,
-        "repro_version": repro.__version__,
-        "model_type": type(model).__name__,
-        "arrays": info,
-        "fingerprint": _content_fingerprint(spec_json, encoder.arrays),
-        "spec": spec,
-    }
-    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    # Atomic publication: the bundle is staged next to the target and
+    # renamed into place only once fully written and fsynced, so a crash
+    # mid-save leaves the previous bundle (or nothing), never a torn one.
+    with atomic_bundle_dir(bundle, error=ArtifactError) as staging:
+        info = write_arrays(staging, encoder.arrays, layout=layout, error=ArtifactError)
+        manifest = {
+            "format": ARTIFACT_FORMAT,
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "repro_version": repro.__version__,
+            "model_type": type(model).__name__,
+            "arrays": info,
+            "fingerprint": _content_fingerprint(spec_json, encoder.arrays),
+            "spec": spec,
+        }
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
     return bundle
 
 

@@ -41,6 +41,7 @@ import numpy as np
 from repro.io.bundle import (
     BundleLayout,
     arrays_fingerprint,
+    atomic_bundle_dir,
     read_arrays,
     read_bundle_manifest,
     write_arrays,
@@ -178,17 +179,18 @@ def save_population(
                 handle, format_version=np.int64(_LEGACY_FILE_VERSION), **arrays
             )
         return destination
-    info = write_arrays(destination, arrays, layout=layout, error=ArtifactError)
-    manifest = {
-        "format": POPULATION_FORMAT,
-        "format_version": POPULATION_FORMAT_VERSION,
-        "n_matchers": int(arrays["ids"].shape[0]),
-        "arrays": info,
-        "fingerprint": arrays_fingerprint(arrays),
-    }
-    (destination / "manifest.json").write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-    )
+    with atomic_bundle_dir(destination, error=ArtifactError) as staging:
+        info = write_arrays(staging, arrays, layout=layout, error=ArtifactError)
+        manifest = {
+            "format": POPULATION_FORMAT,
+            "format_version": POPULATION_FORMAT_VERSION,
+            "n_matchers": int(arrays["ids"].shape[0]),
+            "arrays": info,
+            "fingerprint": arrays_fingerprint(arrays),
+        }
+        (staging / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
     return destination
 
 

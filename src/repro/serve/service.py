@@ -29,6 +29,7 @@ on every backend and for every chunk size >= 2 (enforced by
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -39,7 +40,8 @@ from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.core.features.base import FeatureBlock
 from repro.core.features.cache import FeatureBlockCache
 from repro.matching.matcher import HumanMatcher
-from repro.runtime import RuntimeSpec, parallel_map
+from repro.runtime import RuntimeSpec, SharedMemoryError, parallel_map
+from repro.runtime.faults import DegradedRuntimeWarning
 from repro.serve.artifacts import ArtifactError, load_model, read_manifest
 
 #: Default number of matchers scored per task (one TaskRunner unit of work).
@@ -284,13 +286,35 @@ class CharacterizationService:
         if size < 1:
             raise ValueError("chunk_size must be at least 1")
         chunks = _chunked(matchers, size)
-        chunk_blocks = parallel_map(
-            _extract_chunk,
-            chunks,
-            runtime=runtime if runtime is not None else self.runtime,
-            context=self.model,
-            context_mode=context_mode if context_mode is not None else self.context_mode,
-        )
+        mode = context_mode if context_mode is not None else self.context_mode
+        try:
+            chunk_blocks = parallel_map(
+                _extract_chunk,
+                chunks,
+                runtime=runtime if runtime is not None else self.runtime,
+                context=self.model,
+                context_mode=mode,
+            )
+        except SharedMemoryError as error:
+            # A failed shared-memory export/attach must not fail the
+            # batch: fall back to per-worker pickling, which delivers
+            # bitwise-identical blocks (the documented oracle mode).
+            if mode != "shared":
+                raise
+            warnings.warn(
+                DegradedRuntimeWarning(
+                    f"shared-memory model delivery failed ({error}); "
+                    "degrading this batch to context_mode='pickle'"
+                ),
+                stacklevel=2,
+            )
+            chunk_blocks = parallel_map(
+                _extract_chunk,
+                chunks,
+                runtime=runtime if runtime is not None else self.runtime,
+                context=self.model,
+                context_mode="pickle",
+            )
         # Re-insert the extracted blocks into the parent-side cache:
         # process workers' insertions die with the pool, so without this
         # the warm-cache fast path would be backend-dependent.

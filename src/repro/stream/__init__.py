@@ -11,6 +11,11 @@ characterizations stay continuously current:
   over :class:`~repro.matching.events.EventArray`, with
   monotonic-timestamp validation and a bounded reorder window for
   out-of-order arrival;
+* :mod:`repro.stream.quarantine` — :class:`QuarantineLog`: bounded,
+  exactly-counted diversion of malformed / out-of-window / duplicate
+  events for the screened ingest path (live serving keeps going, the
+  committed stream stays bitwise identical to a clean run on the
+  survivors);
 * :mod:`repro.stream.incremental` — online maintainers for the hot
   behavioral features (heat maps, per-type counts, Welford running
   statistics), provably equivalent to batch recomputation;
@@ -30,6 +35,7 @@ from repro.stream.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_FORMAT_VERSION,
     CheckpointError,
+    CheckpointStore,
     load_checkpoint,
     read_checkpoint_manifest,
     save_checkpoint,
@@ -41,11 +47,19 @@ from repro.stream.incremental import (
     SessionFeatureState,
 )
 from repro.stream.ingest import StreamingEventBuffer, StreamOrderError
+from repro.stream.quarantine import (
+    QUARANTINE_REASONS,
+    QuarantinedEvent,
+    QuarantineLog,
+)
 from repro.stream.session import MatcherSession, SessionManager
 
 __all__ = [
     "StreamingEventBuffer",
     "StreamOrderError",
+    "QUARANTINE_REASONS",
+    "QuarantineLog",
+    "QuarantinedEvent",
     "IncrementalHeatMap",
     "IncrementalTypeCounts",
     "IncrementalMotionStats",
@@ -55,6 +69,7 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
+    "CheckpointStore",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_manifest",

@@ -33,9 +33,11 @@ instead of resuming wrong state.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import warnings
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -44,10 +46,13 @@ from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.io.bundle import (
     BundleLayout,
     arrays_fingerprint,
+    atomic_bundle_dir,
+    fsync_dir,
     read_arrays,
     read_bundle_manifest,
     write_arrays,
 )
+from repro.runtime.faults import ReproRuntimeWarning, active_injector
 from repro.matching.events import N_EVENT_TYPES
 from repro.matching.history import Decision
 from repro.matching.mouse import MovementMap
@@ -198,25 +203,41 @@ def save_checkpoint(
     arrays["probabilities"] = probabilities
 
     bundle = Path(path)
-    info = write_arrays(bundle, arrays, layout=layout, error=CheckpointError)
-    bundle_info = getattr(manager.service, "_bundle_info", None) or {}
-    manifest = {
-        "format": CHECKPOINT_FORMAT,
-        "format_version": CHECKPOINT_FORMAT_VERSION,
-        "repro_version": repro.__version__,
-        "n_sessions": len(sessions),
-        "n_evicted": manager.n_evicted,
-        "manager": {
-            "max_sessions": manager.max_sessions,
-            "idle_timeout": manager.idle_timeout,
-            "reorder_window": manager.reorder_window,
-            "screen": list(manager.screen),
-        },
-        "arrays": info,
-        "model_fingerprint": bundle_info.get("fingerprint"),
-        "fingerprint": arrays_fingerprint(arrays),
-    }
-    (bundle / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    injector = active_injector()
+    with atomic_bundle_dir(bundle, error=CheckpointError) as staging:
+        info = write_arrays(staging, arrays, layout=layout, error=CheckpointError)
+        bundle_info = getattr(manager.service, "_bundle_info", None) or {}
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "repro_version": repro.__version__,
+            "n_sessions": len(sessions),
+            "n_evicted": manager.n_evicted,
+            "manager": {
+                "max_sessions": manager.max_sessions,
+                "idle_timeout": manager.idle_timeout,
+                "reorder_window": manager.reorder_window,
+                "screen": list(manager.screen),
+            },
+            "arrays": info,
+            "model_fingerprint": bundle_info.get("fingerprint"),
+            "fingerprint": arrays_fingerprint(arrays),
+        }
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        # The checkpoint.write seam fires after the staging tree is fully
+        # written but before publication — the injected crash a torn
+        # write would have been.  The atomic context discards the staging
+        # dir, so the previous checkpoint (if any) stays intact.
+        if injector is not None:
+            injector.check(
+                "checkpoint.write", key=bundle.name,
+                message=(
+                    f"injected crash while writing checkpoint {bundle.name!r} "
+                    "(before the publishing rename)"
+                ),
+            )
     return bundle
 
 
@@ -244,6 +265,7 @@ def load_checkpoint(
     service: CharacterizationService,
     *,
     on_evict=None,
+    quarantine=None,
 ) -> SessionManager:
     """Restore a :class:`SessionManager` from a checkpoint bundle.
 
@@ -257,6 +279,10 @@ def load_checkpoint(
     on_evict:
         Eviction callback for the restored manager (callbacks are not
         serializable, so they are re-attached explicitly).
+    quarantine:
+        A :class:`~repro.stream.quarantine.QuarantineLog` to attach to
+        the restored manager and sessions (logs are runtime state, not
+        checkpoint payload — counters restart with the new log).
 
     Raises
     ------
@@ -265,6 +291,12 @@ def load_checkpoint(
         model), or unsupported versions.
     """
     bundle = Path(path)
+    injector = active_injector()
+    if injector is not None and injector.fires("checkpoint.read", key=bundle.name):
+        raise CheckpointError(
+            f"injected read failure for checkpoint {bundle.name!r} "
+            "(fault seam 'checkpoint.read')"
+        )
     manifest = read_checkpoint_manifest(bundle)
 
     # Version-2 manifests carry the layout entry; version-1 checkpoints
@@ -301,9 +333,11 @@ def load_checkpoint(
         # An in-memory service carries no fingerprint, so the binding
         # cannot be verified — resume proceeds, but not silently.
         warnings.warn(
-            f"checkpoint {bundle} is bound to model fingerprint {saved_model!r}, "
-            "but the service has no bundle fingerprint to verify against "
-            "(in-memory model); scores may differ from the original run",
+            ReproRuntimeWarning(
+                f"checkpoint {bundle} is bound to model fingerprint {saved_model!r}, "
+                "but the service has no bundle fingerprint to verify against "
+                "(in-memory model); scores may differ from the original run"
+            ),
             stacklevel=2,
         )
 
@@ -315,6 +349,7 @@ def load_checkpoint(
         reorder_window=float(settings.get("reorder_window", 0.0)),
         screen=tuple(settings.get("screen", MovementMap.DEFAULT_SCREEN)),
         on_evict=on_evict,
+        quarantine=quarantine,
     )
     manager.n_evicted = int(manifest.get("n_evicted", 0))
 
@@ -340,6 +375,7 @@ def load_checkpoint(
         session = MatcherSession(
             str(arrays["ids"][index]), shape, screen=screen,
             reorder_window=manager.reorder_window,
+            quarantine=quarantine,
         )
 
         state = {"scalars": arrays["buffer_scalars"][index]}
@@ -374,3 +410,174 @@ def load_checkpoint(
 
         manager._sessions[session.session_id] = session
     return manager
+
+
+# --------------------------------------------------------------------- #
+# Retained checkpoint store
+# --------------------------------------------------------------------- #
+
+#: Name of the pointer file recording the last fully published checkpoint.
+LATEST_GOOD_NAME = "latest-good"
+
+#: Prefix of numbered checkpoint directories inside a store.
+_CHECKPOINT_PREFIX = "ckpt-"
+
+
+class CheckpointStore:
+    """N-deep retention of atomic checkpoints with a ``latest-good`` pointer.
+
+    A store is a directory of numbered checkpoint bundles
+    (``ckpt-000001``, ``ckpt-000002``, …) plus a ``latest-good`` pointer
+    file naming the last fully published one.  :meth:`save` writes each
+    checkpoint through the atomic protocol (stage + fsync + rename),
+    updates the pointer with ``os.replace`` and prunes beyond the
+    retention depth — so the pointer never names a torn bundle.
+    :meth:`restore` starts at the pointer and falls back, newest first,
+    to the newest checkpoint that passes fingerprint verification,
+    warning (:class:`~repro.runtime.faults.ReproRuntimeWarning`) about
+    each one it skips.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created if missing).
+    keep:
+        Retention depth; older checkpoints are pruned after each save.
+    """
+
+    def __init__(self, root, *, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.root = Path(root)
+        self.keep = int(keep)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- listing ------------------------------------------------------- #
+
+    def checkpoints(self) -> list[Path]:
+        """Checkpoint directories present in the store, oldest first."""
+        return sorted(
+            entry
+            for entry in self.root.iterdir()
+            if entry.is_dir() and entry.name.startswith(_CHECKPOINT_PREFIX)
+        )
+
+    def latest_good(self) -> Optional[Path]:
+        """The checkpoint named by the pointer (``None`` when unset/stale)."""
+        pointer = self.root / LATEST_GOOD_NAME
+        try:
+            name = pointer.read_text().strip()
+        except OSError:
+            return None
+        candidate = self.root / name
+        return candidate if name and candidate.is_dir() else None
+
+    def _next_name(self) -> str:
+        existing = self.checkpoints()
+        if not existing:
+            return f"{_CHECKPOINT_PREFIX}000001"
+        newest = existing[-1].name[len(_CHECKPOINT_PREFIX):]
+        number = int(newest) + 1 if newest.isdigit() else len(existing) + 1
+        return f"{_CHECKPOINT_PREFIX}{number:06d}"
+
+    # -- writing ------------------------------------------------------- #
+
+    def save(
+        self,
+        manager: SessionManager,
+        *,
+        layout: Union[str, BundleLayout] = BundleLayout.MMAP_DIR,
+    ) -> Path:
+        """Atomically write the next checkpoint, advance the pointer, prune.
+
+        A failed write (crash or injected ``checkpoint.write`` fault)
+        leaves the store exactly as it was: no new directory, pointer
+        untouched.
+        """
+        bundle = self.root / self._next_name()
+        save_checkpoint(manager, bundle, layout=layout)
+        pointer = self.root / LATEST_GOOD_NAME
+        staged = self.root / f".{LATEST_GOOD_NAME}.tmp.{os.getpid()}"
+        staged.write_text(bundle.name + "\n")
+        with open(staged, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(staged, pointer)
+        fsync_dir(self.root)
+        self.prune()
+        return bundle
+
+    def prune(self) -> list[Path]:
+        """Drop checkpoints beyond the retention depth (never the pointee)."""
+        keep_names = {entry.name for entry in self.checkpoints()[-self.keep:]}
+        pointee = self.latest_good()
+        if pointee is not None:
+            keep_names.add(pointee.name)
+        removed = []
+        for entry in self.checkpoints():
+            if entry.name not in keep_names:
+                shutil.rmtree(entry, ignore_errors=True)
+                removed.append(entry)
+        return removed
+
+    # -- restoring ----------------------------------------------------- #
+
+    def restore(
+        self,
+        service: CharacterizationService,
+        *,
+        on_evict=None,
+        quarantine=None,
+    ) -> SessionManager:
+        """Restore from the newest verifiable checkpoint.
+
+        Tries the ``latest-good`` pointee first, then every remaining
+        checkpoint newest-to-oldest.  A candidate that fails to load —
+        torn bundle, corrupt arrays, fingerprint mismatch, injected
+        ``checkpoint.read`` fault — is skipped with a
+        :class:`~repro.runtime.faults.ReproRuntimeWarning`; the first
+        one that verifies wins.
+
+        Raises
+        ------
+        CheckpointError
+            When the store holds no loadable checkpoint at all.
+        """
+        candidates: list[Path] = []
+        pointee = self.latest_good()
+        if pointee is not None:
+            candidates.append(pointee)
+        for entry in reversed(self.checkpoints()):
+            if pointee is None or entry.name != pointee.name:
+                candidates.append(entry)
+        if not candidates:
+            raise CheckpointError(f"checkpoint store {self.root} is empty")
+        failures: list[str] = []
+        for candidate in candidates:
+            try:
+                manager = load_checkpoint(
+                    candidate, service, on_evict=on_evict, quarantine=quarantine
+                )
+            except CheckpointError as error:
+                failures.append(f"{candidate.name}: {error}")
+                warnings.warn(
+                    ReproRuntimeWarning(
+                        f"checkpoint {candidate.name!r} is not restorable "
+                        f"({error}); falling back to the previous checkpoint"
+                    ),
+                    stacklevel=2,
+                )
+                continue
+            return manager
+        summary = "; ".join(failures)
+        raise CheckpointError(
+            f"no restorable checkpoint in {self.root} "
+            f"({len(failures)} candidate(s) failed: {summary})"
+        )
+
+    def __repr__(self) -> str:
+        pointee = self.latest_good()
+        return (
+            f"CheckpointStore(root={str(self.root)!r}, "
+            f"checkpoints={len(self.checkpoints())}, keep={self.keep}, "
+            f"latest_good={pointee.name if pointee else None!r})"
+        )

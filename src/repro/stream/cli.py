@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,6 +39,7 @@ from repro.core.expert_model import EXPERT_CHARACTERISTICS, characterize_populat
 from repro.core.features.cache import FeatureBlockCache
 from repro.experiments.config import SCALE_NAMES, ExperimentConfig
 from repro.matching.matcher import HumanMatcher
+from repro.runtime.faults import ReproRuntimeWarning
 from repro.serve.service import DEFAULT_CHUNK_SIZE, CharacterizationService
 from repro.simulation.archetypes import Archetype
 from repro.simulation.dataset import build_dataset
@@ -233,11 +234,13 @@ def _replay_command(args: argparse.Namespace) -> int:
     if args.resume:
         manager = load_checkpoint(args.resume, service)
         if args.max_sessions is not None or args.idle_timeout is not None or args.reorder_window:
-            print(
-                "note: --resume restores the manager settings saved in the "
-                "checkpoint; --max-sessions/--idle-timeout/--reorder-window "
-                "flags are ignored",
-                file=sys.stderr,
+            warnings.warn(
+                ReproRuntimeWarning(
+                    "--resume restores the manager settings saved in the "
+                    "checkpoint; --max-sessions/--idle-timeout/--reorder-window "
+                    "flags are ignored"
+                ),
+                stacklevel=2,
             )
     else:
         manager = SessionManager(

@@ -138,6 +138,11 @@ class StreamingEventBuffer:
         self._floor = -np.inf  # raised by flush(); commits below it are final
         self._arrivals = 0
         self._drained = 0  # committed prefix already handed to drain()
+        # Duplicate tracking for extend_screened(): (t, x, y, code) keys of
+        # events at or above the watermark.  Lazily seeded from snapshot()
+        # on the first screened ingest (covers checkpoint restore), pruned
+        # as the watermark advances.  None until screening is first used.
+        self._recent: Optional[set[tuple[float, float, float, int]]] = None
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -263,6 +268,99 @@ class StreamingEventBuffer:
     def extend_array(self, events: EventArray) -> None:
         """Ingest every event of an :class:`EventArray` (already time-sorted)."""
         self.extend(events.x, events.y, events.codes, events.t)
+
+    def extend_screened(self, x, y, codes, t, quarantine, session_id: str = "") -> int:
+        """Ingest a batch, diverting rejectable events instead of raising.
+
+        The fault-tolerant front-end of :meth:`extend`: each event is
+        screened in arrival order — ``malformed`` (the strict path's
+        ``ValueError`` cases), ``out_of_window`` (its
+        :class:`StreamOrderError` cases) and ``duplicate`` (an exact
+        ``(t, x, y, code)`` payload already accepted at or above the
+        watermark) events are recorded in ``quarantine`` (a
+        :class:`~repro.stream.quarantine.QuarantineLog`) with structured
+        reasons; the survivors are handed to the strict :meth:`extend`
+        unchanged, so the committed stream is bitwise identical to a
+        clean run ingesting only the survivors.
+
+        Ragged columns are still a structural (caller) error and raise
+        ``ValueError`` — screening is per event, not per batch.
+
+        Returns
+        -------
+        int
+            The number of surviving (ingested) events.
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        t = np.asarray(t, dtype=np.float64).ravel()
+        if not (x.size == y.size == codes.size == t.size):
+            raise ValueError("event columns must have equal lengths")
+        if t.size == 0:
+            return 0
+        if self._recent is None:
+            watermark = self.watermark
+            snapshot = self.snapshot()
+            keep = snapshot.t >= watermark
+            self._recent = {
+                (
+                    float(snapshot.t[index]), float(snapshot.x[index]),
+                    float(snapshot.y[index]), int(snapshot.codes[index]),
+                )
+                for index in np.flatnonzero(keep)
+            }
+        survivors: list[int] = []
+        running_max = self._max_t
+        for position in range(t.size):
+            t_i = float(t[position])
+            code_i = int(codes[position])
+            if not np.isfinite(t_i) or t_i < 0 or not 0 <= code_i < N_EVENT_TYPES:
+                quarantine.add(
+                    session_id=session_id, reason="malformed",
+                    detail=(
+                        f"timestamp {t_i!r} must be finite and non-negative"
+                        if not (np.isfinite(t_i) and t_i >= 0)
+                        else f"event code {code_i} outside [0, {N_EVENT_TYPES})"
+                    ),
+                    x=float(x[position]), y=float(y[position]),
+                    code=code_i, t=t_i,
+                )
+                continue
+            new_max = max(running_max, t_i)
+            if self.reorder_window == 0.0:
+                late = t_i < new_max
+            else:
+                late = (new_max - t_i) > self.reorder_window
+            if late or (np.isfinite(self._floor) and t_i < self._floor):
+                quarantine.add(
+                    session_id=session_id, reason="out_of_window",
+                    detail=(
+                        f"t={t_i:.6f}s is {new_max - t_i:.6f}s behind the stream "
+                        f"maximum (window {self.reorder_window:.6f}s)"
+                    ),
+                    x=float(x[position]), y=float(y[position]),
+                    code=code_i, t=t_i,
+                )
+                continue
+            key = (t_i, float(x[position]), float(y[position]), code_i)
+            if key in self._recent:
+                quarantine.add(
+                    session_id=session_id, reason="duplicate",
+                    detail=f"exact payload re-delivered at t={t_i:.6f}s",
+                    x=key[1], y=key[2], code=code_i, t=t_i,
+                )
+                continue
+            self._recent.add(key)
+            survivors.append(position)
+            running_max = new_max
+        if survivors:
+            index = np.asarray(survivors, dtype=np.intp)
+            self.extend(x[index], y[index], codes[index], t[index])
+        watermark = self.watermark
+        if np.isfinite(watermark):
+            self._recent = {key for key in self._recent if key[0] >= watermark}
+        return len(survivors)
 
     def _commit_ready(self) -> None:
         """Move pending events at or below the watermark into the columns.

@@ -35,9 +35,11 @@ from repro.matching.history import Decision, DecisionHistory
 from repro.matching.matcher import HumanMatcher
 from repro.matching.mouse import MovementMap
 from repro.runtime import RuntimeSpec
+from repro.runtime.faults import active_injector
 from repro.serve.service import BatchScores, CharacterizationService
 from repro.stream.incremental import SessionFeatureState
 from repro.stream.ingest import StreamingEventBuffer
+from repro.stream.quarantine import QuarantineLog, corrupt_event_columns
 
 
 class MatcherSession:
@@ -49,6 +51,7 @@ class MatcherSession:
         shape: tuple[int, int],
         screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
         reorder_window: float = 0.0,
+        quarantine: Optional[QuarantineLog] = None,
     ) -> None:
         rows, cols = shape
         if rows <= 0 or cols <= 0:
@@ -58,21 +61,50 @@ class MatcherSession:
         self.screen = (int(screen[0]), int(screen[1]))
         self.buffer = StreamingEventBuffer(reorder_window=reorder_window)
         self.features = SessionFeatureState(self.screen)
+        self.quarantine = quarantine
         self.decisions: list[Decision] = []
         self.dirty = False
         self.last_activity = 0.0  # event time of the newest ingest
         self.last_labels: Optional[np.ndarray] = None
         self.last_probabilities: Optional[np.ndarray] = None
         self.n_characterizations = 0
+        self._ingests = 0  # arrival counter; keys the stream.ingest fault rng
 
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
 
     def ingest_events(self, x, y, codes, t) -> None:
-        """Append a column batch of mouse events and advance the features."""
+        """Append a column batch of mouse events and advance the features.
+
+        With a quarantine log configured the batch goes through the
+        screened path (:meth:`StreamingEventBuffer.extend_screened`):
+        malformed, out-of-window and duplicate events are diverted into
+        the log instead of raising, and the ``stream.ingest`` fault seam
+        (when armed) appends deterministic corruption to exercise exactly
+        that path.  Without a log the strict :meth:`extend` contract is
+        unchanged.
+        """
         before = len(self.buffer)
-        self.buffer.extend(x, y, codes, t)
+        if self.quarantine is not None:
+            injector = active_injector()
+            if injector is not None and injector.fires(
+                "stream.ingest", key=self.session_id
+            ):
+                rng = injector.rng(
+                    "stream.ingest", key=self.session_id, attempt=self._ingests
+                )
+                x, y, codes, t = corrupt_event_columns(
+                    x, y, codes, t, rng,
+                    watermark=self.buffer.watermark,
+                    count=int(rng.integers(1, 4)),
+                )
+            self.buffer.extend_screened(
+                x, y, codes, t, self.quarantine, session_id=self.session_id
+            )
+        else:
+            self.buffer.extend(x, y, codes, t)
+        self._ingests += 1
         self.features.update(self.buffer.drain())
         if len(self.buffer) > before:
             self.last_activity = max(self.last_activity, self.buffer.max_timestamp)
@@ -125,6 +157,8 @@ class MatcherSession:
                 "n_characterizations": self.n_characterizations,
             }
         )
+        if self.quarantine is not None:
+            payload["quarantined"] = self.quarantine.session_counts(self.session_id)
         return payload
 
     def __repr__(self) -> str:
@@ -154,6 +188,11 @@ class SessionManager:
     on_evict:
         Callback invoked with each :class:`MatcherSession` just before it
         is dropped (checkpointing hook).
+    quarantine:
+        A shared :class:`~repro.stream.quarantine.QuarantineLog`; when
+        set, every session ingests through the screened path (malformed /
+        out-of-window / duplicate events diverted instead of raising).
+        ``None`` (default) keeps the strict fail-fast contract.
     """
 
     def __init__(
@@ -165,6 +204,7 @@ class SessionManager:
         reorder_window: float = 0.0,
         screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
         on_evict: Optional[Callable[[MatcherSession], None]] = None,
+        quarantine: Optional[QuarantineLog] = None,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
@@ -178,6 +218,7 @@ class SessionManager:
         self.reorder_window = float(reorder_window)
         self.screen = screen
         self.on_evict = on_evict
+        self.quarantine = quarantine
         self._sessions: "OrderedDict[str, MatcherSession]" = OrderedDict()
         self.n_evicted = 0
 
@@ -215,6 +256,7 @@ class SessionManager:
             shape,
             screen=screen if screen is not None else self.screen,
             reorder_window=self.reorder_window,
+            quarantine=self.quarantine,
         )
         self._sessions[session_id] = session
         self._evict_overflow()
@@ -382,6 +424,9 @@ class SessionManager:
             "max_sessions": self.max_sessions,
             "idle_timeout": self.idle_timeout,
             "reorder_window": self.reorder_window,
+            "quarantined": (
+                self.quarantine.counts() if self.quarantine is not None else None
+            ),
         }
 
     def __repr__(self) -> str:

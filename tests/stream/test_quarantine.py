@@ -1,0 +1,300 @@
+"""Chaos suite: quarantined ingest and crash-safe checkpoint retention.
+
+Two invariants anchor this file:
+
+* **Screening equivalence** — feeding a corrupted stream through
+  :meth:`StreamingEventBuffer.extend_screened` leaves the committed
+  stream bitwise identical to a clean run ingesting only the survivors,
+  and the :class:`QuarantineLog` accounts for every diverted event
+  exactly.
+* **Checkpoint atomicity** — a crash (injected ``checkpoint.write``
+  fault) mid-write leaves a :class:`CheckpointStore` exactly as it was,
+  and restore falls back past corrupt / unreadable checkpoints to the
+  newest verifiable one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import InjectedFault, injected
+from repro.runtime.faults import FaultInjector, FaultPlan, ReproRuntimeWarning
+from repro.stream import QuarantineLog, SessionManager
+from repro.stream.checkpoint import CheckpointError, CheckpointStore, load_checkpoint
+from repro.stream.ingest import StreamingEventBuffer
+from repro.stream.quarantine import (
+    DEFAULT_MAX_RECORDS,
+    QUARANTINE_REASONS,
+    corrupt_event_columns,
+)
+
+from tests.stream.conftest import jittered, random_trace
+
+
+def _random_chunks(rng, n):
+    """Split ``range(n)`` into random contiguous chunk slices."""
+    cuts = np.sort(rng.choice(np.arange(1, n), size=min(4, n - 1), replace=False))
+    bounds = [0, *cuts.tolist(), n]
+    return [slice(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+class TestQuarantineLog:
+    def test_exact_counters(self):
+        log = QuarantineLog(max_records=4)
+        for index in range(10):
+            log.add(
+                session_id=f"s{index % 2}", reason=QUARANTINE_REASONS[index % 3],
+                detail="d", x=1.0, y=2.0, code=0, t=float(index),
+            )
+        assert log.total == 10
+        assert len(log) == 4  # bounded retention ...
+        assert sum(log.by_reason.values()) == 10  # ... exact accounting
+        assert log.session_counts("s0")["malformed"] + log.session_counts("s1")[
+            "malformed"
+        ] == log.by_reason["malformed"]
+        assert log.session_counts("never-seen") == {r: 0 for r in QUARANTINE_REASONS}
+        counts = log.counts()
+        assert counts["total"] == 10 and counts["retained"] == 4
+        assert [event.t for event in log.records()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuarantineLog(max_records=0)
+        log = QuarantineLog()
+        assert log.max_records == DEFAULT_MAX_RECORDS
+        with pytest.raises(ValueError):
+            log.add(
+                session_id="s", reason="gremlins", detail="", x=0, y=0, code=0, t=0.0
+            )
+
+
+class TestCorruptEventColumns:
+    def test_appends_at_end_and_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        x, y, codes, t = random_trace(rng, 20)
+        out_a = corrupt_event_columns(x, y, codes, t, np.random.default_rng(7), count=5)
+        out_b = corrupt_event_columns(x, y, codes, t, np.random.default_rng(7), count=5)
+        for column_a, column_b in zip(out_a, out_b):
+            np.testing.assert_array_equal(column_a, column_b)
+        cx, cy, ccodes, ct = out_a
+        assert ct.size == t.size + 5
+        np.testing.assert_array_equal(cx[: x.size], x)
+        np.testing.assert_array_equal(cy[: y.size], y)
+        np.testing.assert_array_equal(ccodes[: codes.size], codes)
+        np.testing.assert_array_equal(ct[: t.size], t)
+
+
+class TestScreenedEquivalence:
+    """The oracle: screened(corrupted) == strict(clean), bit for bit."""
+
+    @pytest.mark.parametrize("window,lag", [(0.0, 0.0), (0.5, 0.4), (2.0, 1.5)])
+    def test_bitwise_equivalence_with_exact_accounting(self, window, lag):
+        for trial in range(8):
+            rng = np.random.default_rng(100 * trial + int(window * 10))
+            columns = random_trace(rng, 60)
+            if lag:
+                columns = jittered(columns, rng, lag)
+            x, y, codes, t = columns
+
+            clean = StreamingEventBuffer(reorder_window=window)
+            dirty = StreamingEventBuffer(reorder_window=window)
+            quarantine = QuarantineLog()
+            injected_total = 0
+            for chunk in _random_chunks(rng, t.size):
+                clean.extend(x[chunk], y[chunk], codes[chunk], t[chunk])
+                count = int(rng.integers(1, 4))
+                corrupted = corrupt_event_columns(
+                    x[chunk], y[chunk], codes[chunk], t[chunk],
+                    np.random.default_rng(trial * 7 + injected_total),
+                    watermark=dirty.watermark, count=count,
+                )
+                injected_total += count
+                survivors = dirty.extend_screened(
+                    *corrupted, quarantine, session_id="oracle"
+                )
+                assert survivors == chunk.stop - chunk.start
+
+            assert quarantine.total == injected_total
+            assert quarantine.session_counts("oracle") == quarantine.by_reason
+            clean_snapshot = clean.snapshot()
+            dirty_snapshot = dirty.snapshot()
+            np.testing.assert_array_equal(dirty_snapshot.x, clean_snapshot.x)
+            np.testing.assert_array_equal(dirty_snapshot.y, clean_snapshot.y)
+            np.testing.assert_array_equal(dirty_snapshot.codes, clean_snapshot.codes)
+            np.testing.assert_array_equal(dirty_snapshot.t, clean_snapshot.t)
+            assert dirty.watermark == clean.watermark
+
+    def test_redelivered_batch_is_fully_quarantined(self):
+        buffer = StreamingEventBuffer(reorder_window=5.0)
+        quarantine = QuarantineLog()
+        rng = np.random.default_rng(3)
+        x, y, codes, t = random_trace(rng, 25)
+        assert buffer.extend_screened(x, y, codes, t, quarantine) == 25
+        # The at-least-once transport redelivers the whole batch: events
+        # still inside the reorder window are caught as duplicates, the
+        # older ones as out-of-window — nothing is double-counted.
+        assert buffer.extend_screened(x, y, codes, t, quarantine) == 0
+        assert quarantine.total == 25
+        assert quarantine.by_reason["duplicate"] >= 1
+        assert (
+            quarantine.by_reason["duplicate"] + quarantine.by_reason["out_of_window"]
+            == 25
+        )
+
+    def test_ragged_columns_still_raise(self):
+        buffer = StreamingEventBuffer()
+        with pytest.raises(ValueError, match="equal lengths"):
+            buffer.extend_screened([1.0], [1.0, 2.0], [0], [0.5], QuarantineLog())
+
+
+class TestSessionQuarantineIntegration:
+    def test_chaos_scores_match_clean_run(self, stream_service, workload):
+        spec = "stream.ingest:times=99;seed=7"
+
+        clean = SessionManager(stream_service)
+        for matcher in workload:
+            self._feed(clean, matcher)
+        clean.recharacterize()
+        clean_scores = {
+            session_id: (scores["labels"].copy(), scores["probabilities"].copy())
+            for session_id, scores in clean.scores().items()
+        }
+
+        quarantine = QuarantineLog()
+        chaos = SessionManager(stream_service, quarantine=quarantine)
+        with injected(spec):
+            for matcher in workload:
+                self._feed(chaos, matcher)
+        chaos.recharacterize()
+
+        for session_id, scores in chaos.scores().items():
+            np.testing.assert_array_equal(scores["labels"], clean_scores[session_id][0])
+            np.testing.assert_array_equal(
+                scores["probabilities"], clean_scores[session_id][1]
+            )
+
+        # Exact accounting: re-derive each session's injected count from
+        # the same pure rng the seam used.
+        oracle = FaultInjector(FaultPlan.from_spec(spec))
+        expected = sum(
+            int(oracle.rng("stream.ingest", key=m.matcher_id, attempt=0).integers(1, 4))
+            for m in workload
+        )
+        assert quarantine.total == expected
+        stats = chaos.stats()
+        assert stats["quarantined"]["total"] == expected
+        report = chaos.session(workload[0].matcher_id).report()
+        assert sum(report["quarantined"].values()) == sum(
+            quarantine.session_counts(workload[0].matcher_id).values()
+        )
+
+    @staticmethod
+    def _feed(manager, matcher):
+        manager.open(
+            matcher.matcher_id, matcher.history.shape, screen=matcher.movement.screen
+        )
+        data = matcher.movement.data
+        manager.ingest_events(matcher.matcher_id, data.x, data.y, data.codes, data.t)
+        for decision in matcher.history:
+            manager.add_decision(
+                matcher.matcher_id, decision.row, decision.col,
+                decision.confidence, decision.timestamp,
+            )
+
+
+def _small_manager(service, workload, n=2):
+    manager = SessionManager(service)
+    for matcher in workload[:n]:
+        TestSessionQuarantineIntegration._feed(manager, matcher)
+    return manager
+
+
+def _buffer_snapshots(manager):
+    return {
+        session_id: manager.session(session_id).buffer.snapshot()
+        for session_id in manager.session_ids()
+    }
+
+
+class TestCheckpointStore:
+    def test_save_pointer_prune(self, tmp_path, stream_service, workload):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store", keep=2)
+        names = [store.save(manager).name for _ in range(4)]
+        assert names == ["ckpt-000001", "ckpt-000002", "ckpt-000003", "ckpt-000004"]
+        assert [entry.name for entry in store.checkpoints()] == names[-2:]
+        assert store.latest_good().name == "ckpt-000004"
+
+    def test_torn_write_leaves_store_untouched(self, tmp_path, stream_service, workload):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store", keep=3)
+        store.save(manager)
+        before = [entry.name for entry in store.checkpoints()]
+        pointer = store.latest_good().name
+        with injected("checkpoint.write;seed=1"):
+            with pytest.raises(InjectedFault):
+                store.save(manager)
+        assert [entry.name for entry in store.checkpoints()] == before
+        assert store.latest_good().name == pointer
+        residue = [entry.name for entry in store.root.iterdir() if ".tmp" in entry.name]
+        assert residue == []
+        # The store recovers: the very next save publishes normally.
+        assert store.save(manager).name == "ckpt-000002"
+
+    def test_restore_falls_back_past_corruption(self, tmp_path, stream_service, workload):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store", keep=3)
+        good = store.save(manager)
+        bad = store.save(manager)
+        payloads = sorted(
+            path for path in bad.rglob("*") if path.is_file() and path.suffix != ".json"
+        )
+        blob = bytearray(payloads[0].read_bytes())
+        blob[-8:] = b"\xff" * 8
+        payloads[0].write_bytes(bytes(blob))
+
+        with pytest.warns(ReproRuntimeWarning, match="not restorable"):
+            restored = store.restore(stream_service)
+        assert restored.session_ids() == manager.session_ids()
+        oracle = load_checkpoint(good, stream_service)
+        for session_id, snapshot in _buffer_snapshots(restored).items():
+            expected = oracle.session(session_id).buffer.snapshot()
+            np.testing.assert_array_equal(snapshot.t, expected.t)
+            np.testing.assert_array_equal(snapshot.x, expected.x)
+
+    def test_injected_read_faults_exhaust_all_candidates(
+        self, tmp_path, stream_service, workload
+    ):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store", keep=2)
+        store.save(manager)
+        store.save(manager)
+        with injected("checkpoint.read:times=99;seed=0"):
+            with pytest.warns(ReproRuntimeWarning, match="falling back"):
+                with pytest.raises(CheckpointError, match="no restorable checkpoint"):
+                    store.restore(stream_service)
+
+    def test_single_read_fault_falls_back(self, tmp_path, stream_service, workload):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store", keep=3)
+        store.save(manager)
+        store.save(manager)
+        with injected("checkpoint.read:keys=ckpt-000002;seed=0"):
+            with pytest.warns(ReproRuntimeWarning, match="ckpt-000002"):
+                restored = store.restore(stream_service)
+        assert restored.session_ids() == manager.session_ids()
+
+    def test_empty_store_raises(self, tmp_path, stream_service):
+        store = CheckpointStore(tmp_path / "store")
+        with pytest.raises(CheckpointError, match="empty"):
+            store.restore(stream_service)
+
+    def test_restore_attaches_quarantine(self, tmp_path, stream_service, workload):
+        manager = _small_manager(stream_service, workload)
+        store = CheckpointStore(tmp_path / "store")
+        store.save(manager)
+        quarantine = QuarantineLog()
+        restored = store.restore(stream_service, quarantine=quarantine)
+        assert restored.quarantine is quarantine
+        session = restored.session(restored.session_ids()[0])
+        assert session.quarantine is quarantine
+        assert restored.stats()["quarantined"]["total"] == 0
