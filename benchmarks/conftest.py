@@ -45,6 +45,7 @@ BENCH_KERNELS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
 BENCH_STREAM_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
 BENCH_MEMORY_PATH = Path(__file__).resolve().parent / "BENCH_memory.json"
 BENCH_FAULTS_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
+BENCH_SHARD_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
@@ -60,6 +61,9 @@ _MEMORY_TIMINGS: dict[str, float] = {}
 
 #: Measurement name -> value, populated through `fault_timings`.
 _FAULT_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `shard_timings`.
+_SHARD_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -147,6 +151,12 @@ def fault_timings() -> dict[str, float]:
     return _FAULT_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def shard_timings() -> dict[str, float]:
+    """Mutable registry of sharded-serving timings, flushed at session end."""
+    return _SHARD_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -169,3 +179,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_STREAM_TIMINGS, "measurements", BENCH_STREAM_PATH)
     _flush_timings(_MEMORY_TIMINGS, "measurements", BENCH_MEMORY_PATH)
     _flush_timings(_FAULT_TIMINGS, "measurements", BENCH_FAULTS_PATH)
+    _flush_timings(_SHARD_TIMINGS, "measurements", BENCH_SHARD_PATH)

@@ -43,6 +43,18 @@ framework stays a pure decision engine:
     :func:`~repro.stream.checkpoint.load_checkpoint` reports the bundle
     as unreadable, driving :class:`~repro.stream.checkpoint.CheckpointStore`
     fallback.
+``shard.dispatch``
+    :meth:`~repro.shard.ShardFleet` dispatch raises before a batch is
+    enqueued on its shard's queue (keyed ``"{shard}@{sequence}"``); the
+    front-end retries with an explicit attempt counter, so ``times=``
+    within the retry budget is an absorbed transient and anything beyond
+    it surfaces as a dispatch error with exact counters.
+``shard.death``
+    A :class:`~repro.shard.ShardWorker` dies at the top of a queue
+    drain (keyed ``"{shard}@{clock}"``): its entire in-memory state —
+    session manager and queued batches — is discarded, exactly what a
+    killed worker process loses, and the fleet restores it from its
+    latest-good checkpoint.
 
 Selecting a plan
 ----------------
@@ -81,6 +93,8 @@ SEAMS: tuple[str, ...] = (
     "stream.ingest",
     "checkpoint.write",
     "checkpoint.read",
+    "shard.dispatch",
+    "shard.death",
 )
 
 

@@ -1,0 +1,6 @@
+"""``python -m repro.shard`` entry point."""
+
+from repro.shard.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

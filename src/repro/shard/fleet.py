@@ -1,0 +1,754 @@
+"""The sharded serving fleet (:class:`ShardFleet`).
+
+A fleet is N :class:`~repro.shard.worker.ShardWorker`\\ s behind one
+:class:`~repro.shard.router.ShardRouter`: session ids are
+consistent-hash partitioned, every dispatch goes through a bounded
+per-shard queue with explicit backpressure, each shard checkpoints into
+its own :class:`~repro.stream.CheckpointStore`, and a killed shard is
+restored from its latest-good checkpoint and continues bitwise
+identically.
+
+Equivalence contract
+--------------------
+The defining property — enforced by ``tests/shard/test_shard_equivalence.py``
+— is that a fleet replaying a workload is **indistinguishable (per-session
+scores bitwise)** from a single :class:`~repro.stream.SessionManager`
+replaying the same events in the same event-time order, for any shard
+count, dispatch interleaving or rebalance.  Three design rules make
+that provable rather than probabilistic:
+
+* **Canonical batch order.**  Scoring batches are always assembled in
+  sorted-session-id order (``SessionManager.recharacterize(order="id")``
+  is the oracle) — an order invariant under placement, rebalancing and
+  crash-restores, unlike LRU order.
+* **Shards extract, the coordinator classifies.**  Each shard extracts
+  feature rows for its own dirty sessions on its warm per-shard service
+  (chunked >= 2, the serving layer's chunk-equivalence contract); the
+  coordinator scatters the rows into one full-population matrix and
+  classifies **once** — the exact arrays, in the exact row order, the
+  single-manager oracle classifies.  Per-shard classification would put
+  different-shaped matrices through shape-sensitive BLAS kernels; this
+  protocol never does.
+* **Shared model columns.**  Per-shard services are rebuilt zero-copy on
+  the primary model's arrays exported once through
+  :mod:`repro.runtime.shm` (attach by :class:`~repro.runtime.BlockHandle`,
+  never re-pickled), so N shards cost one model's RAM and are bitwise
+  the same model.
+
+Failure surface
+---------------
+Two fault seams (:mod:`repro.runtime.faults`) cover the new moving
+parts: ``shard.dispatch`` (transient enqueue failures, absorbed by a
+bounded retry loop with exact counters) and ``shard.death`` (a worker
+loses all in-memory state and is restored from its checkpoint store).
+``tests/shard/test_shard_chaos.py`` drives both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.expert_model import EXPERT_CHARACTERISTICS
+from repro.core.features.base import FeatureBlock
+from repro.core.features.cache import FeatureBlockCache
+from repro.matching.mouse import MovementMap
+from repro.runtime import RuntimeSpec, parallel_map, resolve_runner
+from repro.runtime.faults import (
+    DegradedRuntimeWarning,
+    InjectedFault,
+    ReproRuntimeWarning,
+    active_injector,
+)
+from repro.runtime.shm import SharedMemoryError, pack_context, unpack_context
+from repro.serve.service import BatchScores, CharacterizationService, _chunked
+from repro.shard.router import ShardRouter
+from repro.shard.worker import DEFAULT_QUEUE_SLOTS, ShardDeath, ShardWorker
+from repro.stream.checkpoint import CheckpointError, CheckpointStore
+from repro.stream.quarantine import QuarantineLog
+from repro.stream.session import MatcherSession
+
+#: Name of the fleet-level manifest written next to the per-shard stores.
+FLEET_MANIFEST_NAME = "fleet.json"
+
+
+class ShardDispatchError(RuntimeError):
+    """A dispatch could not be enqueued within the retry budget."""
+
+
+def _extract_group(task) -> dict[str, FeatureBlock]:
+    """Extract one shard group's feature blocks (module-level for TaskRunner).
+
+    ``task`` is ``(model, matchers, chunk_size)``; chunking follows the
+    serving layer's no-singleton rule, and extracted blocks are stored
+    back into the owning pipeline's cache (warm per-shard caches).
+    """
+    model, matchers, chunk_size = task
+    pipeline = model.pipeline
+    chunks = _chunked(matchers, chunk_size)
+    parts = [pipeline.transform_blocks(chunk) for chunk in chunks]
+    for chunk, blocks in zip(chunks, parts):
+        pipeline.store_blocks(chunk, blocks)
+    return {
+        name: FeatureBlock(
+            parts[0][name].names,
+            np.vstack([part[name].matrix for part in parts]),
+        )
+        for name in pipeline.include
+    }
+
+
+class ShardFleet:
+    """Consistent-hash partitioned session serving across N shard workers.
+
+    Parameters
+    ----------
+    service:
+        The primary (coordinator) :class:`CharacterizationService`.  Its
+        model's arrays are exported once into shared memory and every
+        shard's private service is rebuilt zero-copy on the attached
+        views; if shared-memory export is unavailable the fleet degrades
+        (with a :class:`DegradedRuntimeWarning`) to sharing the model
+        object in-process — never to re-pickling it.
+    n_shards:
+        Number of shard workers.
+    seed / replicas:
+        :class:`ShardRouter` ring parameters.
+    queue_slots:
+        Per-shard dispatch-queue capacity, in batches; a full queue
+        rejects the batch with exact counters (explicit backpressure,
+        never a silent drop).
+    reorder_window / screen / idle_timeout / quarantine:
+        Forwarded to every shard's :class:`~repro.stream.SessionManager`.
+    checkpoint_root:
+        Directory for crash-recovery state: one
+        :class:`~repro.stream.CheckpointStore` per shard
+        (``shard-00/``, ``shard-01/``, …) plus a ``fleet.json``
+        manifest.  ``None`` disables checkpointing (a killed shard then
+        restarts cold).
+    keep:
+        Per-shard checkpoint retention depth.
+    auto_restore:
+        Restore a dead shard from its latest-good checkpoint on the next
+        operation that reaches it (default).  With ``False`` a dead
+        shard raises :class:`~repro.shard.worker.ShardDeadError` until
+        :meth:`restore_shard` is called.
+    max_dispatch_retries:
+        Bounded retry budget for transient ``shard.dispatch`` faults.
+    extract_runtime:
+        :class:`~repro.runtime.TaskRunner` spec for fanning the
+        per-shard extraction groups out (``serial`` or ``thread[:N]``;
+        the ``process`` backend is rejected — it would re-pickle the
+        very model the shared columns exist to avoid shipping).
+    """
+
+    def __init__(
+        self,
+        service: CharacterizationService,
+        n_shards: int,
+        *,
+        seed: int = 0,
+        replicas: Optional[int] = None,
+        queue_slots: int = DEFAULT_QUEUE_SLOTS,
+        reorder_window: float = 0.0,
+        screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+        idle_timeout: Optional[float] = None,
+        quarantine: Optional[QuarantineLog] = None,
+        checkpoint_root=None,
+        keep: int = 3,
+        auto_restore: bool = True,
+        max_dispatch_retries: int = 3,
+        extract_runtime: RuntimeSpec = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if max_dispatch_retries < 0:
+            raise ValueError("max_dispatch_retries must be non-negative")
+        router_kwargs = {} if replicas is None else {"replicas": replicas}
+        self.router = ShardRouter(n_shards, seed=seed, **router_kwargs)
+        self._primary = service
+        self.queue_slots = int(queue_slots)
+        self.keep = int(keep)
+        self.auto_restore = bool(auto_restore)
+        self.max_dispatch_retries = int(max_dispatch_retries)
+        self.checkpoint_root = Path(checkpoint_root) if checkpoint_root else None
+        self._manager_kwargs = {
+            "reorder_window": float(reorder_window),
+            "screen": screen,
+            "idle_timeout": idle_timeout,
+            "quarantine": quarantine,
+        }
+        runner = resolve_runner(extract_runtime)
+        if runner.backend == "process":
+            raise ValueError(
+                "extract_runtime must be serial or thread: process workers would "
+                "re-pickle the shared model the shard services attach by handle"
+            )
+        self.extract_runtime = extract_runtime
+        # Export the model's arrays once; every shard attaches by handle.
+        self._block = None
+        self._packed = None
+        try:
+            packed, block = pack_context(service.model)
+            if block is not None:
+                self._packed, self._block = packed, block
+        except SharedMemoryError as error:
+            warnings.warn(
+                DegradedRuntimeWarning(
+                    f"shared-memory model export failed ({error}); shard services "
+                    "will share the primary model object in-process instead"
+                ),
+                stacklevel=2,
+            )
+        self._workers: list[ShardWorker] = [
+            self._make_worker(shard) for shard in range(n_shards)
+        ]
+        self._clock = 0
+        self._dispatch_seq = 0
+        self.dispatch_faults = 0
+        self.recharacterize_seconds: list[float] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _make_service(self) -> CharacterizationService:
+        """A per-shard service over the shared model columns (or the object)."""
+        if self._packed is not None:
+            model = unpack_context(self._packed, verify=True)
+            cache: Optional[FeatureBlockCache] = FeatureBlockCache()
+        else:
+            # Degraded in-process sharing: one model object, one cache —
+            # a fresh cache per service would clobber the shared
+            # pipeline's cache attachment.
+            model = self._primary.model
+            cache = self._primary.cache
+        return CharacterizationService(
+            model,
+            runtime=self._primary.runtime,
+            chunk_size=self._primary.chunk_size,
+            cache=cache,
+            bundle_info=getattr(self._primary, "_bundle_info", None),
+        )
+
+    def _make_worker(self, shard: int) -> ShardWorker:
+        worker = ShardWorker(
+            shard,
+            self._make_service(),
+            queue_slots=self.queue_slots,
+            manager_kwargs=self._manager_kwargs,
+        )
+        if self.checkpoint_root is not None:
+            worker.store = CheckpointStore(
+                self.checkpoint_root / worker.name, keep=self.keep
+            )
+        return worker
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    @property
+    def clock(self) -> int:
+        """The fleet's logical clock (replay step counter; fault-seam key)."""
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance the logical clock (the replay driver calls this per step)."""
+        self._clock += 1
+        return self._clock
+
+    def close(self) -> None:
+        """Release the shared model block (owner unlink).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._block is not None:
+            self._block.close()
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return sum(
+            len(worker.manager) for worker in self._workers if worker.alive
+        )
+
+    def __contains__(self, session_id: str) -> bool:
+        worker = self._workers[self.router.route(session_id)]
+        if not worker.alive and self.auto_restore:
+            # Membership must reflect what a restore would bring back —
+            # otherwise a caller could "re-open" a session the next
+            # operation's auto-restore resurrects from the checkpoint.
+            worker.restore()
+        return worker.alive and session_id in worker.manager
+
+    def session_ids(self) -> list[str]:
+        """Every live session id, sorted (canonical fleet order)."""
+        ids: list[str] = []
+        for worker in self._workers:
+            if worker.alive:
+                ids.extend(worker.manager.session_ids())
+        return sorted(ids)
+
+    def session(self, session_id: str) -> MatcherSession:
+        """Look up a session on its owning shard.
+
+        Raises
+        ------
+        KeyError
+            If the session does not exist (evicted, or lost with a
+            killed shard and not yet re-created by the replay layer).
+        """
+        worker = self._ensure_alive(self.router.route(session_id))
+        return worker.require_manager().session(session_id)
+
+    def open(
+        self,
+        session_id: str,
+        shape: tuple[int, int],
+        screen: Optional[tuple[int, int]] = None,
+    ) -> MatcherSession:
+        """Create a session on its ring-assigned shard (control op, not queued)."""
+        worker = self._ensure_alive(self.router.route(session_id))
+        return worker.require_manager().open(session_id, shape, screen=screen)
+
+    def evict_idle(self, now: float) -> list[str]:
+        """Evict event-time-idle sessions on every shard (after a flush).
+
+        Idleness is a pure function of each session's own event time, so
+        fleet-wide eviction is deterministic and placement-independent —
+        the same sessions fall out of a single-manager oracle.
+        """
+        self.flush()
+        victims: list[str] = []
+        for worker in self._workers:
+            if worker.alive:
+                victims.extend(worker.manager.evict_idle(now))
+        return victims
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _ensure_alive(self, shard: int) -> ShardWorker:
+        worker = self._workers[shard]
+        if not worker.alive and self.auto_restore:
+            worker.restore()
+        return worker
+
+    def restore_shard(self, shard: int) -> ShardWorker:
+        """Explicitly restore a dead shard from its checkpoint store."""
+        worker = self._workers[shard]
+        if not worker.alive:
+            worker.restore()
+        return worker
+
+    def _drain(self, worker: ShardWorker) -> None:
+        try:
+            worker.drain(self._clock)
+        except ShardDeath:
+            worker.kill()
+            if self.auto_restore:
+                worker.restore()
+
+    def _dispatch(self, kind: str, session_id: str, payload, n_events: int) -> bool:
+        shard = self.router.route(session_id)
+        worker = self._ensure_alive(shard)
+        sequence = self._dispatch_seq
+        self._dispatch_seq += 1
+        injector = active_injector()
+        attempt = 0
+        while injector is not None and injector.fires(
+            "shard.dispatch", key=f"{shard}@{sequence}", attempt=attempt
+        ):
+            self.dispatch_faults += 1
+            attempt += 1
+            if attempt > self.max_dispatch_retries:
+                raise ShardDispatchError(
+                    f"dispatch {sequence} to shard {shard} failed "
+                    f"{attempt} times (fault seam 'shard.dispatch')"
+                )
+        accepted = worker.submit((kind, session_id, payload), n_events)
+        if accepted and not worker.paused:
+            self._drain(worker)
+        return accepted
+
+    def ingest_events(self, session_id: str, x, y, codes, t) -> bool:
+        """Route a column batch of mouse events to its shard.
+
+        Returns ``True`` when the batch was accepted (enqueued exactly
+        once) and ``False`` when backpressure rejected it whole — the
+        caller retries later; nothing was partially applied.
+        """
+        t = np.asarray(t)
+        return self._dispatch("events", session_id, (x, y, codes, t), int(t.size))
+
+    def add_decision(
+        self, session_id: str, row: int, col: int, confidence: float, timestamp: float
+    ) -> bool:
+        """Route one matching decision to its shard (backpressure-aware)."""
+        return self._dispatch(
+            "decision", session_id, (row, col, confidence, timestamp), 1
+        )
+
+    def flush(self) -> int:
+        """Drain every shard's queue (paused shards included); events applied."""
+        applied = 0
+        for worker in self._workers:
+            if not worker.alive:
+                self._ensure_alive(worker.shard_id)
+            if worker.alive and worker.queue_depth:
+                before = worker.counters["processed_events"]
+                self._drain(worker)
+                applied += worker.counters["processed_events"] - before
+        return applied
+
+    def pause(self, shard: int) -> None:
+        """Stop inline drains for a shard (its queue fills; dispatch rejects)."""
+        self._workers[shard].paused = True
+
+    def resume(self, shard: int) -> None:
+        """Resume a paused shard and drain its backlog."""
+        worker = self._workers[shard]
+        worker.paused = False
+        if worker.alive and worker.queue_depth:
+            self._drain(worker)
+
+    # ------------------------------------------------------------------ #
+    # Characterization (the classify-once protocol)
+    # ------------------------------------------------------------------ #
+
+    def recharacterize(
+        self,
+        *,
+        runtime: RuntimeSpec = None,
+        chunk_size: Optional[int] = None,
+        force: bool = False,
+    ) -> BatchScores:
+        """Score every dirty session fleet-wide in one canonical batch.
+
+        Queues are flushed first, then the dirty (or, with ``force``,
+        all scoreable) sessions are assembled in sorted-session-id
+        order, features are extracted per shard on the warm per-shard
+        services, and the fused full-population matrix is classified
+        **once** by the coordinator — bitwise identical to
+        ``SessionManager.recharacterize(order="id")`` on a single
+        manager holding the same sessions (see the module docstring).
+
+        Args
+        ----
+        runtime:
+            Per-call override for the extraction fan-out (``serial`` or
+            ``thread[:N]``; defaults to the fleet's ``extract_runtime``).
+        chunk_size:
+            Per-call extraction chunk override (defaults to the primary
+            service's chunk size).
+        force:
+            Score all scoreable sessions, dirty or not (the full-batch
+            final-scores comparison the chaos suite uses).
+        """
+        self.flush()
+        pending: list[tuple[ShardWorker, MatcherSession]] = []
+        for worker in self._workers:
+            worker = self._ensure_alive(worker.shard_id)
+            pending.extend(
+                (worker, session) for session in worker.pending_sessions(force=force)
+            )
+        pending.sort(key=lambda pair: pair[1].session_id)
+        ids = tuple(session.session_id for _, session in pending)
+        n_labels = len(EXPERT_CHARACTERISTICS)
+        if not pending:
+            return BatchScores(
+                ids, np.zeros((0, n_labels), dtype=int), np.zeros((0, n_labels))
+            )
+        started = time.perf_counter()
+        matchers = [session.matcher() for _, session in pending]
+        size = chunk_size if chunk_size is not None else self._primary.chunk_size
+        blocks = self._extract(pending, matchers, size, runtime=runtime)
+        labels, probabilities = self._primary.model.characterize(
+            matchers, precomputed=blocks
+        )
+        for index, (_, session) in enumerate(pending):
+            session.last_labels = labels[index].copy()
+            session.last_probabilities = probabilities[index].copy()
+            session.n_characterizations += 1
+            session.dirty = False
+        self.recharacterize_seconds.append(time.perf_counter() - started)
+        return BatchScores(ids, labels, probabilities)
+
+    def _extract(
+        self,
+        pending: Sequence[tuple[ShardWorker, MatcherSession]],
+        matchers: list,
+        chunk_size: int,
+        *,
+        runtime: RuntimeSpec = None,
+    ) -> dict[str, FeatureBlock]:
+        """Per-shard extraction groups, scattered back into global row order.
+
+        Each shard's rows are extracted on its own warm service; shards
+        contributing a single matcher are folded into another group (the
+        serving layer's no-singleton rule — batch-1 neural forwards are
+        exempt from the bitwise contract), so every extracted row is
+        bitwise identical to the oracle's extraction of the same matcher
+        inside the full batch.
+        """
+        by_shard: dict[int, list[int]] = {}
+        for row, (worker, _) in enumerate(pending):
+            by_shard.setdefault(worker.shard_id, []).append(row)
+        groups: list[tuple[object, list[int]]] = []  # (model, global row indices)
+        stragglers: list[int] = []
+        for shard, rows in sorted(by_shard.items()):
+            if len(rows) >= 2:
+                groups.append((self._workers[shard].service.model, rows))
+            else:
+                stragglers.extend(rows)
+        if len(stragglers) >= 2 or not groups:
+            # Two-plus stragglers extract together on the coordinator; a
+            # lone global singleton is the whole population (batch-1 on
+            # both paths, bitwise by definition).
+            groups.append((self._primary.model, stragglers))
+        elif stragglers:
+            # One straggler: fold it into an existing >= 2 group.
+            groups[-1][1].extend(stragglers)
+        tasks = [
+            (model, [matchers[row] for row in rows], chunk_size)
+            for model, rows in groups
+        ]
+        spec = runtime if runtime is not None else self.extract_runtime
+        runner = resolve_runner(spec)
+        if runner.backend == "process":
+            raise ValueError(
+                "shard extraction fan-out supports serial or thread runtimes only"
+            )
+        results = parallel_map(_extract_group, tasks, runtime=spec)
+        first = results[0]
+        blocks: dict[str, FeatureBlock] = {}
+        for name in self._primary.model.pipeline.include:
+            width = first[name].matrix.shape[1]
+            matrix = np.empty((len(matchers), width), dtype=first[name].matrix.dtype)
+            for (_, rows), result in zip(groups, results):
+                matrix[rows] = result[name].matrix
+            blocks[name] = FeatureBlock(first[name].names, matrix)
+        return blocks
+
+    def scores(self) -> dict[str, dict[str, np.ndarray]]:
+        """Latest characterization per scored session, sorted by id."""
+        merged: dict[str, dict[str, np.ndarray]] = {}
+        for worker in self._workers:
+            if worker.alive:
+                merged.update(worker.manager.scores())
+        return dict(sorted(merged.items()))
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_shard(self, shard: int):
+        """Checkpoint one shard into its store (flushing its queue first)."""
+        worker = self._ensure_alive(shard)
+        if worker.queue_depth:
+            self._drain(worker)
+        return worker.checkpoint()
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every shard; a failed shard keeps its previous bundle.
+
+        A torn write (crash or injected ``checkpoint.write`` fault)
+        leaves that shard's store exactly as it was — the atomic publish
+        protocol guarantees the ``latest-good`` pointer never names a
+        torn bundle — and the fleet keeps serving: the failure is
+        warned, counted, and the remaining shards still checkpoint.
+
+        Returns the number of shards successfully checkpointed.
+        """
+        if self.checkpoint_root is None:
+            raise ValueError("fleet has no checkpoint_root configured")
+        self.flush()
+        saved = 0
+        for worker in self._workers:
+            try:
+                worker.checkpoint()
+                saved += 1
+            except (CheckpointError, InjectedFault) as error:
+                worker.counters["checkpoint_failures"] = (
+                    worker.counters.get("checkpoint_failures", 0) + 1
+                )
+                warnings.warn(
+                    ReproRuntimeWarning(
+                        f"checkpoint of {worker.name} failed ({error}); its "
+                        "previous latest-good checkpoint is retained"
+                    ),
+                    stacklevel=2,
+                )
+        self._write_manifest()
+        return saved
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": "repro-shard-fleet",
+            "router": self.router.spec(),
+            "clock": self._clock,
+            "queue_slots": self.queue_slots,
+            "keep": self.keep,
+        }
+        target = self.checkpoint_root / FLEET_MANIFEST_NAME
+        staged = self.checkpoint_root / f".{FLEET_MANIFEST_NAME}.tmp.{os.getpid()}"
+        staged.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(staged, target)
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_root,
+        service: CharacterizationService,
+        **kwargs,
+    ) -> "ShardFleet":
+        """Rebuild a whole fleet from its checkpoint root.
+
+        Router configuration and the logical clock come from
+        ``fleet.json``; each shard restores from its own store's
+        latest-good checkpoint (cold when it has none).
+        """
+        root = Path(checkpoint_root)
+        try:
+            manifest = json.loads((root / FLEET_MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"fleet manifest {root / FLEET_MANIFEST_NAME} is unreadable: {error}"
+            )
+        router = ShardRouter.from_spec(manifest["router"])
+        fleet = cls(
+            service,
+            router.n_shards,
+            seed=router.seed,
+            replicas=router.replicas,
+            queue_slots=int(manifest.get("queue_slots", DEFAULT_QUEUE_SLOTS)),
+            keep=int(manifest.get("keep", 3)),
+            checkpoint_root=root,
+            **kwargs,
+        )
+        fleet._clock = int(manifest.get("clock", 0))
+        for worker in fleet._workers:
+            if worker.store is not None and worker.store.checkpoints():
+                worker.manager = worker.store.restore(
+                    worker.service,
+                    quarantine=fleet._manager_kwargs.get("quarantine"),
+                )
+        return fleet
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing
+    # ------------------------------------------------------------------ #
+
+    def rebalance(self, n_shards: int) -> list[str]:
+        """Resize the fleet, moving only the ring-remapped sessions.
+
+        Queues are flushed, workers for added shards are created (over
+        the same shared model columns), every session whose ring owner
+        changed is released by its old shard and adopted — state intact
+        — by its new one, and removed shards are dropped once empty.
+        Consistent hashing keeps the moved fraction ≈ ``1/n_shards``.
+
+        Returns the moved session ids (sorted).
+        """
+        if n_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if n_shards == self.n_shards:
+            return []
+        self.flush()
+        for shard in range(self.n_shards):
+            self._ensure_alive(shard)
+        new_router = self.router.resize(n_shards)
+        while len(self._workers) < n_shards:
+            self._workers.append(self._make_worker(len(self._workers)))
+        moved: list[str] = []
+        for worker in self._workers:
+            if worker.manager is None:
+                continue
+            for session_id in list(worker.manager.session_ids()):
+                target = new_router.route(session_id)
+                if target != worker.shard_id:
+                    session = worker.manager.release(session_id)
+                    self._workers[target].require_manager().adopt(session)
+                    moved.append(session_id)
+        if n_shards < len(self._workers):
+            for worker in self._workers[n_shards:]:
+                assert worker.manager is None or len(worker.manager) == 0
+            self._workers = self._workers[:n_shards]
+        self.router = new_router
+        return sorted(moved)
+
+    # ------------------------------------------------------------------ #
+    # Ops surface
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict:
+        """Liveness summary: ``ok`` when every shard is alive and unpaused."""
+        shards = [
+            {
+                "shard": worker.shard_id,
+                "alive": worker.alive,
+                "paused": worker.paused,
+                "queue_depth": worker.queue_depth,
+            }
+            for worker in self._workers
+        ]
+        healthy = all(entry["alive"] and not entry["paused"] for entry in shards)
+        return {"status": "ok" if healthy else "degraded", "shards": shards}
+
+    def stats(self) -> dict:
+        """Fleet-wide counters plus per-shard detail (the ops surface payload)."""
+        latencies = np.array(self.recharacterize_seconds, dtype=float)
+        latency = None
+        if latencies.size:
+            latency = {
+                "count": int(latencies.size),
+                "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+                "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+                "max_ms": float(latencies.max() * 1e3),
+            }
+        per_shard = [worker.stats() for worker in self._workers]
+        totals = {
+            key: sum(entry[key] for entry in per_shard)
+            for key in (
+                "accepted_batches", "accepted_events", "rejected_batches",
+                "rejected_events", "processed_batches", "processed_events",
+                "lost_batches", "lost_events", "deaths", "restores", "checkpoints",
+            )
+        }
+        return {
+            "n_shards": self.n_shards,
+            "n_sessions": len(self),
+            "clock": self._clock,
+            "dispatch_faults": self.dispatch_faults,
+            "shared_model": self._block is not None,
+            "recharacterize_latency": latency,
+            "totals": totals,
+            "shards": per_shard,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardFleet(shards={self.n_shards}, sessions={len(self)}, "
+            f"clock={self._clock}, shared_model={self._block is not None})"
+        )

@@ -81,13 +81,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_service(args: argparse.Namespace) -> CharacterizationService:
-    """Load the bundle, or fit a laptop-quick offline-feature model in process."""
-    if args.bundle:
+def build_service(
+    bundle: Optional[str] = None,
+    *,
+    scale: str = "tiny",
+    seed: int = 42,
+    runtime=None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> CharacterizationService:
+    """Load a bundle, or fit a laptop-quick offline-feature model in process.
+
+    Shared by ``python -m repro.stream replay`` and the sharded serving
+    CLI (``python -m repro.shard``): both need a scoring service and
+    accept either a persisted artifact bundle or an in-process fit at a
+    named experiment scale.
+    """
+    if bundle:
         return CharacterizationService.from_bundle(
-            args.bundle, runtime=args.runtime, chunk_size=args.chunk_size
+            bundle, runtime=runtime, chunk_size=chunk_size
         )
-    config = ExperimentConfig.from_scale(args.scale, random_state=args.seed)
+    config = ExperimentConfig.from_scale(scale, random_state=seed)
     dataset = build_dataset(
         n_po_matchers=config.n_po_matchers,
         n_oaei_matchers=config.n_oaei_matchers,
@@ -101,8 +114,17 @@ def _build_service(args: argparse.Namespace) -> CharacterizationService:
         cache=FeatureBlockCache(),
     )
     model.fit(dataset.po_matchers, labels_matrix(profiles))
-    return CharacterizationService(
-        model, runtime=args.runtime, chunk_size=args.chunk_size
+    return CharacterizationService(model, runtime=runtime, chunk_size=chunk_size)
+
+
+def _build_service(args: argparse.Namespace) -> CharacterizationService:
+    """Build the replay service from parsed CLI flags."""
+    return build_service(
+        args.bundle,
+        scale=args.scale,
+        seed=args.seed,
+        runtime=args.runtime,
+        chunk_size=args.chunk_size,
     )
 
 

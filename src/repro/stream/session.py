@@ -292,6 +292,41 @@ class SessionManager:
             evicted.append(victim)
         return evicted
 
+    def adopt(self, session: MatcherSession) -> MatcherSession:
+        """Take ownership of an existing session (shard rebalancing hook).
+
+        The session object is registered as-is — buffers, features,
+        decisions and cached scores move wholesale, so a rebalanced
+        session's future behaviour is identical to an unmoved one.  The
+        adopted session is placed at the most-recently-used end and the
+        manager's quarantine log (if any) replaces the session's.
+
+        Raises
+        ------
+        ValueError
+            If a session with the same id is already registered.
+        """
+        if session.session_id in self._sessions:
+            raise ValueError(f"session {session.session_id!r} already exists")
+        session.quarantine = self.quarantine
+        self._sessions[session.session_id] = session
+        self._evict_overflow()
+        return session
+
+    def release(self, session_id: str) -> MatcherSession:
+        """Remove and return a session **without** evicting it.
+
+        Unlike :meth:`evict_idle` / LRU overflow, a release is a
+        transfer of ownership (shard rebalancing): the ``on_evict``
+        callback does not run and ``n_evicted`` does not change.
+
+        Raises
+        ------
+        KeyError
+            If the session does not exist.
+        """
+        return self._sessions.pop(session_id)
+
     def evict_idle(self, now: float) -> list[str]:
         """Drop sessions idle (in event time) longer than ``idle_timeout``.
 
@@ -349,6 +384,8 @@ class SessionManager:
         runtime: RuntimeSpec = None,
         chunk_size: Optional[int] = None,
         session_ids: Optional[Iterable[str]] = None,
+        order: str = "lru",
+        force: bool = False,
     ) -> BatchScores:
         """Score the dirty sessions in one service batch; clear their flags.
 
@@ -367,18 +404,38 @@ class SessionManager:
         session_ids:
             Restrict the pass to these sessions (still only the dirty,
             scoreable ones among them).
+        order:
+            Row order of the scoring batch: ``"lru"`` (default, the
+            historical least-recently-updated-first order) or ``"id"``
+            (sessions sorted by id).  ``"id"`` is the canonical order of
+            the sharded serving layer — it is invariant under session
+            placement, rebalancing and crash-restores, which is what
+            makes a sharded fleet's batches bitwise comparable to this
+            single-manager oracle.
+        force:
+            Score every scoreable session in the selection, dirty or
+            not.  A forced pass puts the whole population through one
+            classification batch, so two managers holding bitwise-equal
+            session states produce bitwise-equal forced scores no matter
+            how their earlier scoring batches were composed.
 
         Returns
         -------
         BatchScores
-            The freshly computed scores, in the scored sessions' LRU
-            order (empty when nothing was dirty).
+            The freshly computed scores, in the requested order (empty
+            when nothing was dirty).
         """
-        if session_ids is None:
-            pending = self.dirty_sessions()
+        if order not in ("lru", "id"):
+            raise ValueError(f"unknown recharacterize order {order!r}; expected 'lru' or 'id'")
+        if force:
+            pending = [s for s in self._sessions.values() if s.scoreable]
         else:
+            pending = self.dirty_sessions()
+        if session_ids is not None:
             wanted = set(session_ids)
-            pending = [s for s in self.dirty_sessions() if s.session_id in wanted]
+            pending = [s for s in pending if s.session_id in wanted]
+        if order == "id":
+            pending.sort(key=lambda session: session.session_id)
         matchers = [session.matcher() for session in pending]
         scores = self.service.score_batch(
             matchers, runtime=runtime, chunk_size=chunk_size

@@ -1,0 +1,95 @@
+"""Backpressure accounting: rejects are explicit, exact, and whole-batch.
+
+The contract under overload is *reject, count, never silently drop*:
+a full shard queue refuses the entire batch (no partial application),
+the per-shard ``rejected_batches``/``rejected_events`` counters match
+the refusals exactly, and every **accepted** event is applied exactly
+once after the shard resumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.shard import ShardFleet, synthetic_traces
+
+
+@pytest.fixture
+def tiny_queue_fleet(shard_service):
+    with ShardFleet(shard_service, 2, seed=1, queue_slots=1) as fleet:
+        yield fleet
+
+
+def _batch(trace, lo, hi):
+    return trace.x[lo:hi], trace.y[lo:hi], trace.codes[lo:hi], trace.t[lo:hi]
+
+
+class TestBackpressure:
+    def test_paused_shard_rejects_overflow_with_exact_counters(
+        self, tiny_queue_fleet
+    ):
+        fleet = tiny_queue_fleet
+        trace = synthetic_traces(1, seed=3, n_events=40, n_decisions=0)[0]
+        session_id = trace.session_id
+        shard = fleet.router.route(session_id)
+        fleet.open(session_id, trace.shape, screen=trace.screen)
+        fleet.pause(shard)
+
+        # Slot 1 fills; everything after is refused, whole batches.
+        outcomes = [
+            fleet.ingest_events(session_id, *_batch(trace, lo, lo + 10))
+            for lo in (0, 10, 20, 30)
+        ]
+        assert outcomes == [True, False, False, False]
+        stats = fleet.stats()["shards"][shard]
+        assert stats["queue_depth"] == 1
+        assert stats["accepted_batches"] == 1
+        assert stats["accepted_events"] == 10
+        assert stats["rejected_batches"] == 3
+        assert stats["rejected_events"] == 30
+        # Nothing applied yet — the queue is paused, not leaking.
+        assert len(fleet.session(session_id).buffer) == 0
+        assert fleet.healthz()["status"] == "degraded"
+
+        fleet.resume(shard)
+        session = fleet.session(session_id)
+        assert len(session.buffer) == 10  # exactly the accepted batch
+        assert np.array_equal(session.buffer.snapshot().t, trace.t[:10])
+        stats = fleet.stats()["shards"][shard]
+        assert stats["processed_events"] == 10
+        assert fleet.healthz()["status"] == "ok"
+
+    def test_rejected_events_can_be_redelivered_without_duplicates(
+        self, tiny_queue_fleet
+    ):
+        """The caller's retry (same cursor) lands every event exactly once."""
+        fleet = tiny_queue_fleet
+        trace = synthetic_traces(1, seed=4, n_events=30, n_decisions=0)[0]
+        session_id = trace.session_id
+        shard = fleet.router.route(session_id)
+        fleet.open(session_id, trace.shape, screen=trace.screen)
+
+        fleet.pause(shard)
+        assert fleet.ingest_events(session_id, *_batch(trace, 0, 10))
+        assert not fleet.ingest_events(session_id, *_batch(trace, 10, 20))
+        fleet.resume(shard)
+        # Cursor-style retry from where the session actually is.
+        cursor = len(fleet.session(session_id).buffer)
+        assert cursor == 10
+        assert fleet.ingest_events(session_id, *_batch(trace, cursor, 30))
+        snapshot = fleet.session(session_id).buffer.snapshot()
+        assert np.array_equal(snapshot.t, trace.t)  # all 30, once each
+
+    def test_decision_rejects_are_counted_as_single_events(self, tiny_queue_fleet):
+        fleet = tiny_queue_fleet
+        trace = synthetic_traces(1, seed=5, n_events=4, n_decisions=3)[0]
+        session_id = trace.session_id
+        shard = fleet.router.route(session_id)
+        fleet.open(session_id, trace.shape, screen=trace.screen)
+        fleet.pause(shard)
+        assert fleet.add_decision(session_id, 0, 0, 0.5, 1.0)
+        assert not fleet.add_decision(session_id, 1, 1, 0.5, 2.0)
+        stats = fleet.stats()["shards"][shard]
+        assert stats["rejected_batches"] == 1
+        assert stats["rejected_events"] == 1
+        fleet.resume(shard)
+        assert len(fleet.session(session_id).decisions) == 1

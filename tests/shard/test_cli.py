@@ -1,0 +1,58 @@
+"""The ``python -m repro.shard`` driver: replay --verify, checkpoints, inspect."""
+
+import json
+
+import pytest
+
+from repro.shard import cli
+from repro.stream import cli as stream_cli
+
+
+@pytest.fixture
+def fast_fleet(shard_service, monkeypatch):
+    """Skip the in-process model fit: serve the shared test model instead."""
+    monkeypatch.setattr(
+        stream_cli, "build_service", lambda *args, **kwargs: shard_service
+    )
+    return shard_service
+
+
+def test_replay_verifies_against_oracle(fast_fleet, capsys):
+    code = cli.main(
+        [
+            "replay", "--sessions", "8", "--shards", "3", "--steps", "3",
+            "--report-every", "1", "--verify",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["verified_bitwise_equal"] is True
+    assert payload["fleet"]["shards"] == 3
+    assert payload["final_scored"] == 8
+    assert payload["stats"]["totals"]["rejected_events"] == 0
+
+
+def test_replay_checkpoint_then_inspect(fast_fleet, tmp_path, capsys):
+    root = str(tmp_path / "fleet-ckpt")
+    code = cli.main(
+        [
+            "replay", "--sessions", "6", "--shards", "2", "--steps", "4",
+            "--report-every", "2", "--checkpoint-root", root,
+            "--checkpoint-every-report",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["replay"]["checkpoints"] >= 2  # 2 shards x >= 1 report
+
+    assert cli.main(["inspect", "--checkpoint-root", root]) == 0
+    inspected = capsys.readouterr().out
+    assert "router:" in inspected
+    assert "shard-00" in inspected and "shard-01" in inspected
+    assert "latest-good" in inspected
+
+
+def test_inspect_missing_root_fails_cleanly(tmp_path, capsys):
+    assert cli.main(["inspect", "--checkpoint-root", str(tmp_path / "nope")]) == 1
+    assert "no fleet manifest" in capsys.readouterr().out

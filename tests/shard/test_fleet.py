@@ -1,0 +1,162 @@
+"""ShardFleet unit behaviour: routing, dispatch faults, degraded mode,
+shared-memory ownership, rebalance bookkeeping, ops payloads."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import DegradedRuntimeWarning, injected
+from repro.shard import (
+    ReplayDriver,
+    ShardDispatchError,
+    ShardFleet,
+    synthetic_traces,
+)
+from repro.shard import fleet as fleet_module
+from repro.runtime.shm import SharedMemoryError
+
+
+@pytest.fixture
+def small_fleet(shard_service):
+    with ShardFleet(shard_service, 3, seed=2, queue_slots=8) as fleet:
+        yield fleet
+
+
+def _open_all(fleet, traces):
+    for trace in traces:
+        fleet.open(trace.session_id, trace.shape, screen=trace.screen)
+
+
+class TestRoutingAndMembership:
+    def test_sessions_live_on_their_ring_shard(self, small_fleet):
+        traces = synthetic_traces(9, seed=1, n_events=4, n_decisions=1)
+        _open_all(small_fleet, traces)
+        assert len(small_fleet) == 9
+        for trace in traces:
+            shard = small_fleet.router.route(trace.session_id)
+            assert trace.session_id in small_fleet._workers[shard].manager
+            assert trace.session_id in small_fleet
+        assert small_fleet.session_ids() == sorted(
+            trace.session_id for trace in traces
+        )
+
+    def test_unknown_session_raises_keyerror(self, small_fleet):
+        with pytest.raises(KeyError):
+            small_fleet.session("never-opened")
+
+    def test_rebalance_moves_about_one_nth(self, shard_service):
+        traces = synthetic_traces(40, seed=6, n_events=4, n_decisions=1)
+        with ShardFleet(shard_service, 4, seed=4) as fleet:
+            _open_all(fleet, traces)
+            moved = fleet.rebalance(5)
+            assert fleet.n_shards == 5
+            assert 0 < len(moved) <= len(traces) // 2
+            assert len(fleet) == len(traces)  # nothing lost, nothing duplicated
+            for trace in traces:  # every session on its new ring shard
+                shard = fleet.router.route(trace.session_id)
+                assert trace.session_id in fleet._workers[shard].manager
+            # Shrinking moves only the removed shard's sessions back.
+            moved_back = fleet.rebalance(4)
+            assert sorted(moved_back) == moved
+            assert fleet.n_shards == 4
+
+    def test_rebalance_to_same_count_is_a_noop(self, small_fleet):
+        assert small_fleet.rebalance(3) == []
+
+
+class TestDispatchFaults:
+    def test_transient_dispatch_faults_are_retried(self, small_fleet):
+        trace = synthetic_traces(1, seed=9, n_events=6, n_decisions=0)[0]
+        small_fleet.open(trace.session_id, trace.shape, screen=trace.screen)
+        with injected("shard.dispatch:p=1.0:times=2;seed=0"):
+            accepted = small_fleet.ingest_events(
+                trace.session_id, trace.x, trace.y, trace.codes, trace.t
+            )
+        assert accepted
+        assert small_fleet.dispatch_faults == 2
+        assert len(small_fleet.session(trace.session_id).buffer) == 6
+
+    def test_exhausted_dispatch_retries_raise(self, shard_service):
+        trace = synthetic_traces(1, seed=9, n_events=6, n_decisions=0)[0]
+        with ShardFleet(
+            shard_service, 2, seed=1, max_dispatch_retries=1
+        ) as fleet:
+            fleet.open(trace.session_id, trace.shape, screen=trace.screen)
+            with injected("shard.dispatch:p=1.0:times=99;seed=0"):
+                with pytest.raises(ShardDispatchError, match="fault seam"):
+                    fleet.ingest_events(
+                        trace.session_id, trace.x, trace.y, trace.codes, trace.t
+                    )
+            # The failed dispatch never reached the queue.
+            assert fleet.stats()["shards"][
+                fleet.router.route(trace.session_id)
+            ]["accepted_batches"] == 0
+
+
+class TestSharedModel:
+    def test_shard_services_share_primary_columns(self, small_fleet):
+        assert small_fleet.stats()["shared_model"]
+        services = {id(worker.service) for worker in small_fleet._workers}
+        assert len(services) == small_fleet.n_shards  # private services...
+        models = {id(worker.service.model) for worker in small_fleet._workers}
+        assert id(small_fleet._primary.model) not in models  # ...rebuilt, not shared
+
+    def test_close_is_idempotent(self, shard_service):
+        fleet = ShardFleet(shard_service, 2)
+        fleet.close()
+        fleet.close()
+
+    def test_degrades_to_object_sharing_when_shm_unavailable(
+        self, shard_service, monkeypatch
+    ):
+        def broken_pack(context, backend=None):
+            raise SharedMemoryError("no segments here")
+
+        monkeypatch.setattr(fleet_module, "pack_context", broken_pack)
+        with pytest.warns(DegradedRuntimeWarning, match="share the primary model"):
+            fleet = ShardFleet(shard_service, 2, seed=1)
+        with fleet:
+            assert not fleet.stats()["shared_model"]
+            for worker in fleet._workers:
+                assert worker.service.model is shard_service.model
+            # Degraded mode still serves correctly.
+            traces = synthetic_traces(6, seed=2, n_events=20, n_decisions=3)
+            driver = ReplayDriver(fleet, traces, steps=2)
+            driver.run()
+            assert driver.final_scores().n_matchers == 6
+
+    def test_process_extract_runtime_is_rejected(self, shard_service):
+        with pytest.raises(ValueError, match="re-pickle"):
+            ShardFleet(shard_service, 2, extract_runtime="process:2")
+
+
+class TestOpsPayloads:
+    def test_stats_totals_add_up(self, small_fleet):
+        traces = synthetic_traces(8, seed=3, n_events=10, n_decisions=2)
+        driver = ReplayDriver(small_fleet, traces, steps=2)
+        driver.run()
+        stats = small_fleet.stats()
+        assert stats["n_shards"] == 3
+        assert stats["n_sessions"] == 8
+        assert stats["totals"]["accepted_events"] == 8 * 10 + 8 * 2
+        assert stats["totals"]["processed_events"] == stats["totals"]["accepted_events"]
+        assert stats["totals"]["rejected_events"] == 0
+        non_empty = sum(1 for scores in driver.reports if scores.n_matchers)
+        assert stats["recharacterize_latency"]["count"] == non_empty
+        assert len(stats["shards"]) == 3
+
+    def test_healthz_reports_every_shard(self, small_fleet):
+        health = small_fleet.healthz()
+        assert health["status"] == "ok"
+        assert [entry["shard"] for entry in health["shards"]] == [0, 1, 2]
+
+    def test_fleet_scores_merge_sorted(self, small_fleet):
+        traces = synthetic_traces(7, seed=8, n_events=16, n_decisions=3)
+        driver = ReplayDriver(small_fleet, traces, steps=2)
+        driver.run()
+        scores = small_fleet.scores()
+        assert list(scores) == sorted(scores)
+        assert len(scores) == 7
+        for entry in scores.values():
+            assert entry["probabilities"].shape == (4,)

@@ -1,0 +1,186 @@
+"""The asyncio ops surface: HTTP semantics over a live fleet.
+
+The server runs on a private event loop in a background thread; the
+tests speak plain ``http.client`` against the ephemeral port — no
+third-party HTTP stack, mirroring the server's own stdlib-only design.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.shard import OpsServer, ShardFleet, synthetic_traces
+
+
+@pytest.fixture
+def ops(shard_service):
+    """A running ops server over a 2-shard fleet with tiny queues."""
+    fleet = ShardFleet(shard_service, 2, seed=1, queue_slots=1)
+    server = OpsServer(fleet, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10)
+    try:
+        yield server, fleet, loop
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+        fleet.close()
+
+
+def request(server, method, path, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        connection.close()
+
+
+def call(loop, fn, *args):
+    """Run a fleet mutation on the server's loop (single-writer discipline)."""
+    done = threading.Event()
+    box = {}
+
+    def _apply():
+        box["result"] = fn(*args)
+        done.set()
+
+    loop.call_soon_threadsafe(_apply)
+    assert done.wait(timeout=10)
+    return box["result"]
+
+
+class TestOpsSurface:
+    def test_healthz_and_stats(self, ops):
+        server, fleet, _ = ops
+        status, health = request(server, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, stats = request(server, "GET", "/stats")
+        assert status == 200
+        assert stats["n_shards"] == 2
+        assert len(stats["shards"]) == 2
+
+    def test_full_session_lifecycle_over_http(self, ops):
+        server, fleet, _ = ops
+        trace = synthetic_traces(1, seed=3, n_events=12, n_decisions=2)[0]
+        status, opened = request(
+            server, "POST", "/sessions/open",
+            {"session_id": trace.session_id, "shape": list(trace.shape)},
+        )
+        assert status == 200
+        assert opened["shard"] == fleet.router.route(trace.session_id)
+
+        status, accepted = request(
+            server, "POST", "/ingest",
+            {
+                "session_id": trace.session_id,
+                "x": trace.x.tolist(), "y": trace.y.tolist(),
+                "codes": trace.codes.tolist(), "t": trace.t.tolist(),
+            },
+        )
+        assert status == 202 and accepted["accepted"]
+        for index in range(trace.n_decisions):
+            status, _ = request(
+                server, "POST", "/decision",
+                {
+                    "session_id": trace.session_id,
+                    "row": int(trace.d_rows[index]), "col": int(trace.d_cols[index]),
+                    "confidence": float(trace.d_conf[index]),
+                    "timestamp": float(trace.d_t[index]),
+                },
+            )
+            assert status == 202
+
+        status, scored = request(server, "POST", "/recharacterize", {})
+        assert status == 200
+        assert scored["matcher_ids"] == [trace.session_id]
+        assert len(scored["probabilities"][0]) == 4
+
+        status, scores = request(server, "GET", "/scores")
+        assert status == 200 and trace.session_id in scores
+
+    def test_backpressure_maps_to_429(self, ops):
+        server, fleet, loop = ops
+        trace = synthetic_traces(1, seed=4, n_events=20, n_decisions=0)[0]
+        shard = fleet.router.route(trace.session_id)
+        request(
+            server, "POST", "/sessions/open",
+            {"session_id": trace.session_id, "shape": list(trace.shape)},
+        )
+        call(loop, fleet.pause, shard)
+        columns = {
+            "session_id": trace.session_id,
+            "x": trace.x[:10].tolist(), "y": trace.y[:10].tolist(),
+            "codes": trace.codes[:10].tolist(), "t": trace.t[:10].tolist(),
+        }
+        status, first = request(server, "POST", "/ingest", columns)
+        assert status == 202
+        status, second = request(server, "POST", "/ingest", columns)
+        assert status == 429
+        assert second["accepted"] is False
+        assert second["rejected_batches"] == 1
+        assert second["rejected_events"] == 10
+        status, health = request(server, "GET", "/healthz")
+        assert status == 503 and health["status"] == "degraded"
+        call(loop, fleet.resume, shard)
+        status, health = request(server, "GET", "/healthz")
+        assert status == 200
+
+    def test_error_shapes(self, ops):
+        server, fleet, loop = ops
+        assert request(server, "GET", "/nope")[0] == 404
+        assert request(server, "DELETE", "/healthz")[0] == 405
+        # Ingest/decision to a never-opened session: 404 *before* dispatch,
+        # so nothing is counted accepted and then lost in the drain.
+        before = call(loop, lambda: fleet.stats()["totals"]["accepted_batches"])
+        status, payload = request(
+            server, "POST", "/ingest",
+            {"session_id": "ghost", "x": [1], "y": [2], "codes": [0], "t": [0.1]},
+        )
+        assert status == 404 and "ghost" in payload["error"]
+        status, _ = request(
+            server, "POST", "/decision",
+            {"session_id": "ghost", "row": 0, "col": 0,
+             "confidence": 0.5, "timestamp": 0.2},
+        )
+        assert status == 404
+        after = call(loop, lambda: fleet.stats()["totals"]["accepted_batches"])
+        assert after == before
+        # Opened session but malformed body (missing columns): 400.
+        call(loop, fleet.open, "err-shapes", (4, 4))
+        assert request(server, "POST", "/ingest", {"session_id": "err-shapes"})[0] == 400
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/recharacterize", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_tick_and_checkpointless_checkpoint(self, ops):
+        server, fleet, _ = ops
+        status, ticked = request(server, "POST", "/tick")
+        assert status == 200 and ticked["clock"] == fleet.clock
+        # No checkpoint_root configured: surfaced as a client error.
+        status, payload = request(server, "POST", "/checkpoint")
+        assert status == 400 and "checkpoint_root" in payload["error"]
