@@ -46,6 +46,7 @@ BENCH_STREAM_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
 BENCH_MEMORY_PATH = Path(__file__).resolve().parent / "BENCH_memory.json"
 BENCH_FAULTS_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
 BENCH_SHARD_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
+BENCH_INGEST_PATH = Path(__file__).resolve().parent / "BENCH_ingest.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
@@ -64,6 +65,9 @@ _FAULT_TIMINGS: dict[str, float] = {}
 
 #: Measurement name -> value, populated through `shard_timings`.
 _SHARD_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `ingest_timings`.
+_INGEST_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -157,6 +161,12 @@ def shard_timings() -> dict[str, float]:
     return _SHARD_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def ingest_timings() -> dict[str, float]:
+    """Mutable registry of adapter-ingestion timings, flushed at session end."""
+    return _INGEST_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -180,3 +190,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_MEMORY_TIMINGS, "measurements", BENCH_MEMORY_PATH)
     _flush_timings(_FAULT_TIMINGS, "measurements", BENCH_FAULTS_PATH)
     _flush_timings(_SHARD_TIMINGS, "measurements", BENCH_SHARD_PATH)
+    _flush_timings(_INGEST_TIMINGS, "measurements", BENCH_INGEST_PATH)

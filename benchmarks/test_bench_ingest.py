@@ -1,0 +1,166 @@
+"""Hostile-input ingestion tax: adapter parse throughput and screening cost.
+
+The adapter registry is the single screening point for external traces,
+so its two costs are what decide whether anyone runs it screened:
+
+* **parse throughput** — strict jsonl and csv reads of a clean simulated
+  cohort, recorded as rows/second (min-of-k wall-clock);
+* **quarantine overhead** — a screened read (fresh
+  :class:`~repro.stream.QuarantineLog`, ``policy="skip"``) of the *same
+  clean file* versus the strict read.  On clean data the screen diverts
+  nothing, so its cost is pure bookkeeping; gate: <= 10% overhead,
+  enforced when ``REPRO_INGEST_GATES=1`` (the ``workflow_dispatch``
+  adversarial bench job sets it).  Fingerprint identity between the two
+  reads is asserted on every run, gates or not.
+* **corrupted-file screening** — a seeded hostile corruption of the
+  cohort file, screened end to end: throughput recorded ungated, the
+  exact-count and survivor-fingerprint invariants asserted always.
+
+Numbers land in ``benchmarks/BENCH_ingest.json`` via the session hook,
+with the usual machine + fault-plan metadata.
+"""
+
+import os
+import time
+
+from repro.adapters import (
+    CsvEventFormat,
+    JsonlTraceFormat,
+    trace_fingerprint,
+    trace_from_matcher,
+)
+from repro.simulation import build_small_task, simulate_population
+from repro.simulation.corruption import write_corrupted_trace
+from repro.stream.quarantine import QuarantineLog
+
+#: Set to "1" to enforce the overhead gate (the CI adversarial job does).
+INGEST_GATES_ENV_VAR = "REPRO_INGEST_GATES"
+
+#: Maximum tolerated screened-read overhead on clean data.
+SCREENING_OVERHEAD_GATE = 0.10
+
+
+def _gates_enforced() -> bool:
+    return os.environ.get(INGEST_GATES_ENV_VAR) == "1"
+
+
+def _min_seconds(function, repeats: int) -> float:
+    function()  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cohort():
+    """A clean simulated cohort, larger under the gates."""
+    n_matchers = 24 if _gates_enforced() else 6
+    pair, reference = build_small_task(random_state=3)
+    cohort = simulate_population(
+        pair, reference, n_matchers=n_matchers, random_state=31, id_prefix="bench"
+    )
+    return [trace_from_matcher(m) for m in cohort]
+
+
+def _n_rows(traces) -> int:
+    return sum(trace.n_events + trace.n_decisions for trace in traces)
+
+
+def test_bench_parse_throughput(ingest_timings, tmp_path_factory):
+    """Strict jsonl and csv parse rates over a clean cohort file."""
+    repeats = 5 if _gates_enforced() else 3
+    traces = _cohort()
+    rows = _n_rows(traces)
+    root = tmp_path_factory.mktemp("ingest")
+    jsonl = JsonlTraceFormat.write(root / "trace.jsonl", traces)
+    csv = CsvEventFormat.write(root / "events.csv", traces)
+    event_rows = sum(trace.n_events for trace in traces)
+
+    assert trace_fingerprint(JsonlTraceFormat.read(jsonl)) == trace_fingerprint(traces)
+    jsonl_s = _min_seconds(lambda: JsonlTraceFormat.read(jsonl), repeats)
+    csv_s = _min_seconds(lambda: CsvEventFormat.read(csv), repeats)
+
+    ingest_timings["jsonl_rows"] = float(rows)
+    ingest_timings["jsonl_parse_s"] = jsonl_s
+    ingest_timings["jsonl_rows_per_s"] = rows / jsonl_s
+    ingest_timings["csv_rows"] = float(event_rows)
+    ingest_timings["csv_parse_s"] = csv_s
+    ingest_timings["csv_rows_per_s"] = event_rows / csv_s
+
+
+def test_bench_screening_overhead_on_clean_data(ingest_timings, tmp_path_factory):
+    """Screened read of a clean file pays <= 10% over the strict read."""
+    repeats = 5 if _gates_enforced() else 3
+    traces = _cohort()
+    path = JsonlTraceFormat.write(
+        tmp_path_factory.mktemp("ingest") / "trace.jsonl", traces
+    )
+
+    def screened_read():
+        return JsonlTraceFormat.read(path, quarantine=QuarantineLog())
+
+    # Equivalence is asserted regardless of the gates: on clean data the
+    # screen diverts nothing and survivors are bitwise the strict view.
+    log = QuarantineLog()
+    screened = JsonlTraceFormat.read(path, quarantine=log)
+    assert log.total == 0
+    assert trace_fingerprint(screened) == trace_fingerprint(
+        JsonlTraceFormat.read(path)
+    )
+
+    # Interleave the two reads so CPU-frequency drift lands on both
+    # measurements equally; min-of-k on each side.
+    strict_read = lambda: JsonlTraceFormat.read(path)  # noqa: E731
+    strict_read(), screened_read()  # warmup
+    strict_s = screened_s = float("inf")
+    for _ in range(2 * repeats):
+        start = time.perf_counter()
+        strict_read()
+        strict_s = min(strict_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        screened_read()
+        screened_s = min(screened_s, time.perf_counter() - start)
+    overhead = screened_s / strict_s - 1.0
+
+    ingest_timings["strict_read_s"] = strict_s
+    ingest_timings["screened_read_s"] = screened_s
+    ingest_timings["screening_overhead"] = overhead
+    ingest_timings["gates_enforced"] = float(_gates_enforced())
+    if _gates_enforced():
+        assert overhead <= SCREENING_OVERHEAD_GATE, (
+            f"screened read is {overhead:.1%} slower than strict on clean "
+            f"data (gate: <={SCREENING_OVERHEAD_GATE:.0%})"
+        )
+
+
+def test_bench_corrupted_screening(ingest_timings, tmp_path_factory):
+    """Screening a seeded hostile corruption: throughput + exact recovery."""
+    repeats = 5 if _gates_enforced() else 3
+    traces = _cohort()
+    dirty = tmp_path_factory.mktemp("ingest") / "dirty.jsonl"
+    report = write_corrupted_trace(
+        traces, dirty, "jsonl", seed=7,
+        n_unparseable=4, n_schema_invalid=4, n_clock_skew=2, n_duplicate=4,
+    )
+    expected = report.expected_counts()
+
+    log = QuarantineLog()
+    survivors = JsonlTraceFormat.read(dirty, quarantine=log)
+    assert log.counts()["by_reason"] == {
+        "malformed": 0, "out_of_window": 0, **expected,
+    }
+    assert trace_fingerprint(survivors) == trace_fingerprint(
+        report.clean_traces(traces)
+    )
+
+    # Replacement damage keeps the row count; duplicates insert rows.
+    rows = _n_rows(traces) + expected["duplicate"]
+    screened_s = _min_seconds(
+        lambda: JsonlTraceFormat.read(dirty, quarantine=QuarantineLog()), repeats
+    )
+    ingest_timings["corrupted_rows"] = float(rows)
+    ingest_timings["corrupted_screen_s"] = screened_s
+    ingest_timings["corrupted_rows_per_s"] = rows / screened_s
+    ingest_timings["corrupted_quarantined"] = float(sum(expected.values()))

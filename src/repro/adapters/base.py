@@ -1,0 +1,570 @@
+"""Format-registry contract for ingesting external matcher traces.
+
+Every score the system produced before this layer came from the clean
+simulated cohort; real deployments ingest files written by other
+people's instrumentation — mouse-event logs in CSV or JSONL, OAEI-style
+alignment/decision files — and those files lie.  This module is the
+trust boundary: one :class:`TraceFormat` subclass per source format
+(the registry pattern), a shared line-oriented read driver with
+per-field schema validation (:class:`FieldSpec` / :class:`RecordSchema`),
+row-level quarantine through the stream layer's
+:class:`~repro.stream.QuarantineLog`, a configurable recovery policy
+(``skip`` / ``repair`` / ``abort``), and bounded retry with exponential
+backoff on transient reads behind the ``adapter.read`` fault seam.
+
+Screening happens entirely at parse time: the traces a format's
+:meth:`TraceFormat.read` returns are already stream-clean (survivor rows
+sorted stably by timestamp per session, exact duplicates diverted), so
+downstream consumers — :class:`~repro.stream.SessionManager`, the
+:class:`~repro.shard.ShardFleet`, the cursor-based
+:class:`~repro.shard.ReplayDriver` — never see a row the adapter
+rejected.  That keeps redelivery cursors honest: a quarantined row never
+occupies a position the driver is waiting to confirm.
+
+The invariant the suite pins: for any seeded corruption of a clean
+trace, screened reading quarantines exactly the damaged rows (exact
+per-reason counters) and the survivors are bitwise equal to a strict
+read of the clean trace.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.adapters.records import DEFAULT_SCREEN, SessionTrace
+from repro.runtime.faults import InjectedFault, active_injector
+from repro.stream.quarantine import QuarantineLog
+
+#: Recovery policies for rows that fail schema validation.
+RECOVERY_POLICIES = ("skip", "repair", "abort")
+
+#: Default bounded-retry budget for transient read failures.
+DEFAULT_MAX_READ_RETRIES = 3
+
+#: Default base backoff (seconds) between read retries; doubles per attempt.
+DEFAULT_BACKOFF = 0.01
+
+#: Default tolerated backwards timestamp jump (seconds) within one session
+#: before a row is quarantined as ``clock_skew``.
+DEFAULT_CLOCK_SKEW = 1.0
+
+
+class AdapterError(ValueError):
+    """A source file (or its transport) could not be ingested.
+
+    Raised on unreadable inputs, exhausted read retries, unknown formats,
+    and — under the ``abort`` recovery policy — on the first bad row.
+    """
+
+
+class RecordParseError(ValueError):
+    """One source row could not be decoded at all (``unparseable``)."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Schema for one field of a decoded record.
+
+    ``kind`` is ``"float"``, ``"int"`` or ``"str"``.  Numeric kinds
+    support inclusive ``minimum`` / ``maximum`` bounds and (for floats)
+    a finiteness requirement; string kinds support an enumerated
+    ``choices`` vocabulary.  :meth:`parse` raises ``ValueError`` with the
+    offending field named; :meth:`repair` clamps out-of-range numerics
+    into bounds for the ``repair`` recovery policy (type failures and
+    unknown vocabulary are not repairable).
+    """
+
+    name: str
+    kind: str = "float"
+    required: bool = True
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[tuple[str, ...]] = None
+    finite: bool = True
+
+    def parse(self, raw: object) -> Union[float, int, str]:
+        """The validated, converted value — or ``ValueError``."""
+        if raw is None or (isinstance(raw, str) and not raw.strip()):
+            raise ValueError(f"field {self.name!r} is missing")
+        if self.kind == "str":
+            value = str(raw).strip()
+            if self.choices is not None and value not in self.choices:
+                raise ValueError(
+                    f"field {self.name!r} value {value!r} not in {self.choices}"
+                )
+            return value
+        try:
+            if self.kind == "int":
+                number: Union[int, float] = int(str(raw).strip())
+            else:
+                number = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"field {self.name!r} value {raw!r} is not a {self.kind}"
+            ) from None
+        if self.kind == "float" and self.finite and not math.isfinite(number):
+            raise ValueError(f"field {self.name!r} value {number!r} is not finite")
+        if self.minimum is not None and number < self.minimum:
+            raise ValueError(
+                f"field {self.name!r} value {number} below minimum {self.minimum}"
+            )
+        if self.maximum is not None and number > self.maximum:
+            raise ValueError(
+                f"field {self.name!r} value {number} above maximum {self.maximum}"
+            )
+        return number
+
+    def repair(self, raw: object) -> Union[float, int, str]:
+        """The ``repair``-policy value: clamp numerics into bounds.
+
+        Only range violations are repairable; anything :meth:`parse`
+        rejects for type, finiteness or vocabulary reasons re-raises.
+        """
+        if self.kind == "str":
+            return self.parse(raw)
+        try:
+            if self.kind == "int":
+                number: Union[int, float] = int(str(raw).strip())
+            else:
+                number = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"field {self.name!r} value {raw!r} is not a {self.kind}"
+            ) from None
+        if self.kind == "float" and self.finite and not math.isfinite(number):
+            raise ValueError(f"field {self.name!r} value {number!r} is not finite")
+        if self.minimum is not None and number < self.minimum:
+            number = type(number)(self.minimum)
+        if self.maximum is not None and number > self.maximum:
+            number = type(number)(self.maximum)
+        return number
+
+
+class RecordSchema:
+    """An ordered bundle of :class:`FieldSpec` applied to a raw record."""
+
+    def __init__(self, fields: Sequence[FieldSpec]) -> None:
+        self.fields = tuple(fields)
+        self.by_name = {spec.name: spec for spec in self.fields}
+
+    def validate(self, raw: dict, *, repair: bool = False) -> dict:
+        """The validated record — or ``ValueError`` naming the field."""
+        validated: dict = {}
+        for spec in self.fields:
+            value = raw.get(spec.name)
+            if value is None and not spec.required:
+                continue
+            validated[spec.name] = spec.repair(value) if repair else spec.parse(value)
+        return validated
+
+
+def _validate_policy(policy: str) -> str:
+    if policy not in RECOVERY_POLICIES:
+        raise ValueError(
+            f"unknown recovery policy {policy!r}; expected one of {RECOVERY_POLICIES}"
+        )
+    return policy
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+_REGISTRY: dict[str, type["TraceFormat"]] = {}
+
+
+def register(cls: type["TraceFormat"]) -> type["TraceFormat"]:
+    """Class decorator adding a format to the registry by ``format_name``."""
+    name = cls.format_name
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty format_name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_format(name: str) -> type["TraceFormat"]:
+    """The registered :class:`TraceFormat` subclass for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AdapterError(
+            f"unknown trace format {name!r}; available: {available_formats()}"
+        ) from None
+
+
+def available_formats() -> tuple[str, ...]:
+    """The registered format names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def parse_source(source: str) -> tuple[type["TraceFormat"], Path]:
+    """Split a ``fmt:path`` CLI source spec into (format class, path)."""
+    name, separator, path = source.partition(":")
+    if not separator or not name or not path:
+        raise AdapterError(
+            f"adapter source {source!r} must look like '<format>:<path>', "
+            f"e.g. 'csv:events.csv'; available formats: {available_formats()}"
+        )
+    return get_format(name), Path(path)
+
+
+# --------------------------------------------------------------------- #
+# The shared read driver
+# --------------------------------------------------------------------- #
+
+
+class TraceFormat:
+    """Contract one source format implements; the registry's unit.
+
+    Subclasses define the class identity (``format_name``,
+    ``description``), the record schemas, and four hooks:
+
+    * :meth:`parse_line` — one raw line to ``None`` (ignorable),
+      ``("event", raw_dict)`` or ``("decision", raw_dict)``; raise
+      :class:`RecordParseError` for undecodable garbage.
+    * :meth:`session_defaults` — per-file header state (shape/screen per
+      session id), consulted when assembling traces.
+    * :meth:`encode_event` / :meth:`encode_decision` — one record back to
+      its line form (used by :meth:`write` and by the corruption writer,
+      so damage is injected in the format's own vocabulary).
+
+    The base class owns everything else: the retrying line reader behind
+    the ``adapter.read`` fault seam, schema validation with the recovery
+    policy, clock-skew and duplicate screening, quarantine accounting,
+    and trace assembly.
+    """
+
+    #: Registry key (``csv``, ``jsonl``, ``oaei``); set by subclasses.
+    format_name: str = ""
+    #: One-line human description, shown in CLI errors.
+    description: str = ""
+    #: Schemas, set by subclasses (either may be ``None`` for formats
+    #: that carry only events or only decisions).
+    event_schema: Optional[RecordSchema] = None
+    decision_schema: Optional[RecordSchema] = None
+
+    # ---------------- subclass hooks ---------------- #
+
+    @classmethod
+    def parse_line(
+        cls, line: str, state: dict
+    ) -> Optional[tuple[str, dict]]:  # pragma: no cover - abstract
+        """Decode one line; ``state`` is per-file scratch for headers."""
+        raise NotImplementedError
+
+    @classmethod
+    def session_defaults(cls, state: dict, session_id: str) -> dict:
+        """Header-derived defaults (``shape``, ``screen``) for a session."""
+        return {}
+
+    @classmethod
+    def encode_event(cls, session_id: str, record: dict) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def encode_decision(cls, session_id: str, record: dict) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def header_lines(cls, traces: Sequence[SessionTrace]) -> list[str]:
+        """Leading lines for :meth:`write` (column header, session headers)."""
+        return []
+
+    # ---------------- the shared driver ---------------- #
+
+    @classmethod
+    def read_lines(
+        cls,
+        path: Union[str, Path],
+        *,
+        max_read_retries: int = DEFAULT_MAX_READ_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> list[str]:
+        """The file's lines, retrying transient failures with backoff.
+
+        Each attempt consults the ``adapter.read`` fault seam (keyed on
+        the file name, with an explicit attempt counter so ``times=``
+        plans fire per attempt, not per call).  ``OSError`` and injected
+        faults alike are retried up to ``max_read_retries`` extra
+        attempts with exponential backoff; an exhausted budget surfaces
+        as :class:`AdapterError`.
+        """
+        path = Path(path)
+        injector = active_injector()
+        attempts = int(max_read_retries) + 1
+        failure: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                if injector is not None:
+                    injector.check("adapter.read", key=path.name, attempt=attempt)
+                return path.read_text().splitlines()
+            except (OSError, InjectedFault) as exc:
+                failure = exc
+                if attempt + 1 < attempts:
+                    sleep(float(backoff) * (2.0**attempt))
+        raise AdapterError(
+            f"could not read {path} after {attempts} attempts: {failure}"
+        ) from failure
+
+    @classmethod
+    def read(
+        cls,
+        path: Union[str, Path],
+        *,
+        quarantine: Optional[QuarantineLog] = None,
+        policy: str = "skip",
+        shape: tuple[int, int] = (6, 6),
+        screen: tuple[int, int] = DEFAULT_SCREEN,
+        clock_skew: float = DEFAULT_CLOCK_SKEW,
+        max_read_retries: int = DEFAULT_MAX_READ_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> list[SessionTrace]:
+        """Parse a source file into clean, per-session traces.
+
+        With a ``quarantine`` log the read is *screened*: rows that fail
+        to decode (``unparseable``), fail their schema
+        (``schema_invalid`` — unless the ``repair`` policy salvages
+        them), rewind the session clock beyond ``clock_skew`` seconds
+        (``clock_skew``), or exactly duplicate an earlier row of the
+        same session (``duplicate``) are diverted into the log with
+        exact per-reason counters, and the survivors are returned.
+        Without one the read is *strict*: the first bad row raises
+        :class:`AdapterError` (the ``abort`` policy forces the same even
+        when a log is attached).
+
+        Survivor events are sorted stably by timestamp per session, so
+        the returned traces are ready for strict downstream ingest.
+        """
+        policy = _validate_policy(policy)
+        strict = quarantine is None or policy == "abort"
+        lines = cls.read_lines(
+            path, max_read_retries=max_read_retries, backoff=backoff, sleep=sleep
+        )
+        state: dict = {}
+        # session_id -> {"events": [record...], "decisions": [record...]}
+        sessions: dict[str, dict[str, list[dict]]] = {}
+        # session_id -> kind -> running max timestamp (clock-skew screen)
+        clocks: dict[str, dict[str, float]] = {}
+        # session_id -> kind -> set of exact payload tuples (duplicate screen)
+        seen: dict[str, dict[str, set]] = {}
+
+        def divert(reason: str, detail: str, session_id: str, record: dict) -> None:
+            if strict:
+                raise AdapterError(
+                    f"{path}: {detail} (row quarantinable as {reason!r})"
+                )
+            assert quarantine is not None
+            quarantine.add(
+                session_id=session_id or "<unknown>",
+                reason=reason,
+                detail=detail,
+                x=float(record.get("x", float("nan"))),
+                y=float(record.get("y", float("nan"))),
+                code=int(record.get("code", record.get("row", -1))),
+                t=float(record.get("t", float("nan"))),
+            )
+
+        for number, line in enumerate(lines, start=1):
+            try:
+                parsed = cls.parse_line(line, state)
+            except RecordParseError as exc:
+                divert("unparseable", f"line {number}: {exc}", "", {})
+                continue
+            if parsed is None:
+                continue
+            kind, raw = parsed
+            session_id = str(raw.get("session", "")).strip()
+            if not session_id:
+                divert(
+                    "unparseable", f"line {number}: record without a session id",
+                    "", {},
+                )
+                continue
+            schema = cls.event_schema if kind == "event" else cls.decision_schema
+            assert schema is not None
+            try:
+                record = schema.validate(raw)
+            except ValueError as exc:
+                if policy == "repair":
+                    try:
+                        record = schema.validate(raw, repair=True)
+                    except ValueError:
+                        divert(
+                            "schema_invalid", f"line {number}: {exc}",
+                            session_id, {},
+                        )
+                        continue
+                else:
+                    divert("schema_invalid", f"line {number}: {exc}", session_id, {})
+                    continue
+            timestamp = float(record["t"])
+            running = clocks.setdefault(session_id, {})
+            latest = running.get(kind, float("-inf"))
+            if latest - timestamp > float(clock_skew):
+                divert(
+                    "clock_skew",
+                    f"line {number}: timestamp {timestamp} rewinds "
+                    f"{latest - timestamp:.3f}s behind session maximum {latest}",
+                    session_id,
+                    record,
+                )
+                continue
+            running[kind] = max(latest, timestamp)
+            payload = tuple(sorted(record.items()))
+            kind_seen = seen.setdefault(session_id, {}).setdefault(kind, set())
+            if payload in kind_seen:
+                divert(
+                    "duplicate",
+                    f"line {number}: exact duplicate {kind} row",
+                    session_id,
+                    record,
+                )
+                continue
+            kind_seen.add(payload)
+            bucket = sessions.setdefault(
+                session_id, {"events": [], "decisions": []}
+            )
+            bucket["events" if kind == "event" else "decisions"].append(record)
+
+        traces: list[SessionTrace] = []
+        for session_id in sorted(sessions):
+            bucket = sessions[session_id]
+            defaults = cls.session_defaults(state, session_id)
+            traces.append(
+                _assemble_trace(
+                    session_id,
+                    bucket["events"],
+                    bucket["decisions"],
+                    shape=defaults.get("shape", shape),
+                    screen=defaults.get("screen", screen),
+                )
+            )
+        return traces
+
+    @classmethod
+    def write(cls, path: Union[str, Path], traces: Sequence[SessionTrace]) -> Path:
+        """Emit traces in this format (the round-trip partner of read)."""
+        path = Path(path)
+        lines = cls.header_lines(traces)
+        for trace in traces:
+            for kind, payload in iter_trace_records(trace):
+                if kind == "event" and cls.event_schema is not None:
+                    lines.append(cls.encode_event(trace.session_id, payload))
+                elif kind == "decision" and cls.decision_schema is not None:
+                    lines.append(cls.encode_decision(trace.session_id, payload))
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+def iter_trace_records(trace: SessionTrace) -> Iterable[tuple[str, dict]]:
+    """A trace's rows as ``(kind, record)`` pairs, merged by timestamp.
+
+    Events and decisions are interleaved in timestamp order (events
+    first on ties), so written files read back in source order and the
+    corruption writer can damage a realistic mixed stream.
+    """
+    records: list[tuple[float, int, str, dict]] = []
+    for index in range(trace.n_events):
+        records.append(
+            (
+                float(trace.t[index]),
+                0,
+                "event",
+                {
+                    "x": float(trace.x[index]),
+                    "y": float(trace.y[index]),
+                    "code": int(trace.codes[index]),
+                    "t": float(trace.t[index]),
+                },
+            )
+        )
+    for index in range(trace.n_decisions):
+        records.append(
+            (
+                float(trace.d_t[index]),
+                1,
+                "decision",
+                {
+                    "row": int(trace.d_rows[index]),
+                    "col": int(trace.d_cols[index]),
+                    "conf": float(trace.d_conf[index]),
+                    "t": float(trace.d_t[index]),
+                },
+            )
+        )
+    records.sort(key=lambda item: (item[0], item[1]))
+    for _, _, kind, payload in records:
+        yield kind, payload
+
+
+def _assemble_trace(
+    session_id: str,
+    events: list[dict],
+    decisions: list[dict],
+    *,
+    shape: tuple[int, int],
+    screen: tuple[int, int],
+) -> SessionTrace:
+    """Survivor records to a :class:`SessionTrace` (stable sort by t)."""
+    event_order = sorted(range(len(events)), key=lambda i: events[i]["t"])
+    decision_order = sorted(range(len(decisions)), key=lambda i: decisions[i]["t"])
+    rows = max([shape[0]] + [int(decisions[i]["row"]) + 1 for i in decision_order])
+    cols = max([shape[1]] + [int(decisions[i]["col"]) + 1 for i in decision_order])
+    return SessionTrace(
+        session_id=session_id,
+        shape=(rows, cols),
+        x=np.array([events[i]["x"] for i in event_order], dtype=np.float64),
+        y=np.array([events[i]["y"] for i in event_order], dtype=np.float64),
+        codes=np.array([events[i]["code"] for i in event_order], dtype=np.int64),
+        t=np.array([events[i]["t"] for i in event_order], dtype=np.float64),
+        d_rows=np.array(
+            [decisions[i]["row"] for i in decision_order], dtype=np.int64
+        ),
+        d_cols=np.array(
+            [decisions[i]["col"] for i in decision_order], dtype=np.int64
+        ),
+        d_conf=np.array(
+            [decisions[i]["conf"] for i in decision_order], dtype=np.float64
+        ),
+        d_t=np.array([decisions[i]["t"] for i in decision_order], dtype=np.float64),
+        screen=(int(screen[0]), int(screen[1])),
+    )
+
+
+def read_source(
+    source: str,
+    *,
+    quarantine: Optional[QuarantineLog] = None,
+    policy: str = "skip",
+    **kwargs,
+) -> list[SessionTrace]:
+    """Read a ``fmt:path`` CLI source spec (the CLIs' entry point)."""
+    format_cls, path = parse_source(source)
+    return format_cls.read(path, quarantine=quarantine, policy=policy, **kwargs)
+
+
+__all__ = [
+    "AdapterError",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_CLOCK_SKEW",
+    "DEFAULT_MAX_READ_RETRIES",
+    "FieldSpec",
+    "RECOVERY_POLICIES",
+    "RecordParseError",
+    "RecordSchema",
+    "TraceFormat",
+    "available_formats",
+    "get_format",
+    "iter_trace_records",
+    "parse_source",
+    "read_source",
+    "register",
+]

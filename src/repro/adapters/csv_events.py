@@ -1,0 +1,74 @@
+"""CSV mouse-event-log adapter (``csv:<path>``).
+
+The plainest external instrumentation dump: one row per mouse event,
+header ``session_id,t,x,y,event``, with the event given either by its
+stable integer code or by its name from
+:data:`~repro.matching.events.EVENT_CODES` (``move``/``left``/
+``right``/``scroll``).  Events only — pair it with an OAEI decision file
+via :func:`~repro.adapters.merge_traces` when the workload needs
+decisions too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.adapters.base import (
+    FieldSpec,
+    RecordParseError,
+    RecordSchema,
+    TraceFormat,
+    register,
+)
+from repro.adapters.records import SessionTrace
+from repro.matching.events import EVENT_CODES, N_EVENT_TYPES
+
+_HEADER = "session_id,t,x,y,event"
+_NAMES_BY_CODE = {code: name for name, code in EVENT_CODES.items()}
+
+
+@register
+class CsvEventFormat(TraceFormat):
+    """One mouse event per CSV row; the lowest-common-denominator log."""
+
+    format_name = "csv"
+    description = "CSV mouse-event log: session_id,t,x,y,event"
+    event_schema = RecordSchema(
+        [
+            FieldSpec("t", kind="float", minimum=0.0),
+            FieldSpec("x", kind="float", minimum=0.0),
+            FieldSpec("y", kind="float", minimum=0.0),
+            FieldSpec("code", kind="int", minimum=0, maximum=N_EVENT_TYPES - 1),
+        ]
+    )
+    decision_schema = None
+
+    @classmethod
+    def parse_line(cls, line: str, state: dict) -> Optional[tuple[str, dict]]:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            return None
+        if text == _HEADER:
+            return None
+        parts = text.split(",")
+        if len(parts) != 5:
+            raise RecordParseError(
+                f"expected 5 comma-separated fields, got {len(parts)}"
+            )
+        session_id, t, x, y, event = (part.strip() for part in parts)
+        code = EVENT_CODES.get(event, event)
+        return "event", {"session": session_id, "t": t, "x": x, "y": y, "code": code}
+
+    @classmethod
+    def header_lines(cls, traces: Sequence[SessionTrace]) -> list[str]:
+        return [_HEADER]
+
+    @classmethod
+    def encode_event(cls, session_id: str, record: dict) -> str:
+        name = _NAMES_BY_CODE.get(int(record["code"]), str(record["code"]))
+        return (
+            f"{session_id},{record['t']!r},{record['x']!r},{record['y']!r},{name}"
+        )
+
+
+__all__ = ["CsvEventFormat"]

@@ -1,0 +1,152 @@
+"""JSONL trace adapter (``jsonl:<path>``) — the full-fidelity format.
+
+One JSON object per line, carrying the complete workload: per-session
+header records declare the matrix shape and screen, and ``event`` /
+``decision`` records carry the columns.  The only format that
+round-trips a :class:`~repro.adapters.SessionTrace` completely (events
+*and* decisions *and* geometry), so it is the reference format for the
+round-trip property tests and the corruption writer's richest target.
+
+Record shapes::
+
+    {"kind": "session", "session": "s1", "shape": [6, 6], "screen": [768, 1024]}
+    {"kind": "event", "session": "s1", "t": 0.25, "x": 10.0, "y": 12.0, "event": "move"}
+    {"kind": "decision", "session": "s1", "t": 4.0, "row": 2, "col": 3, "confidence": 0.8}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.adapters.base import (
+    FieldSpec,
+    RecordParseError,
+    RecordSchema,
+    TraceFormat,
+    register,
+)
+from repro.adapters.records import SessionTrace
+from repro.matching.events import EVENT_CODES, N_EVENT_TYPES
+
+_NAMES_BY_CODE = {code: name for name, code in EVENT_CODES.items()}
+
+
+@register
+class JsonlTraceFormat(TraceFormat):
+    """Line-delimited JSON records: session headers, events, decisions."""
+
+    format_name = "jsonl"
+    description = "JSONL trace: session/event/decision records, one per line"
+    event_schema = RecordSchema(
+        [
+            FieldSpec("t", kind="float", minimum=0.0),
+            FieldSpec("x", kind="float", minimum=0.0),
+            FieldSpec("y", kind="float", minimum=0.0),
+            FieldSpec("code", kind="int", minimum=0, maximum=N_EVENT_TYPES - 1),
+        ]
+    )
+    decision_schema = RecordSchema(
+        [
+            FieldSpec("t", kind="float", minimum=0.0),
+            FieldSpec("row", kind="int", minimum=0),
+            FieldSpec("col", kind="int", minimum=0),
+            FieldSpec("conf", kind="float", minimum=0.0, maximum=1.0),
+        ]
+    )
+
+    @classmethod
+    def parse_line(cls, line: str, state: dict) -> Optional[tuple[str, dict]]:
+        text = line.strip()
+        if not text:
+            return None
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RecordParseError(f"broken JSON: {exc.msg}") from None
+        if not isinstance(obj, dict):
+            raise RecordParseError("JSON record is not an object")
+        kind = obj.get("kind")
+        if kind == "session":
+            session_id = str(obj.get("session", "")).strip()
+            if session_id:
+                headers = state.setdefault("headers", {})
+                entry: dict = {}
+                shape = obj.get("shape")
+                screen = obj.get("screen")
+                if isinstance(shape, (list, tuple)) and len(shape) == 2:
+                    entry["shape"] = (int(shape[0]), int(shape[1]))
+                if isinstance(screen, (list, tuple)) and len(screen) == 2:
+                    entry["screen"] = (int(screen[0]), int(screen[1]))
+                headers[session_id] = entry
+            return None
+        if kind == "event":
+            event = obj.get("event")
+            code = EVENT_CODES.get(event, event)
+            return "event", {
+                "session": obj.get("session"),
+                "t": obj.get("t"),
+                "x": obj.get("x"),
+                "y": obj.get("y"),
+                "code": code,
+            }
+        if kind == "decision":
+            return "decision", {
+                "session": obj.get("session"),
+                "t": obj.get("t"),
+                "row": obj.get("row"),
+                "col": obj.get("col"),
+                "conf": obj.get("confidence"),
+            }
+        raise RecordParseError(f"unknown record kind {kind!r}")
+
+    @classmethod
+    def session_defaults(cls, state: dict, session_id: str) -> dict:
+        return state.get("headers", {}).get(session_id, {})
+
+    @classmethod
+    def header_lines(cls, traces: Sequence[SessionTrace]) -> list[str]:
+        lines = []
+        for trace in traces:
+            header = {
+                "kind": "session",
+                "session": trace.session_id,
+                "shape": list(trace.shape),
+            }
+            if trace.screen is not None:
+                header["screen"] = list(trace.screen)
+            lines.append(json.dumps(header, sort_keys=True))
+        return lines
+
+    @classmethod
+    def encode_event(cls, session_id: str, record: dict) -> str:
+        return json.dumps(
+            {
+                "kind": "event",
+                "session": session_id,
+                "t": float(record["t"]),
+                "x": float(record["x"]),
+                "y": float(record["y"]),
+                "event": _NAMES_BY_CODE.get(
+                    int(record["code"]), int(record["code"])
+                ),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def encode_decision(cls, session_id: str, record: dict) -> str:
+        return json.dumps(
+            {
+                "kind": "decision",
+                "session": session_id,
+                "t": float(record["t"]),
+                "row": int(record["row"]),
+                "col": int(record["col"]),
+                "confidence": float(record["conf"]),
+            },
+            sort_keys=True,
+        )
+
+
+__all__ = ["JsonlTraceFormat"]

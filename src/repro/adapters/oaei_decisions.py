@@ -1,0 +1,104 @@
+"""OAEI-style alignment/decision-file adapter (``oaei:<path>``).
+
+Schema-matching evaluations (OAEI campaigns, and the KG-RAG4SM-style
+schema-matching record vocabulary) exchange alignments as correspondence
+rows: matcher, source entity, target entity, relation, confidence, and —
+when the tooling logs it — a timestamp.  This adapter reads such a file
+as *decision* traces: the matcher column becomes the session id, the
+``a<i>``/``b<j>`` entity labels (or bare integers) become the matrix
+pair, the confidence and timestamp become the decision payload.  Only
+the equivalence relation (``=``) is accepted; anything else fails the
+schema.
+
+Decision-only by design — compose with a ``csv``/``jsonl`` mouse-event
+log over :func:`~repro.adapters.merge_traces` to rebuild the full
+``(H, G)`` behaviour pair.
+
+Header: ``matcher,source,target,relation,confidence,timestamp``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.adapters.base import (
+    FieldSpec,
+    RecordParseError,
+    RecordSchema,
+    TraceFormat,
+    register,
+)
+from repro.adapters.records import SessionTrace
+
+_HEADER = "matcher,source,target,relation,confidence,timestamp"
+
+
+def _entity_index(label: str, prefix: str) -> object:
+    """``a3``/``b7``-style labels (or bare integers) to matrix indices.
+
+    Unknown vocabulary passes through unconverted so the schema rejects
+    it as ``schema_invalid`` with the field named, not as a parse crash.
+    """
+    text = label.strip()
+    if text.startswith(prefix) and text[len(prefix):].isdigit():
+        return int(text[len(prefix):])
+    return text if not text.lstrip("-").isdigit() else int(text)
+
+
+@register
+class OaeiDecisionFormat(TraceFormat):
+    """OAEI-style correspondence rows as matching-decision traces."""
+
+    format_name = "oaei"
+    description = (
+        "OAEI-style alignment CSV: matcher,source,target,relation,"
+        "confidence,timestamp"
+    )
+    event_schema = None
+    decision_schema = RecordSchema(
+        [
+            FieldSpec("t", kind="float", minimum=0.0),
+            FieldSpec("row", kind="int", minimum=0),
+            FieldSpec("col", kind="int", minimum=0),
+            FieldSpec("conf", kind="float", minimum=0.0, maximum=1.0),
+            FieldSpec("relation", kind="str", choices=("=",)),
+        ]
+    )
+
+    @classmethod
+    def parse_line(cls, line: str, state: dict) -> Optional[tuple[str, dict]]:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            return None
+        if text == _HEADER:
+            return None
+        parts = text.split(",")
+        if len(parts) != 6:
+            raise RecordParseError(
+                f"expected 6 comma-separated fields, got {len(parts)}"
+            )
+        matcher, source, target, relation, confidence, timestamp = (
+            part.strip() for part in parts
+        )
+        return "decision", {
+            "session": matcher,
+            "row": _entity_index(source, "a"),
+            "col": _entity_index(target, "b"),
+            "relation": relation,
+            "conf": confidence,
+            "t": timestamp,
+        }
+
+    @classmethod
+    def header_lines(cls, traces: Sequence[SessionTrace]) -> list[str]:
+        return [_HEADER]
+
+    @classmethod
+    def encode_decision(cls, session_id: str, record: dict) -> str:
+        return (
+            f"{session_id},a{int(record['row'])},b{int(record['col'])},"
+            f"=,{record['conf']!r},{record['t']!r}"
+        )
+
+
+__all__ = ["OaeiDecisionFormat"]

@@ -55,6 +55,13 @@ framework stays a pure decision engine:
     session manager and queued batches — is discarded, exactly what a
     killed worker process loses, and the fleet restores it from its
     latest-good checkpoint.
+``adapter.read``
+    A :mod:`repro.adapters` trace format fails to read its source file
+    (keyed on the file name, with an explicit attempt counter): the
+    transient-I/O shape.  The adapter retries with bounded exponential
+    backoff, so ``times=`` within the retry budget is an absorbed
+    transient and anything beyond it surfaces as an
+    :class:`~repro.adapters.AdapterError`.
 
 Selecting a plan
 ----------------
@@ -95,6 +102,7 @@ SEAMS: tuple[str, ...] = (
     "checkpoint.read",
     "shard.dispatch",
     "shard.death",
+    "adapter.read",
 )
 
 

@@ -68,11 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8377, help="bind port (0 = ephemeral)")
 
-    replay = commands.add_parser("replay", help="replay a synthetic workload through a fleet")
+    replay = commands.add_parser("replay", help="replay a synthetic or adapter-ingested workload through a fleet")
     add_fleet_flags(replay)
-    replay.add_argument("--sessions", type=int, default=24, help="synthetic sessions")
+    replay.add_argument("--sessions", type=int, default=24, help="synthetic sessions (ignored with --input)")
     replay.add_argument("--events", type=int, default=64, help="mouse events per session")
     replay.add_argument("--decisions", type=int, default=6, help="matching decisions per session")
+    replay.add_argument("--input", default=None, metavar="FORMAT:PATH", help="replay an external trace file through an ingestion adapter instead of synthesizing")
+    replay.add_argument("--recovery", choices=("skip", "repair", "abort"), default="skip", help="adapter recovery policy for rows failing validation")
+    replay.add_argument("--clock-skew", type=float, default=1.0, metavar="SECONDS", help="per-session backwards-timestamp tolerance during adapter ingest")
     replay.add_argument("--steps", type=int, default=6, help="replay time windows")
     replay.add_argument("--report-every", type=int, default=2, metavar="K", help="recharacterize every K steps")
     replay.add_argument("--checkpoint-every-report", action="store_true", help="checkpoint all shards after each report (needs --checkpoint-root)")
@@ -97,6 +100,9 @@ def _build_fleet(args: argparse.Namespace) -> ShardFleet:
         queue_slots=args.queue_slots,
         checkpoint_root=args.checkpoint_root,
         extract_runtime=args.extract_runtime,
+        # Adapter-ingested workloads get per-shard quarantine ledgers so
+        # the ops /stats surface reports stream-level screening too.
+        quarantine=True if getattr(args, "input", None) else None,
     )
 
 
@@ -122,14 +128,35 @@ def _serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _adapter_traces(args: argparse.Namespace):
+    """Read ``--input`` through the adapter registry; screened unless abort."""
+    from repro.adapters import read_source, trace_fingerprint
+    from repro.stream.quarantine import QuarantineLog
+
+    quarantine = None if args.recovery == "abort" else QuarantineLog()
+    traces = read_source(
+        args.input,
+        quarantine=quarantine,
+        policy=args.recovery,
+        clock_skew=args.clock_skew,
+    )
+    info = {"source": args.input, "fingerprint": trace_fingerprint(traces)}
+    return traces, quarantine, info
+
+
 def _replay_command(args: argparse.Namespace) -> int:
     fleet = _build_fleet(args)
-    traces = synthetic_traces(
-        args.sessions,
-        seed=args.seed,
-        n_events=args.events,
-        n_decisions=args.decisions,
-    )
+    adapter_quarantine = None
+    workload_info = None
+    if args.input:
+        traces, adapter_quarantine, workload_info = _adapter_traces(args)
+    else:
+        traces = synthetic_traces(
+            args.sessions,
+            seed=args.seed,
+            n_events=args.events,
+            n_decisions=args.decisions,
+        )
     try:
         driver = ReplayDriver(
             fleet,
@@ -142,6 +169,10 @@ def _replay_command(args: argparse.Namespace) -> int:
         final = driver.final_scores()
         payload = {
             "fleet": {"shards": fleet.n_shards, "sessions": len(fleet)},
+            "workload": workload_info,
+            "adapter_quarantine": (
+                adapter_quarantine.counts() if adapter_quarantine is not None else None
+            ),
             "replay": driver.summary.as_dict(),
             "reports": [
                 {"scored": scores.n_matchers, "matcher_ids": list(scores.matcher_ids)[:4]}

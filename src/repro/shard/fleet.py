@@ -51,7 +51,7 @@ import os
 import time
 import warnings
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -126,6 +126,11 @@ class ShardFleet:
         never a silent drop).
     reorder_window / screen / idle_timeout / quarantine:
         Forwarded to every shard's :class:`~repro.stream.SessionManager`.
+        ``quarantine`` additionally accepts ``True`` — give every shard
+        its **own** fresh :class:`~repro.stream.QuarantineLog` (exact
+        per-shard counters, aggregated by :meth:`stats`); a single
+        shared log is still accepted and is counted once, not per
+        shard.
     checkpoint_root:
         Directory for crash-recovery state: one
         :class:`~repro.stream.CheckpointStore` per shard
@@ -159,7 +164,7 @@ class ShardFleet:
         reorder_window: float = 0.0,
         screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
         idle_timeout: Optional[float] = None,
-        quarantine: Optional[QuarantineLog] = None,
+        quarantine: Union[QuarantineLog, bool, None] = None,
         checkpoint_root=None,
         keep: int = 3,
         auto_restore: bool = True,
@@ -178,11 +183,12 @@ class ShardFleet:
         self.auto_restore = bool(auto_restore)
         self.max_dispatch_retries = int(max_dispatch_retries)
         self.checkpoint_root = Path(checkpoint_root) if checkpoint_root else None
+        self._per_shard_quarantine = quarantine is True
         self._manager_kwargs = {
             "reorder_window": float(reorder_window),
             "screen": screen,
             "idle_timeout": idle_timeout,
-            "quarantine": quarantine,
+            "quarantine": None if quarantine is True else quarantine,
         }
         runner = resolve_runner(extract_runtime)
         if runner.backend == "process":
@@ -239,11 +245,14 @@ class ShardFleet:
         )
 
     def _make_worker(self, shard: int) -> ShardWorker:
+        manager_kwargs = self._manager_kwargs
+        if self._per_shard_quarantine:
+            manager_kwargs = dict(manager_kwargs, quarantine=QuarantineLog())
         worker = ShardWorker(
             shard,
             self._make_service(),
             queue_slots=self.queue_slots,
-            manager_kwargs=self._manager_kwargs,
+            manager_kwargs=manager_kwargs,
         )
         if self.checkpoint_root is not None:
             worker.store = CheckpointStore(
@@ -652,7 +661,7 @@ class ShardFleet:
             if worker.store is not None and worker.store.checkpoints():
                 worker.manager = worker.store.restore(
                     worker.service,
-                    quarantine=fleet._manager_kwargs.get("quarantine"),
+                    quarantine=worker.quarantine,
                 )
         return fleet
 
@@ -736,6 +745,7 @@ class ShardFleet:
                 "lost_batches", "lost_events", "deaths", "restores", "checkpoints",
             )
         }
+        totals["quarantined"] = self.quarantine_counts()
         return {
             "n_shards": self.n_shards,
             "n_sessions": len(self),
@@ -745,6 +755,31 @@ class ShardFleet:
             "recharacterize_latency": latency,
             "totals": totals,
             "shards": per_shard,
+        }
+
+    def quarantine_counts(self) -> Optional[dict]:
+        """Fleet-wide quarantine counters, exact across every shard.
+
+        Distinct :class:`~repro.stream.QuarantineLog` objects are summed;
+        a single log shared by every shard (the legacy configuration) is
+        counted **once**, so the totals stay exact either way.  ``None``
+        when no shard carries a log.
+        """
+        logs: dict[int, QuarantineLog] = {}
+        for worker in self._workers:
+            log = worker.quarantine
+            if log is not None:
+                logs.setdefault(id(log), log)
+        if not logs:
+            return None
+        by_reason: dict[str, int] = {}
+        for log in logs.values():
+            for reason, count in log.by_reason.items():
+                by_reason[reason] = by_reason.get(reason, 0) + count
+        return {
+            "total": sum(log.total for log in logs.values()),
+            "retained": sum(len(log) for log in logs.values()),
+            "by_reason": by_reason,
         }
 
     def __repr__(self) -> str:

@@ -33,52 +33,10 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.adapters.records import DEFAULT_SCREEN, SessionTrace
 from repro.serve.service import BatchScores
 from repro.shard.fleet import ShardFleet
 from repro.stream.session import SessionManager
-
-#: Default logical screen for synthetic traces (MovementMap's default).
-DEFAULT_SCREEN = (768, 1024)
-
-
-@dataclass(frozen=True)
-class SessionTrace:
-    """One session's full offline workload, in event-time order.
-
-    ``x/y/codes/t`` are the mouse-event columns (``t`` ascending);
-    ``d_rows/d_cols/d_conf/d_t`` are the matching decisions (``d_t``
-    ascending).  The replay driver slices both by window boundaries.
-    """
-
-    session_id: str
-    shape: tuple[int, int]
-    x: np.ndarray
-    y: np.ndarray
-    codes: np.ndarray
-    t: np.ndarray
-    d_rows: np.ndarray
-    d_cols: np.ndarray
-    d_conf: np.ndarray
-    d_t: np.ndarray
-    screen: Optional[tuple[int, int]] = None
-
-    @property
-    def n_events(self) -> int:
-        return int(self.t.size)
-
-    @property
-    def n_decisions(self) -> int:
-        return int(self.d_t.size)
-
-    @property
-    def horizon(self) -> float:
-        """Latest timestamp anywhere in the trace (0.0 when empty)."""
-        last = 0.0
-        if self.t.size:
-            last = max(last, float(self.t[-1]))
-        if self.d_t.size:
-            last = max(last, float(self.d_t[-1]))
-        return last
 
 
 def synthetic_traces(

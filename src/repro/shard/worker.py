@@ -123,6 +123,16 @@ class ShardWorker:
         return self.manager is not None
 
     @property
+    def quarantine(self):
+        """This shard's :class:`~repro.stream.QuarantineLog` (or ``None``).
+
+        The log lives in the manager kwargs, not the manager, so its
+        exact counters survive a :meth:`kill`/:meth:`restore` cycle —
+        quarantined rows were *diverted*, not lost with the crash.
+        """
+        return self._manager_kwargs.get("quarantine")
+
+    @property
     def name(self) -> str:
         return f"shard-{self.shard_id:02d}"
 
@@ -316,6 +326,7 @@ class ShardWorker:
     def stats(self) -> dict:
         """Per-shard counters for the fleet ops surface."""
         manager_stats = self.manager.stats() if self.manager is not None else None
+        log = self.quarantine
         return {
             "shard": self.shard_id,
             "alive": self.alive,
@@ -324,6 +335,7 @@ class ShardWorker:
             "queue_slots": self.queue_slots,
             "drain_seconds": round(self.drain_seconds, 6),
             **self.counters,
+            "quarantined": log.counts() if log is not None else None,
             "manager": manager_stats,
         }
 

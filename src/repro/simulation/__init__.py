@@ -18,6 +18,9 @@ Public surface:
 * :mod:`repro.simulation.mouse_sim` -- mouse-trace generation.
 * :mod:`repro.simulation.population` -- cohorts of matchers.
 * :mod:`repro.simulation.dataset` -- the full experimental dataset (PO + OAEI cohorts).
+* :mod:`repro.simulation.hostile` -- adversarial cohorts (bots, fatigue drift,
+  copy-paste experts, session hijacks, event storms).
+* :mod:`repro.simulation.corruption` -- seeded damage for adapter trace files.
 """
 
 from repro.simulation.schemas import build_po_task, build_oaei_task, build_small_task
@@ -31,6 +34,17 @@ from repro.simulation.decisions import simulate_history
 from repro.simulation.mouse_sim import simulate_movement
 from repro.simulation.population import simulate_matcher, simulate_population
 from repro.simulation.dataset import HumanMatchingDataset, build_dataset
+from repro.simulation.hostile import (
+    HOSTILE_COHORTS,
+    simulate_hostile_matcher,
+    simulate_hostile_population,
+    storm_columns,
+)
+from repro.simulation.corruption import (
+    CorruptionReport,
+    Damage,
+    write_corrupted_trace,
+)
 
 __all__ = [
     "build_po_task",
@@ -46,4 +60,11 @@ __all__ = [
     "simulate_population",
     "HumanMatchingDataset",
     "build_dataset",
+    "HOSTILE_COHORTS",
+    "simulate_hostile_matcher",
+    "simulate_hostile_population",
+    "storm_columns",
+    "CorruptionReport",
+    "Damage",
+    "write_corrupted_trace",
 ]

@@ -1,0 +1,364 @@
+"""Hostile persona cohorts: adversarial matchers for chaos testing.
+
+The clean cohorts in :mod:`repro.simulation.population` model the
+paper's honest participants.  Real deployments also see traffic no
+study would admit: scripted bots with machine-regular dwell times,
+humans whose pace and confidence decay mid-session, experts pasting the
+same block of decisions over and over, sessions hijacked mid-stream by
+a different operator, and transports that redeliver or reorder whole
+event storms.  Each cohort here is a deterministic generator of such a
+matcher — *valid* by the strict ingest rules (the point is that the
+pipeline must score them, not crash on them), with
+:func:`storm_columns` additionally producing the invalid event storms
+(duplicates, stale rows, malformed rows) the screened ingest path must
+divert with exact counts.
+
+All generators are pure functions of their RNG, so chaos suites can
+assert bitwise-identical scores across runs and across fleet/oracle
+targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.matching import events as _events
+from repro.matching.correspondence import ReferenceMatch
+from repro.matching.events import EventArray, N_EVENT_TYPES
+from repro.matching.history import Decision, DecisionHistory
+from repro.matching.matcher import HumanMatcher
+from repro.matching.mouse import MovementMap
+from repro.matching.schema import SchemaPair
+from repro.simulation.archetypes import Archetype, sample_traits
+from repro.simulation.decisions import simulate_history
+from repro.simulation.mouse_sim import simulate_movement
+
+#: The hostile cohort labels, in cycling order.
+HOSTILE_COHORTS = ("bot", "fatigue", "copy_paste", "hijack", "storm")
+
+
+def _movement_from_columns(x, y, codes, t, screen) -> MovementMap:
+    return MovementMap(
+        screen=screen,
+        data=EventArray(
+            np.asarray(x, dtype=np.float64),
+            np.asarray(y, dtype=np.float64),
+            np.asarray(codes, dtype=np.int64),
+            np.asarray(t, dtype=np.float64),
+        ),
+    )
+
+
+def _bot(pair, reference, rng, screen) -> tuple[DecisionHistory, MovementMap]:
+    """A scripted bot: raster decisions at a machine-constant cadence.
+
+    Uniform dwell (identical inter-decision interval), identical
+    confidence on every decision, and a raster-scan mouse with a
+    constant inter-event dt — the statistical opposite of every human
+    trait the characterizer was trained on.
+    """
+    rows, cols = pair.shape
+    interval = float(rng.uniform(1.5, 3.0))
+    confidence = float(rng.uniform(0.6, 0.9))
+    n_decisions = min(rows * cols, 24)
+    decisions = [
+        Decision(
+            row=(index // cols) % rows,
+            col=index % cols,
+            confidence=confidence,
+            timestamp=(index + 1) * interval,
+        )
+        for index in range(n_decisions)
+    ]
+    horizon = n_decisions * interval
+    n_events = max(8 * n_decisions, 16)
+    dt = horizon / n_events
+    t = dt * np.arange(1, n_events + 1)
+    height, width = screen
+    x = np.tile(np.linspace(0.0, width - 1, 16), n_events // 16 + 1)[:n_events]
+    y = np.repeat(
+        np.linspace(0.0, height - 1, n_events // 16 + 1), 16
+    )[:n_events]
+    codes = np.zeros(n_events, dtype=np.int64)
+    codes[7::8] = 1  # one metronomic click per dwell
+    history = DecisionHistory(decisions, shape=pair.shape, pair=pair)
+    return history, _movement_from_columns(x, y, codes, t, screen)
+
+
+def _fatigue(pair, reference, rng, screen) -> tuple[DecisionHistory, MovementMap]:
+    """A capable matcher whose pace stretches and confidence sags.
+
+    Starts as archetype A, then drifts: each successive inter-decision
+    interval is stretched by a growing factor and each confidence
+    decays toward the floor — the long-session fatigue signature.
+    """
+    traits = sample_traits(rng, archetype=Archetype.A)
+    history = simulate_history(pair, reference, traits, rng=rng)
+    decisions = history.decisions
+    drift = float(rng.uniform(0.6, 1.2))
+    stretched: list[Decision] = []
+    previous_raw = 0.0
+    previous_new = 0.0
+    for index, decision in enumerate(decisions):
+        progress = index / max(len(decisions) - 1, 1)
+        gap = decision.timestamp - previous_raw
+        previous_new = previous_new + gap * (1.0 + drift * progress)
+        previous_raw = decision.timestamp
+        confidence = max(0.05, decision.confidence * (1.0 - 0.6 * progress))
+        stretched.append(
+            Decision(
+                row=decision.row,
+                col=decision.col,
+                confidence=confidence,
+                timestamp=previous_new,
+            )
+        )
+    fatigued = DecisionHistory(stretched, shape=pair.shape, pair=pair)
+    movement = simulate_movement(fatigued, traits, screen=screen, rng=rng)
+    return fatigued, movement
+
+
+def _copy_paste(pair, reference, rng, screen) -> tuple[DecisionHistory, MovementMap]:
+    """An "expert" pasting one decision block repeatedly.
+
+    A short block of pairs with fixed confidences is replayed verbatim
+    at successive time offsets — identical payloads, only the clock
+    moves — over near-zero mouse activity.
+    """
+    rows, cols = pair.shape
+    block_size = int(rng.integers(3, 6))
+    repeats = int(rng.integers(3, 6))
+    block = [
+        (int(rng.integers(0, rows)), int(rng.integers(0, cols)),
+         float(np.round(rng.uniform(0.5, 0.95), 3)))
+        for _ in range(block_size)
+    ]
+    step = float(rng.uniform(0.8, 1.6))
+    decisions = []
+    clock = 0.0
+    for _ in range(repeats):
+        for row, col, confidence in block:
+            clock += step
+            decisions.append(
+                Decision(row=row, col=col, confidence=confidence, timestamp=clock)
+            )
+        clock += step * 4  # the pause while the block is re-copied
+    history = DecisionHistory(decisions, shape=pair.shape, pair=pair)
+    height, width = screen
+    n_events = 8
+    t = np.linspace(clock / n_events, clock, n_events)
+    x = np.full(n_events, width / 2.0)
+    y = np.full(n_events, height / 2.0)
+    codes = np.zeros(n_events, dtype=np.int64)
+    codes[-1] = 1
+    return history, _movement_from_columns(x, y, codes, t, screen)
+
+
+def _hijack(pair, reference, rng, screen) -> tuple[DecisionHistory, MovementMap]:
+    """A session that changes hands mid-stream.
+
+    The first half is an archetype-A matcher, the second an archetype-D
+    one whose entire behaviour is time-shifted to start where the first
+    stopped — one session id, two behavioural signatures.
+    """
+    first_traits = sample_traits(rng, archetype=Archetype.A)
+    second_traits = sample_traits(rng, archetype=Archetype.D)
+    first = simulate_history(pair, reference, first_traits, rng=rng)
+    second = simulate_history(pair, reference, second_traits, rng=rng)
+    first_movement = simulate_movement(first, first_traits, screen=screen, rng=rng)
+    second_movement = simulate_movement(second, second_traits, screen=screen, rng=rng)
+    offset = first.decisions[-1].timestamp + float(rng.uniform(2.0, 6.0))
+    shifted = [
+        Decision(
+            row=d.row, col=d.col, confidence=d.confidence,
+            timestamp=d.timestamp + offset,
+        )
+        for d in second.decisions
+    ]
+    history = DecisionHistory(
+        list(first.decisions) + shifted, shape=pair.shape, pair=pair
+    )
+    second_data = second_movement.data
+    shifted_events = EventArray(
+        second_data.x, second_data.y, second_data.codes, second_data.t + offset,
+        assume_sorted=True, validate=False,
+    )
+    movement = MovementMap(
+        screen=screen,
+        data=_events.concatenate([first_movement.data, shifted_events]),
+    )
+    return history, movement
+
+
+def _storm(pair, reference, rng, screen) -> tuple[DecisionHistory, MovementMap]:
+    """A bursty-but-valid matcher: long silences, then dense event bursts.
+
+    The strict-ingest-safe half of the storm cohort; the invalid half
+    (duplicates, stale rows, malformed rows) is produced separately by
+    :func:`storm_columns` so tests can point it at the screened path
+    with exact expected counts.
+    """
+    traits = sample_traits(rng, archetype=Archetype.B)
+    history = simulate_history(pair, reference, traits, rng=rng)
+    movement = simulate_movement(history, traits, screen=screen, rng=rng)
+    data = movement.data
+    horizon = history.decisions[-1].timestamp
+    n_burst = 48
+    burst_starts = np.sort(rng.uniform(0.0, horizon, 3))
+    height, width = screen
+    burst_t = np.concatenate(
+        [start + np.round(rng.uniform(0.0, 0.25, n_burst), 6) for start in burst_starts]
+    )
+    burst_x = rng.uniform(0.0, width - 1, burst_t.size)
+    burst_y = rng.uniform(0.0, height - 1, burst_t.size)
+    burst_codes = rng.integers(0, N_EVENT_TYPES, burst_t.size)
+    bursts = EventArray(burst_x, burst_y, burst_codes, burst_t)
+    return history, MovementMap(
+        screen=screen, data=_events.concatenate([data, bursts])
+    )
+
+
+_GENERATORS = {
+    "bot": _bot,
+    "fatigue": _fatigue,
+    "copy_paste": _copy_paste,
+    "hijack": _hijack,
+    "storm": _storm,
+}
+
+
+def simulate_hostile_matcher(
+    cohort: str,
+    pair: SchemaPair,
+    reference: ReferenceMatch,
+    *,
+    matcher_id: str = "hostile-000",
+    random_state: Optional[int] = None,
+    screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+) -> HumanMatcher:
+    """Simulate one adversarial matcher from a hostile cohort."""
+    if cohort not in _GENERATORS:
+        raise ValueError(
+            f"unknown hostile cohort {cohort!r}; expected one of {HOSTILE_COHORTS}"
+        )
+    rng = np.random.default_rng(random_state)
+    history, movement = _GENERATORS[cohort](pair, reference, rng, screen)
+    return HumanMatcher(
+        matcher_id=matcher_id,
+        history=history,
+        movement=movement,
+        task=pair,
+        reference=reference,
+    )
+
+
+def simulate_hostile_population(
+    pair: SchemaPair,
+    reference: ReferenceMatch,
+    n_matchers: int,
+    *,
+    cohorts: Sequence[str] = HOSTILE_COHORTS,
+    random_state: int = 0,
+    id_prefix: str = "hostile",
+    screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+) -> list[HumanMatcher]:
+    """A cohort-cycling population of adversarial matchers.
+
+    Matcher ids embed the cohort (``hostile-bot-000``) so chaos suites
+    can report scores-over-time per cohort without a side table.
+    """
+    if n_matchers < 1:
+        raise ValueError("n_matchers must be at least 1")
+    rng = np.random.default_rng(random_state)
+    matchers = []
+    for index in range(n_matchers):
+        cohort = cohorts[index % len(cohorts)]
+        seed = int(rng.integers(0, 2**31 - 1))
+        matchers.append(
+            simulate_hostile_matcher(
+                cohort,
+                pair,
+                reference,
+                matcher_id=f"{id_prefix}-{cohort}-{index:03d}",
+                random_state=seed,
+                screen=screen,
+            )
+        )
+    return matchers
+
+
+def storm_columns(
+    rng: np.random.Generator,
+    *,
+    n_clean: int = 32,
+    start: float = 0.0,
+    end: float = 10.0,
+    watermark: float = 0.0,
+    n_duplicate: int = 0,
+    n_stale: int = 0,
+    n_malformed: int = 0,
+    screen: tuple[int, int] = MovementMap.DEFAULT_SCREEN,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[str, int]]:
+    """A duplicate/out-of-window event storm with exact expected counts.
+
+    ``n_clean`` valid events in ``(start, end]`` followed by the attack
+    tail: ``n_duplicate`` exact copies of clean rows, ``n_stale`` rows
+    strictly below ``watermark`` (quarantined ``out_of_window`` once the
+    target buffer's watermark has passed it; requires
+    ``watermark > 0``), and ``n_malformed`` rows with NaN timestamps or
+    out-of-range codes.  The dirty tail never precedes a clean row, so
+    the screened path's decisions for the clean rows are unaffected.
+
+    Returns ``(x, y, codes, t, expected)`` where ``expected`` maps
+    quarantine reasons to exact counts for the whole batch.
+    """
+    if n_stale and not watermark > 0.0:
+        raise ValueError("stale rows need a positive watermark to be stale against")
+    height, width = screen
+    t = np.sort(rng.uniform(start, end, n_clean))
+    x = np.round(rng.uniform(0.0, width - 1, n_clean), 3)
+    y = np.round(rng.uniform(0.0, height - 1, n_clean), 3)
+    codes = rng.integers(0, N_EVENT_TYPES, n_clean)
+    extra_x, extra_y, extra_codes, extra_t = [], [], [], []
+    for _ in range(int(n_duplicate)):
+        index = int(rng.integers(0, n_clean))
+        extra_x.append(float(x[index]))
+        extra_y.append(float(y[index]))
+        extra_codes.append(int(codes[index]))
+        extra_t.append(float(t[index]))
+    for _ in range(int(n_stale)):
+        extra_x.append(float(np.round(rng.uniform(0.0, width - 1), 3)))
+        extra_y.append(float(np.round(rng.uniform(0.0, height - 1), 3)))
+        extra_codes.append(0)
+        extra_t.append(float(rng.uniform(0.0, watermark * 0.9)))
+    for attack in range(int(n_malformed)):
+        extra_x.append(float(np.round(rng.uniform(0.0, width - 1), 3)))
+        extra_y.append(float(np.round(rng.uniform(0.0, height - 1), 3)))
+        if attack % 2:
+            extra_codes.append(N_EVENT_TYPES + int(rng.integers(0, 3)))
+            extra_t.append(float(end))
+        else:
+            extra_codes.append(0)
+            extra_t.append(float("nan"))
+    expected = {
+        "duplicate": int(n_duplicate),
+        "out_of_window": int(n_stale),
+        "malformed": int(n_malformed),
+    }
+    return (
+        np.concatenate([x, np.array(extra_x, dtype=np.float64)]),
+        np.concatenate([y, np.array(extra_y, dtype=np.float64)]),
+        np.concatenate([codes, np.array(extra_codes, dtype=np.int64)]),
+        np.concatenate([t, np.array(extra_t, dtype=np.float64)]),
+        expected,
+    )
+
+
+__all__ = [
+    "HOSTILE_COHORTS",
+    "simulate_hostile_matcher",
+    "simulate_hostile_population",
+    "storm_columns",
+]

@@ -110,6 +110,7 @@ def save_checkpoint(
     path,
     *,
     layout: Union[str, BundleLayout] = BundleLayout.MMAP_DIR,
+    workload: Optional[dict] = None,
 ) -> Path:
     """Write the manager's complete session state as a checkpoint bundle.
 
@@ -130,6 +131,11 @@ def save_checkpoint(
         memory-mapped columns, ``npz-compressed`` reproduces the smaller
         format-version-1 payload.  The content fingerprint is
         layout-independent.
+    workload:
+        Optional provenance of the ingested workload (adapter
+        ``source``, ``fingerprint``, ``trace_version``); recorded
+        verbatim in the manifest so a later ``--resume`` can detect
+        that it is being replayed against a different trace.
 
     Returns
     -------
@@ -223,6 +229,8 @@ def save_checkpoint(
             "model_fingerprint": bundle_info.get("fingerprint"),
             "fingerprint": arrays_fingerprint(arrays),
         }
+        if workload is not None:
+            manifest["workload"] = dict(workload)
         (staging / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )

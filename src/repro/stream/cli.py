@@ -12,6 +12,16 @@ Two sub-commands:
     (``--checkpoint``), or resumes a previous one (``--resume``) and
     replays only the not-yet-ingested remainder of each trace —
     producing the same final scores as an uninterrupted run.
+
+    Instead of simulating, ``--input FORMAT:PATH`` replays an external
+    trace file through a registered ingestion adapter
+    (:mod:`repro.adapters`): rows are schema-validated at parse time
+    and bad ones diverted to a quarantine log under the ``--recovery``
+    policy (``skip``/``repair``/``abort``).  A decisions-only file
+    (e.g. the ``oaei`` format) can be merged in with
+    ``--decisions-input``.  The checkpoint manifest records the
+    workload's source, fingerprint, and trace version, and resuming
+    against a *different* trace warns.
 ``inspect``
     Print a checkpoint bundle's manifest without loading its arrays.
 
@@ -22,6 +32,7 @@ Examples (run with ``PYTHONPATH=src``):
     python -m repro.stream replay --scale tiny --steps 8 --report-every 2
     python -m repro.stream replay --scale tiny --checkpoint /tmp/ckpt
     python -m repro.stream replay --scale tiny --resume /tmp/ckpt
+    python -m repro.stream replay --input jsonl:trace.jsonl --recovery skip
     python -m repro.stream inspect --checkpoint /tmp/ckpt
 """
 
@@ -63,7 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--bundle", default=None, metavar="DIR", help="model bundle to serve (default: fit an offline-feature model in process)")
     replay.add_argument("--scale", choices=SCALE_NAMES, default="tiny", help="training-cohort/model scale")
     replay.add_argument("--seed", type=int, default=42, help="master random seed")
-    replay.add_argument("--sessions", type=int, default=8, help="number of concurrent live sessions")
+    replay.add_argument("--sessions", type=int, default=8, help="number of concurrent live sessions (ignored with --input)")
+    replay.add_argument("--input", default=None, metavar="FORMAT:PATH", help="replay an external trace file through an ingestion adapter (e.g. jsonl:trace.jsonl) instead of simulating")
+    replay.add_argument("--decisions-input", default=None, metavar="FORMAT:PATH", help="merge a decisions-only trace file (e.g. oaei:align.csv) into the --input workload")
+    replay.add_argument("--recovery", choices=("skip", "repair", "abort"), default="skip", help="what to do with rows that fail adapter validation (default: quarantine and skip)")
+    replay.add_argument("--clock-skew", type=float, default=1.0, metavar="SECONDS", help="per-session backwards-timestamp tolerance during adapter ingest")
     replay.add_argument("--steps", type=int, default=8, help="replay time steps")
     replay.add_argument("--stop-after", type=int, default=None, metavar="N", help="halt the replay after step N (checkpoint it, resume later with the same --steps)")
     replay.add_argument("--report-every", type=int, default=2, metavar="K", help="re-characterize the dirty sessions every K steps")
@@ -139,6 +154,74 @@ def _workload(seed: int, n_sessions: int) -> list[HumanMatcher]:
         random_state=seed + 1,  # distinct from the training cohorts
         id_prefix="live",
     )
+
+
+def _adapter_workload(args: argparse.Namespace):
+    """Parse ``--input`` (and ``--decisions-input``) through the registry.
+
+    Returns ``(workload, quarantine_log, workload_info)``: the matcher
+    cohort rebuilt from the surviving rows, the quarantine ledger the
+    screened read filled (``None`` under ``--recovery abort``, where the
+    first bad row raises instead), and the provenance record the
+    checkpoint manifest stores for resume-time verification.
+    """
+    from repro.adapters import (
+        ADAPTER_TRACE_VERSION,
+        merge_traces,
+        read_source,
+        trace_fingerprint,
+    )
+    from repro.stream.quarantine import QuarantineLog
+
+    quarantine = None if args.recovery == "abort" else QuarantineLog()
+    read_kwargs = dict(
+        quarantine=quarantine,
+        policy=args.recovery,
+        clock_skew=args.clock_skew,
+    )
+    traces = read_source(args.input, **read_kwargs)
+    if args.decisions_input:
+        decisions = read_source(args.decisions_input, **read_kwargs)
+        traces = merge_traces(traces, decisions)
+    info = {
+        "source": args.input,
+        "trace_version": ADAPTER_TRACE_VERSION,
+        "fingerprint": trace_fingerprint(traces),
+    }
+    return [trace.to_matcher() for trace in traces], quarantine, info
+
+
+def _check_resume_workload(resume: str, info: dict) -> None:
+    """Warn when a resumed checkpoint disagrees with the current ``--input``."""
+    saved = read_checkpoint_manifest(resume).get("workload")
+    if saved is None:
+        warnings.warn(
+            ReproRuntimeWarning(
+                f"checkpoint {resume} records no input workload; cannot "
+                "verify it matches --input"
+            ),
+            stacklevel=3,
+        )
+        return
+    if saved.get("trace_version") != info["trace_version"]:
+        warnings.warn(
+            ReproRuntimeWarning(
+                f"checkpoint {resume} was written with adapter trace version "
+                f"{saved.get('trace_version')} but this build uses "
+                f"{info['trace_version']}; resumed scores may diverge"
+            ),
+            stacklevel=3,
+        )
+    if saved.get("fingerprint") != info["fingerprint"]:
+        warnings.warn(
+            ReproRuntimeWarning(
+                f"checkpoint {resume} was written from "
+                f"{saved.get('source')} (fingerprint {saved.get('fingerprint')}) "
+                f"but --input resolves to fingerprint {info['fingerprint']}; "
+                "resuming against a different trace"
+            ),
+            stacklevel=3,
+        )
 
 
 def _replay(
@@ -251,10 +334,19 @@ def _print_table(records: list[dict], manager: SessionManager) -> None:
 
 
 def _replay_command(args: argparse.Namespace) -> int:
+    if args.decisions_input and not args.input:
+        raise SystemExit("--decisions-input requires --input")
     service = _build_service(args)
-    workload = _workload(args.seed, args.sessions)
+    quarantine = None
+    workload_info = None
+    if args.input:
+        workload, quarantine, workload_info = _adapter_workload(args)
+    else:
+        workload = _workload(args.seed, args.sessions)
     if args.resume:
-        manager = load_checkpoint(args.resume, service)
+        if workload_info is not None:
+            _check_resume_workload(args.resume, workload_info)
+        manager = load_checkpoint(args.resume, service, quarantine=quarantine)
         if args.max_sessions is not None or args.idle_timeout is not None or args.reorder_window:
             warnings.warn(
                 ReproRuntimeWarning(
@@ -270,6 +362,7 @@ def _replay_command(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             idle_timeout=args.idle_timeout,
             reorder_window=args.reorder_window,
+            quarantine=quarantine,
         )
     records = _replay(
         manager,
@@ -285,6 +378,8 @@ def _replay_command(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "seed": args.seed,
             "resumed_from": args.resume,
+            "workload": workload_info,
+            "quarantined": quarantine.counts() if quarantine is not None else None,
             "reports": records,
             "stats": manager.stats(),
             "final_scores": {
@@ -298,8 +393,17 @@ def _replay_command(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         _print_table(records, manager)
+        if quarantine is not None:
+            counts = quarantine.counts()
+            by_reason = ", ".join(
+                f"{reason}={n}" for reason, n in sorted(counts["by_reason"].items()) if n
+            )
+            print(
+                f"quarantined {counts['total']} rows during adapter ingest"
+                + (f" ({by_reason})" if by_reason else "")
+            )
     if args.checkpoint:
-        bundle = save_checkpoint(manager, args.checkpoint)
+        bundle = save_checkpoint(manager, args.checkpoint, workload=workload_info)
         manifest = read_checkpoint_manifest(bundle)
         print(f"saved {manifest['n_sessions']}-session checkpoint to {bundle}")
         print(f"  fingerprint: {manifest['fingerprint']}")
@@ -320,6 +424,13 @@ def _inspect_command(args: argparse.Namespace) -> int:
         f"idle_timeout={settings.get('idle_timeout')}, "
         f"reorder_window={settings.get('reorder_window')}"
     )
+    workload = manifest.get("workload")
+    if workload:
+        print(
+            f"workload:       {workload.get('source')} "
+            f"(trace v{workload.get('trace_version')}, "
+            f"fingerprint {workload.get('fingerprint')})"
+        )
     return 0
 
 

@@ -23,7 +23,27 @@ Quarantine reasons
     Bitwise-identical ``(t, x, y, code)`` payload to an event already
     accepted at or above the current watermark — the transport-level
     redelivery signature.  The strict path would accept these; screening
-    diverts them so at-least-once transports do not double-count.
+    diverts them so at-least-once transports do not double-count.  The
+    ingestion adapters (:mod:`repro.adapters`) reuse the reason for
+    exact duplicate rows inside a source file.
+``unparseable``
+    A source row the format adapter could not decode at all (garbage
+    text, wrong field count, broken JSON) — row-level, raised before any
+    field exists to validate.
+``schema_invalid``
+    A decoded row with a field that fails its
+    :class:`~repro.adapters.FieldSpec` (wrong type, out of range,
+    unknown enum value, entity outside the vocabulary).
+``clock_skew``
+    A row whose timestamp jumps *backwards* beyond the adapter's
+    tolerance relative to the session's running maximum in the source —
+    the broken-source-clock signature, distinct from transport reorder
+    (``out_of_window``) which is judged against the live watermark.
+
+The last three reasons are produced by the adapter layer
+(:mod:`repro.adapters`); the stream layer produces the first three.
+Both layers account into the same log, so operators see one exact
+per-reason budget for everything that was dropped.
 
 The screening invariant: the surviving events are fed to the strict path
 unchanged, so ``drain()`` / ``snapshot()`` are bitwise identical to a
@@ -39,8 +59,17 @@ import numpy as np
 
 from repro.matching.events import N_EVENT_TYPES
 
-#: The structured quarantine reasons, in check order.
-QUARANTINE_REASONS = ("malformed", "out_of_window", "duplicate")
+#: The structured quarantine reasons, in check order: the first three are
+#: produced by the stream layer's screened ingest, the last three by the
+#: ingestion adapters (:mod:`repro.adapters`).
+QUARANTINE_REASONS = (
+    "malformed",
+    "out_of_window",
+    "duplicate",
+    "schema_invalid",
+    "unparseable",
+    "clock_skew",
+)
 
 #: Default bound on retained records (counters are always exact).
 DEFAULT_MAX_RECORDS = 256

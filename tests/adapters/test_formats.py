@@ -1,0 +1,245 @@
+"""The three built-in formats: round-trips, screening, recovery policies."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    AdapterError,
+    CsvEventFormat,
+    JsonlTraceFormat,
+    OaeiDecisionFormat,
+    merge_traces,
+    read_source,
+    trace_fingerprint,
+)
+from repro.stream.quarantine import QuarantineLog
+
+
+def events_only(trace):
+    """The trace with its decision columns stripped (a CSV-shaped workload)."""
+    return replace(
+        trace,
+        d_rows=np.zeros(0, dtype=np.int64),
+        d_cols=np.zeros(0, dtype=np.int64),
+        d_conf=np.zeros(0, dtype=np.float64),
+        d_t=np.zeros(0, dtype=np.float64),
+    )
+
+
+def decisions_only(trace):
+    """The trace with its event columns stripped (an OAEI-shaped workload)."""
+    return replace(
+        trace,
+        x=np.zeros(0, dtype=np.float64),
+        y=np.zeros(0, dtype=np.float64),
+        codes=np.zeros(0, dtype=np.int64),
+        t=np.zeros(0, dtype=np.float64),
+    )
+
+
+class TestJsonl:
+    def test_full_fidelity_roundtrip(self, traces, tmp_path):
+        path = JsonlTraceFormat.write(tmp_path / "trace.jsonl", traces)
+        parsed = JsonlTraceFormat.read(path)
+        assert trace_fingerprint(parsed) == trace_fingerprint(traces)
+
+    def test_session_headers_carry_shape_and_screen(self, traces, tmp_path):
+        path = JsonlTraceFormat.write(tmp_path / "trace.jsonl", traces)
+        parsed = JsonlTraceFormat.read(path)
+        for ours, theirs in zip(parsed, sorted(traces, key=lambda t: t.session_id)):
+            assert ours.shape == theirs.shape
+            assert ours.screen == theirs.screen
+
+    @pytest.mark.parametrize(
+        "line",
+        ["{broken", "[1, 2, 3]", '{"kind": "telemetry", "session": "s"}'],
+    )
+    def test_undecodable_lines_quarantine_as_unparseable(self, line, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(
+            json.dumps(
+                {"kind": "event", "session": "s", "t": 1.0, "x": 1.0, "y": 1.0,
+                 "event": "move"}
+            )
+            + "\n" + line + "\n"
+        )
+        log = QuarantineLog()
+        parsed = JsonlTraceFormat.read(target, quarantine=log)
+        assert log.by_reason["unparseable"] == 1
+        assert parsed[0].n_events == 1
+
+
+class TestCsv:
+    def test_event_roundtrip(self, traces, tmp_path):
+        workload = [events_only(trace) for trace in traces]
+        path = CsvEventFormat.write(tmp_path / "events.csv", workload)
+        assert path.read_text().startswith("session_id,t,x,y,event\n")
+        parsed = CsvEventFormat.read(path)
+        assert trace_fingerprint(parsed) == trace_fingerprint(
+            [replace(t, shape=(6, 6), screen=(768, 1024)) for t in workload]
+        )
+
+    def test_write_skips_decisions_for_an_events_only_format(self, traces, tmp_path):
+        path = CsvEventFormat.write(tmp_path / "events.csv", traces)
+        parsed = CsvEventFormat.read(path)
+        assert all(trace.n_decisions == 0 for trace in parsed)
+        assert sum(t.n_events for t in parsed) == sum(t.n_events for t in traces)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        target = tmp_path / "events.csv"
+        target.write_text(
+            "session_id,t,x,y,event\n# a comment\n\ns1,0.5,10.0,20.0,move\n"
+        )
+        parsed = CsvEventFormat.read(target)
+        assert parsed[0].n_events == 1
+
+    def test_wrong_field_count_is_unparseable(self, tmp_path):
+        target = tmp_path / "events.csv"
+        target.write_text("s1,0.5,10.0,20.0\n")
+        log = QuarantineLog()
+        assert CsvEventFormat.read(target, quarantine=log) == []
+        assert log.by_reason["unparseable"] == 1
+
+    def test_unknown_event_name_is_schema_invalid(self, tmp_path):
+        target = tmp_path / "events.csv"
+        target.write_text("s1,0.5,10.0,20.0,teleport\n")
+        log = QuarantineLog()
+        assert CsvEventFormat.read(target, quarantine=log) == []
+        assert log.by_reason["schema_invalid"] == 1
+
+
+class TestOaei:
+    def test_decision_roundtrip(self, traces, tmp_path):
+        workload = [decisions_only(trace) for trace in traces]
+        path = OaeiDecisionFormat.write(tmp_path / "align.csv", workload)
+        parsed = OaeiDecisionFormat.read(path, shape=workload[0].shape)
+        reference = [
+            replace(t, screen=(768, 1024))
+            for t in sorted(workload, key=lambda t: t.session_id)
+        ]
+        assert trace_fingerprint(parsed) == trace_fingerprint(reference)
+
+    def test_entity_labels_and_bare_integers(self, tmp_path):
+        target = tmp_path / "align.csv"
+        target.write_text(
+            "matcher,source,target,relation,confidence,timestamp\n"
+            "m1,a3,b4,=,0.8,1.0\n"
+            "m1,5,2,=,0.7,2.0\n"
+        )
+        parsed = OaeiDecisionFormat.read(target)
+        assert parsed[0].d_rows.tolist() == [3, 5]
+        assert parsed[0].d_cols.tolist() == [4, 2]
+
+    def test_unknown_entity_vocabulary_is_schema_invalid(self, tmp_path):
+        target = tmp_path / "align.csv"
+        target.write_text("m1,person,address,=,0.8,1.0\n")
+        log = QuarantineLog()
+        assert OaeiDecisionFormat.read(target, quarantine=log) == []
+        assert log.by_reason["schema_invalid"] == 1
+
+    def test_non_equivalence_relation_is_schema_invalid(self, tmp_path):
+        target = tmp_path / "align.csv"
+        target.write_text("m1,a1,b1,<,0.8,1.0\n")
+        log = QuarantineLog()
+        assert OaeiDecisionFormat.read(target, quarantine=log) == []
+        assert log.by_reason["schema_invalid"] == 1
+
+
+class TestComposition:
+    def test_csv_events_merge_with_oaei_decisions(self, traces, tmp_path):
+        events_path = CsvEventFormat.write(
+            tmp_path / "events.csv", [events_only(t) for t in traces]
+        )
+        decisions_path = OaeiDecisionFormat.write(
+            tmp_path / "align.csv", [decisions_only(t) for t in traces]
+        )
+        merged = merge_traces(
+            CsvEventFormat.read(events_path),
+            OaeiDecisionFormat.read(decisions_path),
+        )
+        by_id = {t.session_id: t for t in traces}
+        for trace in merged:
+            original = by_id[trace.session_id]
+            np.testing.assert_array_equal(trace.t, original.t)
+            np.testing.assert_array_equal(trace.d_conf, original.d_conf)
+            np.testing.assert_array_equal(trace.d_rows, original.d_rows)
+
+    def test_read_source_specs(self, traces, tmp_path):
+        path = JsonlTraceFormat.write(tmp_path / "trace.jsonl", traces)
+        parsed = read_source(f"jsonl:{path}")
+        assert trace_fingerprint(parsed) == trace_fingerprint(traces)
+        with pytest.raises(AdapterError):
+            read_source(str(path))  # no format prefix
+
+
+class TestRecoveryPolicies:
+    def _dirty_decisions(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        rows = [
+            {"kind": "decision", "session": "s1", "t": 1.0, "row": 0, "col": 0,
+             "confidence": 0.5},
+            {"kind": "decision", "session": "s1", "t": 2.0, "row": 1, "col": 1,
+             "confidence": 1.8},  # out of range: repairable by clamping
+            {"kind": "decision", "session": "s1", "t": 3.0, "row": 2, "col": 2,
+             "confidence": "high"},  # type failure: never repairable
+        ]
+        target.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+        return target
+
+    def test_skip_quarantines_both(self, tmp_path):
+        log = QuarantineLog()
+        parsed = JsonlTraceFormat.read(self._dirty_decisions(tmp_path), quarantine=log)
+        assert parsed[0].n_decisions == 1
+        assert log.by_reason["schema_invalid"] == 2
+
+    def test_repair_clamps_the_range_violation(self, tmp_path):
+        log = QuarantineLog()
+        parsed = JsonlTraceFormat.read(
+            self._dirty_decisions(tmp_path), quarantine=log, policy="repair"
+        )
+        assert parsed[0].n_decisions == 2
+        assert parsed[0].d_conf.tolist() == [0.5, 1.0]
+        assert log.by_reason["schema_invalid"] == 1  # only the type failure
+
+    def test_abort_raises_even_with_a_log(self, tmp_path):
+        log = QuarantineLog()
+        with pytest.raises(AdapterError, match="schema_invalid"):
+            JsonlTraceFormat.read(
+                self._dirty_decisions(tmp_path), quarantine=log, policy="abort"
+            )
+        assert log.total == 0
+
+    def test_strict_read_raises_on_first_bad_row(self, tmp_path):
+        with pytest.raises(AdapterError):
+            JsonlTraceFormat.read(self._dirty_decisions(tmp_path))
+
+
+class TestStreamScreens:
+    def test_clock_skew_beyond_tolerance_quarantined(self, tmp_path):
+        target = tmp_path / "events.csv"
+        target.write_text(
+            "s1,10.0,1.0,1.0,move\n"
+            "s1,9.5,1.0,1.0,move\n"   # 0.5s rewind: inside the tolerance
+            "s1,4.0,1.0,1.0,move\n"   # 6s rewind: quarantined
+            "s1,11.0,1.0,1.0,move\n"
+        )
+        log = QuarantineLog()
+        parsed = CsvEventFormat.read(target, quarantine=log, clock_skew=1.0)
+        assert log.by_reason["clock_skew"] == 1
+        assert parsed[0].t.tolist() == [9.5, 10.0, 11.0]
+
+    def test_exact_duplicates_quarantined_per_session(self, tmp_path):
+        target = tmp_path / "events.csv"
+        target.write_text(
+            "s1,1.0,2.0,3.0,move\n"
+            "s1,1.0,2.0,3.0,move\n"   # exact duplicate
+            "s2,1.0,2.0,3.0,move\n"   # same payload, different session: kept
+        )
+        log = QuarantineLog()
+        parsed = CsvEventFormat.read(target, quarantine=log)
+        assert log.by_reason["duplicate"] == 1
+        assert [t.session_id for t in parsed] == ["s1", "s2"]
+        assert all(t.n_events == 1 for t in parsed)

@@ -1,0 +1,163 @@
+"""The differential ingestion invariant, end to end.
+
+For any seeded corruption of a clean trace file, **screened** ingest of
+the corrupted file must leave the system bitwise identical to **strict**
+ingest of the clean rows alone — on a bare
+:class:`~repro.stream.SessionManager`, on a 4-shard
+:class:`~repro.shard.ShardFleet` with an injected ``shard.death``
+mid-replay, and under the replay driver's at-least-once redelivery.
+Hostile-persona cohabitants must not perturb clean sessions' scores
+either: scoring is row-independent, and this suite pins it.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    JsonlTraceFormat,
+    trace_fingerprint,
+    trace_from_matcher,
+)
+from repro.runtime.faults import ReproRuntimeWarning, injected
+from repro.shard import ReplayDriver, ShardFleet
+from repro.simulation import simulate_hostile_population
+from repro.simulation.corruption import write_corrupted_trace
+from repro.stream.quarantine import QuarantineLog
+from repro.stream.session import SessionManager
+
+from tests.shard.conftest import assert_scores_equal, assert_sessions_equal
+
+DAMAGE = dict(n_unparseable=3, n_schema_invalid=3, n_clock_skew=2, n_duplicate=3)
+
+
+@pytest.fixture
+def corrupted(traces, tmp_path):
+    """A seeded corrupted file plus its oracle report."""
+    report = write_corrupted_trace(
+        traces, tmp_path / "dirty.jsonl", "jsonl", seed=5, **DAMAGE
+    )
+    return report
+
+
+def final_scores(target, workload, *, steps=5, report_every=2, checkpoint=False):
+    driver = ReplayDriver(
+        target, workload, steps=steps, report_every=report_every,
+        checkpoint=checkpoint,
+    )
+    driver.run()
+    return driver.final_scores()
+
+
+class TestDifferentialInvariant:
+    def test_screened_equals_strict_on_a_bare_manager(
+        self, adapter_service, traces, corrupted
+    ):
+        log = QuarantineLog()
+        screened = JsonlTraceFormat.read(corrupted.path, quarantine=log)
+        clean = corrupted.clean_traces(traces)
+        assert trace_fingerprint(screened) == trace_fingerprint(clean)
+        assert log.counts()["by_reason"] == {
+            "malformed": 0, "out_of_window": 0,
+            **corrupted.expected_counts(),
+        }
+
+        ours = SessionManager(adapter_service, quarantine=log)
+        ours_scores = final_scores(ours, screened)
+        theirs = SessionManager(adapter_service)
+        theirs_scores = final_scores(theirs, clean)
+        assert_scores_equal(ours_scores, theirs_scores)
+        for session_id in theirs.session_ids():
+            assert_sessions_equal(ours.session(session_id), theirs.session(session_id))
+        # Stream-level ingest of the already-screened survivors diverts
+        # nothing further: the adapter is the single screening point.
+        assert log.total == sum(corrupted.expected_counts().values())
+
+    def test_screened_equals_strict_on_a_fleet_with_a_shard_death(
+        self, adapter_service, traces, corrupted, tmp_path
+    ):
+        log = QuarantineLog()
+        screened = JsonlTraceFormat.read(corrupted.path, quarantine=log)
+        clean = corrupted.clean_traces(traces)
+
+        oracle = SessionManager(adapter_service)
+        expected = final_scores(oracle, clean)
+
+        with ShardFleet(
+            adapter_service, 4, seed=2, checkpoint_root=tmp_path / "ckpt"
+        ) as fleet:
+            # Kill whichever shard owns the first session, mid-schedule —
+            # the ring spreads 5 sessions over 4 shards, so a fixed shard
+            # id could name an idle (never-draining) worker.
+            victim = fleet.router.route(screened[0].session_id)
+            with injected(f"shard.death:keys={victim}@3;seed=0"):
+                got = final_scores(fleet, screened, checkpoint=True)
+            totals = fleet.stats()["totals"]
+            assert totals["deaths"] == 1 and totals["restores"] == 1
+            assert_scores_equal(got, expected)
+        # The at-least-once redelivery around the death re-sent rows, but
+        # the adapter-level ledger is untouched: quarantined rows never
+        # occupied a replay cursor position in the first place.
+        assert log.total == sum(corrupted.expected_counts().values())
+
+    def test_redelivered_batches_do_not_requarantine(
+        self, adapter_service, traces, corrupted
+    ):
+        """Replaying the same screened workload twice into one manager
+        (the blunt at-least-once shape) adds no quarantine records and
+        leaves sessions identical to a single strict pass."""
+        log = QuarantineLog()
+        screened = JsonlTraceFormat.read(corrupted.path, quarantine=log)
+        parsed_total = log.total
+
+        ours = SessionManager(adapter_service, quarantine=log)
+        final_scores(ours, screened)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ReproRuntimeWarning)
+            ours_scores = final_scores(ours, screened)  # full redelivery
+        theirs = SessionManager(adapter_service)
+        theirs_scores = final_scores(theirs, corrupted.clean_traces(traces))
+        assert_scores_equal(ours_scores, theirs_scores)
+        assert log.total == parsed_total
+
+
+class TestHostileCohorts:
+    def test_clean_scores_unaffected_by_hostile_cohabitants(
+        self, adapter_service, small_task, cohort
+    ):
+        pair, reference = small_task
+        hostile = simulate_hostile_population(pair, reference, 5, random_state=1)
+        clean_traces = [trace_from_matcher(m) for m in cohort]
+        mixed = clean_traces + [trace_from_matcher(m) for m in hostile]
+
+        alone = final_scores(SessionManager(adapter_service), clean_traces)
+        together = final_scores(SessionManager(adapter_service), mixed)
+        index = {mid: i for i, mid in enumerate(together.matcher_ids)}
+        rows = [index[mid] for mid in alone.matcher_ids]
+        assert np.array_equal(alone.labels, together.labels[rows])
+        assert np.array_equal(alone.probabilities, together.probabilities[rows])
+
+    def test_hostile_cohort_survives_fleet_chaos_bitwise(
+        self, adapter_service, small_task, tmp_path
+    ):
+        """Adapter → stream → shard under injected faults: the hostile
+        workload's fleet scores equal the single-manager oracle's."""
+        pair, reference = small_task
+        hostile = simulate_hostile_population(pair, reference, 5, random_state=4)
+        workload = [trace_from_matcher(m) for m in hostile]
+
+        oracle = SessionManager(adapter_service)
+        expected = final_scores(oracle, workload)
+        with ShardFleet(
+            adapter_service, 3, seed=1, checkpoint_root=tmp_path / "ckpt"
+        ) as fleet:
+            # Kill the shard that is still ingesting in the last window
+            # (the longest-horizon session's owner): short-lived personas
+            # finish early, and a dead-idle shard never drains — or dies.
+            longest = max(workload, key=lambda trace: trace.horizon)
+            victim = fleet.router.route(longest.session_id)
+            with injected(f"shard.death:keys={victim}@4;seed=0"):
+                got = final_scores(fleet, workload, checkpoint=True)
+            assert fleet.stats()["totals"]["deaths"] == 1
+        assert_scores_equal(got, expected)

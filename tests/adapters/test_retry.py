@@ -1,0 +1,64 @@
+"""The ``adapter.read`` fault seam: bounded retry with exponential backoff."""
+
+import pytest
+
+from repro.adapters import AdapterError, CsvEventFormat
+from repro.runtime.faults import injected
+
+
+@pytest.fixture
+def source(tmp_path):
+    target = tmp_path / "events.csv"
+    target.write_text("session_id,t,x,y,event\ns1,0.5,10.0,20.0,move\n")
+    return target
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.naps = []
+
+    def __call__(self, seconds):
+        self.naps.append(seconds)
+
+
+class TestAdapterReadSeam:
+    def test_transient_faults_within_budget_are_absorbed(self, source):
+        sleep = SleepRecorder()
+        with injected("adapter.read:p=1.0:times=2;seed=0"):
+            parsed = CsvEventFormat.read(
+                source, max_read_retries=3, backoff=0.5, sleep=sleep
+            )
+        assert parsed[0].n_events == 1
+        # Two failed attempts, exponential backoff: 0.5s then 1.0s.
+        assert sleep.naps == [0.5, 1.0]
+
+    def test_exhausted_budget_surfaces_as_adapter_error(self, source):
+        sleep = SleepRecorder()
+        with injected("adapter.read:p=1.0:times=99;seed=0"):
+            with pytest.raises(AdapterError, match="after 3 attempts"):
+                CsvEventFormat.read(
+                    source, max_read_retries=2, backoff=0.25, sleep=sleep
+                )
+        assert sleep.naps == [0.25, 0.5]  # no sleep after the final attempt
+
+    def test_os_errors_retry_and_surface(self, tmp_path):
+        sleep = SleepRecorder()
+        with pytest.raises(AdapterError, match="after 4 attempts"):
+            CsvEventFormat.read(tmp_path / "missing.csv", backoff=0.1, sleep=sleep)
+        assert sleep.naps == [0.1, 0.2, 0.4]
+
+    def test_no_faults_means_no_sleeps(self, source):
+        sleep = SleepRecorder()
+        parsed = CsvEventFormat.read(source, sleep=sleep)
+        assert parsed[0].n_events == 1
+        assert sleep.naps == []
+
+    def test_seam_is_keyed_by_file_name(self, source, tmp_path):
+        other = tmp_path / "other.csv"
+        other.write_text("session_id,t,x,y,event\ns2,0.5,1.0,1.0,move\n")
+        sleep = SleepRecorder()
+        with injected(f"adapter.read:keys={source.name}:times=5;seed=0"):
+            with pytest.raises(AdapterError):
+                CsvEventFormat.read(source, max_read_retries=0, sleep=sleep)
+            parsed = CsvEventFormat.read(other, max_read_retries=0, sleep=sleep)
+        assert parsed[0].session_id == "s2"

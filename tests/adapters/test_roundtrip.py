@@ -1,0 +1,170 @@
+"""Property suite: emit→parse identity and exact-count corruption screening.
+
+Two generators drive the properties:
+
+* a Hypothesis strategy over arbitrary small :class:`SessionTrace`
+  workloads (distinct per-kind timestamps — the clean-workload contract
+  the simulators guarantee) for the **round-trip identity**: writing a
+  workload through a format and strict-reading it back is fingerprint
+  (bitwise) identity;
+* the seeded corruption writer for the **screening property**: a
+  screened read of a damaged file quarantines exactly the damaged rows
+  (per-reason counts) and survivors fingerprint-equal a strict read's
+  view of the clean rows.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapters import (
+    JsonlTraceFormat,
+    SessionTrace,
+    trace_fingerprint,
+    trace_from_matcher,
+)
+from repro.matching.events import N_EVENT_TYPES
+from repro.simulation import build_small_task, simulate_population
+from repro.simulation.corruption import write_corrupted_trace
+from repro.stream.quarantine import QuarantineLog
+
+_SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def session_traces(draw):
+    """A small workload of 1-3 sessions with distinct per-kind timestamps."""
+    n_sessions = draw(st.integers(1, 3))
+    traces = []
+    for index in range(n_sessions):
+        n_events = draw(st.integers(1, 8))
+        n_decisions = draw(st.integers(1, 5))
+        times = st.floats(
+            0.0, 1000.0, allow_nan=False, allow_infinity=False, width=32
+        )
+        t = sorted(
+            draw(
+                st.lists(times, min_size=n_events, max_size=n_events, unique=True)
+            )
+        )
+        d_t = sorted(
+            draw(
+                st.lists(
+                    times, min_size=n_decisions, max_size=n_decisions, unique=True
+                )
+            )
+        )
+        coords = st.floats(0.0, 700.0, allow_nan=False, width=32)
+        shape = (draw(st.integers(1, 8)), draw(st.integers(1, 8)))
+        traces.append(
+            SessionTrace(
+                session_id=f"s{index}",
+                shape=shape,
+                x=np.array(
+                    draw(st.lists(coords, min_size=n_events, max_size=n_events)),
+                    dtype=np.float64,
+                ),
+                y=np.array(
+                    draw(st.lists(coords, min_size=n_events, max_size=n_events)),
+                    dtype=np.float64,
+                ),
+                codes=np.array(
+                    draw(
+                        st.lists(
+                            st.integers(0, N_EVENT_TYPES - 1),
+                            min_size=n_events,
+                            max_size=n_events,
+                        )
+                    ),
+                    dtype=np.int64,
+                ),
+                t=np.array(t, dtype=np.float64),
+                d_rows=np.array(
+                    draw(
+                        st.lists(
+                            st.integers(0, shape[0] - 1),
+                            min_size=n_decisions,
+                            max_size=n_decisions,
+                        )
+                    ),
+                    dtype=np.int64,
+                ),
+                d_cols=np.array(
+                    draw(
+                        st.lists(
+                            st.integers(0, shape[1] - 1),
+                            min_size=n_decisions,
+                            max_size=n_decisions,
+                        )
+                    ),
+                    dtype=np.int64,
+                ),
+                d_conf=np.array(
+                    draw(
+                        st.lists(
+                            st.floats(0.0, 1.0, allow_nan=False, width=32),
+                            min_size=n_decisions,
+                            max_size=n_decisions,
+                        )
+                    ),
+                    dtype=np.float64,
+                ),
+                d_t=np.array(d_t, dtype=np.float64),
+                screen=(768, 1024),
+            )
+        )
+    return traces
+
+
+@_SETTINGS
+@given(workload=session_traces())
+def test_jsonl_roundtrip_is_fingerprint_identity(workload, tmp_path_factory):
+    path = tmp_path_factory.mktemp("rt") / "trace.jsonl"
+    JsonlTraceFormat.write(path, workload)
+    parsed = JsonlTraceFormat.read(path)
+    assert trace_fingerprint(parsed) == trace_fingerprint(workload)
+
+
+def _cohort_traces():
+    """A cached simulated workload rich enough to host every damage kind."""
+    if not hasattr(_cohort_traces, "value"):
+        pair, reference = build_small_task(random_state=3)
+        cohort = simulate_population(
+            pair, reference, n_matchers=3, random_state=23, id_prefix="rt"
+        )
+        _cohort_traces.value = [trace_from_matcher(m) for m in cohort]
+    return _cohort_traces.value
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**20),
+    n_unparseable=st.integers(0, 3),
+    n_schema_invalid=st.integers(0, 3),
+    n_clock_skew=st.integers(0, 2),
+    n_duplicate=st.integers(0, 3),
+)
+def test_corruption_screening_counts_and_survivors(
+    tmp_path_factory, seed, n_unparseable, n_schema_invalid, n_clock_skew, n_duplicate
+):
+    traces = _cohort_traces()
+    path = tmp_path_factory.mktemp("corr") / "dirty.jsonl"
+    report = write_corrupted_trace(
+        traces,
+        path,
+        "jsonl",
+        seed=seed,
+        n_unparseable=n_unparseable,
+        n_schema_invalid=n_schema_invalid,
+        n_clock_skew=n_clock_skew,
+        n_duplicate=n_duplicate,
+    )
+    log = QuarantineLog()
+    survivors = JsonlTraceFormat.read(path, quarantine=log)
+    expected = report.expected_counts()
+    for reason, count in expected.items():
+        assert log.by_reason[reason] == count, reason
+    assert log.total == sum(expected.values())
+    assert trace_fingerprint(survivors) == trace_fingerprint(
+        report.clean_traces(traces)
+    )

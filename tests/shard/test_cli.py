@@ -56,3 +56,45 @@ def test_replay_checkpoint_then_inspect(fast_fleet, tmp_path, capsys):
 def test_inspect_missing_root_fails_cleanly(tmp_path, capsys):
     assert cli.main(["inspect", "--checkpoint-root", str(tmp_path / "nope")]) == 1
     assert "no fleet manifest" in capsys.readouterr().out
+
+
+def test_replay_adapter_input_verifies_and_counts_quarantine(
+    fast_fleet, small_task, tmp_path, capsys
+):
+    """A corrupted external trace file, screened at the adapter and fanned
+    out over shards, must still verify bitwise against the oracle — and the
+    payload must surface the adapter's quarantine ledger."""
+    from repro.adapters import JsonlTraceFormat, trace_from_matcher
+    from repro.simulation import simulate_population
+    from repro.simulation.corruption import write_corrupted_trace
+
+    pair, reference = small_task
+    cohort = simulate_population(
+        pair, reference, n_matchers=5, random_state=21, id_prefix="ext"
+    )
+    traces = [trace_from_matcher(m) for m in cohort]
+    dirty = tmp_path / "dirty.jsonl"
+    report = write_corrupted_trace(
+        traces, dirty, "jsonl", seed=13,
+        n_unparseable=2, n_schema_invalid=1, n_clock_skew=1, n_duplicate=2,
+    )
+
+    code = cli.main(
+        [
+            "replay", "--input", f"jsonl:{dirty}", "--shards", "3", "--steps", "3",
+            "--report-every", "1", "--verify",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verified_bitwise_equal"] is True
+    assert payload["workload"]["source"] == f"jsonl:{dirty}"
+    expected = report.expected_counts()
+    assert payload["adapter_quarantine"]["total"] == sum(expected.values())
+    assert payload["adapter_quarantine"]["by_reason"]["unparseable"] == expected[
+        "unparseable"
+    ]
+    assert payload["final_scored"] == 5
+    # Rows screened at the adapter never reach a shard: the per-shard
+    # ledgers the fleet aggregates for ops /stats stay empty.
+    assert payload["stats"]["totals"]["quarantined"]["total"] == 0

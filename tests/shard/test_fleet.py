@@ -151,6 +151,42 @@ class TestOpsPayloads:
         assert health["status"] == "ok"
         assert [entry["shard"] for entry in health["shards"]] == [0, 1, 2]
 
+    def test_per_shard_quarantine_logs_aggregate_in_stats(self, shard_service):
+        """``quarantine=True`` hands every shard its own ledger; the fleet
+        totals sum them exactly and each shard's stats expose its own."""
+        traces = synthetic_traces(6, seed=5, n_events=4, n_decisions=0)
+        with ShardFleet(shard_service, 3, seed=2, quarantine=True) as fleet:
+            _open_all(fleet, traces)
+            for trace in traces:
+                batch = (trace.x[:1], trace.y[:1], trace.codes[:1], trace.t[:1])
+                fleet.ingest_events(trace.session_id, *batch)
+                fleet.ingest_events(trace.session_id, *batch)  # exact duplicate
+            fleet.flush()
+            totals = fleet.stats()["totals"]["quarantined"]
+            assert totals["total"] == 6
+            assert totals["by_reason"]["duplicate"] == 6
+            per_shard = [entry["quarantined"] for entry in fleet.stats()["shards"]]
+            assert all(entry is not None for entry in per_shard)
+            assert sum(entry["total"] for entry in per_shard) == 6
+
+    def test_shared_quarantine_log_is_counted_once(self, shard_service):
+        from repro.stream.quarantine import QuarantineLog
+
+        log = QuarantineLog()
+        traces = synthetic_traces(4, seed=5, n_events=4, n_decisions=0)
+        with ShardFleet(shard_service, 2, seed=2, quarantine=log) as fleet:
+            _open_all(fleet, traces)
+            trace = traces[0]
+            batch = (trace.x[:1], trace.y[:1], trace.codes[:1], trace.t[:1])
+            fleet.ingest_events(trace.session_id, *batch)
+            fleet.ingest_events(trace.session_id, *batch)
+            fleet.flush()
+            totals = fleet.stats()["totals"]["quarantined"]
+            assert totals["total"] == log.total == 1
+
+    def test_no_quarantine_log_reports_none(self, small_fleet):
+        assert small_fleet.stats()["totals"]["quarantined"] is None
+
     def test_fleet_scores_merge_sorted(self, small_fleet):
         traces = synthetic_traces(7, seed=8, n_events=16, n_decisions=3)
         driver = ReplayDriver(small_fleet, traces, steps=2)

@@ -1,0 +1,170 @@
+"""Hostile persona cohorts: structure, determinism, and storm screening."""
+
+import numpy as np
+import pytest
+
+from repro.adapters import JsonlTraceFormat, trace_fingerprint, trace_from_matcher
+from repro.simulation import (
+    HOSTILE_COHORTS,
+    simulate_hostile_matcher,
+    simulate_hostile_population,
+    storm_columns,
+)
+from repro.stream.ingest import StreamingEventBuffer
+from repro.stream.quarantine import QuarantineLog
+
+
+class TestCohorts:
+    def test_population_cycles_cohorts_into_ids(self, small_task):
+        pair, reference = small_task
+        matchers = simulate_hostile_population(pair, reference, 7, random_state=0)
+        assert [m.matcher_id for m in matchers[:5]] == [
+            f"hostile-{cohort}-{index:03d}"
+            for index, cohort in enumerate(HOSTILE_COHORTS)
+        ]
+        assert matchers[5].matcher_id == "hostile-bot-005"
+
+    def test_generators_are_deterministic(self, small_task):
+        pair, reference = small_task
+        for cohort in HOSTILE_COHORTS:
+            twice = [
+                trace_from_matcher(
+                    simulate_hostile_matcher(
+                        cohort, pair, reference, random_state=11
+                    )
+                )
+                for _ in range(2)
+            ]
+            assert trace_fingerprint(twice[:1]) == trace_fingerprint(twice[1:])
+        seeds = [
+            trace_from_matcher(
+                simulate_hostile_matcher("bot", pair, reference, random_state=seed)
+            )
+            for seed in (11, 12)
+        ]
+        assert trace_fingerprint(seeds[:1]) != trace_fingerprint(seeds[1:])
+
+    def test_unknown_cohort_rejected(self, small_task):
+        pair, reference = small_task
+        with pytest.raises(ValueError, match="cohort"):
+            simulate_hostile_matcher("gremlin", pair, reference)
+
+    def test_every_cohort_is_strict_ingest_valid(self, small_task, tmp_path):
+        """The adversarial matchers are *valid* traffic: the full jsonl
+        round-trip (write → strict read) is fingerprint identity."""
+        pair, reference = small_task
+        matchers = simulate_hostile_population(pair, reference, 5, random_state=2)
+        traces = [trace_from_matcher(m) for m in matchers]
+        path = JsonlTraceFormat.write(tmp_path / "hostile.jsonl", traces)
+        parsed = JsonlTraceFormat.read(path)
+        assert trace_fingerprint(parsed) == trace_fingerprint(traces)
+
+
+class TestPersonaSignatures:
+    def test_bot_has_machine_constant_cadence(self, small_task):
+        pair, reference = small_task
+        bot = simulate_hostile_matcher("bot", pair, reference, random_state=5)
+        stamps = np.array([d.timestamp for d in bot.history])
+        gaps = np.diff(stamps)
+        np.testing.assert_allclose(gaps, gaps[0])
+        confidences = {d.confidence for d in bot.history}
+        assert len(confidences) == 1
+
+    def test_fatigue_slows_down_and_loses_confidence(self, small_task):
+        pair, reference = small_task
+        tired = simulate_hostile_matcher("fatigue", pair, reference, random_state=5)
+        stamps = np.array([d.timestamp for d in tired.history])
+        assert np.all(np.diff(stamps) > 0)
+        confidences = np.array([d.confidence for d in tired.history])
+        third = max(len(confidences) // 3, 1)
+        assert confidences[-third:].mean() < confidences[:third].mean()
+
+    def test_copy_paste_repeats_identical_blocks(self, small_task):
+        pair, reference = small_task
+        expert = simulate_hostile_matcher(
+            "copy_paste", pair, reference, random_state=5
+        )
+        payloads = [(d.row, d.col, d.confidence) for d in expert.history]
+        stamps = [d.timestamp for d in expert.history]
+        assert len(set(stamps)) == len(stamps)  # distinct clocks: ingest-safe
+        counts = {payload: payloads.count(payload) for payload in set(payloads)}
+        repeats = max(counts.values())
+        assert repeats >= 3  # the same block pasted again and again
+
+    def test_hijack_has_a_handover_gap(self, small_task):
+        pair, reference = small_task
+        hijacked = simulate_hostile_matcher("hijack", pair, reference, random_state=5)
+        stamps = np.array([d.timestamp for d in hijacked.history])
+        assert np.all(np.diff(stamps) >= 0)
+        assert float(np.diff(stamps).max()) >= 2.0  # the operator swap
+        data = hijacked.movement.data
+        assert np.all(np.diff(data.t) >= 0)
+
+    def test_storm_bursts_are_dense_but_valid(self, small_task):
+        pair, reference = small_task
+        stormy = simulate_hostile_matcher("storm", pair, reference, random_state=5)
+        data = stormy.movement.data
+        buffer = StreamingEventBuffer()
+        buffer.extend(data.x, data.y, data.codes, data.t)  # strict: must not raise
+        gaps = np.diff(data.t)
+        assert float(gaps.min()) < 0.05  # burst density
+
+
+class TestStormColumns:
+    def test_screened_ingest_matches_expected_counts(self):
+        rng = np.random.default_rng(8)
+        watermark = 10.0
+        prime_t = np.linspace(0.5, watermark, 8)
+        buffer = StreamingEventBuffer(reorder_window=10.0)
+        buffer.extend(
+            np.full(8, 5.0), np.full(8, 5.0), np.zeros(8, dtype=np.int64), prime_t
+        )
+        buffer.flush()  # the barrier: everything before 10.0 is final
+
+        x, y, codes, t, expected = storm_columns(
+            rng,
+            n_clean=24,
+            start=watermark,
+            end=20.0,
+            watermark=watermark,
+            n_duplicate=3,
+            n_stale=2,
+            n_malformed=4,
+        )
+        log = QuarantineLog()
+        survived = buffer.extend_screened(x, y, codes, t, log, session_id="s")
+        assert survived == 24
+        for reason, count in expected.items():
+            assert log.by_reason[reason] == count, reason
+        assert log.total == sum(expected.values())
+
+        # Differential: a strict buffer fed only the clean prefix commits
+        # the identical stream.
+        strict = StreamingEventBuffer(reorder_window=10.0)
+        strict.extend(
+            np.full(8, 5.0), np.full(8, 5.0), np.zeros(8, dtype=np.int64), prime_t
+        )
+        strict.flush()
+        strict.extend(x[:24], y[:24], codes[:24], t[:24])
+        ours, theirs = buffer.snapshot(), strict.snapshot()
+        for column in ("x", "y", "codes", "t"):
+            np.testing.assert_array_equal(
+                getattr(ours, column), getattr(theirs, column)
+            )
+
+    def test_stale_rows_need_a_watermark(self):
+        with pytest.raises(ValueError, match="watermark"):
+            storm_columns(np.random.default_rng(0), n_stale=1)
+
+    def test_columns_are_deterministic(self):
+        a = storm_columns(
+            np.random.default_rng(3), n_duplicate=2, n_stale=1, n_malformed=2,
+            watermark=5.0, start=5.0, end=12.0,
+        )
+        b = storm_columns(
+            np.random.default_rng(3), n_duplicate=2, n_stale=1, n_malformed=2,
+            watermark=5.0, start=5.0, end=12.0,
+        )
+        for column_a, column_b in zip(a[:4], b[:4]):
+            np.testing.assert_array_equal(column_a, column_b)
+        assert a[4] == b[4]

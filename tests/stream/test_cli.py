@@ -90,3 +90,126 @@ def test_replay_idle_timeout_evicts(fast_service, capsys):
     )
     assert code == 0
     assert "(0 evicted" not in capsys.readouterr().out
+
+
+@pytest.fixture
+def trace_file(workload, tmp_path):
+    from repro.adapters import JsonlTraceFormat, trace_from_matcher
+
+    traces = [trace_from_matcher(matcher) for matcher in workload]
+    return JsonlTraceFormat.write(tmp_path / "trace.jsonl", traces)
+
+
+class TestAdapterInput:
+    def test_replay_input_reports_quarantine(self, fast_service, trace_file, capsys):
+        from repro.adapters import JsonlTraceFormat
+        from repro.simulation.corruption import write_corrupted_trace
+
+        traces = JsonlTraceFormat.read(trace_file)
+        dirty = trace_file.parent / "dirty.jsonl"
+        report = write_corrupted_trace(
+            traces, dirty, "jsonl", seed=9,
+            n_unparseable=2, n_schema_invalid=2, n_clock_skew=1, n_duplicate=2,
+        )
+        code = cli.main(
+            ["replay", "--input", f"jsonl:{dirty}", "--steps", "3", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = report.expected_counts()
+        assert payload["quarantined"]["by_reason"]["unparseable"] == expected[
+            "unparseable"
+        ]
+        assert payload["quarantined"]["total"] == sum(expected.values())
+        assert payload["workload"]["source"] == f"jsonl:{dirty}"
+        assert payload["workload"]["fingerprint"]
+
+        code = cli.main(["replay", "--input", f"jsonl:{dirty}", "--steps", "3"])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert f"quarantined {sum(expected.values())} rows" in table
+
+    def test_resume_same_input_is_silent(
+        self, fast_service, trace_file, tmp_path, capsys, recwarn
+    ):
+        checkpoint = str(tmp_path / "ckpt")
+        source = f"jsonl:{trace_file}"
+        assert cli.main(
+            ["replay", "--input", source, "--steps", "2", "--checkpoint", checkpoint]
+        ) == 0
+        assert cli.main(["inspect", "--checkpoint", checkpoint]) == 0
+        inspected = capsys.readouterr().out
+        assert "workload:" in inspected and "trace v1" in inspected
+        assert cli.main(
+            ["replay", "--input", source, "--steps", "2", "--resume", checkpoint]
+        ) == 0
+        from repro.runtime.faults import ReproRuntimeWarning
+
+        assert not [
+            w for w in recwarn if isinstance(w.message, ReproRuntimeWarning)
+        ]
+
+    def test_resume_against_a_different_trace_warns(
+        self, fast_service, trace_file, tmp_path, capsys
+    ):
+        from repro.adapters import JsonlTraceFormat
+        from repro.runtime.faults import ReproRuntimeWarning
+
+        checkpoint = str(tmp_path / "ckpt")
+        assert cli.main(
+            [
+                "replay", "--input", f"jsonl:{trace_file}", "--steps", "2",
+                "--checkpoint", checkpoint,
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        other = trace_file.parent / "other.jsonl"
+        JsonlTraceFormat.write(other, JsonlTraceFormat.read(trace_file)[:3])
+        with pytest.warns(ReproRuntimeWarning, match="different trace"):
+            cli.main(
+                [
+                    "replay", "--input", f"jsonl:{other}", "--steps", "2",
+                    "--resume", checkpoint,
+                ]
+            )
+
+    def test_resume_from_a_workloadless_checkpoint_warns(
+        self, fast_service, trace_file, tmp_path, capsys
+    ):
+        from repro.runtime.faults import ReproRuntimeWarning
+
+        checkpoint = str(tmp_path / "ckpt")
+        assert cli.main(
+            [
+                "replay", "--sessions", "5", "--seed", "3", "--steps", "2",
+                "--checkpoint", checkpoint,
+            ]
+        ) == 0
+        capsys.readouterr()
+        with pytest.warns(ReproRuntimeWarning, match="records no input workload"):
+            cli.main(
+                [
+                    "replay", "--input", f"jsonl:{trace_file}", "--steps", "2",
+                    "--resume", checkpoint,
+                ]
+            )
+
+    def test_decisions_input_requires_input(self, fast_service, trace_file):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["replay", "--decisions-input", f"jsonl:{trace_file}", "--steps", "2"]
+            )
+
+    def test_recovery_abort_surfaces_adapter_error(self, fast_service, tmp_path):
+        from repro.adapters import AdapterError
+
+        dirty = tmp_path / "dirty.jsonl"
+        dirty.write_text("{broken\n")
+        with pytest.raises(AdapterError, match="unparseable"):
+            cli.main(
+                [
+                    "replay", "--input", f"jsonl:{dirty}", "--steps", "2",
+                    "--recovery", "abort",
+                ]
+            )
