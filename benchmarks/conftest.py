@@ -47,6 +47,7 @@ BENCH_MEMORY_PATH = Path(__file__).resolve().parent / "BENCH_memory.json"
 BENCH_FAULTS_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
 BENCH_SHARD_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
 BENCH_INGEST_PATH = Path(__file__).resolve().parent / "BENCH_ingest.json"
+BENCH_OBS_PATH = Path(__file__).resolve().parent / "BENCH_obs.json"
 
 #: Measurement name -> value, populated through `serve_timings`.
 _SERVE_TIMINGS: dict[str, float] = {}
@@ -68,6 +69,9 @@ _SHARD_TIMINGS: dict[str, float] = {}
 
 #: Measurement name -> value, populated through `ingest_timings`.
 _INGEST_TIMINGS: dict[str, float] = {}
+
+#: Measurement name -> value, populated through `obs_timings`.
+_OBS_TIMINGS: dict[str, float] = {}
 
 
 def _machine_metadata() -> dict:
@@ -167,6 +171,12 @@ def ingest_timings() -> dict[str, float]:
     return _INGEST_TIMINGS
 
 
+@pytest.fixture(scope="session")
+def obs_timings() -> dict[str, float]:
+    """Mutable registry of telemetry-overhead timings, flushed at session end."""
+    return _OBS_TIMINGS
+
+
 def _flush_timings(registry: dict[str, float], key: str, path: Path) -> None:
     if not registry:
         return
@@ -191,3 +201,4 @@ def pytest_sessionfinish(session, exitstatus):
     _flush_timings(_FAULT_TIMINGS, "measurements", BENCH_FAULTS_PATH)
     _flush_timings(_SHARD_TIMINGS, "measurements", BENCH_SHARD_PATH)
     _flush_timings(_INGEST_TIMINGS, "measurements", BENCH_INGEST_PATH)
+    _flush_timings(_OBS_TIMINGS, "measurements", BENCH_OBS_PATH)

@@ -1,0 +1,112 @@
+"""Unified telemetry plane: metrics, span tracing, exposition, journals.
+
+One import surface for every instrumentation site in the codebase::
+
+    from repro import obs
+
+    obs.counter("repro_widgets_total", "Widgets made", labelnames=("kind",)).inc(kind="a")
+    with obs.trace_span("widget.make", kind="a"):
+        ...
+
+The module-level :func:`counter` / :func:`gauge` / :func:`histogram` /
+:func:`distribution` helpers resolve against the *current* default
+registry on every call, so tests that swap registries with
+:func:`use_registry` capture instrumented code unchanged.  Everything is
+gated on :func:`obs_enabled` (``REPRO_OBS``, default on) — instrumented
+hot paths check it once and skip all telemetry work when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.exposition import parse_prometheus, render_prometheus
+from repro.obs.journal import RunJournal, read_journal
+from repro.obs.registry import (
+    OBS_ENV_VAR,
+    Counter,
+    Distribution,
+    Gauge,
+    Histogram,
+    MetricHandle,
+    MetricsRegistry,
+    default_latency_buckets,
+    default_registry,
+    merge_snapshots,
+    obs_enabled,
+    obs_override,
+    set_default_registry,
+    set_enabled,
+    use_registry,
+)
+from repro.obs.tracing import (
+    SpanContext,
+    SpanRecord,
+    Tracer,
+    current_context,
+    set_tracer,
+    trace_span,
+    tracer,
+    use_parent,
+    use_tracer,
+)
+
+__all__ = [
+    "OBS_ENV_VAR",
+    "Counter",
+    "Distribution",
+    "Gauge",
+    "Histogram",
+    "MetricHandle",
+    "MetricsRegistry",
+    "RunJournal",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "counter",
+    "current_context",
+    "default_latency_buckets",
+    "default_registry",
+    "distribution",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "obs_enabled",
+    "obs_override",
+    "parse_prometheus",
+    "read_journal",
+    "render_prometheus",
+    "set_default_registry",
+    "set_enabled",
+    "set_tracer",
+    "trace_span",
+    "tracer",
+    "use_parent",
+    "use_registry",
+    "use_tracer",
+]
+
+
+def counter(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+    """Get-or-create a counter on the current default registry."""
+    return default_registry().counter(name, help=help, labelnames=labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+    """Get-or-create a gauge on the current default registry."""
+    return default_registry().gauge(name, help=help, labelnames=labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] | None = None,
+) -> Histogram:
+    """Get-or-create a histogram on the current default registry."""
+    return default_registry().histogram(name, help=help, labelnames=labelnames, buckets=buckets)
+
+
+def distribution(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Distribution:
+    """Get-or-create a distribution on the current default registry."""
+    return default_registry().distribution(name, help=help, labelnames=labelnames)

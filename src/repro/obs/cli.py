@@ -1,0 +1,121 @@
+"""``python -m repro.obs`` — render run journals into human summaries.
+
+``report`` folds a JSONL journal (spans + metric snapshots, as written by
+:class:`~repro.obs.journal.RunJournal`) into a compact digest: per-span-name
+count/total/mean/max durations, and the final metric snapshot rendered
+either as a table or as Prometheus text.  ``--format json`` emits the same
+digest machine-readably for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.journal import read_journal
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["main"]
+
+
+def _span_table(entries: list[dict]) -> dict[str, dict]:
+    table: dict[str, dict] = {}
+    for entry in entries:
+        if entry.get("kind") != "span":
+            continue
+        name = entry["name"]
+        row = table.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0})
+        duration = float(entry.get("duration", 0.0))
+        row["count"] += 1
+        row["total_s"] += duration
+        row["max_s"] = max(row["max_s"], duration)
+        if entry.get("status") != "ok":
+            row["errors"] += 1
+    for row in table.values():
+        row["mean_s"] = row["total_s"] / row["count"] if row["count"] else 0.0
+    return dict(sorted(table.items()))
+
+
+def _final_registry(entries: list[dict]) -> MetricsRegistry | None:
+    snapshot = None
+    for entry in entries:
+        if entry.get("kind") == "metrics":
+            snapshot = entry.get("snapshot")
+    if snapshot is None:
+        return None
+    registry = MetricsRegistry()
+    registry.merge_snapshot(snapshot)
+    return registry
+
+
+def _report(args: argparse.Namespace) -> int:
+    path = Path(args.journal)
+    if not path.exists():
+        print(f"journal not found: {path}", file=sys.stderr)
+        return 2
+    entries = read_journal(path)
+    spans = _span_table(entries)
+    registry = _final_registry(entries)
+
+    if args.format == "json":
+        payload = {
+            "entries": len(entries),
+            "spans": spans,
+            "metrics": registry.snapshot() if registry is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"journal: {path}  entries: {len(entries)}")
+    if spans:
+        print("\nspans:")
+        header = f"  {'name':<32} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10} {'errors':>7}"
+        print(header)
+        for name, row in spans.items():
+            print(
+                f"  {name:<32} {row['count']:>7} {row['total_s']:>10.4f} "
+                f"{row['mean_s']:>10.6f} {row['max_s']:>10.6f} {row['errors']:>7}"
+            )
+    else:
+        print("\nspans: none recorded")
+    if registry is not None:
+        print("\nfinal metric snapshot (prometheus text):")
+        text = render_prometheus(registry)
+        print("  " + "\n  ".join(text.rstrip("\n").splitlines()) if text else "  (empty)")
+    else:
+        print("\nmetrics: no snapshot recorded")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro telemetry journals.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="summarize a JSONL run journal")
+    report.add_argument("journal", help="path to the journal file (rotations are included)")
+    report.add_argument(
+        "--format", choices=("table", "json"), default="table", help="output format"
+    )
+    report.set_defaults(handler=_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""Prometheus text exposition (version 0.0.4) rendering and a test parser.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the plain-text format every Prometheus-compatible scraper consumes:
+``# HELP`` / ``# TYPE`` headers per family, one sample line per series,
+histogram families expanded into cumulative ``_bucket{le=...}`` samples
+plus ``_sum`` and ``_count``, distributions exposed as summaries.  Output
+is deterministic: families sort by name and series by label values, and
+float formatting is locale-independent ``repr``.
+
+:func:`parse_prometheus` is the minimal inverse used by the round-trip
+tests — it understands exactly what the renderer emits (HELP/TYPE
+comments, escaped label values, float samples) and nothing more.  It is
+not a general scraper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.registry import Counter, Distribution, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["parse_prometheus", "render_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_fragment(
+    labelnames: tuple[str, ...],
+    labelvalues: tuple[str, ...],
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in ``registry`` as Prometheus text exposition."""
+    lines: list[str] = []
+    for family in registry.collect():
+        exposed_kind = {"distribution": "summary", "untyped": "untyped"}.get(family.kind, family.kind)
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {exposed_kind}")
+        series = family.series()
+        if isinstance(family, (Counter, Gauge)):
+            for key, cell in series.items():
+                fragment = _labels_fragment(family.labelnames, key)
+                lines.append(f"{family.name}{fragment} {_format_value(cell.value)}")
+        elif isinstance(family, Histogram):
+            for key, state in series.items():
+                cumulative = 0
+                for bound, count in zip(family.buckets, state.counts):
+                    cumulative += int(count)
+                    fragment = _labels_fragment(
+                        family.labelnames, key, extra=(("le", _format_value(bound)),)
+                    )
+                    lines.append(f"{family.name}_bucket{fragment} {cumulative}")
+                total = cumulative + int(state.counts[-1])
+                fragment = _labels_fragment(family.labelnames, key, extra=(("le", "+Inf"),))
+                lines.append(f"{family.name}_bucket{fragment} {total}")
+                plain = _labels_fragment(family.labelnames, key)
+                lines.append(f"{family.name}_sum{plain} {_format_value(state.sum)}")
+                lines.append(f"{family.name}_count{plain} {total}")
+        elif isinstance(family, Distribution):
+            for key, summary in series.items():
+                plain = _labels_fragment(family.labelnames, key)
+                lines.append(f"{family.name}_sum{plain} {_format_value(summary.mean * summary.count)}")
+                lines.append(f"{family.name}_count{plain} {summary.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(fragment: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(fragment):
+        eq = fragment.index("=", i)
+        name = fragment[i:eq].strip().lstrip(",").strip()
+        assert fragment[eq + 1] == '"', f"malformed label fragment: {fragment!r}"
+        j = eq + 2
+        raw: list[str] = []
+        while fragment[j] != '"':
+            if fragment[j] == "\\":
+                raw.append(fragment[j : j + 2])
+                j += 2
+            else:
+                raw.append(fragment[j])
+                j += 1
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse renderer output back into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)`` tuples in
+    file order.  Only the subset of the format that
+    :func:`render_prometheus` emits is supported.
+    """
+    families: dict[str, dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["help"] = help_text.replace("\\n", "\n").replace("\\\\", "\\")
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            sample_name = line[: line.index("{")]
+            closing = line.rindex("}")
+            labels = _parse_labels(line[line.index("{") + 1 : closing])
+            value = _parse_value(line[closing + 1 :].strip())
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+            value = _parse_value(value_text.strip())
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in families:
+                base = base[: -len(suffix)]
+                break
+        families.setdefault(base, {"type": None, "help": "", "samples": []})
+        families[base]["samples"].append((sample_name, labels, value))
+    return families

@@ -1,0 +1,143 @@
+"""Structured run journals: atomic JSONL appends with bounded rotation.
+
+A :class:`RunJournal` is the durable side of the telemetry plane: every
+entry is one JSON object on one line (``{"seq", "ts", "kind", ...payload}``)
+written with a single ``os.write`` to an ``O_APPEND`` descriptor — the
+POSIX guarantee for single-write appends means concurrent writers from
+threads never interleave partial lines.  When the active file exceeds
+``max_bytes`` it is rotated to ``<path>.1`` (shifting older generations up
+to ``keep``), so a long replay cannot grow a journal without bound.
+
+Typical producers: ``Tracer.attach_journal`` mirrors span closes,
+:meth:`RunJournal.write_metrics` records registry snapshots at
+checkpoints, and the stream/shard CLIs take ``--journal PATH``.
+:func:`read_journal` loads entries back (rotated generations first), and
+``python -m repro.obs report`` renders a human summary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+__all__ = ["RunJournal", "read_journal"]
+
+
+class RunJournal:
+    """Append-only JSONL journal with size-bounded rotation."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_bytes: int = 8 * 1024 * 1024,
+        keep: int = 2,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.keep = int(keep)
+        self.clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._size = os.fstat(self._fd).st_size
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, kind: str, payload: dict) -> int:
+        """Append one entry; returns its sequence number."""
+        with self._lock:
+            self._seq += 1
+            entry = {"seq": self._seq, "ts": self.clock(), "kind": kind, **payload}
+            line = json.dumps(entry, sort_keys=True, default=_jsonify) + "\n"
+            data = line.encode("utf-8")
+            if self._size + len(data) > self.max_bytes and self._size > 0:
+                self._rotate_locked()
+            os.write(self._fd, data)
+            self._size += len(data)
+            return self._seq
+
+    def write_metrics(self, registry) -> int:
+        """Record a full metric snapshot of ``registry`` as one entry."""
+        return self.write("metrics", {"snapshot": registry.snapshot()})
+
+    def _rotate_locked(self) -> None:
+        os.close(self._fd)
+        if self.keep == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            for generation in range(self.keep, 1, -1):
+                older = self.path.with_name(f"{self.path.name}.{generation - 1}")
+                if older.exists():
+                    os.replace(older, self.path.with_name(f"{self.path.name}.{generation}"))
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._size = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd >= 0:
+                os.close(self._fd)
+                self._fd = -1
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def generations(self) -> list[Path]:
+        """Existing journal files, oldest generation first."""
+        files = [
+            self.path.with_name(f"{self.path.name}.{generation}")
+            for generation in range(self.keep, 0, -1)
+        ]
+        files.append(self.path)
+        return [path for path in files if path.exists()]
+
+
+def _jsonify(value):
+    """Fallback encoder for numpy scalars and other non-JSON natives."""
+    if hasattr(value, "tolist"):  # numpy arrays and scalars alike
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def _iter_file(path: Path) -> Iterator[dict]:
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line from a crashed writer is expected; skip.
+                continue
+
+
+def read_journal(path: str | Path, *, keep: int = 8) -> list[dict]:
+    """Load journal entries, rotated generations first (oldest to newest)."""
+    path = Path(path)
+    entries: list[dict] = []
+    for generation in range(keep, 0, -1):
+        rotated = path.with_name(f"{path.name}.{generation}")
+        if rotated.exists():
+            entries.extend(_iter_file(rotated))
+    if path.exists():
+        entries.extend(_iter_file(path))
+    return entries

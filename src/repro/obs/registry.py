@@ -1,0 +1,630 @@
+"""Labeled metrics with a process-global registry and mergeable snapshots.
+
+The metric model is deliberately small — four kinds, all deterministic:
+
+* :class:`Counter` — monotone float total per label set;
+* :class:`Gauge` — last-written value per label set (merged by ``max`` so
+  cross-worker merges stay associative and commutative);
+* :class:`Histogram` — fixed log-spaced bucket bounds shared by every
+  series of a family, so Prometheus exposition is reproducible across
+  hosts and runs, with an array-batched :meth:`Histogram.observe_many`
+  for hot paths;
+* :class:`Distribution` — a :class:`~repro.stats.descriptive.RunningSummary`
+  per label set: exact mergeable count/mean/variance/min/max moments,
+  the building block for score- and feature-drift monitors.
+
+Families live in a :class:`MetricsRegistry`.  The process-global default
+registry (:func:`default_registry`) is what instrumentation sites write to
+and what ``/metrics`` exposes; tests isolate themselves with
+:func:`use_registry`.  Registries serialize to compact, JSON-able
+:meth:`~MetricsRegistry.snapshot` dicts that process workers ship back
+through ``TaskRunner`` result envelopes and the parent folds in with
+:meth:`~MetricsRegistry.merge_snapshot` — snapshot merge is associative
+and commutative, which a hypothesis test pins.
+
+Telemetry is globally switchable: :func:`obs_enabled` reads ``REPRO_OBS``
+(default on; ``off``/``0``/``false``/``no`` disable) unless overridden by
+:func:`set_enabled` / :func:`obs_override`.  Instrumentation sites guard
+their work behind ``obs_enabled()`` so a disabled process pays one dict
+lookup per call site and nothing else.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "OBS_ENV_VAR",
+    "Counter",
+    "Distribution",
+    "Gauge",
+    "Histogram",
+    "MetricHandle",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "default_registry",
+    "merge_snapshots",
+    "obs_enabled",
+    "obs_override",
+    "set_default_registry",
+    "set_enabled",
+    "use_registry",
+]
+
+#: Environment variable gating telemetry for the whole process tree.
+OBS_ENV_VAR = "REPRO_OBS"
+
+
+def _running_summary_cls():
+    # Imported lazily: ``repro.stats`` (the package init) pulls in the
+    # runtime, which imports this module — a top-level import would cycle.
+    from repro.stats.descriptive import RunningSummary
+
+    return RunningSummary
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+
+#: Tri-state programmatic override: None defers to the environment.
+_ENABLED_OVERRIDE: bool | None = None
+
+
+def obs_enabled() -> bool:
+    """True when telemetry should be recorded in this process."""
+    if _ENABLED_OVERRIDE is not None:
+        return _ENABLED_OVERRIDE
+    return os.environ.get(OBS_ENV_VAR, "on").strip().lower() not in _OFF_VALUES
+
+
+def set_enabled(enabled: bool | None) -> None:
+    """Override the ``REPRO_OBS`` gate (``None`` restores env resolution)."""
+    global _ENABLED_OVERRIDE
+    _ENABLED_OVERRIDE = enabled
+
+
+@contextmanager
+def obs_override(enabled: bool | None) -> Iterator[None]:
+    """Temporarily force telemetry on or off (tests, benchmarks)."""
+    global _ENABLED_OVERRIDE
+    previous = _ENABLED_OVERRIDE
+    _ENABLED_OVERRIDE = enabled
+    try:
+        yield
+    finally:
+        _ENABLED_OVERRIDE = previous
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """Fixed log-spaced bounds, 10µs .. 100s, four per decade.
+
+    The bounds are rounded to six significant digits so the exposed
+    ``le`` labels are bit-identical across platforms — reproducible
+    exposition is part of the contract.
+    """
+    bounds = []
+    for i in range(29):
+        bounds.append(float(f"{10.0 ** (-5.0 + i / 4.0):.6g}"))
+    return tuple(bounds)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _validate_labelnames(labelnames: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not label or not all(c.isalnum() or c == "_" for c in label) or label[0].isdigit():
+            raise ValueError(f"invalid label name: {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names: {names!r}")
+    return names
+
+
+class MetricFamily:
+    """Base class: one named family holding one series per label-value set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames = _validate_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    # -- label resolution -------------------------------------------------
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if not labels and not self.labelnames:  # unlabeled hot path
+            return ()
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames!r}, got {tuple(labels)!r}"
+            )
+        return tuple(str(labels[label]) for label in self.labelnames)
+
+    def _new_state(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _state(self, labels: dict[str, object]) -> object:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            with self._lock:
+                state = self._series.setdefault(key, self._new_state())
+        return state
+
+    def series(self) -> dict[tuple[str, ...], object]:
+        """Stable-ordered view of label-values -> state (sorted by key)."""
+        with self._lock:
+            return {key: self._series[key] for key in sorted(self._series)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+    # -- snapshot protocol -------------------------------------------------
+
+    def _state_snapshot(self, state: object) -> object:  # pragma: no cover
+        raise NotImplementedError
+
+    def _merge_state(self, state: object, payload: object) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                [list(key), self._state_snapshot(state)]
+                for key, state in self.series().items()
+            ],
+        }
+
+    def merge_snapshot(self, payload: dict) -> None:
+        if payload["kind"] != self.kind or tuple(payload["labelnames"]) != self.labelnames:
+            raise ValueError(
+                f"{self.name}: incompatible snapshot "
+                f"(kind={payload['kind']!r}, labels={payload['labelnames']!r})"
+            )
+        for key, state_payload in payload["series"]:
+            labels = dict(zip(self.labelnames, key))
+            self._merge_state(self._state(labels), state_payload)
+
+
+class _Cell:
+    """A single float value guarded by a lock (counter/gauge series state)."""
+
+    __slots__ = ("lock", "value")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0.0
+
+
+class Counter(MetricFamily):
+    """Monotone total.  ``inc`` must be called with non-negative amounts."""
+
+    kind = "counter"
+
+    def _new_state(self) -> _Cell:
+        return _Cell()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counter increments must be >= 0, got {amount}")
+        cell = self._state(labels)
+        with cell.lock:
+            cell.value += amount
+
+    def value(self, **labels: object) -> float:
+        return self._state(labels).value
+
+    def _state_snapshot(self, state: _Cell) -> float:
+        return state.value
+
+    def _merge_state(self, state: _Cell, payload: float) -> None:
+        with state.lock:
+            state.value += float(payload)
+
+
+class Gauge(MetricFamily):
+    """Last-written value; snapshots merge by elementwise ``max``."""
+
+    kind = "gauge"
+
+    def _new_state(self) -> _Cell:
+        return _Cell()
+
+    def set(self, value: float, **labels: object) -> None:
+        cell = self._state(labels)
+        with cell.lock:
+            cell.value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        cell = self._state(labels)
+        with cell.lock:
+            cell.value += amount
+
+    def value(self, **labels: object) -> float:
+        return self._state(labels).value
+
+    def _state_snapshot(self, state: _Cell) -> float:
+        return state.value
+
+    def _merge_state(self, state: _Cell, payload: float) -> None:
+        with state.lock:
+            state.value = max(state.value, float(payload))
+
+
+class _HistogramState:
+    __slots__ = ("lock", "counts", "sum", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.lock = threading.Lock()
+        self.counts = np.zeros(n_buckets, dtype=np.int64)
+        self.sum = 0.0
+        self.max = -math.inf
+
+
+class Histogram(MetricFamily):
+    """Fixed-bound histogram with cumulative Prometheus exposition.
+
+    Bucket ``i`` counts observations ``<= buckets[i]``; the final implicit
+    bucket is ``+Inf``.  Bounds are fixed at construction so every series
+    (and every worker process) shares them, which keeps snapshots mergeable
+    by elementwise addition.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else default_latency_buckets()))
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"{name}: bucket bounds must be strictly increasing: {bounds!r}")
+        if not bounds:
+            raise ValueError(f"{name}: at least one finite bucket bound is required")
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]
+        self.buckets = bounds
+        self._bounds_array = np.asarray(bounds, dtype=np.float64)
+
+    def _new_state(self) -> _HistogramState:
+        return _HistogramState(len(self.buckets) + 1)
+
+    def observe(self, value: float, **labels: object) -> None:
+        state = self._state(labels)
+        value = float(value)
+        index = int(np.searchsorted(self._bounds_array, value, side="left"))
+        with state.lock:
+            state.counts[index] += 1
+            state.sum += value
+            if value > state.max:
+                state.max = value
+
+    def observe_many(self, values: Sequence[float] | np.ndarray, **labels: object) -> None:
+        """Array-batched observation — one searchsorted + bincount per call."""
+        array = np.asarray(values, dtype=np.float64).ravel()
+        if array.size == 0:
+            return
+        state = self._state(labels)
+        indices = np.searchsorted(self._bounds_array, array, side="left")
+        batch = np.bincount(indices, minlength=len(self.buckets) + 1).astype(np.int64)
+        with state.lock:
+            state.counts += batch
+            state.sum += float(array.sum())
+            state.max = max(state.max, float(array.max()))
+
+    # -- per-series accessors ---------------------------------------------
+
+    def count(self, **labels: object) -> int:
+        return int(self._state(labels).counts.sum())
+
+    def total(self, **labels: object) -> float:
+        return self._state(labels).sum
+
+    def max_value(self, **labels: object) -> float:
+        state = self._state(labels)
+        return state.max if state.counts.sum() else math.nan
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-interpolated quantile estimate for one series.
+
+        The rank is located in the cumulative bucket counts and linearly
+        interpolated between the bucket's lower and upper bounds; the
+        overflow bucket is closed at the observed maximum, so ``q=1``
+        returns the exact max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        state = self._state(labels)
+        with state.lock:
+            counts = state.counts.copy()
+            maximum = state.max
+        total = int(counts.sum())
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = np.cumsum(counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        index = min(index, len(counts) - 1)
+        below = int(cumulative[index - 1]) if index > 0 else 0
+        in_bucket = int(counts[index])
+        lower = self.buckets[index - 1] if index > 0 else 0.0
+        upper = self.buckets[index] if index < len(self.buckets) else maximum
+        if upper <= lower or in_bucket == 0:
+            return min(upper, maximum)
+        fraction = (rank - below) / in_bucket
+        return min(lower + fraction * (upper - lower), maximum)
+
+    def snapshot(self) -> dict:
+        payload = super().snapshot()
+        payload["buckets"] = list(self.buckets)
+        return payload
+
+    def _state_snapshot(self, state: _HistogramState) -> dict:
+        with state.lock:
+            return {
+                "counts": state.counts.tolist(),
+                "sum": state.sum,
+                "max": state.max if state.counts.sum() else None,
+            }
+
+    def _merge_state(self, state: _HistogramState, payload: dict) -> None:
+        counts = np.asarray(payload["counts"], dtype=np.int64)
+        if counts.shape != state.counts.shape:
+            raise ValueError(f"{self.name}: snapshot has {counts.size} buckets, expected {state.counts.size}")
+        with state.lock:
+            state.counts += counts
+            state.sum += float(payload["sum"])
+            if payload["max"] is not None:
+                state.max = max(state.max, float(payload["max"]))
+
+
+class Distribution(MetricFamily):
+    """Mergeable moment summary (count/mean/variance/min/max) per label set.
+
+    Backed by :class:`~repro.stats.descriptive.RunningSummary`, so two
+    workers' distributions merge exactly (Chan et al. pooling) — the
+    primitive ROADMAP item 4's drift monitors build on.
+    """
+
+    kind = "distribution"
+
+    def _new_state(self) -> "RunningSummary":
+        return _running_summary_cls()()
+
+    def observe(self, value: float, **labels: object) -> None:
+        summary = self._state(labels)
+        with self._lock:
+            summary.push(float(value))
+
+    def observe_many(self, values: Sequence[float] | np.ndarray, **labels: object) -> None:
+        array = np.asarray(values, dtype=np.float64).ravel()
+        if array.size == 0:
+            return
+        summary = self._state(labels)
+        with self._lock:
+            summary.update(array)
+
+    def summary(self, **labels: object) -> "RunningSummary":
+        return self._state(labels)
+
+    def _state_snapshot(self, state: "RunningSummary") -> list:
+        return list(state.state())
+
+    def _merge_state(self, state: "RunningSummary", payload: Sequence[float]) -> None:
+        with self._lock:
+            state._merge_in_place(_running_summary_cls().from_state(tuple(payload)))
+
+
+_KINDS: dict[str, type[MetricFamily]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "distribution": Distribution,
+}
+
+
+class MetricsRegistry:
+    """Named metric families with idempotent get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        #: Bumped on reset() so cached handles re-resolve their family.
+        self.generation = 0
+
+    def _get_or_create(
+        self, cls: type[MetricFamily], name: str, help: str, labelnames: Sequence[str], **kwargs: object
+    ) -> MetricFamily:
+        # Lock-free fast path: dict reads are atomic in CPython and hot
+        # instrumentation sites resolve the same family on every call.
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = cls(name, help=help, labelnames=labelnames, **kwargs)
+                    self._families[name] = family
+                    return family
+        if not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, requested {cls.kind}"
+            )
+        if tuple(labelnames) != family.labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered with labels {family.labelnames!r}, "
+                f"requested {tuple(labelnames)!r}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        family = self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+        assert isinstance(family, Histogram)
+        if buckets is not None and tuple(float(b) for b in buckets) != family.buckets:
+            raise ValueError(
+                f"metric {name!r} already registered with buckets {family.buckets!r}"
+            )
+        return family
+
+    def distribution(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Distribution:
+        return self._get_or_create(Distribution, name, help, labelnames)  # type: ignore[return-value]
+
+    def collect(self) -> list[MetricFamily]:
+        """Families in registration-stable name order."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+            self.generation += 1
+
+    # -- snapshot protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Compact JSON-able (and picklable) state of every family."""
+        return {"families": {family.name: family.snapshot() for family in self.collect()}}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot into this registry, creating families as needed."""
+        for name, payload in snapshot.get("families", {}).items():
+            cls = _KINDS[payload["kind"]]
+            kwargs: dict[str, object] = {}
+            if payload["kind"] == "histogram":
+                kwargs["buckets"] = payload.get("buckets") or default_latency_buckets()
+            family = self._get_or_create(
+                cls, name, payload.get("help", ""), tuple(payload["labelnames"]), **kwargs
+            )
+            family.merge_snapshot(payload)
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge snapshots into a new snapshot (associative and commutative)."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry instrumentation sites write to."""
+    return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    with _REGISTRY_LOCK:
+        previous = _DEFAULT_REGISTRY
+        _DEFAULT_REGISTRY = registry
+        return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) default registry for the duration.
+
+    Test isolation primitive: everything instrumented inside the block
+    lands in ``registry`` and the previous default is restored on exit.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)
+
+
+class MetricHandle:
+    """Resolve-once accessor for one metric on the *current* default registry.
+
+    Hot instrumentation sites (per-event ingest, per-batch dispatch) pay a
+    full get-or-create resolution — name lookup, kind and label conflict
+    checks — on every observation if they call ``registry.counter(...)``
+    inline.  A module-level handle amortizes that: calling the handle
+    returns the cached family and only re-resolves when the default
+    registry was swapped (:func:`use_registry` / :func:`set_default_registry`)
+    or reset (:meth:`MetricsRegistry.reset` bumps ``generation``)::
+
+        _BATCHES = MetricHandle("counter", "repro_ingest_batches_total", "Batches.")
+        ...
+        if obs_enabled():
+            _BATCHES().inc()
+
+    The unlocked identity/generation check is a benign race: the worst
+    case is a redundant re-resolution to the same family.
+    """
+
+    __slots__ = ("_kind", "_name", "_help", "_labelnames", "_kwargs",
+                 "_family", "_registry", "_generation")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        **kwargs: object,
+    ) -> None:
+        if kind not in ("counter", "gauge", "histogram", "distribution"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self._kind = kind
+        self._name = name
+        self._help = help
+        self._labelnames = tuple(labelnames)
+        self._kwargs = kwargs
+        self._family: MetricFamily | None = None
+        self._registry: MetricsRegistry | None = None
+        self._generation = -1
+
+    def __call__(self) -> MetricFamily:
+        registry = _DEFAULT_REGISTRY
+        if (
+            self._family is None
+            or self._registry is not registry
+            or self._generation != registry.generation
+        ):
+            self._registry = registry
+            self._generation = registry.generation
+            self._family = getattr(registry, self._kind)(
+                self._name, help=self._help, labelnames=self._labelnames, **self._kwargs
+            )
+        return self._family

@@ -1,0 +1,290 @@
+"""Deterministic span tracing with explicit cross-process parent carriers.
+
+A :class:`Tracer` holds a bounded ring buffer of closed
+:class:`SpanRecord`\\ s.  Spans are opened with the :meth:`Tracer.span`
+context manager (or the module-level :func:`trace_span`, which targets the
+process-global tracer); nesting within a thread is tracked through a
+``contextvars`` slot, and crossing a process or thread boundary is done by
+shipping the parent's :func:`current_context` carrier — a plain
+``(trace_id, span_id)`` tuple, picklable by construction — and passing it
+as ``parent=`` on the other side.  ``TaskRunner.map`` does exactly this for
+its process backend, and ships the worker-side closed spans back inside
+result envelopes for the parent tracer to :meth:`~Tracer.absorb`.
+
+Determinism: span and trace ids come from a per-process monotone counter
+prefixed with the pid (collision-free across pool workers, reproducible
+within a process), and the clock is an injectable monotonic callable
+(default :func:`time.monotonic`) so tests assert on exact durations with a
+fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.obs.registry import obs_enabled
+
+__all__ = [
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "current_context",
+    "set_tracer",
+    "trace_span",
+    "tracer",
+    "use_parent",
+    "use_tracer",
+]
+
+#: Parent carrier: ``(trace_id, span_id)``.  Plain tuple so it crosses
+#: pickle boundaries with zero ceremony.
+SpanContext = tuple[str, str]
+
+_CURRENT: ContextVar[SpanContext | None] = ContextVar("repro_obs_span", default=None)
+
+_UNSET = object()
+
+
+@dataclass
+class SpanRecord:
+    """One closed span."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+    seq: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start=payload["start"],
+            end=payload["end"],
+            attrs=dict(payload.get("attrs", {})),
+            status=payload.get("status", "ok"),
+        )
+
+
+class _Span:
+    """Live span handle yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "context", "parent_id", "attrs", "status")
+
+    def __init__(self, name: str, context: SpanContext, parent_id: str | None, attrs: dict) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+
+    def set(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Bounded retention of closed spans plus journal fan-out."""
+
+    def __init__(self, max_spans: int = 2048, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else time.monotonic
+        self._ring: deque[SpanRecord] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._prefix = f"{os.getpid():x}"
+        self._seq = 0
+        self._journal = None
+
+    # -- id allocation -----------------------------------------------------
+
+    def _next_id(self) -> str:
+        with self._lock:
+            return f"{self._prefix}-{next(self._ids):x}"
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, parent: SpanContext | None | object = _UNSET, **attrs: object) -> Iterator[_Span | None]:
+        """Open a span; closes (and records) when the block exits.
+
+        ``parent`` defaults to the ambient span of the current task/thread;
+        pass an explicit carrier (from :func:`current_context`) to attach
+        across an execution boundary, or ``None`` to force a new root.
+        When telemetry is disabled this yields ``None`` and records nothing.
+        """
+        if not obs_enabled():
+            yield None
+            return
+        ambient = _CURRENT.get()
+        chosen = ambient if parent is _UNSET else parent
+        if chosen is None:
+            trace_id = self._next_id()
+            parent_id = None
+        else:
+            trace_id, parent_id = chosen
+        span_id = self._next_id()
+        handle = _Span(name, (trace_id, span_id), parent_id, dict(attrs))
+        token = _CURRENT.set((trace_id, span_id))
+        start = self.clock()
+        try:
+            yield handle
+        except BaseException:
+            handle.status = "error"
+            raise
+        finally:
+            end = self.clock()
+            _CURRENT.reset(token)
+            self._close(handle, start, end)
+
+    def _close(self, handle: _Span, start: float, end: float) -> None:
+        with self._lock:
+            self._seq += 1
+            record = SpanRecord(
+                name=handle.name,
+                trace_id=handle.context[0],
+                span_id=handle.context[1],
+                parent_id=handle.parent_id,
+                start=start,
+                end=end,
+                attrs=handle.attrs,
+                status=handle.status,
+                seq=self._seq,
+            )
+            self._ring.append(record)
+            journal = self._journal
+        if journal is not None:
+            journal.write("span", record.to_dict())
+
+    # -- retention / export ------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[SpanRecord]:
+        """Closed spans still in the ring, oldest first."""
+        with self._lock:
+            records = list(self._ring)
+        if name is not None:
+            records = [record for record in records if record.name == name]
+        return records
+
+    def mark(self) -> int:
+        """Sequence watermark; pair with :meth:`since` to slice new closes."""
+        with self._lock:
+            return self._seq
+
+    def since(self, mark: int) -> list[SpanRecord]:
+        """Spans closed after ``mark`` and still retained, oldest first."""
+        with self._lock:
+            return [record for record in self._ring if record.seq > mark]
+
+    def absorb(self, records: Sequence[SpanRecord | dict]) -> None:
+        """Fold spans shipped from another process into this ring."""
+        converted = [
+            record if isinstance(record, SpanRecord) else SpanRecord.from_dict(record)
+            for record in records
+        ]
+        with self._lock:
+            for record in converted:
+                self._seq += 1
+                record.seq = self._seq
+                self._ring.append(record)
+            journal = self._journal
+        if journal is not None:
+            for record in converted:
+                journal.write("span", record.to_dict())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def attach_journal(self, journal) -> None:
+        """Mirror every span close into ``journal`` (a ``RunJournal``)."""
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
+
+_TRACER = Tracer()
+_TRACER_LOCK = threading.Lock()
+
+
+def tracer() -> Tracer:
+    """The process-global tracer (what ``/spans`` and the journal read)."""
+    return _TRACER
+
+
+def set_tracer(instance: Tracer) -> Tracer:
+    global _TRACER
+    with _TRACER_LOCK:
+        previous = _TRACER
+        _TRACER = instance
+        return previous
+
+
+@contextmanager
+def use_tracer(instance: Tracer | None = None) -> Iterator[Tracer]:
+    """Swap in a fresh (or given) global tracer for the duration (tests)."""
+    instance = instance if instance is not None else Tracer()
+    previous = set_tracer(instance)
+    try:
+        yield instance
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def trace_span(name: str, parent: SpanContext | None | object = _UNSET, **attrs: object) -> Iterator[_Span | None]:
+    """``tracer().span(...)`` — the one-line instrumentation entry point."""
+    with tracer().span(name, parent=parent, **attrs) as handle:
+        yield handle
+
+
+def current_context() -> SpanContext | None:
+    """Carrier of the innermost open span, for explicit propagation."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_parent(context: SpanContext | None) -> Iterator[None]:
+    """Make ``context`` the ambient parent for spans opened in the block.
+
+    The propagation primitive for execution boundaries that do not copy
+    ``contextvars`` (pool threads, process workers): the worker wraps the
+    task in ``use_parent(shipped_carrier)`` so task-opened spans attach to
+    the dispatching span.
+    """
+    token = _CURRENT.set(context)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)

@@ -326,6 +326,16 @@ class FaultInjector:
     def _record(self, seam: str) -> None:
         with self._lock:
             self._fired[seam] = self._fired.get(seam, 0) + 1
+        # Mirror into the metrics registry at the same instant so the
+        # /stats (injector.fired()) and /metrics surfaces cannot disagree.
+        from repro import obs
+
+        if obs.obs_enabled():
+            obs.counter(
+                "repro_faults_fired_total",
+                "Faults injected, by seam.",
+                labelnames=("seam",),
+            ).inc(seam=seam)
 
     def fires(self, seam: str, key: object = None, attempt: Optional[int] = None) -> bool:
         """Whether the seam fails now; counts the call when ``attempt`` is None."""

@@ -41,6 +41,7 @@ recursively (no nested pools, no core oversubscription).
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -55,6 +56,8 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar, Union
 
+from repro import obs
+from repro.obs.tracing import current_context, trace_span, use_parent
 from repro.runtime.faults import (
     DegradedRuntimeWarning,
     FaultPlan,
@@ -120,6 +123,126 @@ class _ContextCall:
 
     def __call__(self, task):
         return self.function(task, _process_context)
+
+
+# --------------------------------------------------------------------- #
+# Telemetry plumbing (active only when ``obs_enabled()``)
+# --------------------------------------------------------------------- #
+
+#: Per-worker-process monotone envelope sequence: the parent keeps the
+#: highest-sequence envelope per worker pid, whose cumulative registry
+#: snapshot covers everything that worker recorded.
+_obs_envelope_seq = itertools.count(1)
+
+
+class _ObsEnvelope:
+    """One process-pool task result plus the worker's telemetry state."""
+
+    __slots__ = ("result", "pid", "seq", "snapshot", "spans")
+
+    def __init__(self, result, pid: int, seq: int, snapshot, spans) -> None:
+        self.result = result
+        self.pid = pid
+        self.seq = seq
+        self.snapshot = snapshot
+        self.spans = spans
+
+
+class _ObsCall:
+    """Wraps a process-pool task call to ship worker telemetry back.
+
+    The worker times the task into its own (process-local) metrics
+    registry, runs it under the dispatching span's carrier so task-opened
+    spans keep their parentage, and returns an :class:`_ObsEnvelope`
+    carrying the result untouched plus a cumulative registry snapshot and
+    the spans closed during the task.  The parent unwraps envelopes with
+    :func:`_obs_merge_envelopes`, so callers see exactly the results the
+    unwrapped call would have produced.
+    """
+
+    def __init__(self, call: Callable, parent) -> None:
+        self.call = call
+        self.parent = parent
+
+    def __call__(self, task):
+        if not obs.obs_enabled():
+            return _ObsEnvelope(self.call(task), os.getpid(), 0, None, ())
+        worker_tracer = obs.tracer()
+        mark = worker_tracer.mark()
+        started = time.perf_counter()
+        with use_parent(self.parent):
+            result = self.call(task)
+        elapsed = time.perf_counter() - started
+        obs.histogram(
+            "repro_runtime_task_seconds",
+            "Per-task wall-clock, by backend.",
+            labelnames=("backend",),
+        ).observe(elapsed, backend="process")
+        obs.counter(
+            "repro_runtime_tasks_total",
+            "Tasks executed, by backend.",
+            labelnames=("backend",),
+        ).inc(backend="process")
+        spans = tuple(record.to_dict() for record in worker_tracer.since(mark))
+        return _ObsEnvelope(
+            result,
+            os.getpid(),
+            next(_obs_envelope_seq),
+            obs.default_registry().snapshot(),
+            spans,
+        )
+
+
+def _obs_merge_envelopes(envelopes: Sequence[_ObsEnvelope]) -> list:
+    """Unwrap envelopes; fold worker telemetry into this process's plane.
+
+    Every envelope carries its worker's *cumulative* snapshot, so only the
+    highest-sequence envelope per worker pid is merged (merging each one
+    would multiply counts).  Spans are mark-sliced per task and therefore
+    disjoint — all of them are absorbed.
+    """
+    latest: dict[int, tuple[int, dict]] = {}
+    spans: list[dict] = []
+    results = []
+    for envelope in envelopes:
+        results.append(envelope.result)
+        spans.extend(envelope.spans)
+        if envelope.snapshot is not None:
+            previous = latest.get(envelope.pid)
+            if previous is None or envelope.seq > previous[0]:
+                latest[envelope.pid] = (envelope.seq, envelope.snapshot)
+    registry = obs.default_registry()
+    for _, snapshot in latest.values():
+        registry.merge_snapshot(snapshot)
+    if spans:
+        obs.tracer().absorb(spans)
+    return results
+
+
+def _obs_task_metrics(backend: str, durations) -> None:
+    """Batch-record per-task timings for an in-process map."""
+    import numpy as np
+
+    array = np.asarray(durations, dtype=np.float64)
+    obs.histogram(
+        "repro_runtime_task_seconds",
+        "Per-task wall-clock, by backend.",
+        labelnames=("backend",),
+    ).observe_many(array, backend=backend)
+    obs.counter(
+        "repro_runtime_tasks_total",
+        "Tasks executed, by backend.",
+        labelnames=("backend",),
+    ).inc(array.size, backend=backend)
+
+
+def _obs_count_retry(stage: str) -> None:
+    if obs.obs_enabled():
+        obs.counter(
+            "repro_runtime_retries_total",
+            "Supervised task retries, by stage.",
+            labelnames=("stage",),
+        ).inc(stage=stage)
 
 
 @dataclass(frozen=True)
@@ -444,13 +567,18 @@ class TaskRunner:
             )
         call = function if context is None else (lambda item: function(item, context))
         workers = min(self.max_workers, len(items))
+        telemetry = obs.obs_enabled()
         if self.backend == "serial" or workers == 1 or len(items) == 1:
-            return [call(item) for item in items]
+            if not telemetry:
+                return [call(item) for item in items]
+            return self._map_serial_instrumented(call, items)
         if self.backend == "thread":
-            with ThreadPoolExecutor(
-                max_workers=workers, initializer=_mark_thread_worker
-            ) as executor:
-                return list(executor.map(call, items))
+            if not telemetry:
+                with ThreadPoolExecutor(
+                    max_workers=workers, initializer=_mark_thread_worker
+                ) as executor:
+                    return list(executor.map(call, items))
+            return self._map_thread_instrumented(call, items, workers)
         if chunksize is None:
             chunksize = max(1, len(items) // (workers * 4))
         shared_block = None
@@ -464,15 +592,58 @@ class TaskRunner:
             initargs = (payload,)
             task_call = _ContextCall(function)
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=initializer, initargs=initargs
-            ) as executor:
-                return list(executor.map(task_call, items, chunksize=chunksize))
+            with trace_span(
+                "runtime.map", backend="process", tasks=len(items), workers=workers
+            ):
+                if telemetry:
+                    task_call = _ObsCall(task_call, current_context())
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=initializer, initargs=initargs
+                ) as executor:
+                    raw = list(executor.map(task_call, items, chunksize=chunksize))
+                if telemetry:
+                    return _obs_merge_envelopes(raw)
+                return raw
         finally:
             # The owner unlinks the segment as soon as the pool is done;
             # worker crashes cannot leak it (only the owner unlinks).
             if shared_block is not None:
                 shared_block.close()
+
+    def _map_serial_instrumented(self, call: Callable, items: list) -> list:
+        """Serial fast path with per-task timing and a ``runtime.map`` span."""
+        durations = [0.0] * len(items)
+        results = []
+        with trace_span("runtime.map", backend="serial", tasks=len(items)):
+            for index, item in enumerate(items):
+                started = time.perf_counter()
+                results.append(call(item))
+                durations[index] = time.perf_counter() - started
+        _obs_task_metrics("serial", durations)
+        return results
+
+    def _map_thread_instrumented(self, call: Callable, items: list, workers: int) -> list:
+        """Thread path with per-task timing and parent-carrier propagation."""
+        durations = [0.0] * len(items)
+        with trace_span(
+            "runtime.map", backend="thread", tasks=len(items), workers=workers
+        ):
+            parent = current_context()
+
+            def run(pair):
+                index, item = pair
+                started = time.perf_counter()
+                with use_parent(parent):
+                    result = call(item)
+                durations[index] = time.perf_counter() - started
+                return result
+
+            with ThreadPoolExecutor(
+                max_workers=workers, initializer=_mark_thread_worker
+            ) as executor:
+                results = list(executor.map(run, enumerate(items)))
+        _obs_task_metrics("thread", durations)
+        return results
 
     # ------------------------------------------------------------------ #
     # Supervised execution
@@ -531,6 +702,12 @@ class TaskRunner:
                 )
             if not pending:
                 return results
+            if obs.obs_enabled():
+                obs.counter(
+                    "repro_runtime_degradations_total",
+                    "Supervised backend degradations, by stage transition.",
+                    labelnames=("from_stage", "to_stage"),
+                ).inc(from_stage=stage, to_stage=chain[position + 1])
             warnings.warn(
                 DegradedRuntimeWarning(
                     f"supervised {stage!r} execution could not finish "
@@ -560,6 +737,7 @@ class TaskRunner:
                 except Exception as error:
                     last_error = error
                     attempt += 1
+                    _obs_count_retry("serial")
                     if attempt > supervision.max_retries:
                         if final_stage:
                             raise
@@ -603,6 +781,7 @@ class TaskRunner:
             retry: list[int] = []
             for index in failed:
                 attempts[index] += 1
+                _obs_count_retry("thread")
                 if attempts[index] > supervision.max_retries:
                     if final_stage:
                         raise errors[index]
@@ -644,6 +823,24 @@ class TaskRunner:
         current = list(pending)
         pool_failures = 0
         generation = 0
+        telemetry = obs.obs_enabled()
+        obs_parent = current_context() if telemetry else None
+        # Highest-sequence envelope snapshot per (pool generation, worker
+        # pid); merged once at stage end (see _obs_merge_envelopes).
+        obs_snapshots: dict[tuple[int, int], tuple[int, dict]] = {}
+        obs_spans: list[dict] = []
+
+        def _flush_worker_telemetry() -> None:
+            if not obs_snapshots and not obs_spans:
+                return
+            registry = obs.default_registry()
+            for _, snapshot in obs_snapshots.values():
+                registry.merge_snapshot(snapshot)
+            if obs_spans:
+                obs.tracer().absorb(obs_spans)
+            obs_snapshots.clear()
+            obs_spans.clear()
+
         while current:
             workers = min(self.max_workers, len(current))
             shared_block = None
@@ -665,7 +862,8 @@ class TaskRunner:
                             function, index, attempts[index], plan,
                             with_context=context is not None, in_process_pool=True,
                         )
-                        futures[executor.submit(wrapper, items[index])] = index
+                        submitted = _ObsCall(wrapper, obs_parent) if telemetry else wrapper
+                        futures[executor.submit(submitted, items[index])] = index
                     unfinished = set(futures)
                     while unfinished:
                         completed, unfinished = wait(
@@ -688,7 +886,16 @@ class TaskRunner:
                         for future in completed:
                             index = futures[future]
                             try:
-                                results[index] = future.result()
+                                value = future.result()
+                                if isinstance(value, _ObsEnvelope):
+                                    obs_spans.extend(value.spans)
+                                    if value.snapshot is not None:
+                                        key = (generation, value.pid)
+                                        previous = obs_snapshots.get(key)
+                                        if previous is None or value.seq > previous[0]:
+                                            obs_snapshots[key] = (value.seq, value.snapshot)
+                                    value = value.result
+                                results[index] = value
                             except BrokenExecutor as error:
                                 pool_broken = True
                                 errors[index] = error
@@ -709,6 +916,7 @@ class TaskRunner:
             retry: list[int] = []
             for index in failed:
                 attempts[index] += 1
+                _obs_count_retry("process")
                 if attempts[index] > supervision.max_retries:
                     if final_stage:
                         raise errors[index]
@@ -723,6 +931,7 @@ class TaskRunner:
                         raise last_error if last_error is not None else RuntimeError(
                             "supervised process pool failed repeatedly"
                         )
+                    _flush_worker_telemetry()
                     return leftovers, last_error
             if retry:
                 delay = max(supervision.backoff(index, attempts[index]) for index in retry)
@@ -730,6 +939,7 @@ class TaskRunner:
                     time.sleep(delay)
             current = sorted(retry)
             generation += 1
+        _flush_worker_telemetry()
         return sorted(exhausted), last_error
 
     def __repr__(self) -> str:

@@ -29,12 +29,14 @@ on every backend and for every chunk size >= 2 (enforced by
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.characterizer import MExICharacterizer
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.core.features.base import FeatureBlock
@@ -287,51 +289,103 @@ class CharacterizationService:
             raise ValueError("chunk_size must be at least 1")
         chunks = _chunked(matchers, size)
         mode = context_mode if context_mode is not None else self.context_mode
-        try:
-            chunk_blocks = parallel_map(
-                _extract_chunk,
-                chunks,
-                runtime=runtime if runtime is not None else self.runtime,
-                context=self.model,
-                context_mode=mode,
+        telemetry = obs.obs_enabled()
+        cache_before = dict(self.cache.stats()) if telemetry else {}
+        with obs.trace_span("serve.score_batch", matchers=len(matchers), chunks=len(chunks)):
+            extract_started = time.perf_counter()
+            with obs.trace_span("serve.extract", chunks=len(chunks)):
+                try:
+                    chunk_blocks = parallel_map(
+                        _extract_chunk,
+                        chunks,
+                        runtime=runtime if runtime is not None else self.runtime,
+                        context=self.model,
+                        context_mode=mode,
+                    )
+                except SharedMemoryError as error:
+                    # A failed shared-memory export/attach must not fail the
+                    # batch: fall back to per-worker pickling, which delivers
+                    # bitwise-identical blocks (the documented oracle mode).
+                    if mode != "shared":
+                        raise
+                    warnings.warn(
+                        DegradedRuntimeWarning(
+                            f"shared-memory model delivery failed ({error}); "
+                            "degrading this batch to context_mode='pickle'"
+                        ),
+                        stacklevel=2,
+                    )
+                    chunk_blocks = parallel_map(
+                        _extract_chunk,
+                        chunks,
+                        runtime=runtime if runtime is not None else self.runtime,
+                        context=self.model,
+                        context_mode="pickle",
+                    )
+            # Re-insert the extracted blocks into the parent-side cache:
+            # process workers' insertions die with the pool, so without this
+            # the warm-cache fast path would be backend-dependent.
+            for chunk, blocks_of_chunk in zip(chunks, chunk_blocks):
+                self.model.pipeline.store_blocks(chunk, blocks_of_chunk)
+            extract_seconds = time.perf_counter() - extract_started
+            # Fuse the per-chunk blocks into full-population blocks, then
+            # classify once in the parent: classification sees the exact
+            # arrays the in-memory path sees (see the determinism contract).
+            blocks = {
+                name: FeatureBlock(
+                    chunk_blocks[0][name].names,
+                    np.vstack([chunk[name].matrix for chunk in chunk_blocks]),
+                )
+                for name in self.model.pipeline.include
+            }
+            classify_started = time.perf_counter()
+            with obs.trace_span("serve.classify", matchers=len(matchers)):
+                labels, probabilities = self.model.characterize(matchers, precomputed=blocks)
+            classify_seconds = time.perf_counter() - classify_started
+        if telemetry:
+            self._record_scoring_metrics(
+                matchers, probabilities, cache_before, extract_seconds, classify_seconds
             )
-        except SharedMemoryError as error:
-            # A failed shared-memory export/attach must not fail the
-            # batch: fall back to per-worker pickling, which delivers
-            # bitwise-identical blocks (the documented oracle mode).
-            if mode != "shared":
-                raise
-            warnings.warn(
-                DegradedRuntimeWarning(
-                    f"shared-memory model delivery failed ({error}); "
-                    "degrading this batch to context_mode='pickle'"
-                ),
-                stacklevel=2,
-            )
-            chunk_blocks = parallel_map(
-                _extract_chunk,
-                chunks,
-                runtime=runtime if runtime is not None else self.runtime,
-                context=self.model,
-                context_mode="pickle",
-            )
-        # Re-insert the extracted blocks into the parent-side cache:
-        # process workers' insertions die with the pool, so without this
-        # the warm-cache fast path would be backend-dependent.
-        for chunk, blocks_of_chunk in zip(chunks, chunk_blocks):
-            self.model.pipeline.store_blocks(chunk, blocks_of_chunk)
-        # Fuse the per-chunk blocks into full-population blocks, then
-        # classify once in the parent: classification sees the exact
-        # arrays the in-memory path sees (see the determinism contract).
-        blocks = {
-            name: FeatureBlock(
-                chunk_blocks[0][name].names,
-                np.vstack([chunk[name].matrix for chunk in chunk_blocks]),
-            )
-            for name in self.model.pipeline.include
-        }
-        labels, probabilities = self.model.characterize(matchers, precomputed=blocks)
         return BatchScores(ids, labels, probabilities)
+
+    def _record_scoring_metrics(
+        self,
+        matchers: Sequence[HumanMatcher],
+        probabilities: np.ndarray,
+        cache_before: dict,
+        extract_seconds: float,
+        classify_seconds: float,
+    ) -> None:
+        """Account one scored batch into the process metrics registry."""
+        obs.counter("repro_score_batches_total", "Characterization batches scored.").inc()
+        obs.counter("repro_score_matchers_total", "Matchers scored across batches.").inc(
+            len(matchers)
+        )
+        obs.histogram(
+            "repro_score_extract_seconds", "Feature-extraction wall-clock per batch."
+        ).observe(extract_seconds)
+        obs.histogram(
+            "repro_score_classify_seconds", "Classification wall-clock per batch."
+        ).observe(classify_seconds)
+        cache_after = self.cache.stats()
+        cache_events = obs.counter(
+            "repro_feature_cache_total",
+            "Feature-block cache lookups during scoring, by outcome.",
+            labelnames=("outcome",),
+        )
+        cache_events.inc(max(cache_after["hits"] - cache_before.get("hits", 0), 0), outcome="hit")
+        cache_events.inc(
+            max(cache_after["misses"] - cache_before.get("misses", 0), 0), outcome="miss"
+        )
+        # Per-characteristic probability moments: the mergeable summary a
+        # drift monitor (ROADMAP item 4) compares across time windows.
+        score_moments = obs.distribution(
+            "repro_score_probability",
+            "Served probability per expert characteristic.",
+            labelnames=("characteristic",),
+        )
+        for column, characteristic in enumerate(EXPERT_CHARACTERISTICS):
+            score_moments.observe_many(probabilities[:, column], characteristic=characteristic)
 
     # ------------------------------------------------------------------ #
     # Introspection

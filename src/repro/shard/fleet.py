@@ -55,6 +55,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.core.features.base import FeatureBlock
 from repro.core.features.cache import FeatureBlockCache
@@ -219,6 +220,15 @@ class ShardFleet:
         self._dispatch_seq = 0
         self.dispatch_faults = 0
         self.recharacterize_seconds: list[float] = []
+        # Per-fleet latency histogram: stats() derives its percentile
+        # estimates from this (fixed log-spaced buckets), while the raw
+        # seconds list above stays for benchmark post-processing.  The
+        # instance is standalone — a fleet's stats must not absorb other
+        # fleets' observations through the process-global registry.
+        self._latency = obs.Histogram(
+            "repro_shard_recharacterize_seconds",
+            "Fleet recharacterization wall-clock per batch.",
+        )
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -384,21 +394,29 @@ class ShardFleet:
         worker = self._ensure_alive(shard)
         sequence = self._dispatch_seq
         self._dispatch_seq += 1
-        injector = active_injector()
-        attempt = 0
-        while injector is not None and injector.fires(
-            "shard.dispatch", key=f"{shard}@{sequence}", attempt=attempt
-        ):
-            self.dispatch_faults += 1
-            attempt += 1
-            if attempt > self.max_dispatch_retries:
-                raise ShardDispatchError(
-                    f"dispatch {sequence} to shard {shard} failed "
-                    f"{attempt} times (fault seam 'shard.dispatch')"
-                )
-        accepted = worker.submit((kind, session_id, payload), n_events)
-        if accepted and not worker.paused:
-            self._drain(worker)
+        telemetry = obs.obs_enabled()
+        started = time.perf_counter() if telemetry else 0.0
+        with obs.trace_span("shard.dispatch", shard=shard, kind=kind, events=n_events):
+            injector = active_injector()
+            attempt = 0
+            while injector is not None and injector.fires(
+                "shard.dispatch", key=f"{shard}@{sequence}", attempt=attempt
+            ):
+                self.dispatch_faults += 1
+                attempt += 1
+                if attempt > self.max_dispatch_retries:
+                    raise ShardDispatchError(
+                        f"dispatch {sequence} to shard {shard} failed "
+                        f"{attempt} times (fault seam 'shard.dispatch')"
+                    )
+            accepted = worker.submit((kind, session_id, payload), n_events)
+            if accepted and not worker.paused:
+                self._drain(worker)
+        if telemetry:
+            obs.histogram(
+                "repro_shard_dispatch_seconds",
+                "Dispatch wall-clock (routing through inline drain).",
+            ).observe(time.perf_counter() - started)
         return accepted
 
     def ingest_events(self, session_id: str, x, y, codes, t) -> bool:
@@ -490,18 +508,30 @@ class ShardFleet:
                 ids, np.zeros((0, n_labels), dtype=int), np.zeros((0, n_labels))
             )
         started = time.perf_counter()
-        matchers = [session.matcher() for _, session in pending]
-        size = chunk_size if chunk_size is not None else self._primary.chunk_size
-        blocks = self._extract(pending, matchers, size, runtime=runtime)
-        labels, probabilities = self._primary.model.characterize(
-            matchers, precomputed=blocks
-        )
+        with obs.trace_span("shard.recharacterize", sessions=len(pending), force=force):
+            matchers = [session.matcher() for _, session in pending]
+            size = chunk_size if chunk_size is not None else self._primary.chunk_size
+            blocks = self._extract(pending, matchers, size, runtime=runtime)
+            labels, probabilities = self._primary.model.characterize(
+                matchers, precomputed=blocks
+            )
         for index, (_, session) in enumerate(pending):
             session.last_labels = labels[index].copy()
             session.last_probabilities = probabilities[index].copy()
             session.n_characterizations += 1
             session.dirty = False
-        self.recharacterize_seconds.append(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.recharacterize_seconds.append(elapsed)
+        self._latency.observe(elapsed)
+        if obs.obs_enabled():
+            obs.histogram(
+                "repro_shard_recharacterize_seconds",
+                "Fleet recharacterization wall-clock per batch.",
+            ).observe(elapsed)
+            obs.counter("repro_score_batches_total", "Characterization batches scored.").inc()
+            obs.counter("repro_score_matchers_total", "Matchers scored across batches.").inc(
+                len(pending)
+            )
         return BatchScores(ids, labels, probabilities)
 
     def _extract(
@@ -727,14 +757,16 @@ class ShardFleet:
 
     def stats(self) -> dict:
         """Fleet-wide counters plus per-shard detail (the ops surface payload)."""
-        latencies = np.array(self.recharacterize_seconds, dtype=float)
         latency = None
-        if latencies.size:
+        if self._latency.count():
+            # Bucket-interpolated quantile estimates from the fleet's own
+            # fixed-bound histogram (same estimator /metrics consumers
+            # apply to the exposed buckets); the max is tracked exactly.
             latency = {
-                "count": int(latencies.size),
-                "p50_ms": float(np.percentile(latencies, 50) * 1e3),
-                "p99_ms": float(np.percentile(latencies, 99) * 1e3),
-                "max_ms": float(latencies.max() * 1e3),
+                "count": self._latency.count(),
+                "p50_ms": float(self._latency.quantile(0.5) * 1e3),
+                "p99_ms": float(self._latency.quantile(0.99) * 1e3),
+                "max_ms": float(self._latency.max_value() * 1e3),
             }
         per_shard = [worker.stats() for worker in self._workers]
         totals = {

@@ -10,6 +10,10 @@ Method Path                 Semantics
 GET    ``/healthz``         Liveness; ``200 ok`` / ``503 degraded``
 GET    ``/stats``           Fleet + per-shard counters, latency summary
 GET    ``/scores``          Latest per-session characterizations
+GET    ``/metrics``         Prometheus text exposition of the default
+                            :mod:`repro.obs` registry (``text/plain``)
+GET    ``/spans``           Recent spans from the default tracer's ring
+                            buffer, oldest first
 POST   ``/sessions/open``   ``{session_id, shape, screen?}``
 POST   ``/ingest``          ``{session_id, x, y, codes, t}``;
                             ``202`` accepted, ``429`` backpressure,
@@ -37,11 +41,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.shard.fleet import ShardDispatchError, ShardFleet
 from repro.shard.worker import ShardDeadError
 
 #: Hard cap on accepted request bodies (columns of a few thousand events).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _PlainText(str):
+    """Response payload served verbatim as ``text/plain`` (Prometheus)."""
 
 
 def _jsonable(value):
@@ -158,10 +167,15 @@ class OpsServer:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 413: "Payload Too Large",
                    429: "Too Many Requests", 503: "Service Unavailable"}
-        body = json.dumps(_jsonable(payload)).encode()
+        if isinstance(payload, _PlainText):
+            body = str(payload).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(_jsonable(payload)).encode()
+            content_type = "application/json"
         writer.write(
             f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: keep-alive\r\n\r\n".encode() + body
         )
@@ -204,6 +218,12 @@ class OpsServer:
                         "probabilities": scores["probabilities"],
                     }
                     for session_id, scores in fleet.scores().items()
+                }
+            if path == "/metrics":
+                return 200, _PlainText(obs.render_prometheus(obs.default_registry()))
+            if path == "/spans":
+                return 200, {
+                    "spans": [record.to_dict() for record in obs.tracer().spans()]
                 }
             return 404, {"error": f"unknown path {path}"}
         if method != "POST":

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.features.base import FeatureBlock
 from repro.matching.matcher import HumanMatcher
 from repro.runtime.faults import ReproRuntimeWarning, active_injector
@@ -162,11 +163,28 @@ class ShardWorker:
         if len(self._queue) >= self.queue_slots:
             self.counters["rejected_batches"] += 1
             self.counters["rejected_events"] += n_events
+            if obs.obs_enabled():
+                obs.counter(
+                    "repro_shard_dispatch_batches_total",
+                    "Dispatch batches offered to shard queues, by outcome.",
+                    labelnames=("outcome",),
+                ).inc(outcome="rejected")
             return False
         self._queue.append((item, n_events))
         self._queued_events += n_events
         self.counters["accepted_batches"] += 1
         self.counters["accepted_events"] += n_events
+        if obs.obs_enabled():
+            obs.counter(
+                "repro_shard_dispatch_batches_total",
+                "Dispatch batches offered to shard queues, by outcome.",
+                labelnames=("outcome",),
+            ).inc(outcome="accepted")
+            obs.gauge(
+                "repro_shard_queue_depth",
+                "Batches waiting in each shard's dispatch queue.",
+                labelnames=("shard",),
+            ).set(len(self._queue), shard=self.shard_id)
         return True
 
     def drain(self, clock: int = 0) -> int:
@@ -201,7 +219,18 @@ class ShardWorker:
             self.counters["processed_batches"] += 1
             self.counters["processed_events"] += n_events
             applied += n_events
-        self.drain_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.drain_seconds += elapsed
+        if obs.obs_enabled():
+            obs.histogram(
+                "repro_shard_drain_seconds",
+                "Queue-drain wall-clock per shard drain call.",
+            ).observe(elapsed)
+            obs.gauge(
+                "repro_shard_queue_depth",
+                "Batches waiting in each shard's dispatch queue.",
+                labelnames=("shard",),
+            ).set(0, shard=self.shard_id)
         return applied
 
     # ------------------------------------------------------------------ #
@@ -226,6 +255,8 @@ class ShardWorker:
         self.counters["deaths"] += 1
         self.counters["lost_batches"] += lost_batches
         self.counters["lost_events"] += lost_events
+        if obs.obs_enabled():
+            obs.counter("repro_shard_deaths_total", "Shard worker deaths.").inc()
         return lost_batches, lost_events
 
     def checkpoint(self) -> Optional[object]:
@@ -255,6 +286,8 @@ class ShardWorker:
                     quarantine=self._manager_kwargs.get("quarantine"),
                 )
                 self.counters["restores"] += 1
+                if obs.obs_enabled():
+                    obs.counter("repro_shard_restores_total", "Shard restores.").inc()
                 return self.manager
             except CheckpointError as error:
                 warnings.warn(
@@ -273,6 +306,8 @@ class ShardWorker:
             )
         self.manager = SessionManager(self.service, **self._manager_kwargs)
         self.counters["restores"] += 1
+        if obs.obs_enabled():
+            obs.counter("repro_shard_restores_total", "Shard restores.").inc()
         return self.manager
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import warnings
 from pathlib import Path
 from typing import Optional, Union
@@ -42,6 +43,7 @@ from typing import Optional, Union
 import numpy as np
 
 import repro
+from repro import obs
 from repro.core.expert_model import EXPERT_CHARACTERISTICS
 from repro.io.bundle import (
     BundleLayout,
@@ -502,16 +504,24 @@ class CheckpointStore:
         leaves the store exactly as it was: no new directory, pointer
         untouched.
         """
+        started = time.perf_counter()
         bundle = self.root / self._next_name()
-        save_checkpoint(manager, bundle, layout=layout)
-        pointer = self.root / LATEST_GOOD_NAME
-        staged = self.root / f".{LATEST_GOOD_NAME}.tmp.{os.getpid()}"
-        staged.write_text(bundle.name + "\n")
-        with open(staged, "rb") as handle:
-            os.fsync(handle.fileno())
-        os.replace(staged, pointer)
-        fsync_dir(self.root)
-        self.prune()
+        with obs.trace_span("checkpoint.save", bundle=bundle.name):
+            save_checkpoint(manager, bundle, layout=layout)
+            pointer = self.root / LATEST_GOOD_NAME
+            staged = self.root / f".{LATEST_GOOD_NAME}.tmp.{os.getpid()}"
+            staged.write_text(bundle.name + "\n")
+            with open(staged, "rb") as handle:
+                os.fsync(handle.fileno())
+            os.replace(staged, pointer)
+            fsync_dir(self.root)
+            self.prune()
+        if obs.obs_enabled():
+            obs.histogram(
+                "repro_checkpoint_save_seconds",
+                "Checkpoint publish wall-clock (write + pointer + prune).",
+            ).observe(time.perf_counter() - started)
+            obs.counter("repro_checkpoint_saves_total", "Checkpoints published.").inc()
         return bundle
 
     def prune(self) -> list[Path]:
@@ -559,14 +569,21 @@ class CheckpointStore:
                 candidates.append(entry)
         if not candidates:
             raise CheckpointError(f"checkpoint store {self.root} is empty")
+        started = time.perf_counter()
         failures: list[str] = []
         for candidate in candidates:
             try:
-                manager = load_checkpoint(
-                    candidate, service, on_evict=on_evict, quarantine=quarantine
-                )
+                with obs.trace_span("checkpoint.restore", bundle=candidate.name):
+                    manager = load_checkpoint(
+                        candidate, service, on_evict=on_evict, quarantine=quarantine
+                    )
             except CheckpointError as error:
                 failures.append(f"{candidate.name}: {error}")
+                if obs.obs_enabled():
+                    obs.counter(
+                        "repro_checkpoint_fallbacks_total",
+                        "Unrestorable checkpoints skipped during restore.",
+                    ).inc()
                 warnings.warn(
                     ReproRuntimeWarning(
                         f"checkpoint {candidate.name!r} is not restorable "
@@ -575,6 +592,11 @@ class CheckpointStore:
                     stacklevel=2,
                 )
                 continue
+            if obs.obs_enabled():
+                obs.histogram(
+                    "repro_checkpoint_restore_seconds",
+                    "Checkpoint restore wall-clock (including skipped candidates).",
+                ).observe(time.perf_counter() - started)
             return manager
         summary = "; ".join(failures)
         raise CheckpointError(

@@ -45,6 +45,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.characterizer import MExICharacterizer, MExIVariant
 from repro.core.expert_model import EXPERT_CHARACTERISTICS, characterize_population, labels_matrix
 from repro.core.features.cache import FeatureBlockCache
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--idle-timeout", type=float, default=None, help="evict sessions idle longer than this (event-time seconds)")
     replay.add_argument("--checkpoint", default=None, metavar="DIR", help="write the final session state as a checkpoint bundle")
     replay.add_argument("--resume", default=None, metavar="DIR", help="restore session state from a checkpoint and continue the replay")
+    replay.add_argument("--journal", default=None, metavar="PATH", help="append spans and a final metrics snapshot to a JSONL run journal (see python -m repro.obs report)")
     replay.add_argument("--format", choices=("table", "json"), default="table", help="output format")
 
     inspect = commands.add_parser("inspect", help="print a checkpoint bundle's metadata")
@@ -336,6 +338,22 @@ def _print_table(records: list[dict], manager: SessionManager) -> None:
 def _replay_command(args: argparse.Namespace) -> int:
     if args.decisions_input and not args.input:
         raise SystemExit("--decisions-input requires --input")
+    journal = None
+    if args.journal:
+        journal = obs.RunJournal(args.journal)
+        obs.tracer().attach_journal(journal)
+        journal.write("run.start", {"command": "replay", "scale": args.scale,
+                                    "seed": args.seed, "steps": args.steps})
+    try:
+        return _run_replay(args, journal)
+    finally:
+        if journal is not None:
+            obs.tracer().detach_journal()
+            journal.write_metrics(obs.default_registry())
+            journal.close()
+
+
+def _run_replay(args: argparse.Namespace, journal=None) -> int:
     service = _build_service(args)
     quarantine = None
     workload_info = None

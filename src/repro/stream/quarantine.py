@@ -133,6 +133,16 @@ class QuarantineLog:
             session_id, {reason_name: 0 for reason_name in QUARANTINE_REASONS}
         )
         per_session[reason] += 1
+        # Mirror the same increment into the metrics registry so the
+        # /metrics series and counts() can never disagree.
+        from repro import obs
+
+        if obs.obs_enabled():
+            obs.counter(
+                "repro_quarantine_total",
+                "Events diverted to quarantine, by reason.",
+                labelnames=("reason",),
+            ).inc(reason=reason)
         return event
 
     def records(self) -> list[QuarantinedEvent]:

@@ -31,6 +31,7 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.matching.history import Decision, DecisionHistory
 from repro.matching.matcher import HumanMatcher
 from repro.matching.mouse import MovementMap
@@ -40,6 +41,18 @@ from repro.serve.service import BatchScores, CharacterizationService
 from repro.stream.incremental import SessionFeatureState
 from repro.stream.ingest import StreamingEventBuffer
 from repro.stream.quarantine import QuarantineLog, corrupt_event_columns
+
+# Ingest runs once per event batch per session — resolving these through
+# the registry every call dominates telemetry overhead, so the hot path
+# goes through resolve-once handles instead.
+_INGEST_BATCHES = obs.MetricHandle(
+    "counter", "repro_stream_ingest_batches_total", "Ingest batches routed to sessions."
+)
+_INGESTED_EVENTS = obs.MetricHandle(
+    "counter",
+    "repro_stream_events_ingested_total",
+    "Events accepted into session buffers (post-screening).",
+)
 
 
 class MatcherSession:
@@ -106,9 +119,13 @@ class MatcherSession:
             self.buffer.extend(x, y, codes, t)
         self._ingests += 1
         self.features.update(self.buffer.drain())
-        if len(self.buffer) > before:
+        accepted = len(self.buffer) - before
+        if accepted > 0:
             self.last_activity = max(self.last_activity, self.buffer.max_timestamp)
             self.dirty = True
+        if obs.obs_enabled():
+            _INGEST_BATCHES().inc()
+            _INGESTED_EVENTS().inc(max(accepted, 0))
 
     def add_decision(
         self, row: int, col: int, confidence: float, timestamp: float

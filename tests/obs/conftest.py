@@ -1,0 +1,40 @@
+"""Shared fixtures: isolated registries/tracers so tests never share state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def registry():
+    """A fresh default registry, telemetry forced on for the test body."""
+    with obs.obs_override(True), obs.use_registry() as reg:
+        yield reg
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic span timing."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def fresh_tracer(clock):
+    """A fresh default tracer driven by the fake clock, telemetry on."""
+    with obs.obs_override(True), obs.use_tracer(Tracer(clock=clock)) as instance:
+        yield instance

@@ -1,0 +1,146 @@
+"""Prometheus text exposition: round-trip, escaping, bucket cumulativity."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.exposition import parse_prometheus, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def _full_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_widgets_total", "Widgets made.", labelnames=("kind",))
+    c.inc(3.0, kind="alpha")
+    c.inc(kind="beta")
+    reg.gauge("repro_depth", "Queue depth.").set(4.0)
+    h = reg.histogram("repro_latency_seconds", "Latency.", labelnames=("backend",))
+    h.observe_many(np.array([0.0002, 0.004, 0.03, 0.03, 1.5]), backend="thread")
+    reg.distribution("repro_probability", "Scores.").observe_many([0.25, 0.75])
+    return reg
+
+
+class TestRoundTrip:
+    def test_every_family_round_trips(self):
+        reg = _full_registry()
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert set(parsed) == {
+            "repro_widgets_total",
+            "repro_depth",
+            "repro_latency_seconds",
+            "repro_probability",
+        }
+        widgets = parsed["repro_widgets_total"]
+        assert widgets["type"] == "counter"
+        assert widgets["help"] == "Widgets made."
+        values = {
+            labels["kind"]: value
+            for _, labels, value in widgets["samples"]
+        }
+        assert values == {"alpha": 3.0, "beta": 1.0}
+        assert parsed["repro_depth"]["type"] == "gauge"
+        assert parsed["repro_depth"]["samples"] == [("repro_depth", {}, 4.0)]
+        assert parsed["repro_latency_seconds"]["type"] == "histogram"
+        assert parsed["repro_probability"]["type"] == "summary"
+
+    def test_distribution_sum_and_count(self):
+        parsed = parse_prometheus(render_prometheus(_full_registry()))
+        samples = {
+            name: value
+            for name, _, value in parsed["repro_probability"]["samples"]
+        }
+        assert samples["repro_probability_count"] == 2
+        assert samples["repro_probability_sum"] == pytest.approx(1.0)
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(_full_registry()) == render_prometheus(_full_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "hostile",
+        ['quo"te', "back\\slash", "new\nline", 'all\\"of\nit', "plain"],
+    )
+    def test_hostile_label_values_round_trip(self, hostile):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", "Help.", labelnames=("kind",)).inc(kind=hostile)
+        parsed = parse_prometheus(render_prometheus(reg))
+        (_, labels, value), = parsed["repro_total"]["samples"]
+        assert labels["kind"] == hostile
+        assert value == 1.0
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", "line one\nline two \\ done").inc()
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert parsed["repro_total"]["help"] == "line one\nline two \\ done"
+
+    def test_one_sample_per_line_despite_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", "h", labelnames=("kind",)).inc(kind="a\nb")
+        text = render_prometheus(reg)
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+
+
+class TestBucketCumulativity:
+    def test_buckets_are_cumulative_and_capped_by_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_seconds", "h")
+        values = np.array([1e-5, 3e-4, 3e-4, 0.02, 0.9, 50.0, 200.0])
+        h.observe_many(values)
+        parsed = parse_prometheus(render_prometheus(reg))
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in parsed["repro_seconds"]["samples"]
+            if name == "repro_seconds_bucket"
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be non-decreasing"
+        # The +Inf bucket is last and equals the _count sample.
+        assert buckets[-1][0] == "+Inf"
+        scalars = {
+            name: value
+            for name, labels, value in parsed["repro_seconds"]["samples"]
+            if name in ("repro_seconds_sum", "repro_seconds_count")
+        }
+        assert buckets[-1][1] == scalars["repro_seconds_count"] == len(values)
+        assert scalars["repro_seconds_sum"] == pytest.approx(float(values.sum()))
+        # le bounds parse back as increasing floats.
+        bounds = [float(le) for le, _ in buckets[:-1]]
+        assert bounds == sorted(bounds)
+        assert math.isinf(float(buckets[-1][1])) is False
+
+    def test_overflow_values_live_only_in_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_seconds", "h")
+        h.observe(1e6)  # beyond the largest finite bound
+        parsed = parse_prometheus(render_prometheus(reg))
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in parsed["repro_seconds"]["samples"]
+            if name == "repro_seconds_bucket"
+        }
+        finite = [v for le, v in buckets.items() if le != "+Inf"]
+        assert all(v == 0 for v in finite)
+        assert buckets["+Inf"] == 1
+
+
+class TestLiveSurface:
+    def test_instrumented_run_exposes_series(self, registry):
+        """The text a live /metrics scrape returns covers what just ran."""
+        from repro.stream.quarantine import QuarantineLog
+
+        QuarantineLog().add(session_id="s", reason="duplicate", detail="d",
+                            x=0.0, y=0.0, code=0, t=0.0)
+        obs.counter("repro_faults_fired_total", labelnames=("seam",)).inc(seam="x")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert "repro_quarantine_total" in parsed
+        assert "repro_faults_fired_total" in parsed

@@ -1,0 +1,138 @@
+"""Run journals: append/read, rotation, span mirroring, the report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.cli import main as obs_main
+from repro.obs.journal import RunJournal, read_journal
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestWriteRead:
+    def test_entries_round_trip_in_order(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, clock=lambda: 123.0) as journal:
+            journal.write("run.start", {"scale": "tiny"})
+            journal.write("note", {"message": "hello"})
+        entries = read_journal(path)
+        assert [entry["kind"] for entry in entries] == ["run.start", "note"]
+        assert [entry["seq"] for entry in entries] == [1, 2]
+        assert entries[0]["ts"] == 123.0
+        assert entries[0]["scale"] == "tiny"
+
+    def test_numpy_payloads_are_jsonified(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.write("note", {"value": np.float64(0.5), "row": np.arange(3)})
+        (entry,) = read_journal(path)
+        assert entry["value"] == 0.5
+        assert entry["row"] == [0, 1, 2]
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.write("note", {"n": 1})
+        with path.open("a") as handle:
+            handle.write('{"seq": 2, "kind": "torn", "pa')
+        entries = read_journal(path)
+        assert [entry["kind"] for entry in entries] == ["note"]
+
+    def test_metrics_snapshot_entry(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_total").inc(4.0)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.write_metrics(reg)
+        (entry,) = read_journal(path)
+        assert entry["kind"] == "metrics"
+        restored = MetricsRegistry()
+        restored.merge_snapshot(entry["snapshot"])
+        assert restored.counter("repro_total").value() == 4.0
+
+
+class TestRotation:
+    def test_rotation_shifts_generations_and_keeps_all_entries(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, max_bytes=200, keep=3) as journal:
+            for index in range(24):
+                journal.write("note", {"index": index, "pad": "x" * 40})
+            generations = journal.generations()
+        assert len(generations) > 1
+        assert generations[-1] == path
+        entries = read_journal(path)
+        # Oldest generations beyond `keep` are dropped; the surviving
+        # entries are contiguous and end with the newest.
+        indices = [entry["index"] for entry in entries]
+        assert indices == list(range(indices[0], 24))
+
+    def test_keep_zero_discards_rotated_files(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, max_bytes=120, keep=0) as journal:
+            for index in range(12):
+                journal.write("note", {"index": index, "pad": "y" * 40})
+        assert not path.with_name("run.jsonl.1").exists()
+        entries = read_journal(path)
+        assert entries, "the active file always holds the newest entries"
+        assert entries[-1]["index"] == 11
+
+
+class TestTracerMirroring:
+    def test_attached_journal_receives_span_closes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        clock = iter(range(100)).__next__
+        tracer = Tracer(clock=lambda: float(clock()))
+        with RunJournal(path) as journal:
+            tracer.attach_journal(journal)
+            with obs.obs_override(True), obs.use_tracer(tracer):
+                with obs.trace_span("step.one"):
+                    pass
+                with obs.trace_span("step.two"):
+                    pass
+            tracer.detach_journal()
+        names = [entry["name"] for entry in read_journal(path) if entry["kind"] == "span"]
+        assert names == ["step.one", "step.two"]
+
+
+class TestReportCli:
+    def _write_journal(self, path):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", "Things.").inc(2.0)
+        tracer = Tracer(clock=iter(float(i) for i in range(100)).__next__)
+        with RunJournal(path) as journal:
+            tracer.attach_journal(journal)
+            with obs.obs_override(True), obs.use_tracer(tracer):
+                with obs.trace_span("work.step"):
+                    pass
+                with pytest.raises(ValueError):
+                    with obs.trace_span("work.step"):
+                        raise ValueError("boom")
+            tracer.detach_journal()
+            journal.write_metrics(reg)
+
+    def test_table_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_journal(path)
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "work.step" in out
+        assert "repro_total 2" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_journal(path)
+        assert obs_main(["report", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"]["work.step"]["count"] == 2
+        assert payload["spans"]["work.step"]["errors"] == 1
+        assert payload["metrics"]["families"]["repro_total"]["kind"] == "counter"
+
+    def test_missing_journal_is_exit_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err

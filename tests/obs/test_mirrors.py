@@ -1,0 +1,76 @@
+"""Pin: the ledgers behind /stats and the registry behind /metrics agree.
+
+Quarantine counts and fault-injection counts each have exactly one
+recording site (``QuarantineLog.add``, ``FaultInjector._record``) that
+bumps the ledger and the metrics registry in the same call — so the two
+ops surfaces can never disagree.  These tests pin that invariant.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.runtime.faults import FaultPlan, install_plan, clear_plan
+from repro.stream.quarantine import QuarantineLog
+
+
+class TestQuarantineMirror:
+    def test_counts_equal_metric_series(self, registry):
+        log = QuarantineLog()
+        plan = [
+            ("s1", "malformed"),
+            ("s1", "duplicate"),
+            ("s2", "malformed"),
+            ("s2", "out_of_window"),
+            ("s2", "malformed"),
+        ]
+        for session_id, reason in plan:
+            log.add(session_id=session_id, reason=reason, detail="d",
+                    x=0.0, y=0.0, code=0, t=0.0)
+        family = registry.get("repro_quarantine_total")
+        assert family is not None
+        ledger = {r: n for r, n in log.counts()["by_reason"].items() if n}
+        mirrored = {
+            key[0]: state.value for key, state in family.series().items()
+        }
+        assert mirrored == ledger
+        assert sum(mirrored.values()) == log.total
+
+    def test_rejected_reason_is_not_counted_anywhere(self, registry):
+        log = QuarantineLog()
+        try:
+            log.add(session_id="s", reason="not-a-reason", detail="d",
+                    x=0.0, y=0.0, code=0, t=0.0)
+        except ValueError:
+            pass
+        assert log.total == 0
+        assert registry.get("repro_quarantine_total") is None
+
+
+class TestFaultMirror:
+    def test_fired_equals_metric_series(self, registry):
+        injector = install_plan(FaultPlan.from_spec("task.execute:p=1.0:times=3;seed=3"))
+        try:
+            for attempt in range(4):
+                injector.fires("task.execute", key="k", attempt=attempt)
+            injector.fires("stream.ingest", key="k")  # unarmed: no fire
+        finally:
+            clear_plan()
+        family = registry.get("repro_faults_fired_total")
+        assert family is not None
+        mirrored = {
+            key[0]: state.value for key, state in family.series().items()
+        }
+        assert mirrored == {
+            seam: float(count) for seam, count in injector.fired().items()
+        }
+        assert mirrored == {"task.execute": 3.0}
+
+    def test_disabled_gate_skips_the_metric_but_not_the_ledger(self):
+        with obs.obs_override(False), obs.use_registry() as reg:
+            injector = install_plan(FaultPlan.from_spec("task.execute:p=1.0;seed=3"))
+            try:
+                injector.fires("task.execute", key="k", attempt=0)
+            finally:
+                clear_plan()
+            assert injector.fired() == {"task.execute": 1}
+            assert reg.get("repro_faults_fired_total") is None

@@ -1,0 +1,260 @@
+"""Metrics registry semantics: families, labels, merging, the env gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("repro_widgets_total", "Widgets.", labelnames=("kind",))
+        c.inc(kind="a")
+        c.inc(2.5, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == pytest.approx(3.5)
+        assert c.value(kind="b") == pytest.approx(1.0)
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("repro_widgets_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_rejects_unknown_labels(self, registry):
+        c = registry.counter("repro_widgets_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc(colour="red")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("repro_depth")
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value() == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_observe_matches_observe_many(self, registry):
+        values = [0.0002, 0.004, 0.004, 0.09, 1.7, 40.0]
+        one = registry.histogram("repro_one_seconds")
+        many = registry.histogram("repro_many_seconds")
+        for value in values:
+            one.observe(value)
+        many.observe_many(np.asarray(values))
+        assert one.count() == many.count() == len(values)
+        assert one.total() == pytest.approx(many.total())
+        assert one.snapshot() == many.snapshot() or (
+            one.snapshot()["series"][0][1]["counts"]
+            == many.snapshot()["series"][0][1]["counts"]
+        )
+
+    def test_quantiles_bracket_the_data(self, registry):
+        h = registry.histogram("repro_latency_seconds")
+        data = np.linspace(0.001, 0.5, 200)
+        h.observe_many(data)
+        p50 = h.quantile(0.5)
+        p99 = h.quantile(0.99)
+        # Bucket interpolation is approximate but must stay ordered and
+        # inside the observed range.
+        assert 0.001 <= p50 <= p99 <= h.max_value() <= 0.5 + 1e-9
+        assert p50 == pytest.approx(float(np.median(data)), rel=0.8)
+
+    def test_empty_quantile_is_nan(self, registry):
+        h = registry.histogram("repro_latency_seconds")
+        assert np.isnan(h.quantile(0.5))
+
+
+class TestDistribution:
+    def test_summary_tracks_moments(self, registry):
+        d = registry.distribution("repro_probability", labelnames=("characteristic",))
+        values = np.array([0.1, 0.2, 0.7, 0.9])
+        d.observe_many(values, characteristic="expert")
+        summary = d.summary(characteristic="expert")
+        assert summary.count == len(values)
+        assert summary.mean == pytest.approx(float(values.mean()))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("repro_total", "Help.")
+        second = registry.counter("repro_total", "Help.")
+        assert first is second
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("repro_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_total")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("repro_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_total", labelnames=("colour",))
+
+    def test_module_helpers_follow_use_registry(self, registry):
+        obs.counter("repro_helper_total").inc()
+        assert registry.get("repro_helper_total") is not None
+
+    def test_reset_clears_series(self, registry):
+        obs.counter("repro_total").inc()
+        registry.reset()
+        assert registry.collect() == []
+
+    def test_metric_handle_caches_family(self, registry):
+        handle = obs.MetricHandle("counter", "repro_handle_total", "Cached.")
+        handle().inc()
+        assert handle() is registry.counter("repro_handle_total")
+        assert handle().value() == 1.0
+
+    def test_metric_handle_follows_registry_swap_and_reset(self, registry):
+        handle = obs.MetricHandle("counter", "repro_handle_total")
+        handle().inc(2.0)
+        with obs.use_registry() as inner:
+            # Swapped default registry: the handle re-resolves there.
+            handle().inc()
+            assert handle().value() == 1.0
+            assert inner.get("repro_handle_total") is not None
+        # Back on the outer registry, the original series is intact...
+        assert handle().value() == 2.0
+        # ...and reset() invalidates the cached family, not just the data.
+        stale = handle()
+        registry.reset()
+        handle().inc()
+        assert handle() is not stale
+        assert handle().value() == 1.0
+
+    def test_metric_handle_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            obs.MetricHandle("timer", "repro_x")
+
+
+class TestGate:
+    def test_obs_override_toggles_enabled(self):
+        with obs.obs_override(False):
+            assert not obs.obs_enabled()
+            with obs.obs_override(True):
+                assert obs.obs_enabled()
+            assert not obs.obs_enabled()
+
+    def test_disabled_instrumentation_records_nothing(self):
+        """Instrumented call sites gate on obs_enabled(): nothing lands."""
+        from repro.stream.quarantine import QuarantineLog
+
+        with obs.obs_override(False), obs.use_registry() as reg:
+            log = QuarantineLog()
+            log.add(session_id="s", reason="malformed", detail="d",
+                    x=0.0, y=0.0, code=0, t=0.0)
+            assert reg.collect() == []
+        # ...and the ledger itself still counted the event exactly.
+        assert log.total == 1
+
+
+class TestSnapshotMerge:
+    def test_self_merge_doubles(self, registry):
+        obs.counter("repro_total", labelnames=("kind",)).inc(3.0, kind="a")
+        obs.histogram("repro_seconds").observe_many([0.01, 0.2, 5.0])
+        obs.gauge("repro_depth").set(7.0)
+        snap = registry.snapshot()
+        registry.merge_snapshot(snap)
+        assert registry.counter("repro_total", labelnames=("kind",)).value(kind="a") == 6.0
+        assert registry.histogram("repro_seconds").count() == 6
+        # Gauges merge by max: unchanged.
+        assert registry.gauge("repro_depth").value() == 7.0
+
+    def test_merge_into_empty_registry(self, registry):
+        obs.counter("repro_total").inc(2.0)
+        obs.distribution("repro_dist").observe_many([1.0, 2.0, 3.0])
+        snap = registry.snapshot()
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        assert other.counter("repro_total").value() == 2.0
+        assert other.distribution("repro_dist").summary().count == 3
+
+
+def _registry_from_events(reg, events):
+    """Fill ``reg`` from (kind, value) observation events."""
+    for kind, value in events:
+        if kind == "counter":
+            reg.counter("repro_c_total", labelnames=("k",)).inc(value, k="x")
+        elif kind == "gauge":
+            reg.gauge("repro_g").set(value)
+        elif kind == "hist":
+            reg.histogram("repro_h_seconds").observe(value)
+        else:
+            reg.distribution("repro_d").observe(value)
+
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "hist", "dist"]),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    max_size=12,
+)
+
+
+def _merged_values(snapshot):
+    """Project a merged snapshot onto comparable totals (plain floats)."""
+    reg = MetricsRegistry()
+    reg.merge_snapshot(snapshot)
+    out = {}
+    family = reg.get("repro_c_total")
+    if family is not None:
+        out["counter"] = family.value(k="x")
+    family = reg.get("repro_g")
+    if family is not None:
+        out["gauge"] = family.value()
+    family = reg.get("repro_h_seconds")
+    if family is not None:
+        out["hist_count"] = float(family.count())
+        out["hist_total"] = family.total()
+        out["hist_max"] = family.max_value()
+    family = reg.get("repro_d")
+    if family is not None:
+        summary = family.summary()
+        out["dist_count"] = float(summary.count)
+        out["dist_mean"] = float(summary.mean)
+    return out
+
+
+def _assert_close(left, right):
+    """Equal keys; values equal up to FP re-association noise."""
+    assert set(left) == set(right)
+    for key in left:
+        assert left[key] == pytest.approx(right[key], rel=1e-9, abs=1e-9)
+
+
+def _snap(events_list):
+    reg = MetricsRegistry()
+    _registry_from_events(reg, events_list)
+    return reg.snapshot()
+
+
+class TestMergeAlgebra:
+    """Snapshot merging is associative and commutative (satellite 4).
+
+    This is what makes worker-envelope aggregation order-independent:
+    however process-pool results interleave, the merged totals agree.
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=events, b=events, c=events)
+    def test_associative(self, a, b, c):
+        sa, sb, sc = _snap(a), _snap(b), _snap(c)
+        left = merge_snapshots(merge_snapshots(sa, sb), sc)
+        right = merge_snapshots(sa, merge_snapshots(sb, sc))
+        _assert_close(_merged_values(left), _merged_values(right))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=events, b=events)
+    def test_commutative(self, a, b):
+        sa, sb = _snap(a), _snap(b)
+        _assert_close(
+            _merged_values(merge_snapshots(sa, sb)),
+            _merged_values(merge_snapshots(sb, sa)),
+        )

@@ -6,19 +6,22 @@ third-party HTTP stack, mirroring the server's own stdlib-only design.
 """
 
 import asyncio
+import contextlib
 import http.client
 import json
 import threading
 
+import numpy as np
 import pytest
 
+from repro import obs
+from repro.obs.tracing import Tracer
 from repro.shard import OpsServer, ShardFleet, synthetic_traces
 
 
-@pytest.fixture
-def ops(shard_service):
-    """A running ops server over a 2-shard fleet with tiny queues."""
-    fleet = ShardFleet(shard_service, 2, seed=1, queue_slots=1)
+@contextlib.contextmanager
+def running_ops(fleet):
+    """Run an :class:`OpsServer` over ``fleet`` on a background event loop."""
     server = OpsServer(fleet, port=0)
     loop = asyncio.new_event_loop()
     started = threading.Event()
@@ -40,6 +43,13 @@ def ops(shard_service):
         thread.join(timeout=10)
         loop.close()
         fleet.close()
+
+
+@pytest.fixture
+def ops(shard_service):
+    """A running ops server over a 2-shard fleet with tiny queues."""
+    with running_ops(ShardFleet(shard_service, 2, seed=1, queue_slots=1)) as handles:
+        yield handles
 
 
 def request(server, method, path, payload=None):
@@ -184,3 +194,105 @@ class TestOpsSurface:
         # No checkpoint_root configured: surfaced as a client error.
         status, payload = request(server, "POST", "/checkpoint")
         assert status == 400 and "checkpoint_root" in payload["error"]
+
+
+def raw_request(server, method, path):
+    """Like :func:`request` but returns the body verbatim (for /metrics)."""
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        connection.request(method, path)
+        response = connection.getresponse()
+        return response.status, response.getheader("Content-Type"), response.read().decode()
+    finally:
+        connection.close()
+
+
+class TestTelemetrySurface:
+    """GET /metrics and /spans over a live, instrumented fleet."""
+
+    def test_metrics_covers_every_live_series(self, shard_service):
+        from repro.obs.exposition import parse_prometheus
+        from repro.runtime.faults import FaultPlan, clear_plan, install_plan
+
+        trace = synthetic_traces(1, seed=11, n_events=24, n_decisions=2)[0]
+        with obs.obs_override(True), obs.use_registry(), obs.use_tracer(Tracer()):
+            fleet = ShardFleet(shard_service, 2, seed=1, queue_slots=4, quarantine=True)
+            with running_ops(fleet) as (server, fleet, loop):
+                request(
+                    server, "POST", "/sessions/open",
+                    {"session_id": trace.session_id, "shape": list(trace.shape)},
+                )
+                # One NaN timestamp among the columns: screened into the
+                # shard's quarantine, the rest ingested normally.
+                t = trace.t.astype(float).copy()
+                t[3] = float("nan")
+                status, _ = request(
+                    server, "POST", "/ingest",
+                    {
+                        "session_id": trace.session_id,
+                        "x": trace.x.tolist(), "y": trace.y.tolist(),
+                        "codes": trace.codes.tolist(),
+                        "t": [None if np.isnan(v) else v for v in t],
+                    },
+                )
+                assert status == 202
+                for index in range(trace.n_decisions):
+                    status, _ = request(
+                        server, "POST", "/decision",
+                        {
+                            "session_id": trace.session_id,
+                            "row": int(trace.d_rows[index]),
+                            "col": int(trace.d_cols[index]),
+                            "confidence": float(trace.d_conf[index]),
+                            "timestamp": float(trace.d_t[index]),
+                        },
+                    )
+                    assert status == 202
+                status, scored = request(server, "POST", "/recharacterize", {"force": True})
+                assert status == 200
+                assert scored["matcher_ids"] == [trace.session_id]
+                injector = install_plan(FaultPlan.from_spec("task.execute:p=1.0;seed=5"))
+                try:
+                    injector.fires("task.execute", key=0, attempt=0)
+                finally:
+                    clear_plan()
+
+                status, content_type, text = raw_request(server, "GET", "/metrics")
+                assert status == 200
+                assert content_type.startswith("text/plain")
+                families = parse_prometheus(text)
+                for expected in (
+                    "repro_stream_events_ingested_total",   # ingest
+                    "repro_shard_dispatch_batches_total",   # dispatch
+                    "repro_shard_dispatch_seconds",
+                    "repro_score_batches_total",            # scoring
+                    "repro_faults_fired_total",             # faults
+                    "repro_quarantine_total",               # quarantine
+                ):
+                    assert expected in families, f"missing series family {expected}"
+                # The quarantine series agrees with the fleet's own ledger.
+                quarantined = call(
+                    loop, lambda: fleet.stats()["totals"]["quarantined"]["total"]
+                )
+                mirrored = sum(
+                    value
+                    for name, _, value in families["repro_quarantine_total"]["samples"]
+                    if name == "repro_quarantine_total"
+                )
+                assert mirrored == quarantined > 0
+
+                status, payload = request(server, "GET", "/spans")
+                assert status == 200
+                names = {span["name"] for span in payload["spans"]}
+                assert "shard.dispatch" in names
+                assert "shard.recharacterize" in names
+
+    def test_spans_and_metrics_empty_before_traffic(self, shard_service):
+        with obs.obs_override(True), obs.use_registry(), obs.use_tracer(Tracer()):
+            fleet = ShardFleet(shard_service, 2, seed=1, queue_slots=1)
+            with running_ops(fleet) as (server, _, _loop):
+                status, payload = request(server, "GET", "/spans")
+                assert status == 200 and payload["spans"] == []
+                status, content_type, text = raw_request(server, "GET", "/metrics")
+                assert status == 200 and content_type.startswith("text/plain")
+                assert text == ""
